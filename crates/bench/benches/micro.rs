@@ -1,0 +1,216 @@
+//! Criterion micro-benchmarks of the hot components.
+//!
+//!     cargo bench -p cx-bench
+//!
+//! These measure the substrate itself (not the paper's figures — those
+//! live in the `src/bin/` experiment binaries): protocol-engine throughput
+//! on the zero-latency testkit, WAL append/prune, metadata-store
+//! apply/undo, disk-model scheduling, placement hashing, and trace
+//! generation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use cx_core::{BatchTrigger, ClusterConfig, Protocol};
+use cx_protocol::testkit::Kit;
+use cx_types::{FileKind, FsOp, InodeNo, Name, Placement, ProcId, Role, ServerId, SimTime, SubOp, Verdict};
+
+fn bench_protocol_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_ops");
+    g.throughput(Throughput::Elements(1));
+    for protocol in [Protocol::Cx, Protocol::Se, Protocol::SeBatched, Protocol::TwoPc, Protocol::Ce] {
+        g.bench_function(format!("create_{}", protocol.name()), |b| {
+            b.iter_batched(
+                || {
+                    let mut cfg = ClusterConfig::new(4, protocol);
+                    cfg.cx.trigger = BatchTrigger::Threshold { pending_ops: 64 };
+                    let mut kit = Kit::new(cfg);
+                    for s in kit.servers.iter_mut() {
+                        s.store_mut().seed_inode(InodeNo(1), FileKind::Directory, 1);
+                    }
+                    kit
+                },
+                |mut kit| {
+                    for i in 0..64u64 {
+                        kit.run_op(
+                            ProcId::new((i % 4) as u32, 0),
+                            FsOp::Create {
+                                parent: InodeNo(1),
+                                name: Name(100 + i),
+                                ino: InodeNo(1000 + i),
+                            },
+                        );
+                    }
+                    kit.quiesce();
+                    kit
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_wal(c: &mut Criterion) {
+    use cx_wal::{Record, Wal};
+    let rec = |i: u64| Record::Result {
+        op_id: cx_types::OpId::new(ProcId::new(0, 0), i),
+        role: Role::Participant,
+        peer: Some(ServerId(1)),
+        subop: SubOp::CreateInode {
+            ino: InodeNo(i),
+            kind: FileKind::Regular,
+        },
+        verdict: Verdict::Yes,
+        invalidated: false,
+    };
+    let mut g = c.benchmark_group("wal");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("append_commit_prune", |b| {
+        b.iter_batched(
+            || Wal::new(None),
+            |mut wal| {
+                for i in 0..256 {
+                    let (seq, _) = wal.append(rec(i)).expect("unlimited");
+                    wal.append(Record::Commit {
+                        op_id: cx_types::OpId::new(ProcId::new(0, 0), i),
+                    })
+                    .expect("unlimited");
+                    wal.mark_durable(seq);
+                }
+                wal.prune_all();
+                wal
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("encode_decode_record", |b| {
+        let r = rec(7);
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(256);
+            cx_wal::encode_record(&mut buf, &r);
+            cx_wal::decode_record(&buf).expect("round trip")
+        })
+    });
+    g.finish();
+}
+
+fn bench_store(c: &mut Criterion) {
+    use cx_mdstore::MetaStore;
+    let mut g = c.benchmark_group("mdstore");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("apply_undo_cycle", |b| {
+        b.iter_batched(
+            MetaStore::new,
+            |mut store| {
+                for i in 0..256u64 {
+                    let undo = store
+                        .apply(&SubOp::CreateInode {
+                            ino: InodeNo(i),
+                            kind: FileKind::Regular,
+                        })
+                        .expect("fresh inode");
+                    if i % 2 == 0 {
+                        store.undo(undo);
+                    }
+                }
+                store.take_dirty_pages();
+                store
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_disk_model(c: &mut Criterion) {
+    use cx_simio::{Disk, DiskReq};
+    use cx_types::DiskConfig;
+    let mut g = c.benchmark_group("disk");
+    g.bench_function("group_commit_512_appends", |b| {
+        b.iter_batched(
+            || Disk::new(DiskConfig::default()),
+            |mut disk| {
+                let mut batch = disk
+                    .submit(SimTime(0), DiskReq::LogAppend { bytes: 200, token: 0 })
+                    .expect("idle start");
+                for t in 1..512u64 {
+                    disk.submit(SimTime(0), DiskReq::LogAppend { bytes: 200, token: t });
+                }
+                while let Some(next) = disk.complete(batch.finish) {
+                    batch = next;
+                }
+                disk
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("writeback_merge_1000_pages", |b| {
+        b.iter_batched(
+            || Disk::new(DiskConfig::default()),
+            |mut disk| {
+                let pages: Vec<u64> = (0..1000u64).map(|i| i * 3).collect();
+                let batch = disk
+                    .submit(SimTime(0), DiskReq::DbWriteback { pages, token: 0 })
+                    .expect("idle start");
+                let _ = disk.complete(batch.finish);
+                disk
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let p = Placement::new(32);
+    let mut g = c.benchmark_group("placement");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("plan_create", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            p.plan(FsOp::Create {
+                parent: InodeNo(1),
+                name: Name(i),
+                ino: InodeNo(1000 + i),
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    use cx_core::{TraceBuilder, TraceProfile};
+    let mut g = c.benchmark_group("workloads");
+    g.bench_function("generate_cth_5k_ops", |b| {
+        let profile = TraceProfile::by_name("CTH").expect("exists");
+        b.iter(|| TraceBuilder::new(profile).scale(0.01).build())
+    });
+    g.finish();
+}
+
+fn bench_des_replay(c: &mut Criterion) {
+    use cx_core::{Experiment, Workload};
+    let mut g = c.benchmark_group("des");
+    g.sample_size(10);
+    g.bench_function("replay_cth_1k_ops_cx", |b| {
+        b.iter(|| {
+            Experiment::new(Workload::trace("CTH").scale(0.002))
+                .servers(8)
+                .protocol(Protocol::Cx)
+                .run()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_protocol_engines,
+    bench_wal,
+    bench_store,
+    bench_disk_model,
+    bench_placement,
+    bench_trace_generation,
+    bench_des_replay
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Run every paper experiment in sequence (the `EXPERIMENTS.md`
+//! regeneration driver).
+//!
+//!     cargo run --release -p cx-bench --bin all_experiments [--scale f|--full]
+//!
+//! Each experiment prints its table and writes JSON under
+//! `target/experiments/`; this driver just invokes them in paper order
+//! with consistent flags.
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 12] = [
+    "table2_conflict_ratio",
+    "figure4_op_distribution",
+    "figure5_trace_replay",
+    "table4_message_overhead",
+    "figure6_metarates_scaling",
+    "figure7_log_size",
+    "figure8_conflict_ratio",
+    "figure9_batch_strategies",
+    "table5_recovery",
+    "ablation_group_commit",
+    "ablation_writeback_merge",
+    "ablation_log_organization",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+
+    let mut failures = Vec::new();
+    for (i, name) in EXPERIMENTS.iter().enumerate() {
+        println!("\n======================================================================");
+        println!("[{}/{}] {}", i + 1, EXPERIMENTS.len(), name);
+        println!("======================================================================");
+        let bin = exe_dir.join(name);
+        let status = Command::new(&bin)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", bin.display()));
+        if !status.success() {
+            failures.push(*name);
+        }
+    }
+
+    println!("\n======================================================================");
+    if failures.is_empty() {
+        println!("all {} experiments completed", EXPERIMENTS.len());
+    } else {
+        println!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` that regenerates it:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table2_conflict_ratio` | Table II — conflict ratios in six workloads |
+//! | `figure4_op_distribution` | Figure 4 — metadata operation mixes |
+//! | `figure5_trace_replay` | Figure 5 — trace replay times, OFS vs OFS-batched vs OFS-Cx |
+//! | `table4_message_overhead` | Table IV — message counts and Cx overhead |
+//! | `figure6_metarates_scaling` | Figure 6 — Metarates throughput vs cluster size |
+//! | `figure7_log_size` | Figure 7 — log-limit sensitivity + valid-record timeline |
+//! | `figure8_conflict_ratio` | Figure 8 — injected-conflict sensitivity |
+//! | `figure9_batch_strategies` | Figure 9 — timeout/threshold trigger sweeps |
+//! | `table5_recovery` | Table V — recovery time vs valid-record volume |
+//! | `ablation_group_commit` | DESIGN.md §5.2 — group commit on/off |
+//! | `ablation_writeback_merge` | DESIGN.md §5.3 — elevator merging on/off |
+//!
+//! Binaries accept `--scale <f64>` (trace fraction; default keeps each run
+//! under ~a minute) and `--full` (paper scale: every operation of Table
+//! II). Results print as aligned tables and are also written as JSON under
+//! `target/experiments/`.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Parse `--scale <f64>`, `--full`, `--servers <n>` style flags.
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self::parse()
+    }
+}
+
+impl Args {
+    pub fn parse() -> Self {
+        Self {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    pub fn flag(&self, name: &str) -> bool {
+        self.raw.iter().any(|a| a == name)
+    }
+
+    pub fn value<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
+        self.raw
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.raw.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    }
+
+    /// Trace scale: `--full` → 1.0, else `--scale` or the default.
+    pub fn scale(&self, default: f64) -> f64 {
+        if self.flag("--full") {
+            1.0
+        } else {
+            self.value("--scale").unwrap_or(default)
+        }
+    }
+}
+
+/// Print an aligned table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Write a JSON artifact under `target/experiments/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from("target/experiments");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(json) = serde_json::to_string_pretty(value) {
+        let _ = std::fs::write(&path, json);
+        println!("\n[json: {}]", path.display());
+    }
+}
+
+/// Percent improvement of `new` over `old` (lower is better).
+pub fn improvement(old: f64, new: f64) -> f64 {
+    (1.0 - new / old) * 100.0
+}
+
+/// Percent gain of `new` over `old` (higher is better).
+pub fn gain(old: f64, new: f64) -> f64 {
+    (new / old - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_and_gain() {
+        assert!((improvement(2.0, 1.0) - 50.0).abs() < 1e-9);
+        assert!((gain(100.0, 182.0) - 82.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn args_scale_logic() {
+        let a = Args { raw: vec!["--scale".into(), "0.25".into()] };
+        assert_eq!(a.scale(0.1), 0.25);
+        let b = Args { raw: vec!["--full".into()] };
+        assert_eq!(b.scale(0.1), 1.0);
+        let c = Args { raw: vec![] };
+        assert_eq!(c.scale(0.1), 0.1);
+        assert!(b.flag("--full") && !c.flag("--full"));
+        assert_eq!(a.value::<u32>("--servers"), None);
+    }
+}

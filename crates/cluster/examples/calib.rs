@@ -1,0 +1,60 @@
+//! Calibration probe: prints the headline protocol ratios the disk and
+//! network constants were tuned against (see DESIGN.md §2 and
+//! EXPERIMENTS.md). Useful when adjusting `DiskConfig`/`NetConfig`
+//! defaults: run before and after and compare against the paper's bands.
+//!
+//!     cargo run --release -p cx-cluster --example calib [scale]
+
+use cx_cluster::des::run_trace;
+use cx_types::{ClusterConfig, Protocol};
+use cx_workloads::{Metarates, MetaratesMix, TraceBuilder, TraceProfile};
+use std::collections::BTreeMap;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.02);
+
+    println!("trace replays at 8 servers (paper bands: Cx >=38%, batched >=15%, Cx-over-batched >=16%)");
+    for name in ["CTH", "s3d", "home2"] {
+        let trace = TraceBuilder::new(TraceProfile::by_name(name).expect("known"))
+            .scale(scale)
+            .build();
+        let mut r = BTreeMap::new();
+        for protocol in [Protocol::Se, Protocol::SeBatched, Protocol::Cx] {
+            let (stats, v) = run_trace(ClusterConfig::new(8, protocol), &trace);
+            assert!(v.is_empty(), "{name} {protocol:?}: {v:?}");
+            assert_eq!(stats.ops_stuck, 0);
+            r.insert(protocol.name(), stats.replay_secs());
+        }
+        let (se, ba, cx) = (r["OFS"], r["OFS-batched"], r["OFS-Cx"]);
+        println!(
+            "  {name:8} SE={se:.3}s batched={ba:.3}s ({:+.0}%) Cx={cx:.3}s ({:+.0}% vs OFS, {:+.0}% vs batched)",
+            (1.0 - ba / se) * 100.0,
+            (1.0 - cx / se) * 100.0,
+            (1.0 - cx / ba) * 100.0
+        );
+    }
+
+    println!("\nmetarates at 8 servers (paper: >=70% update-dominated, >=40% read-dominated)");
+    for mix in [MetaratesMix::ReadDominated, MetaratesMix::UpdateDominated] {
+        let trace = Metarates::new(mix, 8 * 4 * 8)
+            .seed_files(4000)
+            .ops_per_proc(60)
+            .build();
+        let mut r = BTreeMap::new();
+        for protocol in [Protocol::Se, Protocol::SeBatched, Protocol::Cx] {
+            let (stats, v) = run_trace(ClusterConfig::new(8, protocol), &trace);
+            assert!(v.is_empty());
+            r.insert(protocol.name(), stats.throughput());
+        }
+        let (se, ba, cx) = (r["OFS"], r["OFS-batched"], r["OFS-Cx"]);
+        println!(
+            "  {:16} SE={se:.0} batched={ba:.0} ({:+.0}%) Cx={cx:.0} op/s ({:+.0}% vs OFS)",
+            mix.name(),
+            (ba / se - 1.0) * 100.0,
+            (cx / se - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,780 @@
+//! The discrete-event cluster simulation.
+//!
+//! Models what the paper's testbed provides (§IV-B): metadata servers with
+//! one CPU queue and one 7200 rpm SATA disk each, a 10 GigE network, and
+//! client nodes running synchronous processes. Interprets the protocol
+//! engines' actions:
+//!
+//! * `Send` → arrival after `one_way + size/bandwidth`; at the server the
+//!   message waits in the CPU queue (a [`FifoResource`]) before handling.
+//! * `LogAppend`/`DbSyncWrite`/`DbWriteback`/`LogRead` → submitted to the
+//!   server's [`Disk`], which group-commits appends and elevator-merges
+//!   write-back pages.
+//! * `SetTimer` → a virtual-time timer event.
+//!
+//! The run replays a [`Trace`]: each process issues its operations
+//! synchronously (closed loop); "replay time" is the virtual time at which
+//! the last operation response arrives, matching the paper's metric.
+
+use crate::stats::{RunStats, TimelineSample};
+use cx_mdstore::{GlobalView, Violation};
+use cx_protocol::{Action, ClientDecision, ClientOp, Endpoint, ServerEngine};
+use cx_sim::{FifoResource, Sim};
+use cx_simio::{Batch, Disk, DiskReq};
+use cx_types::{
+    ClusterConfig, FileKind, FsOp, OpId, Payload, Placement, ProcId, ServerId, SimTime, DUR_US,
+};
+use cx_workloads::{SeedEntry, Trace};
+use std::collections::VecDeque;
+
+/// Client-side overhead between completing one op and issuing the next.
+const CLIENT_ISSUE_NS: u64 = 15 * DUR_US;
+/// CPU cost per entry of a batched commitment message.
+const PER_ENTRY_NS: u64 = 3 * DUR_US;
+
+enum Ev {
+    /// A message reached the server NIC; queue it on the CPU.
+    ServerArrive {
+        server: u32,
+        from: Endpoint,
+        payload: Payload,
+    },
+    /// The CPU got to the message; run the engine.
+    ServerHandle {
+        server: u32,
+        from: Endpoint,
+        payload: Payload,
+    },
+    /// A disk batch finished.
+    DiskDone {
+        server: u32,
+        tokens: Vec<u64>,
+        /// Disk incarnation the batch belonged to; stale completions from
+        /// before a crash are discarded.
+        generation: u64,
+    },
+    ServerTimer { server: u32, token: u64 },
+    ProcDeliver {
+        proc: u32,
+        from: Endpoint,
+        payload: Payload,
+    },
+    ProcTimer { proc: u32, token: u64 },
+    ProcIssue { proc: u32 },
+    /// A crashed server finished rebooting: start its recovery.
+    Reboot { server: u32 },
+}
+
+/// When and how to crash a server mid-run (the Table V experiment).
+#[derive(Debug, Clone, Copy)]
+pub struct CrashPlan {
+    pub server: ServerId,
+    /// Crash once this server's valid-record volume reaches this size.
+    pub valid_bytes_target: u64,
+    /// Failure-detection delay before the reboot begins (§III-D: "the
+    /// recovery process for node starts when the failure detection
+    /// subsystem confirms a crash").
+    pub detection_ns: u64,
+    /// Process/OS restart time before the log scan starts.
+    pub reboot_ns: u64,
+}
+
+/// Timing of one crash/recovery cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryReport {
+    pub crashed_at: SimTime,
+    pub valid_bytes_at_crash: u64,
+    /// When the rebooted server began its log scan.
+    pub recovery_started: SimTime,
+    /// When the server resumed serving requests.
+    pub recovery_finished: SimTime,
+    pub scanned_bytes: u64,
+}
+
+impl RecoveryReport {
+    /// The paper's recovery time: reboot to serving again.
+    pub fn recovery_secs(&self) -> f64 {
+        (self.recovery_finished.0 - self.crashed_at.0) as f64 / 1e9
+    }
+
+    /// Protocol-only portion (log scan + resumption, excluding detection
+    /// and reboot).
+    pub fn protocol_secs(&self) -> f64 {
+        (self.recovery_finished.0 - self.recovery_started.0) as f64 / 1e9
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CrashState {
+    Armed(CrashPlan),
+    Down {
+        crashed_at: SimTime,
+        valid_bytes: u64,
+    },
+    Recovering {
+        crashed_at: SimTime,
+        valid_bytes: u64,
+        started: SimTime,
+        scanned: u64,
+        server: u32,
+    },
+    Done(RecoveryReport),
+}
+
+struct ProcRuntime {
+    id: ProcId,
+    queue: VecDeque<FsOp>,
+    current: Option<ClientOp>,
+    issued_at: SimTime,
+    current_cross: bool,
+    next_seq: u64,
+    done: bool,
+}
+
+/// The simulated cluster.
+pub struct DesCluster {
+    cfg: ClusterConfig,
+    placement: Placement,
+    servers: Vec<Box<dyn ServerEngine>>,
+    disks: Vec<Disk>,
+    cpus: Vec<FifoResource>,
+    procs: Vec<ProcRuntime>,
+    sim: Sim<Ev>,
+    stats: RunStats,
+    roots: Vec<cx_types::InodeNo>,
+    active_procs: u32,
+    sample_every_ns: u64,
+    next_sample: SimTime,
+    /// Hard event cap (hang protection).
+    max_events: u64,
+    crash: Option<CrashState>,
+}
+
+impl DesCluster {
+    /// Build a cluster and load the trace's seeds and process queues.
+    pub fn new(cfg: ClusterConfig, trace: &Trace) -> Self {
+        let placement = Placement::new(cfg.servers);
+        let mut servers: Vec<Box<dyn ServerEngine>> = (0..cfg.servers)
+            .map(|i| cx_protocol::make_server(ServerId(i), &cfg))
+            .collect();
+
+        // Seed the initial namespace.
+        for seed in &trace.seeds {
+            match *seed {
+                SeedEntry::Dir { ino } => {
+                    // directory partition rows exist on every server
+                    for s in servers.iter_mut() {
+                        s.store_mut().seed_inode(ino, FileKind::Directory, 1);
+                    }
+                }
+                SeedEntry::File { parent, name, ino } => {
+                    let ds = placement.dentry_server(parent, name);
+                    servers[ds.0 as usize]
+                        .store_mut()
+                        .seed_dentry(parent, name, ino);
+                    let is = placement.inode_server(ino);
+                    servers[is.0 as usize]
+                        .store_mut()
+                        .seed_inode(ino, FileKind::Regular, 1);
+                }
+            }
+        }
+
+        // Per-process operation queues in trace order.
+        let mut queues: Vec<VecDeque<FsOp>> =
+            (0..trace.processes).map(|_| VecDeque::new()).collect();
+        for t in &trace.ops {
+            queues[t.proc.client.0 as usize].push_back(t.op);
+        }
+        let procs: Vec<ProcRuntime> = queues
+            .into_iter()
+            .enumerate()
+            .map(|(i, queue)| ProcRuntime {
+                id: ProcId::new(i as u32, 0),
+                done: queue.is_empty(),
+                queue,
+                current: None,
+                issued_at: SimTime::ZERO,
+                current_cross: false,
+                next_seq: 0,
+            })
+            .collect();
+        let active_procs = procs.iter().filter(|p| !p.done).count() as u32;
+
+        let disks = (0..cfg.servers).map(|_| Disk::new(cfg.disk)).collect();
+        let cpus = (0..cfg.servers).map(|_| FifoResource::new()).collect();
+        let stats = RunStats::new(cfg.protocol, cfg.servers, trace.processes);
+        let max_events = 800 * trace.ops.len() as u64 + 10_000_000;
+
+        Self {
+            cfg,
+            placement,
+            servers,
+            disks,
+            cpus,
+            procs,
+            sim: Sim::new(),
+            stats,
+            roots: trace.roots.clone(),
+            active_procs,
+            sample_every_ns: 200_000_000, // 200 ms samples for Figure 7b
+            next_sample: SimTime::ZERO,
+            max_events,
+            crash: None,
+        }
+    }
+
+    /// Arm a crash: the run will kill `plan.server` once its valid-record
+    /// volume reaches the target, reboot it after the detection delay, and
+    /// time the recovery (Table V: "we killed the processes on a server
+    /// after it has accepted a specific size of valid-records").
+    pub fn with_crash(mut self, plan: CrashPlan) -> Self {
+        self.crash = Some(CrashState::Armed(plan));
+        self
+    }
+
+    /// Run until the armed crash has fully recovered; returns the timing
+    /// report (None if the workload never produced enough valid records).
+    pub fn run_recovery_experiment(mut self) -> Option<RecoveryReport> {
+        assert!(self.crash.is_some(), "arm a crash with with_crash first");
+        for i in 0..self.servers.len() {
+            let mut out = Vec::new();
+            self.servers[i].on_start(SimTime::ZERO, &mut out);
+            self.do_actions(Endpoint::Server(ServerId(i as u32)), out);
+        }
+        for p in 0..self.procs.len() {
+            if !self.procs[p].done {
+                self.sim
+                    .schedule(p as u64 * 2 * DUR_US, 0, Ev::ProcIssue { proc: p as u32 });
+            }
+        }
+        self.event_loop();
+        match self.crash {
+            Some(CrashState::Done(report)) => Some(report),
+            _ => None,
+        }
+    }
+
+    /// Run the replay to completion and return the statistics.
+    pub fn run(mut self) -> (RunStats, Vec<Violation>) {
+        // Boot servers.
+        for i in 0..self.servers.len() {
+            let mut out = Vec::new();
+            self.servers[i].on_start(SimTime::ZERO, &mut out);
+            self.do_actions(Endpoint::Server(ServerId(i as u32)), out);
+        }
+        // Stagger process start slightly to avoid artificial lockstep.
+        for p in 0..self.procs.len() {
+            if !self.procs[p].done {
+                self.sim
+                    .schedule(p as u64 * 2 * DUR_US, 0, Ev::ProcIssue { proc: p as u32 });
+            }
+        }
+
+        self.event_loop();
+
+        // Natural drain finished; now force the remaining lazy work.
+        for round in 0..16 {
+            if self.servers.iter().all(|s| s.is_quiesced()) {
+                break;
+            }
+            for i in 0..self.servers.len() {
+                let mut out = Vec::new();
+                let now = self.sim.now();
+                self.servers[i].quiesce(now, &mut out);
+                self.do_actions(Endpoint::Server(ServerId(i as u32)), out);
+            }
+            self.event_loop();
+            let _ = round;
+        }
+        self.stats.drained = self.sim.now();
+        self.finalize();
+
+        let violations =
+            GlobalView::merge(self.servers.iter().map(|s| s.store())).check(&self.roots);
+        (self.stats, violations)
+    }
+
+    fn event_loop(&mut self) {
+        while let Some((now, _, ev)) = self.sim.pop() {
+            if now >= self.next_sample {
+                self.sample_timeline(now);
+            }
+            self.dispatch(now, ev);
+            self.check_crash_plan();
+            if matches!(self.crash, Some(CrashState::Done(_))) {
+                break;
+            }
+            if self.sim.events_processed() > self.max_events {
+                // hang protection: record and bail
+                self.stats.ops_stuck = self
+                    .procs
+                    .iter()
+                    .map(|p| p.queue.len() as u64 + p.current.is_some() as u64)
+                    .sum();
+                break;
+            }
+        }
+        self.stats.events = self.sim.events_processed();
+    }
+
+    fn sample_timeline(&mut self, now: SimTime) {
+        let (mut sum, mut max) = (0u64, 0u64);
+        for s in &self.servers {
+            let v = s.valid_log_bytes();
+            sum += v;
+            max = max.max(v);
+        }
+        self.stats.peak_valid_bytes = self.stats.peak_valid_bytes.max(max);
+        self.stats.timeline.push(TimelineSample {
+            at_secs: now.as_secs_f64(),
+            mean_bytes: sum / self.servers.len() as u64,
+            max_bytes: max,
+        });
+        self.next_sample = now + self.sample_every_ns;
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::ServerArrive {
+                server,
+                from,
+                payload,
+            } => {
+                let cost = self.cfg.cpu.per_msg_ns + payload_cost(&payload, &self.cfg);
+                let at = self.cpus[server as usize].reserve(now, cost);
+                self.sim.schedule_at(
+                    at,
+                    0,
+                    Ev::ServerHandle {
+                        server,
+                        from,
+                        payload,
+                    },
+                );
+            }
+            Ev::ServerHandle {
+                server,
+                from,
+                payload,
+            } => {
+                let mut out = Vec::new();
+                self.servers[server as usize].on_msg(now, from, payload, &mut out);
+                self.do_actions(Endpoint::Server(ServerId(server)), out);
+            }
+            Ev::DiskDone {
+                server,
+                tokens,
+                generation,
+            } => {
+                if generation != self.disks[server as usize].generation() {
+                    return; // completion from a crashed incarnation
+                }
+                // start the next batch first: the disk works in parallel
+                if let Some(next) = self.disks[server as usize].complete(now) {
+                    self.schedule_batch(server, next);
+                }
+                let mut out = Vec::new();
+                for token in tokens {
+                    self.servers[server as usize].on_disk_done(now, token, &mut out);
+                }
+                self.do_actions(Endpoint::Server(ServerId(server)), out);
+            }
+            Ev::ServerTimer { server, token } => {
+                let mut out = Vec::new();
+                self.servers[server as usize].on_timer(now, token, &mut out);
+                self.do_actions(Endpoint::Server(ServerId(server)), out);
+            }
+            Ev::ProcDeliver {
+                proc,
+                from,
+                payload,
+            } => {
+                let mut out = Vec::new();
+                let decision = match self.procs[proc as usize].current.as_mut() {
+                    Some(op) => op.on_msg(now, from, payload, &mut out),
+                    None => ClientDecision::Pending, // stale (op finished)
+                };
+                let id = self.procs[proc as usize].id;
+                self.do_actions(Endpoint::Proc(id), out);
+                self.note_decision(now, proc, decision);
+            }
+            Ev::ProcTimer { proc, token } => {
+                let mut out = Vec::new();
+                let decision = match self.procs[proc as usize].current.as_mut() {
+                    Some(op) => op.on_timer(now, token, &mut out),
+                    None => ClientDecision::Pending,
+                };
+                let id = self.procs[proc as usize].id;
+                self.do_actions(Endpoint::Proc(id), out);
+                self.note_decision(now, proc, decision);
+            }
+            Ev::ProcIssue { proc } => self.issue_next(now, proc),
+            Ev::Reboot { server } => {
+                let Some(CrashState::Down {
+                    crashed_at,
+                    valid_bytes,
+                }) = self.crash
+                else {
+                    return;
+                };
+                let mut out = Vec::new();
+                let scanned = self.servers[server as usize].recover(now, &mut out);
+                self.do_actions(Endpoint::Server(ServerId(server)), out);
+                self.crash = Some(CrashState::Recovering {
+                    crashed_at,
+                    valid_bytes,
+                    started: now,
+                    scanned,
+                    server,
+                });
+            }
+        }
+    }
+
+    /// Crash bookkeeping, checked after every event.
+    fn check_crash_plan(&mut self) {
+        let now = self.sim.now();
+        match self.crash {
+            Some(CrashState::Armed(plan)) => {
+                let idx = plan.server.0 as usize;
+                let valid = self.servers[idx].valid_log_bytes();
+                if valid >= plan.valid_bytes_target {
+                    self.servers[idx].crash(now);
+                    self.disks[idx].crash();
+                    self.cpus[idx].reset(now);
+                    self.sim.schedule(
+                        plan.detection_ns + plan.reboot_ns,
+                        0,
+                        Ev::Reboot {
+                            server: plan.server.0,
+                        },
+                    );
+                    self.crash = Some(CrashState::Down {
+                        crashed_at: now,
+                        valid_bytes: valid,
+                    });
+                }
+            }
+            Some(CrashState::Recovering {
+                crashed_at,
+                valid_bytes,
+                started,
+                scanned,
+                server,
+            }) if !self.servers[server as usize].is_recovering() => {
+                self.crash = Some(CrashState::Done(RecoveryReport {
+                    crashed_at,
+                    valid_bytes_at_crash: valid_bytes,
+                    recovery_started: started,
+                    recovery_finished: self.sim.now(),
+                    scanned_bytes: scanned,
+                }));
+            }
+            _ => {}
+        }
+    }
+
+    fn note_decision(&mut self, now: SimTime, proc: u32, decision: ClientDecision) {
+        if let ClientDecision::Done(outcome) = decision {
+            let p = &mut self.procs[proc as usize];
+            p.current = None;
+            let latency = now.since(p.issued_at);
+            self.stats.latency.record(latency);
+            if p.current_cross {
+                self.stats.cross_latency.record(latency);
+            }
+            self.stats.record_outcome(outcome);
+            self.sim
+                .schedule(CLIENT_ISSUE_NS, 0, Ev::ProcIssue { proc });
+        }
+    }
+
+    fn issue_next(&mut self, now: SimTime, proc: u32) {
+        let p = &mut self.procs[proc as usize];
+        if p.current.is_some() {
+            return;
+        }
+        let Some(op) = p.queue.pop_front() else {
+            if !p.done {
+                p.done = true;
+                self.active_procs -= 1;
+                if self.active_procs == 0 {
+                    self.stats.replay = now;
+                }
+            }
+            return;
+        };
+        let op_id = OpId::new(p.id, p.next_seq);
+        p.next_seq += 1;
+        let plan = self.placement.plan(op);
+        p.current_cross = plan.is_cross_server();
+        p.issued_at = now;
+        self.stats.ops_total += 1;
+        if p.current_cross {
+            self.stats.cross_ops += 1;
+        }
+        let mut out = Vec::new();
+        let client = ClientOp::start(self.cfg.protocol, op_id, plan, &self.cfg.cx, &mut out);
+        p.current = Some(client);
+        let id = p.id;
+        self.do_actions(Endpoint::Proc(id), out);
+    }
+
+    fn do_actions(&mut self, from: Endpoint, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send { to, payload } => self.send(from, to, payload),
+                Action::LogAppend { token, bytes } => {
+                    self.submit_disk(from, DiskReq::LogAppend { bytes, token });
+                }
+                Action::DbSyncWrite { token, page } => {
+                    self.submit_disk(from, DiskReq::DbSyncWrite { page, token });
+                }
+                Action::DbWriteback { token, pages } => {
+                    self.submit_disk(from, DiskReq::DbWriteback { pages, token });
+                }
+                Action::LogRead { token, bytes } => {
+                    self.submit_disk(from, DiskReq::SeqRead { bytes, token });
+                }
+                Action::DbRandomRead { token, pages } => {
+                    self.submit_disk(from, DiskReq::RandomRead { pages, token });
+                }
+                Action::SetTimer { token, delay_ns } => match from {
+                    Endpoint::Server(s) => self.sim.schedule(
+                        delay_ns,
+                        0,
+                        Ev::ServerTimer {
+                            server: s.0,
+                            token,
+                        },
+                    ),
+                    Endpoint::Proc(p) => self.sim.schedule(
+                        delay_ns,
+                        0,
+                        Ev::ProcTimer {
+                            proc: p.client.0,
+                            token,
+                        },
+                    ),
+                },
+            }
+        }
+    }
+
+    fn send(&mut self, from: Endpoint, to: Endpoint, payload: Payload) {
+        *self.stats.msgs.entry(payload.kind()).or_insert(0) += 1;
+        let server_to_server =
+            matches!(from, Endpoint::Server(_)) && matches!(to, Endpoint::Server(_));
+        if server_to_server {
+            self.stats.server_msgs += 1;
+        } else {
+            self.stats.client_msgs += 1;
+        }
+        let bytes = payload.size_bytes() as u64;
+        let latency = self.cfg.net.one_way_ns
+            + (bytes * 1_000_000_000) / self.cfg.net.bandwidth_bps.max(1);
+        match to {
+            Endpoint::Server(s) => self.sim.schedule(
+                latency,
+                0,
+                Ev::ServerArrive {
+                    server: s.0,
+                    from,
+                    payload,
+                },
+            ),
+            Endpoint::Proc(p) => self.sim.schedule(
+                latency,
+                0,
+                Ev::ProcDeliver {
+                    proc: p.client.0,
+                    from,
+                    payload,
+                },
+            ),
+        }
+    }
+
+    fn submit_disk(&mut self, from: Endpoint, req: DiskReq) {
+        let Endpoint::Server(s) = from else {
+            unreachable!("only servers own disks");
+        };
+        let now = self.sim.now();
+        if let Some(batch) = self.disks[s.0 as usize].submit(now, req) {
+            self.schedule_batch(s.0, batch);
+        }
+    }
+
+    fn schedule_batch(&mut self, server: u32, batch: Batch) {
+        self.sim.schedule_at(
+            batch.finish,
+            0,
+            Ev::DiskDone {
+                server,
+                tokens: batch.tokens,
+                generation: self.disks[server as usize].generation(),
+            },
+        );
+    }
+
+    fn finalize(&mut self) {
+        for (i, s) in self.servers.iter().enumerate() {
+            if !s.is_quiesced() {
+                self.stats
+                    .leftovers
+                    .push(format!("server {i}: {}", s.debug_summary()));
+            }
+        }
+        for s in &self.servers {
+            self.stats.server_stats.merge(s.stats());
+            self.stats.final_inodes += s.store().inode_count() as u64;
+            self.stats.final_dentries += s.store().dentry_count() as u64;
+        }
+        for d in &self.disks {
+            self.stats.disk.merge(d.stats());
+        }
+    }
+
+    /// Access to the engines (used by the recovery experiment harness).
+    pub fn servers_mut(&mut self) -> &mut Vec<Box<dyn ServerEngine>> {
+        &mut self.servers
+    }
+}
+
+/// CPU cost of handling one message beyond the fixed per-message cost:
+/// executing a sub-op, or walking the entries of a batched commitment.
+fn payload_cost(payload: &Payload, cfg: &ClusterConfig) -> u64 {
+    match payload {
+        Payload::SubOpReq { colocated, .. } => {
+            cfg.cpu.per_subop_ns + colocated.map_or(0, |_| cfg.cpu.per_subop_ns)
+        }
+        Payload::OpReq { .. } | Payload::VoteExec { .. } => cfg.cpu.per_subop_ns,
+        Payload::Vote { ops, order_after } => {
+            (ops.len() + order_after.len()) as u64 * PER_ENTRY_NS
+        }
+        Payload::VoteResult { results } => results.len() as u64 * PER_ENTRY_NS,
+        Payload::CommitDecision { commits, aborts } => {
+            (commits.len() + aborts.len()) as u64 * PER_ENTRY_NS
+        }
+        Payload::Ack { ops } | Payload::QueryOutcome { ops } => ops.len() as u64 * PER_ENTRY_NS,
+        Payload::Migrate { objs, .. }
+        | Payload::MigrateResp { objs, .. }
+        | Payload::MigrateBack { objs, .. } => objs.len() as u64 * PER_ENTRY_NS,
+        _ => 0,
+    }
+}
+
+/// Convenience: build and run in one call.
+pub fn run_trace(cfg: ClusterConfig, trace: &Trace) -> (RunStats, Vec<Violation>) {
+    DesCluster::new(cfg, trace).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_types::Protocol;
+    use cx_workloads::{Metarates, MetaratesMix, TraceBuilder, TraceProfile};
+
+    fn tiny_trace() -> Trace {
+        TraceBuilder::new(TraceProfile::by_name("CTH").unwrap())
+            .scale(0.002) // ~1000 ops
+            .build()
+    }
+
+    #[test]
+    fn replay_completes_and_is_consistent() {
+        for protocol in Protocol::ALL {
+            let cfg = ClusterConfig::new(4, protocol);
+            let trace = tiny_trace();
+            let expected = trace.ops.len() as u64;
+            let (stats, violations) = run_trace(cfg, &trace);
+            assert_eq!(stats.ops_total, expected, "{protocol:?}");
+            assert_eq!(stats.ops_stuck, 0, "{protocol:?}");
+            assert_eq!(
+                stats.ops_applied + stats.ops_failed,
+                expected,
+                "{protocol:?}"
+            );
+            assert_eq!(violations, vec![], "{protocol:?}");
+            assert!(stats.replay > SimTime::ZERO);
+            assert!(stats.drained >= stats.replay);
+        }
+    }
+
+    #[test]
+    fn des_is_deterministic() {
+        let trace = tiny_trace();
+        let (a, _) = run_trace(ClusterConfig::new(8, Protocol::Cx), &trace);
+        let (b, _) = run_trace(ClusterConfig::new(8, Protocol::Cx), &trace);
+        assert_eq!(a.replay, b.replay);
+        assert_eq!(a.msgs, b.msgs);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.server_stats, b.server_stats);
+    }
+
+    #[test]
+    fn cx_beats_se_on_trace_replay() {
+        // The headline Figure 5 effect, on a small slice.
+        let trace = tiny_trace();
+        let (se, _) = run_trace(ClusterConfig::new(8, Protocol::Se), &trace);
+        let (cx, _) = run_trace(ClusterConfig::new(8, Protocol::Cx), &trace);
+        assert!(
+            cx.replay < se.replay,
+            "Cx replay {} must beat OFS {}",
+            cx.replay,
+            se.replay
+        );
+    }
+
+    #[test]
+    fn cx_message_overhead_is_modest() {
+        // Table IV: Cx sends only a few percent more messages than OFS.
+        let trace = TraceBuilder::new(TraceProfile::by_name("CTH").unwrap())
+            .scale(0.01)
+            .build();
+        let (se, _) = run_trace(ClusterConfig::new(8, Protocol::Se), &trace);
+        let (cx, _) = run_trace(ClusterConfig::new(8, Protocol::Cx), &trace);
+        let overhead = cx.total_msgs() as f64 / se.total_msgs() as f64 - 1.0;
+        assert!(
+            (0.0..0.10).contains(&overhead),
+            "message overhead {overhead} should be small and positive"
+        );
+    }
+
+    #[test]
+    fn metarates_runs_on_all_protocols() {
+        let trace = Metarates::new(MetaratesMix::UpdateDominated, 16)
+            .seed_files(200)
+            .ops_per_proc(40)
+            .build();
+        for protocol in [Protocol::Cx, Protocol::Se, Protocol::SeBatched] {
+            let (stats, violations) = run_trace(ClusterConfig::new(4, protocol), &trace);
+            assert_eq!(stats.ops_stuck, 0, "{protocol:?}");
+            assert_eq!(violations, vec![], "{protocol:?}");
+            assert!(stats.throughput() > 0.0);
+        }
+    }
+
+    #[test]
+    fn timeline_sampling_records_valid_bytes() {
+        let trace = tiny_trace();
+        let (stats, _) = run_trace(ClusterConfig::new(4, Protocol::Cx), &trace);
+        assert!(!stats.timeline.is_empty());
+        assert!(stats.peak_valid_bytes > 0, "Cx must accumulate valid records");
+    }
+
+    #[test]
+    fn conflicts_are_rare_but_present() {
+        let trace = TraceBuilder::new(TraceProfile::by_name("deasna2").unwrap())
+            .scale(0.002)
+            .build();
+        let (stats, violations) = run_trace(ClusterConfig::new(8, Protocol::Cx), &trace);
+        assert_eq!(violations, vec![]);
+        let ratio = stats.conflict_ratio();
+        assert!(
+            ratio < 0.2,
+            "conflict ratio {ratio} should stay low (paper: <4%)"
+        );
+    }
+}

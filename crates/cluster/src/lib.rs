@@ -1,0 +1,21 @@
+//! Cluster assembly: the two runtimes that interpret the sans-IO protocol
+//! engines.
+//!
+//! * [`des`] — the deterministic discrete-event simulation used for every
+//!   paper experiment: a network model (latency + bandwidth), per-server
+//!   CPU queues, and the `cx-simio` disk model (group commit, elevator
+//!   merging). Replays a [`cx_workloads::Trace`] and produces a
+//!   [`RunStats`] with everything the paper's tables and figures report.
+//! * [`threaded`] — a real multi-threaded runtime (one OS thread per
+//!   metadata server, crossbeam channels as the network) exercising the
+//!   same engines under true concurrency; used by the integration tests
+//!   and the Criterion micro-benchmarks.
+
+pub mod des;
+pub mod stats;
+pub mod threaded;
+
+pub use des::{CrashPlan, DesCluster, RecoveryReport};
+pub use threaded::{ThreadedCluster, ThreadedRunResult};
+pub use stats::{LatencyStat, RunStats, TimelineSample};
+

@@ -1,0 +1,204 @@
+//! Statistics collected from a cluster run.
+
+use cx_protocol::ServerStats;
+use cx_simio::DiskStats;
+use cx_types::{MsgKind, OpOutcome, Protocol, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Simple accumulator for latencies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStat {
+    pub count: u64,
+    pub sum_ns: u64,
+    pub max_ns: u64,
+}
+
+impl LatencyStat {
+    pub fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.sum_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// One sample of the valid-record volume (Figure 7b).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimelineSample {
+    pub at_secs: f64,
+    /// Mean valid-record bytes per server.
+    pub mean_bytes: u64,
+    /// The busiest server's valid-record bytes.
+    pub max_bytes: u64,
+}
+
+/// Everything a run reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunStats {
+    pub protocol: Protocol,
+    pub servers: u32,
+    pub processes: u32,
+
+    pub ops_total: u64,
+    pub ops_applied: u64,
+    pub ops_failed: u64,
+    /// Operations that never completed (indicates a protocol hang).
+    pub ops_stuck: u64,
+
+    /// Virtual time at which the last operation response arrived — the
+    /// paper's "replay time".
+    pub replay: SimTime,
+    /// Virtual time at which the cluster fully quiesced (all lazy
+    /// commitments and write-backs done).
+    pub drained: SimTime,
+
+    /// Messages by kind (Table IV counts their total).
+    pub msgs: BTreeMap<MsgKind, u64>,
+    /// Server-to-server messages (commitment traffic).
+    pub server_msgs: u64,
+    /// Client-to-server and server-to-client messages.
+    pub client_msgs: u64,
+
+    pub disk: DiskStats,
+    pub server_stats: ServerStats,
+
+    /// Client-observed operation latency.
+    pub latency: LatencyStat,
+    /// Latency of cross-server mutations only.
+    pub cross_latency: LatencyStat,
+    /// Cross-server operations issued.
+    pub cross_ops: u64,
+
+    /// Valid-record volume over time (Figure 7b).
+    pub timeline: Vec<TimelineSample>,
+    /// Peak valid-record bytes on any server.
+    pub peak_valid_bytes: u64,
+
+    /// Simulator events processed (complexity metric).
+    pub events: u64,
+
+    /// Per-server unfinished-state descriptions when the run failed to
+    /// quiesce (hang diagnostics; empty on clean runs).
+    pub leftovers: Vec<String>,
+    /// Final namespace size across all servers (inode rows).
+    pub final_inodes: u64,
+    /// Final namespace size across all servers (directory entries).
+    pub final_dentries: u64,
+}
+
+impl RunStats {
+    pub fn new(protocol: Protocol, servers: u32, processes: u32) -> Self {
+        Self {
+            protocol,
+            servers,
+            processes,
+            ops_total: 0,
+            ops_applied: 0,
+            ops_failed: 0,
+            ops_stuck: 0,
+            replay: SimTime::ZERO,
+            drained: SimTime::ZERO,
+            msgs: BTreeMap::new(),
+            server_msgs: 0,
+            client_msgs: 0,
+            disk: DiskStats::default(),
+            server_stats: ServerStats::default(),
+            latency: LatencyStat::default(),
+            cross_latency: LatencyStat::default(),
+            cross_ops: 0,
+            timeline: Vec::new(),
+            peak_valid_bytes: 0,
+            events: 0,
+            leftovers: Vec::new(),
+            final_inodes: 0,
+            final_dentries: 0,
+        }
+    }
+
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs.values().sum()
+    }
+
+    pub fn record_outcome(&mut self, outcome: OpOutcome) {
+        match outcome {
+            OpOutcome::Applied => self.ops_applied += 1,
+            OpOutcome::Failed => self.ops_failed += 1,
+        }
+    }
+
+    /// Replay time in seconds (Figure 5's metric).
+    pub fn replay_secs(&self) -> f64 {
+        self.replay.as_secs_f64()
+    }
+
+    /// Aggregated throughput in operations/second (Figure 6's metric).
+    pub fn throughput(&self) -> f64 {
+        let t = self.replay.as_secs_f64();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.ops_total as f64 / t
+        }
+    }
+
+    /// Measured conflict ratio: conflicting operations over all
+    /// operations (Table II's metric).
+    pub fn conflict_ratio(&self) -> f64 {
+        if self.ops_total == 0 {
+            0.0
+        } else {
+            self.server_stats.conflicts as f64 / self.ops_total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stat_accumulates() {
+        let mut l = LatencyStat::default();
+        l.record(10);
+        l.record(30);
+        assert_eq!(l.count, 2);
+        assert_eq!(l.mean_ns(), 20.0);
+        assert_eq!(l.max_ns, 30);
+        assert_eq!(LatencyStat::default().mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn throughput_and_ratios() {
+        let mut s = RunStats::new(Protocol::Cx, 8, 256);
+        s.ops_total = 1000;
+        s.replay = SimTime::from_secs(2);
+        assert_eq!(s.throughput(), 500.0);
+        s.server_stats.conflicts = 10;
+        assert!((s.conflict_ratio() - 0.01).abs() < 1e-12);
+        s.record_outcome(OpOutcome::Applied);
+        s.record_outcome(OpOutcome::Failed);
+        assert_eq!((s.ops_applied, s.ops_failed), (1, 1));
+    }
+
+    #[test]
+    fn zero_replay_throughput_is_zero() {
+        let s = RunStats::new(Protocol::Se, 4, 16);
+        assert_eq!(s.throughput(), 0.0);
+        assert_eq!(s.conflict_ratio(), 0.0);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let s = RunStats::new(Protocol::Cx, 8, 256);
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"servers\":8"));
+    }
+}

@@ -1,0 +1,486 @@
+//! A real multi-threaded runtime for the protocol engines.
+//!
+//! One OS thread per metadata server, one per client process, crossbeam
+//! channels as the network. Disk completions are immediate (the threaded
+//! runtime checks protocol *correctness under true concurrency*, not
+//! timing — timing is the DES's job); timers run on a dedicated timer
+//! thread at wall-clock rate, so tests configure short trigger periods.
+//!
+//! This runtime deliberately shares every line of protocol code with the
+//! simulation: the engines cannot tell which runtime drives them.
+
+use crate::stats::RunStats;
+use cx_mdstore::{GlobalView, MetaStore, Violation};
+use cx_protocol::{Action, ClientDecision, ClientOp, Endpoint, ServerEngine, ServerStats};
+use cx_types::{
+    ClusterConfig, FileKind, OpId, OpOutcome, Payload, Placement, ProcId, ServerId, SimTime,
+};
+use cx_workloads::{SeedEntry, Trace};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+enum ServerMsg {
+    Net { from: Endpoint, payload: Payload },
+    Timer { token: u64 },
+    Quiesce,
+    Probe(Sender<bool>),
+    Stop(Sender<(MetaStore, ServerStats)>),
+}
+
+enum ProcMsg {
+    Net { from: Endpoint, payload: Payload },
+}
+
+#[derive(Clone)]
+struct Router {
+    servers: Arc<Vec<Sender<ServerMsg>>>,
+    procs: Arc<Vec<Sender<ProcMsg>>>,
+    timers: Sender<TimerReq>,
+    epoch: Instant,
+}
+
+impl Router {
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn send(&self, from: Endpoint, to: Endpoint, payload: Payload) {
+        match to {
+            Endpoint::Server(s) => {
+                let _ = self.servers[s.0 as usize].send(ServerMsg::Net { from, payload });
+            }
+            Endpoint::Proc(p) => {
+                let _ = self.procs[p.client.0 as usize].send(ProcMsg::Net { from, payload });
+            }
+        }
+    }
+}
+
+struct TimerReq {
+    fire_at: Instant,
+    server: u32,
+    token: u64,
+}
+
+impl PartialEq for TimerReq {
+    fn eq(&self, other: &Self) -> bool {
+        self.fire_at == other.fire_at
+    }
+}
+impl Eq for TimerReq {}
+impl Ord for TimerReq {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.fire_at.cmp(&self.fire_at) // min-heap
+    }
+}
+impl PartialOrd for TimerReq {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Result of a threaded run.
+pub struct ThreadedRunResult {
+    pub stats: RunStats,
+    pub violations: Vec<Violation>,
+    pub wall: Duration,
+}
+
+/// The multi-threaded cluster.
+pub struct ThreadedCluster;
+
+impl ThreadedCluster {
+    /// Run `trace` on real threads. Panics on channel failures (test
+    /// runtime); returns outcomes, aggregated stats, and the consistency
+    /// check result.
+    pub fn run(cfg: ClusterConfig, trace: &Trace) -> ThreadedRunResult {
+        let start = Instant::now();
+        let placement = Placement::new(cfg.servers);
+
+        // Channels.
+        let mut server_tx = Vec::new();
+        let mut server_rx = Vec::new();
+        for _ in 0..cfg.servers {
+            let (tx, rx) = unbounded::<ServerMsg>();
+            server_tx.push(tx);
+            server_rx.push(rx);
+        }
+        let mut proc_tx = Vec::new();
+        let mut proc_rx = Vec::new();
+        for _ in 0..trace.processes {
+            let (tx, rx) = unbounded::<ProcMsg>();
+            proc_tx.push(tx);
+            proc_rx.push(rx);
+        }
+        let (timer_tx, timer_rx) = unbounded::<TimerReq>();
+        let router = Router {
+            servers: Arc::new(server_tx),
+            procs: Arc::new(proc_tx),
+            timers: timer_tx,
+            epoch: start,
+        };
+
+        // Timer thread. It receives only the server senders — holding a
+        // full Router clone would keep a sender to its own channel alive
+        // and the loop would never observe the disconnect that stops it.
+        let timer_servers = Arc::clone(&router.servers);
+        let timer_thread = thread::spawn(move || timer_loop(timer_rx, timer_servers));
+
+        // Server threads.
+        let mut server_threads = Vec::new();
+        for (i, rx) in server_rx.into_iter().enumerate() {
+            let mut engine = cx_protocol::make_server(ServerId(i as u32), &cfg);
+            seed_engine(engine.as_mut(), &placement, trace, ServerId(i as u32));
+            let r = router.clone();
+            server_threads.push(thread::spawn(move || server_loop(i as u32, engine, rx, r)));
+        }
+
+        // Client threads.
+        let outcomes = Arc::new(Mutex::new(Vec::<(OpId, OpOutcome)>::new()));
+        let mut queues: Vec<VecDeque<cx_types::FsOp>> =
+            (0..trace.processes).map(|_| VecDeque::new()).collect();
+        for t in &trace.ops {
+            queues[t.proc.client.0 as usize].push_back(t.op);
+        }
+        let mut client_threads = Vec::new();
+        for (i, (rx, queue)) in proc_rx.into_iter().zip(queues).enumerate() {
+            let r = router.clone();
+            let cfg = cfg.clone();
+            let outcomes = Arc::clone(&outcomes);
+            client_threads.push(thread::spawn(move || {
+                client_loop(i as u32, queue, rx, r, &cfg, placement, outcomes)
+            }));
+        }
+        for t in client_threads {
+            t.join().expect("client thread panicked");
+        }
+
+        // Drain the servers: quiesce until every engine reports done.
+        for _ in 0..200 {
+            for tx in router.servers.iter() {
+                let _ = tx.send(ServerMsg::Quiesce);
+            }
+            thread::sleep(Duration::from_millis(2));
+            let mut all = true;
+            for tx in router.servers.iter() {
+                let (ptx, prx) = bounded(1);
+                let _ = tx.send(ServerMsg::Probe(ptx));
+                if !prx.recv_timeout(Duration::from_secs(5)).unwrap_or(false) {
+                    all = false;
+                }
+            }
+            if all {
+                break;
+            }
+        }
+
+        // Collect final state.
+        let mut stats = RunStats::new(cfg.protocol, cfg.servers, trace.processes);
+        let mut stores = Vec::new();
+        for tx in router.servers.iter() {
+            let (stx, srx) = bounded(1);
+            let _ = tx.send(ServerMsg::Stop(stx));
+            let (store, sstats) = srx.recv().expect("server final state");
+            stats.server_stats.merge(&sstats);
+            stores.push(store);
+        }
+        drop(router); // stops the timer thread (channel disconnect)
+        let _ = timer_thread.join();
+
+        for (_, outcome) in outcomes.lock().iter() {
+            stats.record_outcome(*outcome);
+            stats.ops_total += 1;
+        }
+        let violations = GlobalView::merge(stores.iter()).check(&trace.roots);
+        ThreadedRunResult {
+            stats,
+            violations,
+            wall: start.elapsed(),
+        }
+    }
+}
+
+fn seed_engine(engine: &mut dyn ServerEngine, placement: &Placement, trace: &Trace, me: ServerId) {
+    for seed in &trace.seeds {
+        match *seed {
+            SeedEntry::Dir { ino } => {
+                engine.store_mut().seed_inode(ino, FileKind::Directory, 1);
+            }
+            SeedEntry::File { parent, name, ino } => {
+                if placement.dentry_server(parent, name) == me {
+                    engine.store_mut().seed_dentry(parent, name, ino);
+                }
+                if placement.inode_server(ino) == me {
+                    engine.store_mut().seed_inode(ino, FileKind::Regular, 1);
+                }
+            }
+        }
+    }
+}
+
+fn server_loop(
+    me: u32,
+    mut engine: Box<dyn ServerEngine>,
+    rx: Receiver<ServerMsg>,
+    router: Router,
+) {
+    let from_me = Endpoint::Server(ServerId(me));
+    let mut boot = Vec::new();
+    engine.on_start(router.now(), &mut boot);
+    process_actions(me, engine.as_mut(), boot, &router);
+
+    while let Ok(msg) = rx.recv() {
+        let now = router.now();
+        match msg {
+            ServerMsg::Net { from, payload } => {
+                let mut out = Vec::new();
+                engine.on_msg(now, from, payload, &mut out);
+                process_actions(me, engine.as_mut(), out, &router);
+            }
+            ServerMsg::Timer { token } => {
+                let mut out = Vec::new();
+                engine.on_timer(now, token, &mut out);
+                process_actions(me, engine.as_mut(), out, &router);
+            }
+            ServerMsg::Quiesce => {
+                let mut out = Vec::new();
+                engine.quiesce(now, &mut out);
+                process_actions(me, engine.as_mut(), out, &router);
+            }
+            ServerMsg::Probe(reply) => {
+                let _ = reply.send(engine.is_quiesced());
+            }
+            ServerMsg::Stop(reply) => {
+                let _ = reply.send((engine.store().clone(), *engine.stats()));
+                return;
+            }
+        }
+        let _ = from_me;
+    }
+}
+
+/// Interpret engine actions; disk operations complete immediately (their
+/// completions can cascade, so a work queue avoids recursion).
+fn process_actions(me: u32, engine: &mut dyn ServerEngine, actions: Vec<Action>, router: &Router) {
+    let from = Endpoint::Server(ServerId(me));
+    let mut work: VecDeque<Action> = actions.into();
+    while let Some(action) = work.pop_front() {
+        match action {
+            Action::Send { to, payload } => router.send(from, to, payload),
+            Action::LogAppend { token, .. }
+            | Action::DbSyncWrite { token, .. }
+            | Action::DbWriteback { token, .. }
+            | Action::LogRead { token, .. }
+            | Action::DbRandomRead { token, .. } => {
+                let mut out = Vec::new();
+                engine.on_disk_done(router.now(), token, &mut out);
+                work.extend(out);
+            }
+            Action::SetTimer { token, delay_ns } => {
+                let _ = router.timers.send(TimerReq {
+                    fire_at: Instant::now() + Duration::from_nanos(delay_ns),
+                    server: me,
+                    token,
+                });
+            }
+        }
+    }
+}
+
+fn timer_loop(rx: Receiver<TimerReq>, servers: Arc<Vec<Sender<ServerMsg>>>) {
+    let mut heap: BinaryHeap<TimerReq> = BinaryHeap::new();
+    loop {
+        let timeout = heap
+            .peek()
+            .map(|t| t.fire_at.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(50));
+        match rx.recv_timeout(timeout) {
+            Ok(req) => heap.push(req),
+            Err(RecvTimeoutError::Timeout) => {}
+            // every Router clone is gone: the run is over
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+        while let Some(t) = heap.peek() {
+            if t.fire_at > Instant::now() {
+                break;
+            }
+            let t = heap.pop().expect("peeked");
+            let _ = servers[t.server as usize].send(ServerMsg::Timer { token: t.token });
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn client_loop(
+    me: u32,
+    mut queue: VecDeque<cx_types::FsOp>,
+    rx: Receiver<ProcMsg>,
+    router: Router,
+    cfg: &ClusterConfig,
+    placement: Placement,
+    outcomes: Arc<Mutex<Vec<(OpId, OpOutcome)>>>,
+) {
+    let proc = ProcId::new(me, 0);
+    let from_me = Endpoint::Proc(proc);
+    let mut seq = 0u64;
+    while let Some(op) = queue.pop_front() {
+        let op_id = OpId::new(proc, seq);
+        seq += 1;
+        let plan = placement.plan(op);
+        let mut out = Vec::new();
+        let mut client = ClientOp::start(cfg.protocol, op_id, plan, &cfg.cx, &mut out);
+        let mut timer: Option<(Instant, u64)> = None;
+        send_client_actions(&router, from_me, out, &mut timer);
+
+        // Wait for this operation to finish (clients are synchronous).
+        let outcome = loop {
+            let wait = timer
+                .map(|(at, _)| at.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_secs(30));
+            match rx.recv_timeout(wait) {
+                Ok(ProcMsg::Net { from, payload }) => {
+                    let mut out = Vec::new();
+                    let d = client.on_msg(router.now(), from, payload, &mut out);
+                    send_client_actions(&router, from_me, out, &mut timer);
+                    if let ClientDecision::Done(outcome) = d {
+                        break outcome;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    let Some((_, token)) = timer.take() else {
+                        panic!("client {me} timed out waiting for op {op_id}");
+                    };
+                    let mut out = Vec::new();
+                    let d = client.on_timer(router.now(), token, &mut out);
+                    send_client_actions(&router, from_me, out, &mut timer);
+                    if let ClientDecision::Done(outcome) = d {
+                        break outcome;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        outcomes.lock().push((op_id, outcome));
+    }
+}
+
+fn send_client_actions(
+    router: &Router,
+    from: Endpoint,
+    actions: Vec<Action>,
+    timer: &mut Option<(Instant, u64)>,
+) {
+    for action in actions {
+        match action {
+            Action::Send { to, payload } => router.send(from, to, payload),
+            Action::SetTimer { token, delay_ns } => {
+                *timer = Some((Instant::now() + Duration::from_nanos(delay_ns), token));
+            }
+            other => unreachable!("clients have no disks: {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_types::{BatchTrigger, Protocol};
+    use cx_workloads::{Metarates, MetaratesMix, TraceBuilder, TraceProfile};
+
+    fn fast_cfg(servers: u32, protocol: Protocol) -> ClusterConfig {
+        let mut cfg = ClusterConfig::new(servers, protocol);
+        // wall-clock triggers must be short in tests
+        cfg.cx.trigger = BatchTrigger::Timeout {
+            period_ns: 5_000_000, // 5 ms
+        };
+        cfg.cx.hint_mismatch_timeout_ns = 20_000_000;
+        cfg
+    }
+
+    #[test]
+    fn threaded_trace_replay_is_consistent() {
+        let trace = TraceBuilder::new(TraceProfile::by_name("CTH").unwrap())
+            .scale(0.001)
+            .build();
+        for protocol in [Protocol::Cx, Protocol::Se, Protocol::SeBatched] {
+            let res = ThreadedCluster::run(fast_cfg(4, protocol), &trace);
+            assert_eq!(res.violations, vec![], "{protocol:?}");
+            assert_eq!(res.stats.ops_total, trace.ops.len() as u64, "{protocol:?}");
+        }
+    }
+
+    #[test]
+    fn threaded_metarates_under_contention() {
+        let trace = Metarates::new(MetaratesMix::UpdateDominated, 8)
+            .seed_files(64)
+            .ops_per_proc(50)
+            .build();
+        let res = ThreadedCluster::run(fast_cfg(2, Protocol::Cx), &trace);
+        assert_eq!(res.violations, vec![]);
+        assert_eq!(res.stats.ops_total, 8 * 50);
+        // real concurrency must still commit everything
+        assert!(res.stats.server_stats.ops_committed > 0);
+    }
+
+    #[test]
+    fn threaded_twopc_and_ce_complete() {
+        let trace = TraceBuilder::new(TraceProfile::by_name("home2").unwrap())
+            .scale(0.0002)
+            .build();
+        for protocol in [Protocol::TwoPc, Protocol::Ce] {
+            let res = ThreadedCluster::run(fast_cfg(4, protocol), &trace);
+            assert_eq!(res.violations, vec![], "{protocol:?}");
+            assert_eq!(res.stats.ops_total, trace.ops.len() as u64, "{protocol:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod stress_tests {
+    use super::*;
+    use cx_types::{BatchTrigger, Protocol};
+    use cx_workloads::{TraceBuilder, TraceProfile};
+
+    /// Heavier concurrency: a conflict-rich slice with short wall-clock
+    /// triggers, checking that invalidations/immediate commitments under
+    /// true parallelism still converge to a consistent namespace.
+    #[test]
+    fn threaded_conflict_storm_converges() {
+        let trace = TraceBuilder::new(TraceProfile::by_name("deasna2").unwrap())
+            .scale(0.0006)
+            .tweak(|p| p.shared_access_prob = 0.3)
+            .build();
+        let mut cfg = ClusterConfig::new(4, Protocol::Cx);
+        cfg.cx.trigger = BatchTrigger::Timeout {
+            period_ns: 3_000_000, // 3 ms wall clock
+        };
+        cfg.cx.hint_mismatch_timeout_ns = 15_000_000;
+        cfg.cx.presumed_abort_timeout_ns = 30_000_000;
+        let res = ThreadedCluster::run(cfg, &trace);
+        assert_eq!(res.violations, vec![]);
+        assert_eq!(res.stats.ops_total, trace.ops.len() as u64);
+        assert!(
+            res.stats.server_stats.conflicts > 0,
+            "the storm must actually produce conflicts"
+        );
+    }
+
+    /// The same engines under failure injection and real threads.
+    #[test]
+    fn threaded_failure_injection_stays_atomic() {
+        let trace = TraceBuilder::new(TraceProfile::by_name("s3d").unwrap())
+            .scale(0.0008)
+            .build();
+        let mut cfg = ClusterConfig::new(4, Protocol::Cx);
+        cfg.cx.trigger = BatchTrigger::Threshold { pending_ops: 16 };
+        cfg.failure.subop_fail_prob = 0.03;
+        let res = ThreadedCluster::run(cfg, &trace);
+        assert_eq!(res.violations, vec![]);
+        assert!(res.stats.ops_failed > 0, "injected failures surface");
+        assert_eq!(res.stats.ops_total, trace.ops.len() as u64);
+    }
+}

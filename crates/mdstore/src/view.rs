@@ -1,0 +1,296 @@
+//! Cluster-wide consistency checking.
+//!
+//! The paper's correctness goal: "the whole system should either see the
+//! outcomes of all sub-ops of a cross-server operation, or none of them.
+//! Hence, the metadata cross servers are consistent after the execution of
+//! a cross-server operation" (§II-A). [`GlobalView`] merges every server's
+//! store and verifies exactly that, once the cluster has quiesced (no
+//! pending commitments).
+
+use crate::store::MetaStore;
+use cx_types::{FileKind, InodeNo, Name};
+use std::collections::BTreeMap;
+
+/// A detected cross-server inconsistency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A directory entry references an inode that exists on no server.
+    DanglingEntry {
+        parent: InodeNo,
+        name: Name,
+        child: InodeNo,
+    },
+    /// An inode's nlink disagrees with the number of entries referencing
+    /// it.
+    NlinkMismatch {
+        ino: InodeNo,
+        nlink: u32,
+        referenced: u32,
+    },
+    /// An inode no entry references (orphan). Roots are exempt.
+    OrphanInode { ino: InodeNo },
+    /// The same inode exists on two servers (placement violation).
+    DuplicateInode { ino: InodeNo },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::DanglingEntry {
+                parent,
+                name,
+                child,
+            } => write!(
+                f,
+                "dangling entry {}/{:x} -> missing inode {}",
+                parent.0, name.0, child.0
+            ),
+            Violation::NlinkMismatch {
+                ino,
+                nlink,
+                referenced,
+            } => write!(
+                f,
+                "inode {} has nlink {} but {} referencing entries",
+                ino.0, nlink, referenced
+            ),
+            Violation::OrphanInode { ino } => write!(f, "orphan inode {}", ino.0),
+            Violation::DuplicateInode { ino } => write!(f, "inode {} on two servers", ino.0),
+        }
+    }
+}
+
+/// Merged view over all servers' stores.
+#[derive(Debug, Default)]
+pub struct GlobalView {
+    inodes: BTreeMap<InodeNo, (FileKind, u32)>,
+    dentries: BTreeMap<(InodeNo, Name), InodeNo>,
+    duplicates: Vec<InodeNo>,
+}
+
+impl GlobalView {
+    /// Merge the given stores (one per server).
+    pub fn merge<'a>(stores: impl IntoIterator<Item = &'a MetaStore>) -> Self {
+        let mut view = GlobalView::default();
+        for store in stores {
+            for (ino, inode) in store.inodes() {
+                if view
+                    .inodes
+                    .insert(*ino, (inode.kind, inode.nlink))
+                    .is_some()
+                {
+                    view.duplicates.push(*ino);
+                }
+            }
+            for (&(parent, name), &child) in store.dentries() {
+                view.dentries.insert((parent, name), child);
+            }
+        }
+        view
+    }
+
+    pub fn inode_count(&self) -> usize {
+        self.inodes.len()
+    }
+
+    pub fn dentry_count(&self) -> usize {
+        self.dentries.len()
+    }
+
+    pub fn contains_dentry(&self, parent: InodeNo, name: Name) -> bool {
+        self.dentries.contains_key(&(parent, name))
+    }
+
+    pub fn contains_inode(&self, ino: InodeNo) -> bool {
+        self.inodes.contains_key(&ino)
+    }
+
+    /// Check the atomicity invariants. `roots` are inodes that legitimately
+    /// have no referencing entry (the namespace roots seeded by the
+    /// workload).
+    pub fn check(&self, roots: &[InodeNo]) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        for &ino in &self.duplicates {
+            // Directory roots legitimately appear on several servers: each
+            // server holds a partition-attribute row for them.
+            if !roots.contains(&ino) {
+                violations.push(Violation::DuplicateInode { ino });
+            }
+        }
+
+        let mut refs: BTreeMap<InodeNo, u32> = BTreeMap::new();
+        for (&(parent, name), &child) in &self.dentries {
+            if !self.inodes.contains_key(&child) {
+                violations.push(Violation::DanglingEntry {
+                    parent,
+                    name,
+                    child,
+                });
+            }
+            *refs.entry(child).or_insert(0) += 1;
+        }
+
+        for (&ino, &(_, nlink)) in &self.inodes {
+            let referenced = refs.get(&ino).copied().unwrap_or(0);
+            if roots.contains(&ino) {
+                continue;
+            }
+            if referenced == 0 {
+                violations.push(Violation::OrphanInode { ino });
+            } else if referenced != nlink {
+                violations.push(Violation::NlinkMismatch {
+                    ino,
+                    nlink,
+                    referenced,
+                });
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_types::{FsOp, Placement, SubOp};
+
+    fn consistent_pair() -> (MetaStore, MetaStore) {
+        // server 0 holds the dentry, server 1 holds the inode
+        let mut s0 = MetaStore::new();
+        let mut s1 = MetaStore::new();
+        s0.apply(&SubOp::InsertEntry {
+            parent: InodeNo(1),
+            name: Name(7),
+            child: InodeNo(10),
+            kind: FileKind::Regular,
+        })
+        .unwrap();
+        s1.apply(&SubOp::CreateInode {
+            ino: InodeNo(10),
+            kind: FileKind::Regular,
+        })
+        .unwrap();
+        (s0, s1)
+    }
+
+    #[test]
+    fn consistent_cross_server_create_passes() {
+        let (s0, s1) = consistent_pair();
+        let view = GlobalView::merge([&s0, &s1]);
+        assert_eq!(view.check(&[]), vec![]);
+        assert_eq!(view.inode_count(), 1);
+        assert_eq!(view.dentry_count(), 1);
+    }
+
+    #[test]
+    fn half_applied_create_is_detected_both_ways() {
+        // Entry without inode: dangling.
+        let (s0, _) = consistent_pair();
+        let empty = MetaStore::new();
+        let view = GlobalView::merge([&s0, &empty]);
+        assert!(matches!(
+            view.check(&[])[0],
+            Violation::DanglingEntry { .. }
+        ));
+
+        // Inode without entry: orphan.
+        let (_, s1) = consistent_pair();
+        let view = GlobalView::merge([&empty, &s1]);
+        assert!(matches!(view.check(&[])[0], Violation::OrphanInode { .. }));
+    }
+
+    #[test]
+    fn nlink_mismatch_detected() {
+        let (s0, mut s1) = consistent_pair();
+        // a second link exists only as nlink bump, no second entry
+        s1.apply(&SubOp::IncNlink { ino: InodeNo(10) }).unwrap();
+        let view = GlobalView::merge([&s0, &s1]);
+        assert!(matches!(
+            view.check(&[])[0],
+            Violation::NlinkMismatch {
+                nlink: 2,
+                referenced: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn roots_are_exempt_from_orphan_check() {
+        let mut s = MetaStore::new();
+        s.seed_inode(InodeNo(1), FileKind::Directory, 1);
+        let view = GlobalView::merge([&s]);
+        assert_eq!(view.check(&[InodeNo(1)]), vec![]);
+        assert_eq!(view.check(&[]).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_inode_across_servers_detected() {
+        let mut s0 = MetaStore::new();
+        let mut s1 = MetaStore::new();
+        s0.seed_inode(InodeNo(5), FileKind::Regular, 1);
+        s1.seed_inode(InodeNo(5), FileKind::Regular, 1);
+        let view = GlobalView::merge([&s0, &s1]);
+        assert!(view
+            .check(&[])
+            .iter()
+            .any(|v| matches!(v, Violation::DuplicateInode { .. })));
+        // …but declared roots (directory partitions) are exempt.
+        assert!(!view
+            .check(&[InodeNo(5)])
+            .iter()
+            .any(|v| matches!(v, Violation::DuplicateInode { .. })));
+    }
+
+    #[test]
+    fn full_plan_application_is_consistent() {
+        // Apply every Table I operation through its plan on a 4-server
+        // layout and verify global consistency afterwards.
+        let placement = Placement::new(4);
+        let mut stores: Vec<MetaStore> = (0..4).map(|_| MetaStore::new()).collect();
+        let root = InodeNo(1);
+
+        let apply = |stores: &mut Vec<MetaStore>, op: FsOp| {
+            let plan = placement.plan(op);
+            for (server, subop, _) in plan.assignments() {
+                stores[server.0 as usize].apply(&subop).unwrap();
+            }
+        };
+
+        apply(&mut stores, FsOp::Create {
+            parent: root,
+            name: Name(1),
+            ino: InodeNo(10),
+        });
+        apply(&mut stores, FsOp::Mkdir {
+            parent: root,
+            name: Name(2),
+            ino: InodeNo(11),
+        });
+        apply(&mut stores, FsOp::Link {
+            parent: root,
+            name: Name(3),
+            target: InodeNo(10),
+        });
+        apply(&mut stores, FsOp::Unlink {
+            parent: root,
+            name: Name(3),
+            target: InodeNo(10),
+        });
+        apply(&mut stores, FsOp::Remove {
+            parent: root,
+            name: Name(1),
+            ino: InodeNo(10),
+        });
+        apply(&mut stores, FsOp::Rmdir {
+            parent: root,
+            name: Name(2),
+            ino: InodeNo(11),
+        });
+
+        let view = GlobalView::merge(stores.iter());
+        assert_eq!(view.check(&[root]), vec![]);
+        assert_eq!(view.inode_count(), 0, "everything was removed again");
+        assert_eq!(view.dentry_count(), 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! The sans-IO contract between engines and runtimes.
+
+use crate::stats::ServerStats;
+use cx_mdstore::MetaStore;
+use cx_types::{Payload, ProcId, ServerId, SimTime};
+use cx_wal::Wal;
+
+/// A message source or destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// A client process.
+    Proc(ProcId),
+    /// A metadata server.
+    Server(ServerId),
+}
+
+/// What an engine asks its runtime to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Send `payload` to `to`. The runtime models latency and counts the
+    /// message for Table IV.
+    Send { to: Endpoint, payload: Payload },
+    /// Start a synchronous log append of `bytes`; the runtime calls
+    /// `on_disk_done(token)` when the flush covering it completes.
+    LogAppend { token: u64, bytes: u64 },
+    /// Per-sub-op synchronous database write (SE baseline).
+    DbSyncWrite { token: u64, page: u64 },
+    /// Batched database write-back of dirty pages.
+    DbWriteback { token: u64, pages: Vec<u64> },
+    /// Sequential log read of `bytes` (recovery scan).
+    LogRead { token: u64, bytes: u64 },
+    /// Cold-cache random page reads (recovery re-reads the affected
+    /// database rows).
+    DbRandomRead { token: u64, pages: Vec<u64> },
+    /// Call `on_timer(token)` after `delay_ns`.
+    SetTimer { token: u64, delay_ns: u64 },
+}
+
+/// A protocol server as seen by a runtime.
+///
+/// All entry points take `now` (virtual or wall-clock nanoseconds) and push
+/// actions into `out`; they must not assume anything about how or when the
+/// actions execute.
+pub trait ServerEngine: Send {
+    /// Runtime start-up: arm the initial batch-trigger timers.
+    fn on_start(&mut self, now: SimTime, out: &mut Vec<Action>);
+
+    /// A message arrived.
+    fn on_msg(&mut self, now: SimTime, from: Endpoint, payload: Payload, out: &mut Vec<Action>);
+
+    /// A previously requested disk operation completed.
+    fn on_disk_done(&mut self, now: SimTime, token: u64, out: &mut Vec<Action>);
+
+    /// A previously armed timer fired.
+    fn on_timer(&mut self, now: SimTime, token: u64, out: &mut Vec<Action>);
+
+    /// Force every postponed commitment / write-back to start now (used to
+    /// drain the cluster at the end of a run).
+    fn quiesce(&mut self, now: SimTime, out: &mut Vec<Action>);
+
+    /// True when the engine holds no pending protocol state (all
+    /// commitments finished, nothing blocked) — together with an empty
+    /// event queue this defines the end of a run.
+    fn is_quiesced(&self) -> bool;
+
+    /// The server's metadata rows (used for workload seeding and the
+    /// cross-server consistency checks).
+    fn store(&self) -> &MetaStore;
+    fn store_mut(&mut self) -> &mut MetaStore;
+
+    /// The operation log, if this protocol keeps one.
+    fn wal(&self) -> Option<&Wal>;
+
+    /// Unpruned log bytes — the Figure 7(b) "valid-records' size".
+    fn valid_log_bytes(&self) -> u64 {
+        self.wal().map(|w| w.valid_bytes()).unwrap_or(0)
+    }
+
+    fn stats(&self) -> &ServerStats;
+
+    /// Crash the server: volatile state (store image, pending protocol
+    /// state, queued IO continuations) is lost; the durable log prefix
+    /// survives. Only meaningful for engines with a log.
+    fn crash(&mut self, _now: SimTime) {
+        unimplemented!("crash/recovery is implemented for the Cx engine");
+    }
+
+    /// Rebooted after a crash: scan the log and resume half-completed
+    /// commitments (§III-D). Returns the number of log bytes scanned so the
+    /// runtime can charge the sequential read.
+    fn recover(&mut self, _now: SimTime, _out: &mut Vec<Action>) -> u64 {
+        unimplemented!("crash/recovery is implemented for the Cx engine");
+    }
+
+    /// True while the recovery protocol is resolving half-completed
+    /// commitments (the cluster measures Table V's recovery time with it).
+    fn is_recovering(&self) -> bool {
+        false
+    }
+
+    /// One-line description of unfinished protocol state, for hang
+    /// diagnostics. Empty when quiesced.
+    fn debug_summary(&self) -> String {
+        String::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_types::OpId;
+
+    #[test]
+    fn endpoint_equality() {
+        assert_eq!(Endpoint::Server(ServerId(1)), Endpoint::Server(ServerId(1)));
+        assert_ne!(
+            Endpoint::Server(ServerId(1)),
+            Endpoint::Proc(ProcId::new(1, 0))
+        );
+    }
+
+    #[test]
+    fn actions_compare_structurally() {
+        let a = Action::SetTimer {
+            token: 1,
+            delay_ns: 5,
+        };
+        assert_eq!(
+            a,
+            Action::SetTimer {
+                token: 1,
+                delay_ns: 5
+            }
+        );
+        let op = OpId::new(ProcId::new(0, 0), 1);
+        let send = Action::Send {
+            to: Endpoint::Proc(op.proc),
+            payload: Payload::AllNo { op_id: op },
+        };
+        assert!(matches!(send, Action::Send { .. }));
+    }
+}

@@ -1,0 +1,666 @@
+//! Client-side per-operation state machines.
+//!
+//! A client process runs one metadata operation at a time ("the metadata
+//! operations of a process are performed synchronously", §III-B). For each
+//! operation the process builds a [`ClientOp`] from the placement plan and
+//! feeds it responses until it reports [`ClientDecision::Done`].
+//!
+//! * **Cx** (§III-B step 1–2): both sub-ops are sent concurrently; the
+//!   operation completes when both servers answered with the *same
+//!   conflict hint* and agreeing verdicts. Disagreement sends L-COM and
+//!   waits for ALL-NO; stably mismatched hints (possible when an op
+//!   conflicts with different operations on the two servers) time out into
+//!   an L-COM as well (DESIGN.md §5.8).
+//! * **SE** (§II-B): participant first, then coordinator, with CLEAR to
+//!   withdraw the participant's half if the coordinator fails.
+//! * **2PC / CE**: the whole operation ships to the coordinator, which
+//!   drives the protocol among servers.
+
+use crate::action::{Action, Endpoint};
+use cx_types::{
+    CxConfig, Hint, OpId, OpOutcome, OpPlan, Payload, Protocol, Role, ServerId, SimTime, SubOp,
+    Verdict,
+};
+use std::collections::HashMap;
+
+/// Progress report after feeding an event to a [`ClientOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientDecision {
+    Pending,
+    Done(OpOutcome),
+}
+
+#[derive(Debug)]
+enum State {
+    /// Cx: waiting for (verdict, hint) pairs from the affected servers.
+    CxWait {
+        responses: HashMap<ServerId, (Verdict, Hint)>,
+        expected: usize,
+        lcom_sent: bool,
+        timer_armed: bool,
+    },
+    /// SE: waiting for the participant's sub-op response.
+    SeParticipant,
+    /// SE: waiting for the coordinator's sub-op response.
+    SeCoordinator,
+    /// SE: coordinator failed; waiting for the participant's CLEAR ack.
+    SeClearing,
+    /// 2PC/CE: waiting for the coordinator's OpResp.
+    WholeOp,
+    Done,
+}
+
+/// One in-flight client operation.
+#[derive(Debug)]
+pub struct ClientOp {
+    pub op_id: OpId,
+    pub plan: OpPlan,
+    protocol: Protocol,
+    state: State,
+    mismatch_timeout_ns: u64,
+}
+
+impl ClientOp {
+    /// Begin the operation, emitting its first messages.
+    pub fn start(
+        protocol: Protocol,
+        op_id: OpId,
+        plan: OpPlan,
+        cx_cfg: &CxConfig,
+        out: &mut Vec<Action>,
+    ) -> ClientOp {
+        let mut op = ClientOp {
+            op_id,
+            plan,
+            protocol,
+            state: State::Done,
+            mismatch_timeout_ns: cx_cfg.hint_mismatch_timeout_ns,
+        };
+        op.state = match protocol {
+            Protocol::Cx => op.start_cx(out),
+            Protocol::Se | Protocol::SeBatched => op.start_se(out),
+            Protocol::TwoPc | Protocol::Ce => op.start_whole(out),
+        };
+        op
+    }
+
+    fn subop_req(&self, subop: SubOp, role: Role, peer: Option<ServerId>, colocated: Option<SubOp>) -> Payload {
+        Payload::SubOpReq {
+            op_id: self.op_id,
+            subop,
+            role,
+            peer,
+            colocated,
+        }
+    }
+
+    fn start_cx(&mut self, out: &mut Vec<Action>) -> State {
+        match self.plan.participant {
+            Some((parti_server, parti_subop)) => {
+                // Step 1: assign both sub-ops concurrently.
+                out.push(Action::Send {
+                    to: Endpoint::Server(self.plan.coordinator),
+                    payload: self.subop_req(
+                        self.plan.coord_subop,
+                        Role::Coordinator,
+                        Some(parti_server),
+                        None,
+                    ),
+                });
+                out.push(Action::Send {
+                    to: Endpoint::Server(parti_server),
+                    payload: self.subop_req(
+                        parti_subop,
+                        Role::Participant,
+                        Some(self.plan.coordinator),
+                        None,
+                    ),
+                });
+                State::CxWait {
+                    responses: HashMap::new(),
+                    expected: 2,
+                    lcom_sent: false,
+                    timer_armed: false,
+                }
+            }
+            None => {
+                out.push(Action::Send {
+                    to: Endpoint::Server(self.plan.coordinator),
+                    payload: self.subop_req(
+                        self.plan.coord_subop,
+                        Role::Coordinator,
+                        None,
+                        self.plan.colocated,
+                    ),
+                });
+                State::CxWait {
+                    responses: HashMap::new(),
+                    expected: 1,
+                    lcom_sent: false,
+                    timer_armed: false,
+                }
+            }
+        }
+    }
+
+    fn start_se(&mut self, out: &mut Vec<Action>) -> State {
+        match self.plan.participant {
+            Some((parti_server, parti_subop)) => {
+                // "the client first instructs the participant to execute
+                // its sub-ops" (§II-B).
+                out.push(Action::Send {
+                    to: Endpoint::Server(parti_server),
+                    payload: self.subop_req(
+                        parti_subop,
+                        Role::Participant,
+                        Some(self.plan.coordinator),
+                        None,
+                    ),
+                });
+                State::SeParticipant
+            }
+            None => {
+                out.push(Action::Send {
+                    to: Endpoint::Server(self.plan.coordinator),
+                    payload: self.subop_req(
+                        self.plan.coord_subop,
+                        Role::Coordinator,
+                        None,
+                        self.plan.colocated,
+                    ),
+                });
+                State::SeCoordinator
+            }
+        }
+    }
+
+    fn start_whole(&mut self, out: &mut Vec<Action>) -> State {
+        if self.plan.participant.is_some() {
+            out.push(Action::Send {
+                to: Endpoint::Server(self.plan.coordinator),
+                payload: Payload::OpReq {
+                    op_id: self.op_id,
+                    plan: self.plan,
+                },
+            });
+            State::WholeOp
+        } else {
+            // Single-server operations bypass the heavyweight protocol in
+            // every system.
+            out.push(Action::Send {
+                to: Endpoint::Server(self.plan.coordinator),
+                payload: self.subop_req(
+                    self.plan.coord_subop,
+                    Role::Coordinator,
+                    None,
+                    self.plan.colocated,
+                ),
+            });
+            State::SeCoordinator
+        }
+    }
+
+    /// Feed a message addressed to this operation.
+    pub fn on_msg(
+        &mut self,
+        _now: SimTime,
+        from: Endpoint,
+        payload: Payload,
+        out: &mut Vec<Action>,
+    ) -> ClientDecision {
+        let state = std::mem::replace(&mut self.state, State::Done);
+        let (next, decision) = self.step(state, from, payload, out);
+        self.state = next;
+        decision
+    }
+
+    fn step(
+        &mut self,
+        state: State,
+        from: Endpoint,
+        payload: Payload,
+        out: &mut Vec<Action>,
+    ) -> (State, ClientDecision) {
+        match (state, payload) {
+            (
+                State::CxWait {
+                    mut responses,
+                    expected,
+                    mut lcom_sent,
+                    mut timer_armed,
+                },
+                Payload::SubOpResp {
+                    op_id,
+                    verdict,
+                    hint,
+                },
+            ) if op_id == self.op_id => {
+                let Endpoint::Server(server) = from else {
+                    return (
+                        State::CxWait {
+                            responses,
+                            expected,
+                            lcom_sent,
+                            timer_armed,
+                        },
+                        ClientDecision::Pending,
+                    );
+                };
+                // Later responses supersede invalidated executions
+                // (§III-C: the process "must be able to distinguish the
+                // response of the invalidated execution").
+                responses.insert(server, (verdict, hint));
+                if responses.len() == expected {
+                    if expected == 1 {
+                        let (v, _) = responses.values().next().expect("one response");
+                        return (State::Done, ClientDecision::Done(outcome_of(*v)));
+                    }
+                    let mut vals = responses.values();
+                    let (v1, h1) = vals.next().expect("two responses");
+                    let (v2, h2) = vals.next().expect("two responses");
+                    if h1 == h2 {
+                        if v1 == v2 {
+                            // Agreement: complete now; the commitment is
+                            // the servers' lazy business (§III-B step 2a).
+                            let outcome = outcome_of(*v1);
+                            return (State::Done, ClientDecision::Done(outcome));
+                        }
+                        // Disagreement: immediate commitment (step 2b).
+                        if !lcom_sent {
+                            lcom_sent = true;
+                            out.push(Action::Send {
+                                to: Endpoint::Server(self.plan.coordinator),
+                                payload: Payload::LCom { op_id: self.op_id },
+                            });
+                        }
+                    } else if !timer_armed && !lcom_sent {
+                        // Mismatched hints: one side may still be
+                        // superseded by a re-execution; give it time, then
+                        // force a commitment (DESIGN.md §5.8).
+                        timer_armed = true;
+                        out.push(Action::SetTimer {
+                            token: self.op_id.seq,
+                            delay_ns: self.mismatch_timeout_ns,
+                        });
+                    }
+                }
+                (
+                    State::CxWait {
+                        responses,
+                        expected,
+                        lcom_sent,
+                        timer_armed,
+                    },
+                    ClientDecision::Pending,
+                )
+            }
+            (State::CxWait { .. }, Payload::AllNo { op_id }) if op_id == self.op_id => {
+                (State::Done, ClientDecision::Done(OpOutcome::Failed))
+            }
+            (State::CxWait { .. }, Payload::Committed { op_id }) if op_id == self.op_id => {
+                (State::Done, ClientDecision::Done(OpOutcome::Applied))
+            }
+            (State::SeParticipant, Payload::SubOpResp { op_id, verdict, .. })
+                if op_id == self.op_id =>
+            {
+                if !verdict.is_yes() {
+                    return (State::Done, ClientDecision::Done(OpOutcome::Failed));
+                }
+                // Participant succeeded: now the coordinator.
+                out.push(Action::Send {
+                    to: Endpoint::Server(self.plan.coordinator),
+                    payload: self.subop_req(
+                        self.plan.coord_subop,
+                        Role::Coordinator,
+                        self.plan.participant.map(|(s, _)| s),
+                        None,
+                    ),
+                });
+                (State::SeCoordinator, ClientDecision::Pending)
+            }
+            (State::SeCoordinator, Payload::SubOpResp { op_id, verdict, .. })
+                if op_id == self.op_id =>
+            {
+                if verdict.is_yes() {
+                    return (State::Done, ClientDecision::Done(OpOutcome::Applied));
+                }
+                match self.plan.participant {
+                    Some((parti_server, parti_subop)) => {
+                        // "the process withdraws the former sub-ops by
+                        // sending a CLEAR message" (§II-B).
+                        out.push(Action::Send {
+                            to: Endpoint::Server(parti_server),
+                            payload: Payload::Clear {
+                                op_id: self.op_id,
+                                subop: parti_subop,
+                            },
+                        });
+                        (State::SeClearing, ClientDecision::Pending)
+                    }
+                    None => (State::Done, ClientDecision::Done(OpOutcome::Failed)),
+                }
+            }
+            (State::SeClearing, Payload::ClearResp { op_id }) if op_id == self.op_id => {
+                (State::Done, ClientDecision::Done(OpOutcome::Failed))
+            }
+            (State::WholeOp, Payload::OpResp { op_id, outcome }) if op_id == self.op_id => {
+                (State::Done, ClientDecision::Done(outcome))
+            }
+            (state, _) => (state, ClientDecision::Pending), // stale or irrelevant
+        }
+    }
+
+
+    /// A timer armed by this operation fired.
+    pub fn on_timer(&mut self, _now: SimTime, token: u64, out: &mut Vec<Action>) -> ClientDecision {
+        if token != self.op_id.seq {
+            return ClientDecision::Pending; // stale timer from an older op
+        }
+        if let State::CxWait {
+            responses,
+            expected,
+            lcom_sent,
+            ..
+        } = &mut self.state
+        {
+            let mismatched = responses.len() == *expected && {
+                let mut vals = responses.values();
+                match (vals.next(), vals.next()) {
+                    (Some((_, h1)), Some((_, h2))) => h1 != h2,
+                    _ => false,
+                }
+            };
+            if mismatched && !*lcom_sent {
+                *lcom_sent = true;
+                out.push(Action::Send {
+                    to: Endpoint::Server(self.plan.coordinator),
+                    payload: Payload::LCom { op_id: self.op_id },
+                });
+            }
+        }
+        ClientDecision::Pending
+    }
+
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, State::Done)
+    }
+
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+}
+
+fn outcome_of(v: Verdict) -> OpOutcome {
+    if v.is_yes() {
+        OpOutcome::Applied
+    } else {
+        OpOutcome::Failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_types::{ClusterConfig, FsOp, InodeNo, Name, Placement};
+
+    fn cross_plan() -> (OpId, OpPlan) {
+        let placement = Placement::new(4);
+        // find a guaranteed cross-server create
+        for n in 0..10_000u64 {
+            let op = FsOp::Create {
+                parent: InodeNo(1),
+                name: Name(n),
+                ino: InodeNo(1000 + n),
+            };
+            let plan = placement.plan(op);
+            if plan.is_cross_server() {
+                return (OpId::new(cx_types::ProcId::new(0, 0), 1), plan);
+            }
+        }
+        unreachable!("placement always produces cross-server creates");
+    }
+
+    fn resp(op_id: OpId, verdict: Verdict, hint: Hint) -> Payload {
+        Payload::SubOpResp {
+            op_id,
+            verdict,
+            hint,
+        }
+    }
+
+    #[test]
+    fn cx_client_sends_both_halves_concurrently() {
+        let (op_id, plan) = cross_plan();
+        let cfg = ClusterConfig::default().cx;
+        let mut out = Vec::new();
+        let _client = ClientOp::start(Protocol::Cx, op_id, plan, &cfg, &mut out);
+        let sends: Vec<_> = out
+            .iter()
+            .filter(|a| matches!(a, Action::Send { .. }))
+            .collect();
+        assert_eq!(sends.len(), 2, "step 1: both sub-ops assigned at once");
+    }
+
+    #[test]
+    fn cx_client_completes_on_matching_hints() {
+        let (op_id, plan) = cross_plan();
+        let cfg = ClusterConfig::default().cx;
+        let mut out = Vec::new();
+        let mut client = ClientOp::start(Protocol::Cx, op_id, plan, &cfg, &mut out);
+        let (coord, parti) = (plan.coordinator, plan.participant.unwrap().0);
+
+        let d = client.on_msg(
+            SimTime::ZERO,
+            Endpoint::Server(coord),
+            resp(op_id, Verdict::Yes, Hint::null()),
+            &mut out,
+        );
+        assert_eq!(d, ClientDecision::Pending);
+        let d = client.on_msg(
+            SimTime::ZERO,
+            Endpoint::Server(parti),
+            resp(op_id, Verdict::Yes, Hint::null()),
+            &mut out,
+        );
+        assert_eq!(d, ClientDecision::Done(OpOutcome::Applied));
+        assert!(client.is_done());
+    }
+
+    #[test]
+    fn cx_client_lcoms_on_disagreement() {
+        let (op_id, plan) = cross_plan();
+        let cfg = ClusterConfig::default().cx;
+        let mut out = Vec::new();
+        let mut client = ClientOp::start(Protocol::Cx, op_id, plan, &cfg, &mut out);
+        let (coord, parti) = (plan.coordinator, plan.participant.unwrap().0);
+        out.clear();
+
+        client.on_msg(
+            SimTime::ZERO,
+            Endpoint::Server(coord),
+            resp(op_id, Verdict::Yes, Hint::null()),
+            &mut out,
+        );
+        let d = client.on_msg(
+            SimTime::ZERO,
+            Endpoint::Server(parti),
+            resp(op_id, Verdict::No, Hint::null()),
+            &mut out,
+        );
+        assert_eq!(d, ClientDecision::Pending, "must wait for ALL-NO");
+        assert!(
+            out.iter().any(|a| matches!(
+                a,
+                Action::Send {
+                    payload: Payload::LCom { .. },
+                    ..
+                }
+            )),
+            "disagreement sends L-COM"
+        );
+        let d = client.on_msg(
+            SimTime::ZERO,
+            Endpoint::Server(coord),
+            Payload::AllNo { op_id },
+            &mut out,
+        );
+        assert_eq!(d, ClientDecision::Done(OpOutcome::Failed));
+    }
+
+    #[test]
+    fn cx_client_arms_timer_on_hint_mismatch_then_lcoms() {
+        let (op_id, plan) = cross_plan();
+        let cfg = ClusterConfig::default().cx;
+        let mut out = Vec::new();
+        let mut client = ClientOp::start(Protocol::Cx, op_id, plan, &cfg, &mut out);
+        let (coord, parti) = (plan.coordinator, plan.participant.unwrap().0);
+        out.clear();
+
+        let other = OpId::new(cx_types::ProcId::new(9, 0), 7);
+        client.on_msg(
+            SimTime::ZERO,
+            Endpoint::Server(coord),
+            resp(op_id, Verdict::Yes, Hint::null()),
+            &mut out,
+        );
+        client.on_msg(
+            SimTime::ZERO,
+            Endpoint::Server(parti),
+            resp(op_id, Verdict::Yes, Hint::of(other)),
+            &mut out,
+        );
+        let timer_token = out
+            .iter()
+            .find_map(|a| match a {
+                Action::SetTimer { token, .. } => Some(*token),
+                _ => None,
+            })
+            .expect("mismatch arms a timer");
+        out.clear();
+        let d = client.on_timer(SimTime::ZERO, timer_token, &mut out);
+        assert_eq!(d, ClientDecision::Pending);
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                payload: Payload::LCom { .. },
+                ..
+            }
+        )));
+        let d = client.on_msg(
+            SimTime::ZERO,
+            Endpoint::Server(coord),
+            Payload::Committed { op_id },
+            &mut out,
+        );
+        assert_eq!(d, ClientDecision::Done(OpOutcome::Applied));
+    }
+
+    #[test]
+    fn cx_client_superseding_response_replaces_invalidated_one() {
+        let (op_id, plan) = cross_plan();
+        let cfg = ClusterConfig::default().cx;
+        let mut out = Vec::new();
+        let mut client = ClientOp::start(Protocol::Cx, op_id, plan, &cfg, &mut out);
+        let (coord, parti) = (plan.coordinator, plan.participant.unwrap().0);
+        let other = OpId::new(cx_types::ProcId::new(9, 0), 7);
+
+        // invalidated first response [null], then coordinator [A], then
+        // the superseding participant response [A] — Figure 3(b)'s ProB.
+        client.on_msg(
+            SimTime::ZERO,
+            Endpoint::Server(parti),
+            resp(op_id, Verdict::Yes, Hint::null()),
+            &mut out,
+        );
+        let d = client.on_msg(
+            SimTime::ZERO,
+            Endpoint::Server(coord),
+            resp(op_id, Verdict::Yes, Hint::of(other)),
+            &mut out,
+        );
+        assert_eq!(d, ClientDecision::Pending, "hints mismatch: wait");
+        let d = client.on_msg(
+            SimTime::ZERO,
+            Endpoint::Server(parti),
+            resp(op_id, Verdict::Yes, Hint::of(other)),
+            &mut out,
+        );
+        assert_eq!(d, ClientDecision::Done(OpOutcome::Applied));
+    }
+
+    #[test]
+    fn se_client_is_strictly_serial() {
+        let (op_id, plan) = cross_plan();
+        let cfg = ClusterConfig::default().cx;
+        let mut out = Vec::new();
+        let mut client = ClientOp::start(Protocol::Se, op_id, plan, &cfg, &mut out);
+        let (coord, parti) = (plan.coordinator, plan.participant.unwrap().0);
+        // only the participant is contacted first
+        let first_targets: Vec<_> = out
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, .. } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(first_targets, vec![Endpoint::Server(parti)]);
+        out.clear();
+        // participant YES → now the coordinator
+        client.on_msg(
+            SimTime::ZERO,
+            Endpoint::Server(parti),
+            resp(op_id, Verdict::Yes, Hint::null()),
+            &mut out,
+        );
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                to: Endpoint::Server(s),
+                ..
+            } if *s == coord
+        )));
+        out.clear();
+        // coordinator NO → CLEAR to the participant, then Failed
+        let d = client.on_msg(
+            SimTime::ZERO,
+            Endpoint::Server(coord),
+            resp(op_id, Verdict::No, Hint::null()),
+            &mut out,
+        );
+        assert_eq!(d, ClientDecision::Pending);
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                payload: Payload::Clear { .. },
+                ..
+            }
+        )));
+        let d = client.on_msg(
+            SimTime::ZERO,
+            Endpoint::Server(parti),
+            Payload::ClearResp { op_id },
+            &mut out,
+        );
+        assert_eq!(d, ClientDecision::Done(OpOutcome::Failed));
+    }
+
+    #[test]
+    fn stale_messages_are_ignored() {
+        let (op_id, plan) = cross_plan();
+        let cfg = ClusterConfig::default().cx;
+        let mut out = Vec::new();
+        let mut client = ClientOp::start(Protocol::Cx, op_id, plan, &cfg, &mut out);
+        let stale = OpId::new(op_id.proc, op_id.seq + 99);
+        let d = client.on_msg(
+            SimTime::ZERO,
+            Endpoint::Server(plan.coordinator),
+            resp(stale, Verdict::Yes, Hint::null()),
+            &mut out,
+        );
+        assert_eq!(d, ClientDecision::Pending);
+        // stale timer tokens are ignored too
+        let d = client.on_timer(SimTime::ZERO, stale.seq, &mut out);
+        assert_eq!(d, ClientDecision::Pending);
+        assert!(!client.is_done());
+    }
+}

@@ -1,0 +1,321 @@
+//! Crash and recovery (§III-D).
+//!
+//! "The main idea of our recovery protocol is to resume all half-completed
+//! commitments of cross-server operations left in the log file on a server
+//! before it crashed. … From the Result-Record of an operation, the
+//! rebooted server can determine whether it is the coordinator of that
+//! operation. Depending on its role, the resumption of an operation varies."
+//!
+//! * **Coordinator role**: re-launch the commitment — jump straight to the
+//!   decision if a Commit/Abort-Record survived, otherwise start a fresh
+//!   VOTE round.
+//! * **Participant role**: ask the coordinator for the outcome
+//!   (QueryOutcome); the coordinator answers with an idempotent
+//!   COMMIT-REQ/ABORT-REQ.
+//!
+//! While a server recovers, it queues new sub-op requests ("the whole file
+//! system stops responding new requests") but keeps exchanging commitment
+//! traffic, which is what resolves the half-completed operations.
+
+use super::{BatchPhase, CommitBatch, CxServer, IoCont, PendingOp};
+use crate::action::{Action, Endpoint, ServerEngine};
+use cx_mdstore::MetaStore;
+use cx_types::{Hint, OpId, Role, ServerId, SimTime, SubOp, Verdict};
+use cx_wal::Outcome;
+use std::collections::BTreeMap;
+
+impl CxServer {
+    /// Crash: all volatile state is lost. Effects of executions whose
+    /// Result-Record never reached the disk are rolled back immediately —
+    /// this models the fact that they exist nowhere once power is cut
+    /// (the in-memory store object survives in the simulator, so undo
+    /// stands in for "was never in the database").
+    pub(crate) fn crash_impl(&mut self, _now: SimTime) {
+        for (_, p) in self.pending.drain() {
+            if !p.durable {
+                if let Some(undo) = p.undo {
+                    self.store.undo(undo);
+                }
+            }
+        }
+        self.wal.crash();
+        self.active.clear();
+        self.blocked.clear();
+        self.log_wait.clear();
+        self.lazy_queue.clear();
+        self.lazy_local.clear();
+        self.batches.clear();
+        self.deferred_votes.clear();
+        self.recent_outcomes.clear();
+        self.io.clear();
+        self.orphan_timers.clear();
+        self.vote_timers.clear();
+        self.recovery_wait.clear();
+        self.recovery_remaining.clear();
+        self.recovery_reads_pending = false;
+        self.crashed = true;
+        self.recovering = false;
+    }
+
+    /// Reboot: start the recovery log scan. Returns the number of bytes
+    /// the scan reads (the surviving valid records).
+    pub(crate) fn recover_impl(&mut self, _now: SimTime, out: &mut Vec<Action>) -> u64 {
+        self.crashed = false;
+        self.recovering = true;
+        let bytes = self.wal.valid_bytes();
+        let token = self.token();
+        self.io.insert(token, IoCont::RecoveryScanDone);
+        out.push(Action::LogRead {
+            token,
+            bytes: bytes.max(1),
+        });
+        bytes
+    }
+
+    /// The log scan finished: rebuild pending state and resume
+    /// half-completed commitments.
+    pub(crate) fn on_recovery_scan_done(&mut self, now: SimTime, out: &mut Vec<Action>) {
+        self.wal.prune_all();
+        let (coord_ops, parti_ops) = self.wal.half_completed();
+
+        // Rebuild pending entries (role, peer, sub-op, verdict) from the
+        // index the scan reconstructed.
+        let mut decided: BTreeMap<ServerId, (Vec<OpId>, Vec<OpId>)> = BTreeMap::new();
+        let mut to_vote: Vec<OpId> = Vec::new();
+        for &op in coord_ops.iter().chain(parti_ops.iter()) {
+            let Some(st) = self.wal.op_state(&op) else {
+                continue;
+            };
+            let (role, peer, subop, verdict) = (
+                st.role.expect("half_completed implies a Result-Record"),
+                st.peer,
+                st.subop.expect("Result-Record carries the sub-op"),
+                st.verdict.unwrap_or(Verdict::No),
+            );
+            let outcome = st.outcome;
+            let invalidated = st.invalidated;
+            self.pending.insert(
+                op,
+                PendingOp {
+                    role,
+                    peer,
+                    proc: op.proc,
+                    subop,
+                    verdict: if invalidated { Verdict::No } else { verdict },
+                    undo: None,
+                    hint: Hint::null(),
+                    durable: true,
+                    in_commitment: true,
+                    batch: None,
+                    reply_to_client: false,
+                    recovered: true,
+                },
+            );
+            self.recovery_remaining.insert(op);
+            if role == Role::Coordinator {
+                if verdict.is_yes() && !invalidated {
+                    for obj in subop.conflict_objects().iter() {
+                        self.active.insert(obj, op);
+                    }
+                }
+                match outcome {
+                    Some(o) => {
+                        // Decision already durable: resume at COMMIT-REQ.
+                        let peer = peer.expect("coordinator of a cross-server op has a peer");
+                        let entry = decided.entry(peer).or_default();
+                        match o {
+                            Outcome::Committed => entry.0.push(op),
+                            Outcome::Aborted => entry.1.push(op),
+                        }
+                    }
+                    None => to_vote.push(op),
+                }
+            } else if verdict.is_yes() && !invalidated {
+                for obj in subop.conflict_objects().iter() {
+                    self.active.insert(obj, op);
+                }
+            }
+        }
+
+        // Coordinator resumptions with a surviving decision: re-send the
+        // idempotent COMMIT-REQ/ABORT-REQ and wait for the ACK.
+        for (peer, (commits, aborts)) in decided {
+            let batch_id = self.next_batch;
+            self.next_batch += 1;
+            for op in commits.iter().chain(aborts.iter()) {
+                if let Some(p) = self.pending.get_mut(op) {
+                    p.batch = Some(batch_id);
+                }
+            }
+            self.batches.insert(
+                batch_id,
+                CommitBatch {
+                    participant: peer,
+                    ops: commits.iter().chain(aborts.iter()).copied().collect(),
+                    votes: BTreeMap::new(),
+                    phase: BatchPhase::AwaitingAck,
+                    commits: commits.clone(),
+                    aborts: aborts.clone(),
+                },
+            );
+            self.send(
+                Endpoint::Server(peer),
+                cx_types::Payload::CommitDecision { commits, aborts },
+                out,
+            );
+        }
+
+        // Coordinator resumptions without a decision: fresh VOTE round.
+        if !to_vote.is_empty() {
+            for op in &to_vote {
+                if let Some(p) = self.pending.get_mut(op) {
+                    p.in_commitment = false; // launch_commitment re-marks
+                }
+            }
+            self.launch_commitment(now, to_vote, true, out);
+        }
+
+        // Participant resumptions: ask each coordinator for the outcome.
+        let mut queries: BTreeMap<ServerId, Vec<OpId>> = BTreeMap::new();
+        for &op in &parti_ops {
+            if let Some(peer) = self.pending.get(&op).and_then(|p| p.peer) {
+                queries.entry(peer).or_default().push(op);
+            } else {
+                // A local mutation's records are never half-completed
+                // (Result+Commit are appended together), so a participant
+                // record without a peer means a torn local append: the
+                // operation never happened; drop it.
+                self.recovery_remaining.remove(&op);
+                self.wal.prune_op(&op);
+                self.pending.remove(&op);
+            }
+        }
+        for (coord, ops) in queries {
+            self.send(
+                Endpoint::Server(coord),
+                cx_types::Payload::QueryOutcome { ops },
+                out,
+            );
+        }
+
+        // Re-read the affected rows from the cold database: resumption
+        // works against on-disk state, the cache died with the server.
+        let mut pages: Vec<u64> = Vec::new();
+        for op in self.recovery_remaining.iter() {
+            if let Some(p) = self.pending.get(op) {
+                pages.extend(p.subop.objects().iter().map(|o| cx_simio::object_page(&o)));
+            }
+        }
+        if !pages.is_empty() {
+            self.recovery_reads_pending = true;
+            let token = self.token();
+            self.io.insert(token, super::IoCont::RecoveryReadsDone);
+            out.push(Action::DbRandomRead { token, pages });
+        }
+
+        self.maybe_finish_recovery(now, out);
+    }
+
+    /// One half-completed operation was resolved.
+    pub(crate) fn note_recovery_progress(
+        &mut self,
+        now: SimTime,
+        op: OpId,
+        out: &mut Vec<Action>,
+    ) {
+        if self.recovery_remaining.remove(&op) {
+            self.maybe_finish_recovery(now, out);
+        }
+    }
+
+    pub(crate) fn maybe_finish_recovery(&mut self, now: SimTime, out: &mut Vec<Action>) {
+        if !self.recovering || !self.recovery_remaining.is_empty() || self.recovery_reads_pending {
+            return;
+        }
+        self.recovering = false;
+        self.flush_dirty(out);
+        // Serve everything that queued while we were recovering.
+        let waiting: Vec<_> = self.recovery_wait.drain(..).collect();
+        for (from, payload) in waiting {
+            self.on_msg(now, from, payload, out);
+        }
+    }
+
+    /// True while the recovery protocol is running (used by the cluster to
+    /// measure the Table V recovery time).
+    pub fn is_recovering(&self) -> bool {
+        self.recovering
+    }
+
+    /// Roll back a pending operation's local effects, whether it was
+    /// executed in this incarnation (volatile undo token) or rebuilt from
+    /// the log after a crash (semantic inversion of the sub-op).
+    pub(crate) fn rollback_pending(&mut self, op: &OpId) {
+        let Some(p) = self.pending.get_mut(op) else {
+            return;
+        };
+        if let Some(undo) = p.undo.take() {
+            self.store.undo(undo);
+        } else if p.recovered && p.verdict.is_yes() {
+            let subop = p.subop;
+            revert_subop(&mut self.store, &subop);
+        }
+    }
+}
+
+/// Semantically invert a sub-op against the current store. Used only on
+/// the recovery path, where the volatile undo token is gone. Correct under
+/// the active-object exclusivity guarantee: between execution and
+/// commitment no other process modified these objects.
+pub(crate) fn revert_subop(store: &mut MetaStore, subop: &SubOp) {
+    use cx_types::FileKind;
+    match *subop {
+        SubOp::InsertEntry {
+            parent,
+            name,
+            child,
+        .. } => {
+            if store.lookup(parent, name) == Some(child) {
+                let _ = store.apply(&SubOp::RemoveEntry {
+                    parent,
+                    name,
+                    child,
+                });
+            }
+        }
+        SubOp::RemoveEntry {
+            parent,
+            name,
+            child,
+        } => {
+            if store.lookup(parent, name).is_none() {
+                let _ = store.apply(&SubOp::InsertEntry {
+                    parent,
+                    name,
+                    child,
+                    kind: FileKind::Regular,
+                });
+            }
+        }
+        SubOp::CreateInode { ino, .. } => {
+            if store.inode(ino).is_some() {
+                let _ = store.apply(&SubOp::ReleaseInode { ino });
+            }
+        }
+        SubOp::ReleaseInode { ino } | SubOp::DecNlink { ino } => {
+            if store.inode(ino).is_some() {
+                let _ = store.apply(&SubOp::IncNlink { ino });
+            } else {
+                // the decrement freed it: it had nlink 1
+                store.seed_inode(ino, FileKind::Regular, 1);
+            }
+        }
+        SubOp::IncNlink { ino } => {
+            let _ = store.apply(&SubOp::DecNlink { ino });
+        }
+        SubOp::TouchInode { .. }
+        | SubOp::ReadInode { .. }
+        | SubOp::ReadEntry { .. }
+        | SubOp::ReadDir { .. } => {}
+    }
+}

@@ -1,0 +1,76 @@
+//! Per-server protocol statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters every engine maintains. The message counts of Table IV are
+/// gathered by the runtime (which sees every `Action::Send`); these are the
+/// protocol-internal events the paper's sensitivity studies report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Sub-op executions (writes) performed.
+    pub subops_executed: u64,
+    /// Cached reads served.
+    pub reads_served: u64,
+    /// Conflicts detected: a sub-op arrived that accesses the active
+    /// objects of another process's pending operation (§III-B).
+    pub conflicts: u64,
+    /// Immediate commitments launched (conflict, L-COM, disagreement, or
+    /// log pressure).
+    pub immediate_commitments: u64,
+    /// Lazy (trigger-driven) commitment batches launched.
+    pub lazy_batches: u64,
+    /// Operations committed in commitment batches this server coordinated.
+    pub ops_committed: u64,
+    /// Operations aborted likewise.
+    pub ops_aborted: u64,
+    /// Executions invalidated during disordered-conflict handling.
+    pub invalidations: u64,
+    /// Requests that had to wait because the log hit its upper limit.
+    pub log_full_blocks: u64,
+    /// Requests blocked behind active objects at least once.
+    pub blocked_requests: u64,
+    /// Write-back batches issued to the database.
+    pub writebacks: u64,
+    /// Local (single-server) mutations executed.
+    pub local_mutations: u64,
+}
+
+impl ServerStats {
+    pub fn merge(&mut self, o: &ServerStats) {
+        self.subops_executed += o.subops_executed;
+        self.reads_served += o.reads_served;
+        self.conflicts += o.conflicts;
+        self.immediate_commitments += o.immediate_commitments;
+        self.lazy_batches += o.lazy_batches;
+        self.ops_committed += o.ops_committed;
+        self.ops_aborted += o.ops_aborted;
+        self.invalidations += o.invalidations;
+        self.log_full_blocks += o.log_full_blocks;
+        self.blocked_requests += o.blocked_requests;
+        self.writebacks += o.writebacks;
+        self.local_mutations += o.local_mutations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = ServerStats {
+            conflicts: 2,
+            lazy_batches: 1,
+            ..Default::default()
+        };
+        let b = ServerStats {
+            conflicts: 3,
+            ops_committed: 7,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.conflicts, 5);
+        assert_eq!(a.ops_committed, 7);
+        assert_eq!(a.lazy_batches, 1);
+    }
+}

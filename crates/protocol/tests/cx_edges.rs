@@ -1,0 +1,327 @@
+//! Edge cases of the Cx protocol: L-COM races, presumed-abort timers,
+//! decided-batch recovery resumption, threshold triggers, and vote
+//! re-driving.
+
+mod common;
+
+use common::*;
+use cx_protocol::testkit::{Envelope, Kit};
+use cx_protocol::Endpoint;
+use cx_types::{
+    BatchTrigger, ClusterConfig, FsOp, MsgKind, OpOutcome, Payload, ProcId, Protocol, SimTime,
+};
+
+fn proc(n: u32) -> ProcId {
+    ProcId::new(n, 0)
+}
+
+/// An L-COM that arrives after the lazy commitment already finished is
+/// answered from the recent-outcome memory.
+#[test]
+fn lcom_race_with_finished_commitment() {
+    let mut kit = kit_never(4, Protocol::Cx);
+    seed_namespace(&mut kit, &[]);
+    let (name, ino) = cross_server_pair(&kit.placement, 100, 1000);
+    let coord = kit.placement.dentry_server(ROOT, name);
+    let op = kit.run_op(
+        proc(0),
+        FsOp::Create {
+            parent: ROOT,
+            name,
+            ino,
+        },
+    );
+    assert_eq!(kit.outcome(op), Some(OpOutcome::Applied));
+    kit.quiesce(); // the commitment finishes and prunes
+
+    // A straggler L-COM (e.g. from a retransmitting client) arrives now.
+    kit.inject_actions(
+        Endpoint::Proc(proc(0)),
+        vec![cx_protocol::Action::Send {
+            to: Endpoint::Server(coord),
+            payload: Payload::LCom { op_id: op },
+        }],
+    );
+    kit.run();
+    assert_eq!(
+        kit.msg_counts.get(&MsgKind::Committed),
+        Some(&1),
+        "the coordinator answers from its outcome memory"
+    );
+    assert_eq!(kit.check_consistency(&roots()), vec![]);
+}
+
+/// A client that dies after sending only the *participant* half leaves an
+/// orphaned execution; the participant's log-pressure/conflict machinery
+/// is never involved, but a later commitment request's grace timer
+/// presumes abort and rolls it back.
+#[test]
+fn orphaned_participant_half_is_presumed_aborted() {
+    let mut kit = kit_never(4, Protocol::Cx);
+    seed_namespace(&mut kit, &[]);
+    let (name, ino) = cross_server_pair(&kit.placement, 100, 1000);
+    let coord = kit.placement.dentry_server(ROOT, name);
+    let coord_ep = Endpoint::Server(coord);
+    kit.hold_if(move |env: &Envelope| {
+        matches!(env.payload, Payload::SubOpReq { .. }) && env.to == coord_ep
+    });
+    let op = kit.start_op(
+        proc(0),
+        FsOp::Create {
+            parent: ROOT,
+            name,
+            ino,
+        },
+    );
+    kit.run();
+    assert_eq!(kit.outcome(op), None, "client died mid-operation");
+    kit.stop_holding();
+
+    // Another process touching the orphaned inode raises a conflict; the
+    // C-REQ reaches a coordinator that never saw the op, which arms the
+    // presumed-abort timer; firing it aborts the orphan.
+    let b = kit.start_op(proc(1), FsOp::Stat { ino });
+    kit.run();
+    assert_eq!(kit.outcome(b), None, "blocked behind the orphan");
+    kit.fire_timers();
+    kit.run();
+    kit.fire_timers(); // the re-dispatched read may need a second round
+    kit.run();
+    assert_eq!(
+        kit.outcome(b),
+        Some(OpOutcome::Failed),
+        "the stat finds no file: the orphan was aborted"
+    );
+    kit.quiesce();
+    assert_eq!(kit.check_consistency(&roots()), vec![]);
+    assert!(kit
+        .servers
+        .iter()
+        .all(|s| s.store().inode(ino).is_none()));
+}
+
+/// Crash the coordinator after its decision is durable but before the
+/// ACK: recovery must resume at COMMIT-REQ, idempotently.
+#[test]
+fn recovery_resumes_a_decided_batch() {
+    let mut kit = kit_never(4, Protocol::Cx);
+    seed_namespace(&mut kit, &[]);
+    let (name, ino) = cross_server_pair(&kit.placement, 100, 1000);
+    let coord = kit.placement.dentry_server(ROOT, name);
+    let op = kit.run_op(
+        proc(0),
+        FsOp::Create {
+            parent: ROOT,
+            name,
+            ino,
+        },
+    );
+    assert_eq!(kit.outcome(op), Some(OpOutcome::Applied));
+
+    // Let the commitment run, but hold the participant's ACK.
+    kit.hold_if(|env: &Envelope| matches!(env.payload, Payload::Ack { .. }));
+    kit.quiesce();
+    assert_eq!(kit.held_count(), 1, "ack held; decision is durable");
+    kit.stop_holding();
+
+    // The coordinator dies before ever seeing the ACK.
+    let idx = coord.0 as usize;
+    kit.servers[idx].crash(SimTime::ZERO);
+    // (the held ack would now be delivered to a dead server; drop it)
+    kit.release_held();
+    kit.run();
+    let mut out = Vec::new();
+    kit.servers[idx].recover(SimTime::ZERO, &mut out);
+    kit.inject_actions(Endpoint::Server(coord), out);
+    kit.run();
+    kit.fire_timers();
+    kit.run();
+
+    assert!(kit.servers.iter().all(|s| s.is_quiesced()));
+    assert_eq!(kit.check_consistency(&roots()), vec![]);
+    assert!(kit
+        .servers
+        .iter()
+        .any(|s| s.store().lookup(ROOT, name) == Some(ino)));
+    // the decision was re-sent at least once
+    assert!(kit.msg_counts.get(&MsgKind::CommitReq).copied().unwrap_or(0) >= 2);
+}
+
+/// The threshold trigger fires mid-stream once enough operations are
+/// pending, without any quiesce call.
+#[test]
+fn threshold_trigger_fires_inline() {
+    let mut cfg = ClusterConfig::new(2, Protocol::Cx);
+    cfg.cx.trigger = BatchTrigger::Threshold { pending_ops: 5 };
+    cfg.cx.log_limit_bytes = None;
+    let mut kit = Kit::new(cfg);
+    seed_namespace(&mut kit, &[]);
+    let mut launched = 0;
+    for k in 0..24u64 {
+        let (name, ino) = cross_server_pair(&kit.placement, 40_000 + k * 31, 50_000 + k * 7);
+        if kit
+            .servers
+            .iter()
+            .any(|s| s.store().lookup(ROOT, name).is_some())
+        {
+            continue;
+        }
+        kit.run_op(
+            proc(0),
+            FsOp::Create {
+                parent: ROOT,
+                name,
+                ino,
+            },
+        );
+        launched += 1;
+    }
+    assert!(launched >= 20);
+    let lazy: u64 = kit.servers.iter().map(|s| s.stats().lazy_batches).sum();
+    assert!(
+        lazy >= 2,
+        "threshold of 5 must have fired several times for {launched} ops (got {lazy})"
+    );
+    kit.quiesce();
+    assert_eq!(kit.check_consistency(&roots()), vec![]);
+}
+
+/// A participant's re-queued (invalidated) execution that fails on retry
+/// still resolves the client through the disagreement path.
+#[test]
+fn invalidated_reexecution_failure_resolves() {
+    // Figure 3(b) fixture, but t has nlink 1 so the unlink's re-execution
+    // (after the link commits) changes the outcome vs its first run.
+    let mut kit = kit_never(4, Protocol::Cx);
+    let placement = kit.placement;
+    let n = cx_types::Name(7_000);
+    let coord = placement.dentry_server(ROOT, n);
+    let t = (9_000..)
+        .map(cx_types::InodeNo)
+        .find(|i| placement.inode_server(*i) != coord)
+        .unwrap();
+    let parti = placement.inode_server(t);
+    for (i, server) in kit.servers.iter_mut().enumerate() {
+        let store = server.store_mut();
+        store.seed_inode(ROOT, cx_types::FileKind::Directory, 1);
+        if placement.inode_server(t) == cx_types::ServerId(i as u32) {
+            store.seed_inode(t, cx_types::FileKind::Regular, 2);
+        }
+        for pre in [cx_types::Name(91_001), cx_types::Name(91_002)] {
+            if placement.dentry_server(ROOT, pre) == cx_types::ServerId(i as u32) {
+                store.seed_dentry(ROOT, pre, t);
+            }
+        }
+    }
+    let (a_proc, b_proc) = (proc(0), proc(1));
+    let (coord_ep, parti_ep) = (Endpoint::Server(coord), Endpoint::Server(parti));
+    kit.hold_if(move |env: &Envelope| {
+        if let Payload::SubOpReq { op_id, .. } = &env.payload {
+            return (op_id.proc == a_proc && env.to == parti_ep)
+                || (op_id.proc == b_proc && env.to == coord_ep);
+        }
+        false
+    });
+    let a = kit.start_op(a_proc, FsOp::Link { parent: ROOT, name: n, target: t });
+    let b = kit.start_op(b_proc, FsOp::Unlink { parent: ROOT, name: n, target: t });
+    kit.run();
+    kit.stop_holding();
+    kit.release_held();
+    kit.run();
+    kit.fire_timers();
+    kit.run();
+    kit.fire_timers();
+    kit.run();
+    // Both must terminate one way or the other, consistently.
+    assert!(kit.outcome(a).is_some(), "A must resolve");
+    assert!(kit.outcome(b).is_some(), "B must resolve");
+    kit.quiesce();
+    assert_eq!(kit.check_consistency(&roots()), vec![]);
+}
+
+/// Lazy batches to multiple participants go out as one VOTE per
+/// participant, each carrying its share of the operations.
+#[test]
+fn lazy_batch_splits_per_participant() {
+    let mut kit = kit_never(8, Protocol::Cx);
+    seed_namespace(&mut kit, &[]);
+    // ops from one proc whose coordinators coincide but participants vary
+    let mut count = 0;
+    for k in 0..60u64 {
+        let (name, ino) = cross_server_pair(&kit.placement, 70_000 + k * 13, 80_000 + k * 11);
+        if kit
+            .servers
+            .iter()
+            .any(|s| s.store().lookup(ROOT, name).is_some())
+        {
+            continue;
+        }
+        kit.run_op(
+            proc(0),
+            FsOp::Create {
+                parent: ROOT,
+                name,
+                ino,
+            },
+        );
+        count += 1;
+    }
+    kit.quiesce();
+    let votes = kit.msg_counts.get(&MsgKind::Vote).copied().unwrap_or(0);
+    assert!(votes >= 2, "several participants → several votes");
+    assert!(
+        votes < count,
+        "but far fewer votes ({votes}) than operations ({count})"
+    );
+    assert_eq!(kit.check_consistency(&roots()), vec![]);
+}
+
+/// Crash the participant while the coordinator's batch is mid-VOTE: the
+/// rebooted participant's QueryOutcome must make the coordinator re-send
+/// the VOTE (re-driving the Voting phase), and the operation commits.
+#[test]
+fn recovery_redrives_a_voting_batch() {
+    let mut kit = kit_never(4, Protocol::Cx);
+    seed_namespace(&mut kit, &[]);
+    let (name, ino) = cross_server_pair(&kit.placement, 100, 1000);
+    let parti = kit.placement.inode_server(ino);
+    let op = kit.run_op(
+        proc(0),
+        FsOp::Create {
+            parent: ROOT,
+            name,
+            ino,
+        },
+    );
+    assert_eq!(kit.outcome(op), Some(OpOutcome::Applied));
+
+    // Start the lazy commitment but swallow the participant's vote.
+    kit.hold_if(|env: &Envelope| matches!(env.payload, Payload::VoteResult { .. }));
+    kit.quiesce();
+    assert_eq!(kit.held_count(), 1, "the vote is in flight");
+    kit.stop_holding();
+
+    // The participant dies; its in-flight vote dies with it.
+    let idx = parti.0 as usize;
+    kit.servers[idx].crash(SimTime::ZERO);
+    kit.discard_held();
+    kit.run();
+    let mut out = Vec::new();
+    kit.servers[idx].recover(SimTime::ZERO, &mut out);
+    kit.inject_actions(Endpoint::Server(parti), out);
+    kit.run();
+    kit.fire_timers();
+    kit.run();
+
+    assert!(
+        kit.servers.iter().all(|s| s.is_quiesced()),
+        "the re-driven vote round must finish the batch"
+    );
+    assert_eq!(kit.check_consistency(&roots()), vec![]);
+    assert!(kit
+        .servers
+        .iter()
+        .any(|s| s.store().lookup(ROOT, name) == Some(ino)));
+    let votes = kit.msg_counts.get(&MsgKind::Vote).copied().unwrap_or(0);
+    assert!(votes >= 2, "the VOTE was re-sent ({votes})");
+}

@@ -1,0 +1,270 @@
+//! Property-based protocol tests.
+//!
+//! * `sequential_oracle`: random operation sequences, executed one at a
+//!   time, must produce exactly the outcomes and final namespace of a
+//!   simple sequential reference model — for **every** protocol and
+//!   cluster size. This is the cross-protocol equivalence property of
+//!   DESIGN.md §6.
+//! * `concurrent_chaos`: random operations from several processes with
+//!   randomly held-and-released messages (Cx only). Every operation must
+//!   eventually complete and the cluster must quiesce into a consistent
+//!   state — conflicts, invalidations and forced commitments included.
+
+mod common;
+
+use common::*;
+use cx_protocol::testkit::Envelope;
+use cx_types::{
+    FileKind, FsOp, InodeNo, Name, OpOutcome, ProcId, Protocol,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Sequential reference model of the namespace.
+#[derive(Default, Clone)]
+struct Model {
+    inodes: HashMap<InodeNo, (FileKind, u32)>,
+    dentries: HashMap<(InodeNo, Name), InodeNo>,
+}
+
+impl Model {
+    fn seed_root(&mut self) {
+        self.inodes.insert(ROOT, (FileKind::Directory, 1));
+    }
+
+    /// Apply `op` with all-or-nothing semantics; returns the outcome.
+    fn apply(&mut self, op: FsOp) -> OpOutcome {
+        let ok = match op {
+            FsOp::Create { parent, name, ino } | FsOp::Mkdir { parent, name, ino } => {
+                let kind = if matches!(op, FsOp::Mkdir { .. }) {
+                    FileKind::Directory
+                } else {
+                    FileKind::Regular
+                };
+                if self.dentries.contains_key(&(parent, name)) || self.inodes.contains_key(&ino) {
+                    false
+                } else {
+                    self.dentries.insert((parent, name), ino);
+                    self.inodes.insert(ino, (kind, 1));
+                    true
+                }
+            }
+            FsOp::Remove { parent, name, ino } | FsOp::Rmdir { parent, name, ino } => {
+                if self.dentries.get(&(parent, name)) == Some(&ino)
+                    && self.inodes.contains_key(&ino)
+                {
+                    self.dentries.remove(&(parent, name));
+                    let e = self.inodes.get_mut(&ino).expect("checked");
+                    if e.1 <= 1 {
+                        self.inodes.remove(&ino);
+                    } else {
+                        e.1 -= 1;
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+            FsOp::Link {
+                parent,
+                name,
+                target,
+            } => {
+                if !self.dentries.contains_key(&(parent, name))
+                    && self.inodes.contains_key(&target)
+                {
+                    self.dentries.insert((parent, name), target);
+                    self.inodes.get_mut(&target).expect("checked").1 += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            FsOp::Unlink {
+                parent,
+                name,
+                target,
+            } => {
+                if self.dentries.get(&(parent, name)) == Some(&target)
+                    && self.inodes.contains_key(&target)
+                {
+                    self.dentries.remove(&(parent, name));
+                    let e = self.inodes.get_mut(&target).expect("checked");
+                    if e.1 <= 1 {
+                        self.inodes.remove(&target);
+                    } else {
+                        e.1 -= 1;
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+            FsOp::Stat { ino } | FsOp::Getattr { ino } | FsOp::Access { ino } | FsOp::Setattr { ino } => {
+                self.inodes.contains_key(&ino)
+            }
+            FsOp::Lookup { parent, name } => self.dentries.contains_key(&(parent, name)),
+            FsOp::Readdir { .. } => true,
+        };
+        if ok {
+            OpOutcome::Applied
+        } else {
+            OpOutcome::Failed
+        }
+    }
+}
+
+/// Operation generator over a compact namespace so collisions (and thus
+/// failures and reuse) are common.
+fn op_strategy() -> impl Strategy<Value = FsOp> {
+    let name = (1u64..24).prop_map(Name);
+    let ino = (100u64..124).prop_map(InodeNo);
+    prop_oneof![
+        (name.clone(), ino.clone()).prop_map(|(name, ino)| FsOp::Create {
+            parent: ROOT,
+            name,
+            ino
+        }),
+        (name.clone(), ino.clone()).prop_map(|(name, ino)| FsOp::Remove {
+            parent: ROOT,
+            name,
+            ino
+        }),
+        (name.clone(), ino.clone()).prop_map(|(name, ino)| FsOp::Mkdir {
+            parent: ROOT,
+            name,
+            ino
+        }),
+        (name.clone(), ino.clone()).prop_map(|(name, target)| FsOp::Link {
+            parent: ROOT,
+            name,
+            target
+        }),
+        (name.clone(), ino.clone()).prop_map(|(name, target)| FsOp::Unlink {
+            parent: ROOT,
+            name,
+            target
+        }),
+        ino.clone().prop_map(|ino| FsOp::Stat { ino }),
+        name.prop_map(|name| FsOp::Lookup { parent: ROOT, name }),
+        ino.prop_map(|ino| FsOp::Setattr { ino }),
+    ]
+}
+
+fn protocol_strategy() -> impl Strategy<Value = Protocol> {
+    prop_oneof![
+        Just(Protocol::Cx),
+        Just(Protocol::Se),
+        Just(Protocol::SeBatched),
+        Just(Protocol::TwoPc),
+        Just(Protocol::Ce),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sequential_oracle(
+        protocol in protocol_strategy(),
+        servers in prop_oneof![Just(1u32), Just(2), Just(4), Just(8)],
+        ops in prop::collection::vec(op_strategy(), 1..60),
+    ) {
+        let mut kit = kit_never(servers, protocol);
+        seed_namespace(&mut kit, &[]);
+        let mut model = Model::default();
+        model.seed_root();
+
+        for (i, op) in ops.iter().enumerate() {
+            let expected = model.apply(*op);
+            let id = kit.run_op(ProcId::new((i % 3) as u32, 0), *op);
+            kit.fire_timers();
+            kit.run();
+            prop_assert_eq!(
+                kit.outcome(id),
+                Some(expected),
+                "op {} = {:?} under {:?}/{} servers",
+                i, op, protocol, servers
+            );
+        }
+        kit.quiesce();
+        prop_assert_eq!(kit.check_consistency(&roots()), vec![]);
+
+        // The final namespace must match the model exactly.
+        let view = cx_mdstore::GlobalView::merge(kit.servers.iter().map(|s| s.store()));
+        prop_assert_eq!(view.dentry_count(), model.dentries.len());
+        for (&(parent, name), &child) in &model.dentries {
+            prop_assert!(view.contains_dentry(parent, name), "missing {:?}", (parent, name, child));
+        }
+        for &ino in model.inodes.keys() {
+            if ino != ROOT {
+                prop_assert!(view.contains_inode(ino), "missing inode {:?}", ino);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_chaos(
+        ops in prop::collection::vec(op_strategy(), 4..40),
+        servers in prop_oneof![Just(2u32), Just(4), Just(8)],
+        hold_mask in any::<u64>(),
+        release_every in 1usize..5,
+    ) {
+        let mut kit = kit_never(servers, Protocol::Cx);
+        seed_namespace(&mut kit, &[]);
+
+        // Randomly hold a fraction of server-bound messages to create
+        // unusual interleavings, releasing them periodically.
+        let mask = hold_mask;
+        let counter = std::cell::Cell::new(0u64);
+        kit.hold_if(move |_env: &Envelope| {
+            let c = counter.get();
+            counter.set(c.wrapping_add(1));
+            (mask >> (c % 61)) & 1 == 1
+        });
+
+        let mut ids = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            // 4 processes issue operations round-robin; a process only
+            // issues when its previous op finished (sequential semantics),
+            // otherwise the op is skipped.
+            let proc = ProcId::new((i % 4) as u32, 0);
+            let busy = kit
+                .clients
+                .get(&proc)
+                .map(|c| !c.is_done())
+                .unwrap_or(false);
+            if busy {
+                continue;
+            }
+            ids.push(kit.start_op(proc, *op));
+            if i % release_every == 0 {
+                kit.run();
+                kit.release_held();
+                kit.run();
+                kit.fire_timers();
+            }
+        }
+        // Drain everything.
+        kit.stop_holding();
+        for _ in 0..20 {
+            kit.release_held();
+            kit.run();
+            kit.fire_timers();
+            kit.run();
+            if ids.iter().all(|id| kit.outcome(*id).is_some()) {
+                break;
+            }
+        }
+        for id in &ids {
+            prop_assert!(
+                kit.outcome(*id).is_some(),
+                "operation {} must eventually complete",
+                id
+            );
+        }
+        kit.quiesce();
+        prop_assert_eq!(kit.check_consistency(&roots()), vec![]);
+        prop_assert!(kit.servers.iter().all(|s| s.is_quiesced()));
+    }
+}

@@ -1,0 +1,201 @@
+//! The event queue and virtual clock.
+
+use cx_types::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Index of a node (actor) in the simulation. The cluster crate assigns
+/// dense indices to servers, disks and client processes.
+pub type NodeIdx = u32;
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    dst: NodeIdx,
+    event: E,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop the earliest event.
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+/// A deterministic discrete-event simulator.
+///
+/// ```
+/// use cx_sim::Sim;
+///
+/// let mut sim: Sim<&'static str> = Sim::new();
+/// sim.schedule(10, 0, "b");
+/// sim.schedule(5, 0, "a");
+/// let (t, _, ev) = sim.pop().unwrap();
+/// assert_eq!((t.0, ev), (5, "a"));
+/// ```
+pub struct Sim<E> {
+    now: SimTime,
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for Sim<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Sim<E> {
+    pub fn new() -> Self {
+        Self {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time: the timestamp of the most recently popped
+    /// event (events never run "in the past").
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` for `dst`, `delay` ns after the current time.
+    pub fn schedule(&mut self, delay: u64, dst: NodeIdx, event: E) {
+        self.schedule_at(self.now + delay, dst, event);
+    }
+
+    /// Schedule `event` at an absolute virtual time. Times in the past are
+    /// clamped to `now` (the event still runs after currently queued events
+    /// with the same timestamp, preserving causality).
+    pub fn schedule_at(&mut self, at: SimTime, dst: NodeIdx, event: E) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            at,
+            seq,
+            dst,
+            event,
+        });
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, NodeIdx, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "time went backwards");
+        self.now = s.at;
+        self.processed += 1;
+        Some((s.at, s.dst, s.event))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Total events processed so far (a cheap progress/complexity metric).
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut sim: Sim<u32> = Sim::new();
+        sim.schedule(30, 0, 3);
+        sim.schedule(10, 0, 1);
+        sim.schedule(20, 0, 2);
+        let order: Vec<u32> = std::iter::from_fn(|| sim.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut sim: Sim<u32> = Sim::new();
+        for i in 0..100 {
+            sim.schedule(5, 0, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| sim.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut sim: Sim<()> = Sim::new();
+        sim.schedule(10, 0, ());
+        sim.schedule(10, 0, ());
+        sim.schedule(25, 0, ());
+        let mut last = SimTime::ZERO;
+        while let Some((t, _, _)) = sim.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+        assert_eq!(last.0, 25);
+        assert_eq!(sim.events_processed(), 3);
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut sim: Sim<u32> = Sim::new();
+        sim.schedule(100, 0, 1);
+        sim.pop();
+        assert_eq!(sim.now().0, 100);
+        sim.schedule_at(SimTime(50), 0, 2); // in the past
+        let (t, _, e) = sim.pop().unwrap();
+        assert_eq!((t.0, e), (100, 2));
+    }
+
+    #[test]
+    fn nested_scheduling_during_pop_loop() {
+        // Events scheduled from handlers interleave correctly.
+        let mut sim: Sim<u32> = Sim::new();
+        sim.schedule(10, 0, 0);
+        let mut seen = Vec::new();
+        while let Some((_, _, e)) = sim.pop() {
+            seen.push(e);
+            if e < 3 {
+                sim.schedule(10, 0, e + 1);
+            }
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        assert_eq!(sim.now().0, 40);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut sim: Sim<()> = Sim::new();
+        sim.schedule(7, 0, ());
+        assert_eq!(sim.peek_time(), Some(SimTime(7)));
+        assert_eq!(sim.now(), SimTime::ZERO);
+        assert_eq!(sim.pending(), 1);
+    }
+}

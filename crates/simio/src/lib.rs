@@ -1,0 +1,27 @@
+//! Storage substrate models.
+//!
+//! Each metadata server in the paper's testbed stores its database on one
+//! 7200 rpm SATA disk (ext3); Cx additionally keeps its operation log as a
+//! log-structured file on the same disk (§IV-A, "Log organization"). This
+//! crate models that device:
+//!
+//! * [`Disk`] — a single-spindle disk with a FIFO queue, **group commit**
+//!   for sequential log appends (every append queued while a flush is in
+//!   flight completes with the next single flush), and **elevator merging**
+//!   for batched database write-back (adjacent pages coalesce into runs,
+//!   the "merging disk requests in kernel's IO scheduler" of §IV-C1).
+//! * [`layout`] — maps metadata objects to on-disk pages. Inodes are laid
+//!   out sequentially by inode number (OrangeFS places the metadata objects
+//!   of one directory's files sequentially, §IV-C2); a directory's entries
+//!   cluster inside a per-directory window, so write-back batches dominated
+//!   by one directory merge into few runs.
+//!
+//! The disk is *sans-event*: it computes completion times but schedules
+//! nothing. The cluster's disk actor submits requests, gets back batches
+//! with finish times, and turns them into DES events.
+
+pub mod disk;
+pub mod layout;
+
+pub use disk::{Batch, Disk, DiskReq, DiskStats};
+pub use layout::object_page;

@@ -1,0 +1,99 @@
+//! Virtual time. The simulation clock counts nanoseconds from the start of a
+//! run; a `u64` holds ~584 years, far beyond any experiment.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// One microsecond in simulation ticks.
+pub const DUR_US: u64 = 1_000;
+/// One millisecond in simulation ticks.
+pub const DUR_MS: u64 = 1_000_000;
+/// One second in simulation ticks.
+pub const DUR_SEC: u64 = 1_000_000_000;
+
+/// A point in virtual time (nanoseconds since the start of the run).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    pub fn from_us(us: u64) -> Self {
+        SimTime(us * DUR_US)
+    }
+    pub fn from_ms(ms: u64) -> Self {
+        SimTime(ms * DUR_MS)
+    }
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * DUR_SEC)
+    }
+
+    pub fn as_us(&self) -> u64 {
+        self.0 / DUR_US
+    }
+    pub fn as_ms(&self) -> u64 {
+        self.0 / DUR_MS
+    }
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / DUR_SEC as f64
+    }
+
+    /// Saturating difference, useful for latency accounting.
+    pub fn since(&self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_ms(3).as_us(), 3_000);
+        assert_eq!(SimTime::from_secs(2).as_ms(), 2_000);
+        assert!((SimTime::from_ms(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_us(10) + 5 * DUR_US;
+        assert_eq!(t.as_us(), 15);
+        assert_eq!(t - SimTime::from_us(5), 10 * DUR_US);
+        assert_eq!(SimTime::from_us(3).since(SimTime::from_us(9)), 0);
+    }
+
+    #[test]
+    fn display_is_seconds() {
+        assert_eq!(SimTime::from_ms(250).to_string(), "0.250000s");
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests of the core vocabulary: placement, plans,
+//! messages and configuration.
+
+use cx_types::ids::ProcId;
+use cx_types::{
+    ClusterConfig, FsOp, InodeNo, Name, OpId, Payload, Placement, Protocol, SubOp, Verdict,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Placement is deterministic and balanced within a loose bound for
+    /// any cluster size.
+    #[test]
+    fn placement_balance(servers in 1u32..33, salt in any::<u64>()) {
+        let p = Placement::new(servers);
+        let mut counts = vec![0u32; servers as usize];
+        let n = 4_000u64;
+        for i in 0..n {
+            let ino = InodeNo(i.wrapping_mul(0x9E37_79B9).wrapping_add(salt));
+            counts[p.inode_server(ino).0 as usize] += 1;
+        }
+        let mean = n as f64 / servers as f64;
+        for c in counts {
+            prop_assert!(
+                (c as f64) < mean * 1.6 + 24.0,
+                "server holds {c} of {n} across {servers} servers"
+            );
+        }
+    }
+
+    /// Every plan's assignments execute each half exactly once, and the
+    /// sub-ops' objects live on the servers they're assigned to.
+    #[test]
+    fn plan_assignments_are_complete(
+        servers in 1u32..33,
+        parent in 1u64..50,
+        name in 1u64..10_000,
+        ino in 100u64..10_000,
+    ) {
+        let p = Placement::new(servers);
+        let ops = [
+            FsOp::Create { parent: InodeNo(parent), name: Name(name), ino: InodeNo(ino) },
+            FsOp::Mkdir { parent: InodeNo(parent), name: Name(name), ino: InodeNo(ino) },
+            FsOp::Unlink { parent: InodeNo(parent), name: Name(name), target: InodeNo(ino) },
+            FsOp::Rmdir { parent: InodeNo(parent), name: Name(name), ino: InodeNo(ino) },
+        ];
+        for op in ops {
+            let plan = p.plan(op);
+            let assignments = plan.assignments();
+            let halves = 1 + (plan.participant.is_some() || plan.colocated.is_some()) as usize;
+            prop_assert_eq!(assignments.len(), halves);
+            // the coordinator half is always an entry operation
+            let coord_is_entry_op = matches!(
+                plan.coord_subop,
+                SubOp::InsertEntry { .. } | SubOp::RemoveEntry { .. }
+            );
+            prop_assert!(coord_is_entry_op);
+            for (server, subop, _) in assignments {
+                // every object of the sub-op is owned by that server
+                for obj in subop.objects().iter() {
+                    let owner = match obj {
+                        cx_types::ObjectId::Inode(i) => {
+                            // the parent's partition row lives with the
+                            // dentry; child inodes live at their home
+                            if i == InodeNo(parent) && subop.is_write() {
+                                server
+                            } else {
+                                p.inode_server(i)
+                            }
+                        }
+                        cx_types::ObjectId::Dentry(d, n) => p.dentry_server(d, n),
+                    };
+                    prop_assert_eq!(owner, server, "{:?} of {:?}", obj, subop);
+                }
+            }
+        }
+    }
+
+    /// Conflict objects are always a subset of the accessed objects.
+    #[test]
+    fn conflict_objects_subset(parent in 1u64..50, name in 1u64..1000, ino in 100u64..1000) {
+        let subs = [
+            SubOp::InsertEntry {
+                parent: InodeNo(parent),
+                name: Name(name),
+                child: InodeNo(ino),
+                kind: cx_types::FileKind::Regular,
+            },
+            SubOp::RemoveEntry {
+                parent: InodeNo(parent),
+                name: Name(name),
+                child: InodeNo(ino),
+            },
+            SubOp::CreateInode { ino: InodeNo(ino), kind: cx_types::FileKind::Regular },
+            SubOp::ReleaseInode { ino: InodeNo(ino) },
+            SubOp::ReadEntry { parent: InodeNo(parent), name: Name(name) },
+        ];
+        for s in subs {
+            for obj in s.conflict_objects().iter() {
+                prop_assert!(s.objects().contains(&obj));
+            }
+        }
+    }
+
+    /// Message sizes grow monotonically with batch size and never
+    /// undershoot the header.
+    #[test]
+    fn message_sizes_are_sane(n in 1usize..200) {
+        let ops: Vec<OpId> = (0..n as u64)
+            .map(|i| OpId::new(ProcId::new(0, 0), i))
+            .collect();
+        let msgs = [
+            Payload::Vote { ops: ops.clone(), order_after: vec![] },
+            Payload::VoteResult {
+                results: ops.iter().map(|o| (*o, Verdict::Yes)).collect(),
+            },
+            Payload::CommitDecision { commits: ops.clone(), aborts: vec![] },
+            Payload::Ack { ops: ops.clone() },
+            Payload::QueryOutcome { ops },
+        ];
+        for m in msgs {
+            let size = m.size_bytes();
+            prop_assert!(size >= 64, "{:?} smaller than a header", m.kind());
+            // batched messages beat n singletons by a wide margin
+            prop_assert!(
+                (size as usize) < 64 * n + 64 + 32 * n,
+                "batching must be cheaper than per-op messages"
+            );
+        }
+    }
+
+    /// Configurations survive a JSON round trip for every protocol and
+    /// cluster size.
+    #[test]
+    fn config_round_trips(servers in 1u32..64, seed in any::<u64>()) {
+        for protocol in Protocol::ALL {
+            let cfg = ClusterConfig::new(servers, protocol).with_seed(seed);
+            let json = serde_json::to_string(&cfg).expect("serializes");
+            let back: ClusterConfig = serde_json::from_str(&json).expect("deserializes");
+            prop_assert_eq!(cfg, back);
+        }
+    }
+
+    /// Operation ids order lexicographically by (client, process, seq) —
+    /// the property the deterministic sweeps rely on.
+    #[test]
+    fn op_id_ordering(c1 in 0u32..8, p1 in 0u32..4, s1 in 0u64..100,
+                      c2 in 0u32..8, p2 in 0u32..4, s2 in 0u64..100) {
+        let a = OpId::new(ProcId::new(c1, p1), s1);
+        let b = OpId::new(ProcId::new(c2, p2), s2);
+        let expected = (c1, p1, s1).cmp(&(c2, p2, s2));
+        prop_assert_eq!(a.cmp(&b), expected);
+    }
+}

@@ -1,0 +1,217 @@
+//! Property-based tests of the write-ahead log.
+
+use cx_types::ids::ProcId;
+use cx_types::{FileKind, InodeNo, Name, OpId, Role, ServerId, SubOp, Verdict};
+use cx_wal::{decode_record, encode_record, Record, SeqNo, Wal};
+use proptest::prelude::*;
+
+fn op_id_strategy() -> impl Strategy<Value = OpId> {
+    (0u32..4, 0u32..2, 0u64..64)
+        .prop_map(|(c, p, seq)| OpId::new(ProcId::new(c, p), seq))
+}
+
+fn subop_strategy() -> impl Strategy<Value = SubOp> {
+    let ino = (1u64..1000).prop_map(InodeNo);
+    let name = (1u64..1000).prop_map(Name);
+    prop_oneof![
+        (ino.clone(), name.clone(), ino.clone(), any::<bool>()).prop_map(
+            |(parent, name, child, dir)| SubOp::InsertEntry {
+                parent,
+                name,
+                child,
+                kind: if dir { FileKind::Directory } else { FileKind::Regular },
+            }
+        ),
+        (ino.clone(), name.clone(), ino.clone()).prop_map(|(parent, name, child)| {
+            SubOp::RemoveEntry {
+                parent,
+                name,
+                child,
+            }
+        }),
+        (ino.clone(), any::<bool>()).prop_map(|(i, dir)| SubOp::CreateInode {
+            ino: i,
+            kind: if dir { FileKind::Directory } else { FileKind::Regular },
+        }),
+        ino.clone().prop_map(|i| SubOp::ReleaseInode { ino: i }),
+        ino.clone().prop_map(|i| SubOp::IncNlink { ino: i }),
+        ino.clone().prop_map(|i| SubOp::DecNlink { ino: i }),
+        ino.clone().prop_map(|i| SubOp::TouchInode { ino: i }),
+        (ino.clone(), name).prop_map(|(parent, name)| SubOp::ReadEntry { parent, name }),
+        ino.prop_map(|i| SubOp::ReadInode { ino: i }),
+    ]
+}
+
+fn record_strategy() -> impl Strategy<Value = Record> {
+    prop_oneof![
+        (
+            op_id_strategy(),
+            any::<bool>(),
+            prop::option::of(0u32..8),
+            subop_strategy(),
+            any::<bool>(),
+            any::<bool>(),
+        )
+            .prop_map(|(op_id, coord, peer, subop, yes, invalidated)| Record::Result {
+                op_id,
+                role: if coord { Role::Coordinator } else { Role::Participant },
+                peer: peer.map(ServerId),
+                subop,
+                verdict: if yes { Verdict::Yes } else { Verdict::No },
+                invalidated,
+            }),
+        op_id_strategy().prop_map(|op_id| Record::Commit { op_id }),
+        op_id_strategy().prop_map(|op_id| Record::Abort { op_id }),
+        op_id_strategy().prop_map(|op_id| Record::Complete { op_id }),
+    ]
+}
+
+proptest! {
+    /// Every record round-trips through the binary encoding, and the
+    /// stated encoded length is exact.
+    #[test]
+    fn encoding_round_trips(rec in record_strategy()) {
+        let mut buf = Vec::new();
+        encode_record(&mut buf, &rec);
+        prop_assert_eq!(buf.len() as u64, rec.encoded_len());
+        let (back, consumed) = decode_record(&buf).expect("decodes");
+        prop_assert_eq!(back, rec);
+        prop_assert_eq!(consumed, buf.len());
+    }
+
+    /// A concatenated log decodes back to the same record sequence.
+    #[test]
+    fn log_streams_decode(recs in prop::collection::vec(record_strategy(), 1..40)) {
+        let mut buf = Vec::new();
+        for r in &recs {
+            encode_record(&mut buf, r);
+        }
+        let mut off = 0;
+        let mut decoded = Vec::new();
+        while off < buf.len() {
+            let (r, n) = decode_record(&buf[off..]).expect("stream decodes");
+            decoded.push(r);
+            off += n;
+        }
+        prop_assert_eq!(decoded, recs);
+    }
+
+    /// Valid-byte accounting is exact under arbitrary append/prune
+    /// interleavings, and pruning never removes an un-prunable op.
+    #[test]
+    fn accounting_is_exact(
+        recs in prop::collection::vec(record_strategy(), 1..60),
+        prune_each in any::<bool>(),
+    ) {
+        let mut wal = Wal::new(None);
+        for rec in recs {
+            let op = rec.op_id();
+            wal.append(rec).expect("unlimited log");
+            if prune_each {
+                wal.prune_op(&op);
+            }
+        }
+        wal.prune_all();
+        // whatever remains is exactly the sum of its record sizes…
+        let remaining: u64 = wal.scan().map(|(_, r)| r.encoded_len()).sum();
+        prop_assert_eq!(wal.valid_bytes(), remaining);
+        // …and none of it is prunable
+        let (coord, parti) = wal.half_completed();
+        for op in coord.iter().chain(parti.iter()) {
+            prop_assert!(!wal.op_state(op).expect("indexed").prunable());
+        }
+        // conservation: appended == pruned + remaining
+        prop_assert_eq!(
+            wal.total_appended_bytes(),
+            wal.total_pruned_bytes() + wal.valid_bytes()
+        );
+    }
+
+    /// Crash keeps exactly the durable prefix: every surviving record was
+    /// marked durable, and the rebuilt index matches a fresh replay.
+    #[test]
+    fn crash_keeps_durable_prefix(
+        recs in prop::collection::vec(record_strategy(), 1..40),
+        durable_upto in 0usize..40,
+    ) {
+        let mut wal = Wal::new(None);
+        let mut seqs = Vec::new();
+        for rec in &recs {
+            let (seq, _) = wal.append(rec.clone()).expect("unlimited");
+            seqs.push(seq);
+        }
+        let cut = durable_upto.min(recs.len());
+        if cut > 0 {
+            wal.mark_durable(seqs[cut - 1]);
+        }
+        wal.crash();
+        // survivors are exactly recs[..cut]
+        let survivors: Vec<Record> = wal.scan().map(|(_, r)| r.clone()).collect();
+        prop_assert_eq!(&survivors[..], &recs[..cut]);
+        // the rebuilt index equals a fresh wal fed the same prefix
+        let mut fresh = Wal::new(None);
+        for rec in &recs[..cut] {
+            fresh.append(rec.clone()).expect("unlimited");
+        }
+        for rec in &recs[..cut] {
+            let op = rec.op_id();
+            prop_assert_eq!(wal.op_state(&op), fresh.op_state(&op));
+        }
+        prop_assert_eq!(wal.valid_bytes(), fresh.valid_bytes());
+    }
+
+    /// The log limit is a true invariant: valid bytes never exceed the
+    /// cap plus control-record slack, and appends start succeeding again
+    /// after pruning.
+    #[test]
+    fn limit_is_enforced(ops in prop::collection::vec(op_id_strategy(), 1..50)) {
+        let limit = 1000u64;
+        let mut wal = Wal::new(Some(limit));
+        let mut control_bytes = 0u64;
+        for op in ops {
+            let rec = Record::Result {
+                op_id: op,
+                role: Role::Participant,
+                peer: None,
+                subop: SubOp::CreateInode { ino: InodeNo(1), kind: FileKind::Regular },
+                verdict: Verdict::Yes,
+                invalidated: false,
+            };
+            match wal.append(rec) {
+                Ok(_) => {
+                    let (_, b) = wal.append(Record::Commit { op_id: op }).expect("control");
+                    control_bytes += b;
+                }
+                Err(_) => {
+                    // full: prune and retry must make room
+                    wal.prune_all();
+                    control_bytes = 0;
+                    prop_assert!(wal.valid_bytes() <= limit);
+                }
+            }
+            prop_assert!(
+                wal.valid_bytes() <= limit + control_bytes,
+                "valid {} exceeded cap {} + control slack {}",
+                wal.valid_bytes(), limit, control_bytes
+            );
+        }
+    }
+}
+
+#[test]
+fn seqno_ordering_matches_append_order() {
+    let mut wal = Wal::new(None);
+    let mut last = None;
+    for i in 0..20 {
+        let (seq, _) = wal
+            .append(Record::Commit {
+                op_id: OpId::new(ProcId::new(0, 0), i),
+            })
+            .expect("unlimited");
+        if let Some(prev) = last {
+            assert!(seq > prev);
+        }
+        last = Some(seq);
+    }
+    assert_eq!(last, Some(SeqNo(19)));
+}

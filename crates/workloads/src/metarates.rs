@@ -1,0 +1,262 @@
+//! The Metarates-like benchmark workload (§IV-B).
+//!
+//! "We emulated two typical workloads using Metarates: (1) a read-dominated
+//! workload, which consists of 20% updates and 80% stats … (2) a
+//! update-dominated workload, which consists of 80% updates and 20% stats.
+//! … the update and stat operations in these workloads are designed to
+//! concurrently create/remove zero-bytes files in a common directory, and
+//! to concurrently stat the generated files, respectively."
+//!
+//! Each process works on its own file names within the common directory
+//! (MPI ranks in Metarates operate on rank-private files), which matches
+//! the exclusive-dominated pattern of the paper's conflict analysis.
+//! Sequential inode allocation makes the directory's metadata objects
+//! "sequentially placed on disk", the property that lets batched
+//! write-back approach peak bandwidth (§IV-C2).
+
+use crate::trace::{SeedEntry, Trace, TraceOp, ROOT, SHARED_DIR};
+use cx_sim::det_rng;
+use cx_types::{FsOp, InodeNo, Name, ProcId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The two §IV-B mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaratesMix {
+    /// 20% updates / 80% stats.
+    ReadDominated,
+    /// 80% updates / 20% stats.
+    UpdateDominated,
+}
+
+impl MetaratesMix {
+    pub fn update_fraction(&self) -> f64 {
+        match self {
+            MetaratesMix::ReadDominated => 0.2,
+            MetaratesMix::UpdateDominated => 0.8,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            MetaratesMix::ReadDominated => "read-dominated",
+            MetaratesMix::UpdateDominated => "update-dominated",
+        }
+    }
+}
+
+/// Metarates workload builder.
+#[derive(Debug, Clone)]
+pub struct Metarates {
+    pub mix: MetaratesMix,
+    /// Total client processes (paper: 8 per client node, 4 client nodes
+    /// per server).
+    pub processes: u32,
+    /// Pre-created files in the common directory ("a single server
+    /// manages 40,000 files in a directory"; scale down for tests).
+    pub seed_files: u32,
+    /// Operations issued per process.
+    pub ops_per_proc: u32,
+    pub seed: u64,
+}
+
+impl Metarates {
+    pub fn new(mix: MetaratesMix, processes: u32) -> Self {
+        Self {
+            mix,
+            processes,
+            seed_files: 4_000,
+            ops_per_proc: 400,
+            seed: 0x3e7a,
+        }
+    }
+
+    pub fn seed_files(mut self, n: u32) -> Self {
+        self.seed_files = n;
+        self
+    }
+
+    pub fn ops_per_proc(mut self, n: u32) -> Self {
+        self.ops_per_proc = n;
+        self
+    }
+
+    pub fn build(&self) -> Trace {
+        let mut rng = det_rng(self.seed, 0x3e7a_0000);
+        let mut seeds = vec![
+            SeedEntry::Dir { ino: ROOT },
+            SeedEntry::Dir { ino: SHARED_DIR },
+        ];
+        let mut next_ino = 10_000u64;
+        let mut next_name = 1u64;
+
+        // Pre-populate the common directory, round-robin over processes so
+        // each rank owns an equal slice.
+        let mut owned: Vec<Vec<(Name, InodeNo)>> =
+            (0..self.processes).map(|_| Vec::new()).collect();
+        for k in 0..self.seed_files {
+            let name = Name(next_name);
+            next_name += 1;
+            let ino = InodeNo(next_ino);
+            next_ino += 1;
+            seeds.push(SeedEntry::File {
+                parent: SHARED_DIR,
+                name,
+                ino,
+            });
+            owned[(k % self.processes) as usize].push((name, ino));
+        }
+
+        // Closed-loop streams, interleaved round-robin so the global order
+        // mixes processes the way concurrent replay does.
+        let mut streams: Vec<Vec<FsOp>> = Vec::with_capacity(self.processes as usize);
+        for p in 0..self.processes {
+            let mut ops = Vec::with_capacity(self.ops_per_proc as usize);
+            for _ in 0..self.ops_per_proc {
+                if rng.gen::<f64>() < self.mix.update_fraction() {
+                    // update: alternate create / remove to keep the
+                    // population stable
+                    let remove = owned[p as usize].len() > (self.seed_files / self.processes) as usize
+                        && rng.gen_bool(0.5);
+                    if remove {
+                        let idx = rng.gen_range(0..owned[p as usize].len());
+                        let (name, ino) = owned[p as usize].swap_remove(idx);
+                        ops.push(FsOp::Remove {
+                            parent: SHARED_DIR,
+                            name,
+                            ino,
+                        });
+                    } else {
+                        let name = Name(next_name);
+                        next_name += 1;
+                        let ino = InodeNo(next_ino);
+                        next_ino += 1;
+                        owned[p as usize].push((name, ino));
+                        ops.push(FsOp::Create {
+                            parent: SHARED_DIR,
+                            name,
+                            ino,
+                        });
+                    }
+                } else {
+                    // stat a generated file of this rank
+                    let (_, ino) = owned[p as usize]
+                        .choose(&mut rng)
+                        .copied()
+                        .unwrap_or((Name(1), InodeNo(10_000)));
+                    ops.push(FsOp::Stat { ino });
+                }
+            }
+            streams.push(ops);
+        }
+
+        let mut ops = Vec::with_capacity((self.processes * self.ops_per_proc) as usize);
+        for i in 0..self.ops_per_proc {
+            for p in 0..self.processes {
+                ops.push(TraceOp {
+                    proc: ProcId::new(p, 0),
+                    op: streams[p as usize][i as usize],
+                });
+            }
+        }
+
+        Trace {
+            name: format!("metarates-{}", self.mix.name()),
+            processes: self.processes,
+            seeds,
+            ops,
+            roots: vec![ROOT, SHARED_DIR],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NamespaceModel;
+
+    #[test]
+    fn update_fraction_matches_mix() {
+        for (mix, lo, hi) in [
+            (MetaratesMix::ReadDominated, 0.15, 0.25),
+            (MetaratesMix::UpdateDominated, 0.75, 0.85),
+        ] {
+            let t = Metarates::new(mix, 8)
+                .seed_files(100)
+                .ops_per_proc(500)
+                .build();
+            let updates = t.ops.iter().filter(|o| o.op.is_mutation()).count();
+            let frac = updates as f64 / t.ops.len() as f64;
+            assert!(
+                (lo..=hi).contains(&frac),
+                "{}: update fraction {frac}",
+                mix.name()
+            );
+        }
+    }
+
+    #[test]
+    fn all_operations_are_valid_in_global_order() {
+        let t = Metarates::new(MetaratesMix::UpdateDominated, 4)
+            .seed_files(40)
+            .ops_per_proc(200)
+            .build();
+        let mut m = NamespaceModel::new();
+        for s in &t.seeds {
+            match *s {
+                SeedEntry::Dir { ino } => m.add_dir(ino),
+                SeedEntry::File { parent, name, ino } => m.apply(&FsOp::Create {
+                    parent,
+                    name,
+                    ino,
+                }),
+            }
+        }
+        for top in &t.ops {
+            if top.op.is_mutation() {
+                m.apply(&top.op);
+            }
+        }
+    }
+
+    #[test]
+    fn all_updates_hit_the_common_directory() {
+        let t = Metarates::new(MetaratesMix::UpdateDominated, 4)
+            .seed_files(40)
+            .ops_per_proc(100)
+            .build();
+        for top in &t.ops {
+            match top.op {
+                FsOp::Create { parent, .. } | FsOp::Remove { parent, .. } => {
+                    assert_eq!(parent, SHARED_DIR)
+                }
+                FsOp::Stat { .. } => {}
+                other => panic!("unexpected op {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Metarates::new(MetaratesMix::ReadDominated, 4)
+            .seed_files(40)
+            .ops_per_proc(50)
+            .build();
+        let b = Metarates::new(MetaratesMix::ReadDominated, 4)
+            .seed_files(40)
+            .ops_per_proc(50)
+            .build();
+        assert_eq!(a.ops, b.ops);
+    }
+
+    #[test]
+    fn round_robin_interleaving() {
+        let t = Metarates::new(MetaratesMix::ReadDominated, 3)
+            .seed_files(30)
+            .ops_per_proc(10)
+            .build();
+        // first three ops come from three different procs
+        let procs: Vec<u32> = t.ops.iter().take(3).map(|o| o.proc.client.0).collect();
+        assert_eq!(procs, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,536 @@
+//! Synthetic trace generation and conflict injection.
+
+use crate::model::NamespaceModel;
+use crate::profile::TraceProfile;
+use cx_sim::det_rng;
+use cx_types::{FsOp, InodeNo, Name, OpClass, ProcId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Root of the synthetic namespace.
+pub const ROOT: InodeNo = InodeNo(1);
+/// The common (shared) directory — the checkpoint directory of the
+/// supercomputing traces, the shared project space of the NFS traces.
+pub const SHARED_DIR: InodeNo = InodeNo(2);
+
+/// Pre-existing namespace content to seed into the servers before replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedEntry {
+    Dir { ino: InodeNo },
+    File {
+        parent: InodeNo,
+        name: Name,
+        ino: InodeNo,
+    },
+}
+
+/// One replayed operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceOp {
+    pub proc: ProcId,
+    pub op: FsOp,
+}
+
+/// A generated workload: seeds plus a global operation order. Each
+/// process's subsequence is its (synchronous) issue order; the cluster
+/// replays processes concurrently.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    pub name: String,
+    pub processes: u32,
+    pub seeds: Vec<SeedEntry>,
+    pub ops: Vec<TraceOp>,
+    /// Directory inodes exempt from orphan checking.
+    pub roots: Vec<InodeNo>,
+}
+
+impl Trace {
+    /// Count operations by class (regenerates Figure 4's bars).
+    pub fn class_histogram(&self) -> Vec<(OpClass, u64)> {
+        let mut counts = std::collections::BTreeMap::new();
+        for t in &self.ops {
+            *counts.entry(t.op.class()).or_insert(0u64) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Inject extra lookup requests immediately after other processes'
+    /// mutations, as the paper does to sweep the conflict ratio
+    /// ("we injected some lookup requests to add some immediate
+    /// commitments for cross-server operations", §IV-D2).
+    ///
+    /// `added_ratio` is the number of injected lookups relative to the
+    /// original operation count.
+    pub fn inject_conflicting_lookups(&mut self, added_ratio: f64, seed: u64) {
+        if added_ratio <= 0.0 {
+            return;
+        }
+        let mut rng = det_rng(seed, 0x1213);
+        let mut out = Vec::with_capacity(self.ops.len());
+        let per_mutation = {
+            let mutations = self
+                .ops
+                .iter()
+                .filter(|t| t.op.is_mutation())
+                .count()
+                .max(1);
+            added_ratio * self.ops.len() as f64 / mutations as f64
+        };
+        for t in self.ops.drain(..) {
+            let mutation = t.op.is_mutation();
+            let proc = t.proc;
+            let target = match t.op {
+                FsOp::Create { parent, name, .. } | FsOp::Mkdir { parent, name, .. } => {
+                    Some((parent, name))
+                }
+                _ => None,
+            };
+            out.push(t);
+            if mutation {
+                if let Some((parent, name)) = target {
+                    let mut n = per_mutation;
+                    while n > 0.0 && rng.gen::<f64>() < n {
+                        // an access by a *different* process right after
+                        // the mutation: lands in the inconsistency window
+                        let other = ProcId::new(proc.client.0.wrapping_add(1) % self.processes, 0);
+                        out.push(TraceOp {
+                            proc: other,
+                            op: FsOp::Lookup { parent, name },
+                        });
+                        n -= 1.0;
+                    }
+                }
+            }
+        }
+        self.ops = out;
+    }
+}
+
+/// Builds a [`Trace`] from a [`TraceProfile`].
+pub struct TraceBuilder {
+    profile: TraceProfile,
+    scale: f64,
+    seed: u64,
+}
+
+/// Per-process generation state.
+struct ProcState {
+    dir: InodeNo,
+    /// (parent, name, ino) of live files owned by this process.
+    files: Vec<(InodeNo, Name, InodeNo)>,
+    /// extra hard links owned by this process
+    links: Vec<(InodeNo, Name, InodeNo)>,
+    /// empty subdirectories available for rmdir
+    empty_dirs: Vec<(InodeNo, Name, InodeNo)>,
+}
+
+impl TraceBuilder {
+    pub fn new(profile: &TraceProfile) -> Self {
+        Self {
+            profile: *profile,
+            scale: 1.0,
+            seed: 0x7ace,
+        }
+    }
+
+    /// Adjust the (copied) profile, e.g. to zero the sharing probability
+    /// for conflict-free runs.
+    pub fn tweak(mut self, f: impl FnOnce(&mut TraceProfile)) -> Self {
+        f(&mut self.profile);
+        self
+    }
+
+    /// Scale the total operation count (for quick runs and tests).
+    pub fn scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn build(self) -> Trace {
+        let profile = &self.profile;
+        let total = ((profile.total_ops as f64 * self.scale).round() as u64).max(1);
+        let procs = profile.processes;
+        let mut rng = det_rng(self.seed, 0x7ace_0000);
+        let mut model = NamespaceModel::new();
+        let mut seeds = Vec::new();
+        let mut roots = vec![ROOT, SHARED_DIR];
+
+        model.add_dir(ROOT);
+        model.add_dir(SHARED_DIR);
+        seeds.push(SeedEntry::Dir { ino: ROOT });
+        seeds.push(SeedEntry::Dir { ino: SHARED_DIR });
+
+        // Per-process private directories plus a few pre-existing files so
+        // early removes and stats have targets.
+        let mut states: Vec<ProcState> = (0..procs)
+            .map(|p| {
+                let dir = model.fresh_ino();
+                model.add_dir(dir);
+                seeds.push(SeedEntry::Dir { ino: dir });
+                roots.push(dir);
+                let mut files = Vec::new();
+                for _ in 0..12 {
+                    let name = model.fresh_name();
+                    let ino = model.fresh_ino();
+                    seeds.push(SeedEntry::File {
+                        parent: dir,
+                        name,
+                        ino,
+                    });
+                    model.apply(&FsOp::Create {
+                        parent: dir,
+                        name,
+                        ino,
+                    });
+                    files.push((dir, name, ino));
+                }
+                let _ = p;
+                ProcState {
+                    dir,
+                    files,
+                    links: Vec::new(),
+                    empty_dirs: Vec::new(),
+                }
+            })
+            .collect();
+
+        // Recently created shared files: conflict targets.
+        let mut recent_shared: VecDeque<(u32, InodeNo, Name, InodeNo)> = VecDeque::new();
+
+        // Cumulative class weights for sampling.
+        let classes: Vec<(OpClass, f64)> = OpClass::ALL
+            .iter()
+            .map(|c| (*c, profile.mix.weight(*c)))
+            .collect();
+        let weight_sum: f64 = classes.iter().map(|(_, w)| w).sum();
+
+        let mut ops = Vec::with_capacity(total as usize);
+        for _ in 0..total {
+            let p = rng.gen_range(0..procs);
+            let class = pick_class(&classes, weight_sum, &mut rng);
+            let op = synthesize(
+                profile,
+                class,
+                p,
+                &mut states,
+                &mut model,
+                &mut recent_shared,
+                &mut rng,
+            );
+            ops.push(TraceOp {
+                proc: ProcId::new(p, 0),
+                op,
+            });
+        }
+
+        Trace {
+            name: profile.name.to_string(),
+            processes: procs,
+            seeds,
+            ops,
+            roots,
+        }
+    }
+}
+
+fn pick_class(classes: &[(OpClass, f64)], sum: f64, rng: &mut SmallRng) -> OpClass {
+    let mut x = rng.gen::<f64>() * sum;
+    for (c, w) in classes {
+        if x < *w {
+            return *c;
+        }
+        x -= w;
+    }
+    OpClass::Stat
+}
+
+#[allow(clippy::too_many_arguments)]
+fn synthesize(
+    profile: &TraceProfile,
+    class: OpClass,
+    p: u32,
+    states: &mut [ProcState],
+    model: &mut NamespaceModel,
+    recent_shared: &mut VecDeque<(u32, InodeNo, Name, InodeNo)>,
+    rng: &mut SmallRng,
+) -> FsOp {
+    let create = |states: &mut [ProcState],
+                  model: &mut NamespaceModel,
+                  recent_shared: &mut VecDeque<(u32, InodeNo, Name, InodeNo)>,
+                  rng: &mut SmallRng| {
+        let shared = rng.gen::<f64>() < profile.shared_create_frac;
+        let parent = if shared { SHARED_DIR } else { states[p as usize].dir };
+        let name = model.fresh_name();
+        let ino = model.fresh_ino();
+        let op = FsOp::Create { parent, name, ino };
+        model.apply(&op);
+        states[p as usize].files.push((parent, name, ino));
+        if shared {
+            recent_shared.push_back((p, parent, name, ino));
+            if recent_shared.len() > 512 {
+                recent_shared.pop_front();
+            }
+        }
+        op
+    };
+
+    match class {
+        OpClass::Create => create(states, model, recent_shared, rng),
+        OpClass::Remove | OpClass::Unlink => {
+            // unlink an extra link if one exists, else remove a file
+            if class == OpClass::Unlink {
+                if let Some((parent, name, target)) = states[p as usize].links.pop() {
+                    let op = FsOp::Unlink {
+                        parent,
+                        name,
+                        target,
+                    };
+                    model.apply(&op);
+                    return op;
+                }
+            }
+            if states[p as usize].files.len() > 1 {
+                let idx = rng.gen_range(0..states[p as usize].files.len());
+                let (parent, name, ino) = states[p as usize].files.swap_remove(idx);
+                let op = FsOp::Remove { parent, name, ino };
+                model.apply(&op);
+                op
+            } else {
+                create(states, model, recent_shared, rng)
+            }
+        }
+        OpClass::Mkdir => {
+            let parent = states[p as usize].dir;
+            let name = model.fresh_name();
+            let ino = model.fresh_ino();
+            let op = FsOp::Mkdir { parent, name, ino };
+            model.apply(&op);
+            states[p as usize].empty_dirs.push((parent, name, ino));
+            op
+        }
+        OpClass::Rmdir => {
+            if let Some((parent, name, ino)) = states[p as usize].empty_dirs.pop() {
+                let op = FsOp::Rmdir { parent, name, ino };
+                model.apply(&op);
+                op
+            } else {
+                let parent = states[p as usize].dir;
+                let name = model.fresh_name();
+                let ino = model.fresh_ino();
+                let op = FsOp::Mkdir { parent, name, ino };
+                model.apply(&op);
+                states[p as usize].empty_dirs.push((parent, name, ino));
+                op
+            }
+        }
+        OpClass::Link => {
+            if let Some(&(_, _, target)) = states[p as usize].files.last() {
+                let parent = states[p as usize].dir;
+                let name = model.fresh_name();
+                let op = FsOp::Link {
+                    parent,
+                    name,
+                    target,
+                };
+                model.apply(&op);
+                states[p as usize].links.push((parent, name, target));
+                op
+            } else {
+                create(states, model, recent_shared, rng)
+            }
+        }
+        // Reads: mostly own files (the exclusive-dominated pattern of
+        // §II-C); with `shared_access_prob`, a *recently created* shared
+        // file of another process — the conflict-generating accesses.
+        OpClass::Stat | OpClass::Getattr | OpClass::Access | OpClass::Setattr => {
+            if rng.gen::<f64>() < profile.shared_access_prob {
+                if let Some(&(owner, _, _, ino)) = pick_recent(recent_shared, p, rng) {
+                    debug_assert_ne!(owner, p);
+                    return match class {
+                        OpClass::Setattr => FsOp::Setattr { ino },
+                        OpClass::Getattr => FsOp::Getattr { ino },
+                        OpClass::Access => FsOp::Access { ino },
+                        _ => FsOp::Stat { ino },
+                    };
+                }
+            }
+            let ino = own_file(&states[p as usize], rng);
+            match class {
+                OpClass::Setattr => FsOp::Setattr { ino },
+                OpClass::Getattr => FsOp::Getattr { ino },
+                OpClass::Access => FsOp::Access { ino },
+                _ => FsOp::Stat { ino },
+            }
+        }
+        OpClass::Lookup => {
+            if rng.gen::<f64>() < profile.shared_access_prob {
+                if let Some(&(_, parent, name, _)) = pick_recent(recent_shared, p, rng) {
+                    return FsOp::Lookup { parent, name };
+                }
+            }
+            match states[p as usize].files.choose(rng) {
+                Some(&(parent, name, _)) => FsOp::Lookup { parent, name },
+                None => FsOp::Readdir {
+                    dir: states[p as usize].dir,
+                },
+            }
+        }
+        OpClass::Readdir => FsOp::Readdir {
+            dir: states[p as usize].dir,
+        },
+    }
+}
+
+/// A recent shared file created by someone other than `p` (prefer the most
+/// recent, which is the most likely to still be uncommitted).
+fn pick_recent<'a>(
+    recent: &'a VecDeque<(u32, InodeNo, Name, InodeNo)>,
+    p: u32,
+    rng: &mut SmallRng,
+) -> Option<&'a (u32, InodeNo, Name, InodeNo)> {
+    let window = 16.min(recent.len());
+    if window == 0 {
+        return None;
+    }
+    let start = recent.len() - window;
+    (0..8).find_map(|_| {
+        let idx = start + rng.gen_range(0..window);
+        recent.get(idx).filter(|(owner, _, _, _)| *owner != p)
+    })
+}
+
+fn own_file(state: &ProcState, rng: &mut SmallRng) -> InodeNo {
+    state
+        .files
+        .choose(rng)
+        .map(|&(_, _, ino)| ino)
+        .unwrap_or(SHARED_DIR)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::PROFILES;
+
+    fn small_trace(name: &str) -> Trace {
+        TraceBuilder::new(profile_by(name)).scale(0.01).build()
+    }
+
+    fn profile_by(name: &str) -> &'static TraceProfile {
+        TraceProfile::by_name(name).unwrap()
+    }
+
+    #[test]
+    fn trace_sizes_scale() {
+        let t = small_trace("CTH");
+        let expect = (505_247f64 * 0.01).round() as usize;
+        assert_eq!(t.ops.len(), expect);
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let a = TraceBuilder::new(profile_by("home2")).scale(0.002).build();
+        let b = TraceBuilder::new(profile_by("home2")).scale(0.002).build();
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.seeds, b.seeds);
+        let c = TraceBuilder::new(profile_by("home2"))
+            .scale(0.002)
+            .seed(99)
+            .build();
+        assert_ne!(a.ops, c.ops, "different seed, different trace");
+    }
+
+    #[test]
+    fn class_histogram_tracks_the_mix() {
+        let profile = profile_by("s3d");
+        let t = TraceBuilder::new(profile).scale(0.05).build();
+        let hist = t.class_histogram();
+        let total: u64 = hist.iter().map(|(_, n)| n).sum();
+        let share = |class| {
+            hist.iter()
+                .find(|(c, _)| *c == class)
+                .map(|(_, n)| *n as f64 / total as f64)
+                .unwrap_or(0.0)
+        };
+        // creates dominate s3d; fallbacks inflate them slightly
+        let create_share = share(cx_types::OpClass::Create);
+        let expect = profile.mix.share(cx_types::OpClass::Create);
+        assert!(
+            (create_share - expect).abs() < 0.08,
+            "create share {create_share} vs mix {expect}"
+        );
+        assert!(share(cx_types::OpClass::Lookup) > 0.05);
+    }
+
+    #[test]
+    fn per_process_mutations_are_valid_in_order() {
+        // Replaying each op against a model in global order must never
+        // hit an invalid mutation (the generator's core guarantee).
+        let t = small_trace("deasna2");
+        let mut m = NamespaceModel::new();
+        for s in &t.seeds {
+            match *s {
+                SeedEntry::Dir { ino } => m.add_dir(ino),
+                SeedEntry::File { parent, name, ino } => m.apply(&FsOp::Create {
+                    parent,
+                    name,
+                    ino,
+                }),
+            }
+        }
+        for top in &t.ops {
+            m.apply(&top.op); // panics if invalid
+        }
+    }
+
+    #[test]
+    fn every_profile_builds() {
+        for p in &PROFILES {
+            let t = TraceBuilder::new(p).scale(0.001).build();
+            assert!(!t.ops.is_empty());
+            assert_eq!(t.processes, p.processes);
+            assert!(t.seeds.len() > 2);
+        }
+    }
+
+    #[test]
+    fn injection_adds_lookups_after_mutations() {
+        let mut t = small_trace("home2");
+        let before = t.ops.len();
+        let mutations = t.ops.iter().filter(|o| o.op.is_mutation()).count();
+        t.inject_conflicting_lookups(0.05, 1);
+        let added = t.ops.len() - before;
+        let target = (before as f64 * 0.05) as usize;
+        assert!(
+            added as f64 > target as f64 * 0.5 && added as f64 <= (target as f64 * 1.5 + mutations as f64),
+            "added {added} lookups for target {target}"
+        );
+        // injected lookups follow a mutation by a different process
+        let mut prev: Option<&TraceOp> = None;
+        let mut seen_injected = 0;
+        for op in &t.ops {
+            if let (FsOp::Lookup { .. }, Some(prev_op)) = (&op.op, prev) {
+                if prev_op.op.is_mutation() && prev_op.proc != op.proc {
+                    seen_injected += 1;
+                }
+            }
+            prev = Some(op);
+        }
+        assert!(seen_injected > 0);
+    }
+
+    #[test]
+    fn zero_injection_is_identity() {
+        let mut t = small_trace("CTH");
+        let before = t.ops.clone();
+        t.inject_conflicting_lookups(0.0, 1);
+        assert_eq!(t.ops, before);
+    }
+}

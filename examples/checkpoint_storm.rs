@@ -1,0 +1,83 @@
+//! Checkpoint storm: the paper's motivating scenario (§I).
+//!
+//! "In supercomputing's checkpointing process, each process in cluster
+//! creates some files in a largely common directory that is normally
+//! managed by multiple servers to improve concurrency; each creation
+//! requires two sub-operations."
+//!
+//! This example drives the Metarates update-dominated workload — every
+//! process creating and removing zero-byte files in one shared directory —
+//! across cluster sizes, printing the aggregated throughput per protocol
+//! (Figure 6 in miniature) and where the throughput comes from
+//! (group-commit amortization, write-back merging).
+//!
+//!     cargo run --release --example checkpoint_storm
+
+use cx_core::{Experiment, MetaratesMix, Protocol, Workload};
+
+fn main() {
+    println!("update-dominated Metarates (80% create/remove, 20% stat)\n");
+    println!(
+        "{:<8} {:>14} {:>14} {:>14}   Cx gain",
+        "servers", "OFS", "OFS-batched", "OFS-Cx"
+    );
+
+    for servers in [2u32, 4, 8] {
+        let mut row = Vec::new();
+        for protocol in [Protocol::Se, Protocol::SeBatched, Protocol::Cx] {
+            let result = Experiment::new(Workload::Metarates {
+                mix: MetaratesMix::UpdateDominated,
+                ops_per_proc: 60,
+                files_per_server: 1_000,
+            })
+            .servers(servers)
+            .protocol(protocol)
+            .run();
+            assert!(result.is_consistent());
+            row.push(result);
+        }
+        let (se, _ba, cx) = (&row[0].stats, &row[1].stats, &row[2].stats);
+        println!(
+            "{:<8} {:>10.0} op/s {:>10.0} op/s {:>10.0} op/s   +{:.0}%",
+            servers,
+            row[0].stats.throughput(),
+            row[1].stats.throughput(),
+            row[2].stats.throughput(),
+            (cx.throughput() / se.throughput() - 1.0) * 100.0
+        );
+    }
+
+    // Where Cx's win comes from: one run, dissected.
+    let cx = Experiment::new(Workload::Metarates {
+        mix: MetaratesMix::UpdateDominated,
+        ops_per_proc: 60,
+        files_per_server: 1_000,
+    })
+    .servers(8)
+    .protocol(Protocol::Cx)
+    .run();
+    let d = &cx.stats.disk;
+    println!("\nanatomy of the Cx run at 8 servers:");
+    println!(
+        "  group commit amortization: {:.1} log appends per flush",
+        d.appends_per_flush()
+    );
+    println!(
+        "  write-back merging: {:.1} pages per disk run (sequential inode layout)",
+        d.pages_per_run()
+    );
+    println!(
+        "  commitment traffic: {} server-to-server vs {} client messages ({:.1}%)",
+        cx.stats.server_msgs,
+        cx.stats.client_msgs,
+        100.0 * cx.stats.server_msgs as f64 / cx.stats.total_msgs() as f64
+    );
+    println!(
+        "  conflicts: {} in {} ops ({:.3}%) — the exclusive per-rank file\n\
+         pattern keeps the inconsistency window invisible, exactly the\n\
+         observation Cx is built on (§II-C)",
+        cx.stats.server_stats.conflicts,
+        cx.stats.ops_total,
+        cx.stats.conflict_ratio() * 100.0
+    );
+}

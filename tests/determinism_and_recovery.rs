@@ -1,0 +1,97 @@
+//! Reproducibility and crash-recovery, end to end.
+
+use cx_core::{Experiment, Protocol, RecoveryExperiment, Workload};
+
+/// The whole pipeline is deterministic: identical configuration →
+/// identical statistics, across protocols.
+#[test]
+fn identical_runs_are_bit_identical() {
+    for protocol in [Protocol::Cx, Protocol::Se, Protocol::TwoPc] {
+        let make = || {
+            Experiment::new(Workload::trace("alegra").scale(0.002).seed(11))
+                .servers(8)
+                .protocol(protocol)
+                .seed(42)
+                .run()
+        };
+        let (a, b) = (make(), make());
+        assert_eq!(a.stats.replay, b.stats.replay, "{protocol:?}");
+        assert_eq!(a.stats.msgs, b.stats.msgs, "{protocol:?}");
+        assert_eq!(a.stats.events, b.stats.events, "{protocol:?}");
+        assert_eq!(a.stats.server_stats, b.stats.server_stats, "{protocol:?}");
+        assert_eq!(a.stats.disk, b.stats.disk, "{protocol:?}");
+    }
+}
+
+/// A different workload seed produces a genuinely different run.
+#[test]
+fn different_seeds_diverge() {
+    let run = |seed| {
+        Experiment::new(Workload::trace("alegra").scale(0.002).seed(seed))
+            .servers(8)
+            .run()
+            .stats
+            .replay
+    };
+    assert_ne!(run(1), run(2));
+}
+
+/// Table V end-to-end: recovery completes after a mid-run crash, the time
+/// grows with the valid-record volume, but sublinearly (batched
+/// resumption).
+#[test]
+fn recovery_time_is_sublinear_in_valid_records() {
+    let exp = |kb: u64| {
+        RecoveryExperiment {
+            servers: 8,
+            trace_scale: 0.02,
+            detection_ms: 200,
+            reboot_ms: 100,
+            ..Default::default()
+        }
+        .with_target(kb << 10)
+    };
+    let small = exp(10).run().expect("10 KB accumulates");
+    let large = exp(160).run().expect("160 KB accumulates");
+    assert!(large.valid_kb_at_crash >= 16 * small.valid_kb_at_crash / 2);
+    assert!(
+        large.protocol_secs > small.protocol_secs,
+        "more half-completed work takes longer"
+    );
+    assert!(
+        large.recovery_secs < small.recovery_secs * 16.0,
+        "16x the records must cost far less than 16x the total time \
+         ({:.3}s vs {:.3}s)",
+        large.recovery_secs,
+        small.recovery_secs
+    );
+}
+
+/// The threaded runtime reaches the same final state as the simulator for
+/// the same sequential workload.
+#[test]
+fn threaded_and_des_agree() {
+    let workload = Workload::trace("CTH").scale(0.0008);
+    let des = Experiment::new(workload.clone())
+        .servers(4)
+        .protocol(Protocol::Cx)
+        .configure(|cfg| {
+            cfg.cx.trigger = cx_core::BatchTrigger::Timeout {
+                period_ns: 5_000_000,
+            }
+        })
+        .run();
+    let thr = Experiment::new(workload)
+        .servers(4)
+        .protocol(Protocol::Cx)
+        .configure(|cfg| {
+            cfg.cx.trigger = cx_core::BatchTrigger::Timeout {
+                period_ns: 5_000_000,
+            }
+        })
+        .run_threaded();
+    assert!(des.is_consistent() && thr.is_consistent());
+    assert_eq!(des.stats.ops_total, thr.stats.ops_total);
+    assert_eq!(des.stats.ops_applied, thr.stats.ops_applied);
+    assert_eq!(des.stats.ops_failed, thr.stats.ops_failed);
+}
