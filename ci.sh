@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Local CI gate — everything runs offline against the vendored shims.
+#
+#   ./ci.sh          # fmt check, clippy, release build, full test suite
+#   ./ci.sh quick    # skip the release build (fast pre-commit loop)
+#
+# Clippy runs with -D warnings on the crates the perf pass touches most;
+# the whole workspace still builds and tests warning-free.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "clippy (hot-path crates, -D warnings)"
+cargo clippy -q \
+    -p cx-types -p cx-sim -p cx-wal -p cx-mdstore \
+    -p cx-protocol -p cx-cluster -p cx-bench \
+    --all-targets -- -D warnings
+
+if [ "${1:-}" != "quick" ]; then
+    step "cargo build --release"
+    cargo build --release --workspace
+fi
+
+step "cargo test (workspace)"
+cargo test --workspace -q
+
+step "ci.sh OK"

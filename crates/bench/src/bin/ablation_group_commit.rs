@@ -55,7 +55,12 @@ fn main() {
     }
 
     print_table(
-        &["workload", "Cx + group commit (s)", "Cx, no group commit (s)", "OFS (s)"],
+        &[
+            "workload",
+            "Cx + group commit (s)",
+            "Cx, no group commit (s)",
+            "OFS (s)",
+        ],
         &rows
             .iter()
             .map(|r| {

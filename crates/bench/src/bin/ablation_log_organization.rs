@@ -58,7 +58,12 @@ fn main() {
     }
 
     print_table(
-        &["workload", "log-structured file (s)", "log in BDB (s)", "slowdown"],
+        &[
+            "workload",
+            "log-structured file (s)",
+            "log in BDB (s)",
+            "slowdown",
+        ],
         &rows
             .iter()
             .map(|r| {

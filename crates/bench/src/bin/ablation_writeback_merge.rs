@@ -38,7 +38,10 @@ fn main() {
                 files_per_server: 1_000,
             },
         ),
-        ("home2 trace (many directories)", Workload::trace("home2").scale(scale)),
+        (
+            "home2 trace (many directories)",
+            Workload::trace("home2").scale(scale),
+        ),
     ] {
         let run = |merge_gap: u64| {
             let r = Experiment::new(workload.clone())

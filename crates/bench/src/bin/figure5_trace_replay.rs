@@ -9,7 +9,6 @@
 
 use cx_bench::{improvement, print_table, write_json, Args};
 use cx_core::{Experiment, Protocol, Workload, PROFILES};
-use rayon::prelude::*;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -31,39 +30,43 @@ fn main() {
     let servers: u32 = args.value("--servers").unwrap_or(8);
     println!("Figure 5 — trace replay times ({servers} servers, scale {scale})\n");
 
-    let rows: Vec<Row> = PROFILES
-        .par_iter()
-        .map(|p| {
-            let run = |protocol| {
-                let r = Experiment::new(Workload::trace(p.name).scale(scale))
-                    .servers(servers)
-                    .protocol(protocol)
-                    .run();
-                assert!(r.is_consistent(), "{}/{:?}", p.name, protocol);
-                assert_eq!(r.stats.ops_stuck, 0);
-                r.stats
-            };
-            let se = run(Protocol::Se);
-            let ba = run(Protocol::SeBatched);
-            let cx = run(Protocol::Cx);
-            Row {
-                trace: p.name,
-                ops: cx.ops_total,
-                cross_share: cx.cross_ops as f64 / cx.ops_total as f64,
-                ofs_secs: se.replay.as_secs_f64(),
-                batched_secs: ba.replay.as_secs_f64(),
-                cx_secs: cx.replay.as_secs_f64(),
-                cx_vs_ofs_pct: improvement(se.replay.as_secs_f64(), cx.replay.as_secs_f64()),
-                batched_vs_ofs_pct: improvement(se.replay.as_secs_f64(), ba.replay.as_secs_f64()),
-                cx_vs_batched_pct: improvement(ba.replay.as_secs_f64(), cx.replay.as_secs_f64()),
-            }
-        })
-        .collect();
+    let rows: Vec<Row> = cx_bench::par_map(&PROFILES, |p| {
+        let run = |protocol| {
+            let r = Experiment::new(Workload::trace(p.name).scale(scale))
+                .servers(servers)
+                .protocol(protocol)
+                .run();
+            assert!(r.is_consistent(), "{}/{:?}", p.name, protocol);
+            assert_eq!(r.stats.ops_stuck, 0);
+            r.stats
+        };
+        let se = run(Protocol::Se);
+        let ba = run(Protocol::SeBatched);
+        let cx = run(Protocol::Cx);
+        Row {
+            trace: p.name,
+            ops: cx.ops_total,
+            cross_share: cx.cross_ops as f64 / cx.ops_total as f64,
+            ofs_secs: se.replay.as_secs_f64(),
+            batched_secs: ba.replay.as_secs_f64(),
+            cx_secs: cx.replay.as_secs_f64(),
+            cx_vs_ofs_pct: improvement(se.replay.as_secs_f64(), cx.replay.as_secs_f64()),
+            batched_vs_ofs_pct: improvement(se.replay.as_secs_f64(), ba.replay.as_secs_f64()),
+            cx_vs_batched_pct: improvement(ba.replay.as_secs_f64(), cx.replay.as_secs_f64()),
+        }
+    });
 
     print_table(
         &[
-            "trace", "ops", "cross%", "OFS (s)", "batched (s)", "Cx (s)", "Cx vs OFS",
-            "batched vs OFS", "Cx vs batched",
+            "trace",
+            "ops",
+            "cross%",
+            "OFS (s)",
+            "batched (s)",
+            "Cx (s)",
+            "Cx vs OFS",
+            "batched vs OFS",
+            "Cx vs batched",
         ],
         &rows
             .iter()

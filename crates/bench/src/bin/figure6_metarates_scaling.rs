@@ -10,7 +10,6 @@
 
 use cx_bench::{gain, print_table, write_json, Args};
 use cx_core::{Experiment, MetaratesMix, Protocol, Workload};
-use rayon::prelude::*;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -38,39 +37,42 @@ fn main() {
 
     let mut points = Vec::new();
     for mix in [MetaratesMix::UpdateDominated, MetaratesMix::ReadDominated] {
-        let mix_points: Vec<Point> = sizes
-            .par_iter()
-            .map(|&servers| {
-                let run = |protocol| {
-                    let r = Experiment::new(Workload::Metarates {
-                        mix,
-                        ops_per_proc: ops,
-                        files_per_server: 2_000,
-                    })
-                    .servers(servers)
-                    .protocol(protocol)
-                    .run();
-                    assert!(r.is_consistent(), "{mix:?}/{servers}/{protocol:?}");
-                    r.stats.throughput()
-                };
-                let (se, ba, cx) = (
-                    run(Protocol::Se),
-                    run(Protocol::SeBatched),
-                    run(Protocol::Cx),
-                );
-                Point {
-                    mix: mix.name(),
-                    servers,
-                    ofs: se,
-                    batched: ba,
-                    cx,
-                    cx_gain_pct: gain(se, cx),
-                }
-            })
-            .collect();
+        let mix_points: Vec<Point> = cx_bench::par_map(&sizes, |&servers| {
+            let run = |protocol| {
+                let r = Experiment::new(Workload::Metarates {
+                    mix,
+                    ops_per_proc: ops,
+                    files_per_server: 2_000,
+                })
+                .servers(servers)
+                .protocol(protocol)
+                .run();
+                assert!(r.is_consistent(), "{mix:?}/{servers}/{protocol:?}");
+                r.stats.throughput()
+            };
+            let (se, ba, cx) = (
+                run(Protocol::Se),
+                run(Protocol::SeBatched),
+                run(Protocol::Cx),
+            );
+            Point {
+                mix: mix.name(),
+                servers,
+                ofs: se,
+                batched: ba,
+                cx,
+                cx_gain_pct: gain(se, cx),
+            }
+        });
         println!("--- {} runs ---", mix.name());
         print_table(
-            &["servers", "OFS op/s", "OFS-batched op/s", "OFS-Cx op/s", "Cx gain"],
+            &[
+                "servers",
+                "OFS op/s",
+                "OFS-batched op/s",
+                "OFS-Cx op/s",
+                "Cx gain",
+            ],
             &mix_points
                 .iter()
                 .map(|p| {

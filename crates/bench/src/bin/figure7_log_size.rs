@@ -10,7 +10,6 @@
 
 use cx_bench::{print_table, write_json, Args};
 use cx_core::{BatchTrigger, Experiment, Protocol, Workload, DUR_MS};
-use rayon::prelude::*;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -52,24 +51,21 @@ fn main() {
         Some(1 << 20),
         None,
     ];
-    let points: Vec<LimitPoint> = limits
-        .par_iter()
-        .map(|limit| {
-            let r = Experiment::new(workload())
-                .servers(8)
-                .protocol(Protocol::Cx)
-                .log_limit(*limit)
-                .trigger(BatchTrigger::Timeout { period_ns })
-                .run();
-            assert!(r.is_consistent());
-            LimitPoint {
-                limit_kb: limit.map(|b| b >> 10),
-                replay_secs: r.stats.replay_secs(),
-                vs_ofs_pct: (1.0 - r.stats.replay_secs() / ofs_secs) * 100.0,
-                log_full_blocks: r.stats.server_stats.log_full_blocks,
-            }
-        })
-        .collect();
+    let points: Vec<LimitPoint> = cx_bench::par_map(&limits, |limit| {
+        let r = Experiment::new(workload())
+            .servers(8)
+            .protocol(Protocol::Cx)
+            .log_limit(*limit)
+            .trigger(BatchTrigger::Timeout { period_ns })
+            .run();
+        assert!(r.is_consistent());
+        LimitPoint {
+            limit_kb: limit.map(|b| b >> 10),
+            replay_secs: r.stats.replay_secs(),
+            vs_ofs_pct: (1.0 - r.stats.replay_secs() / ofs_secs) * 100.0,
+            log_full_blocks: r.stats.server_stats.log_full_blocks,
+        }
+    });
 
     println!("(a) impact of the log upper-limit    [OFS baseline: {ofs_secs:.3} s]");
     print_table(
@@ -97,8 +93,14 @@ fn main() {
         .trigger(BatchTrigger::Timeout { period_ns })
         .run();
     assert!(r.is_consistent());
-    println!("\n(b) valid-records' size over time (unlimited log, {} ms trigger)", period_ns / DUR_MS);
-    println!("    peak on the busiest server: {} KB", r.stats.peak_valid_bytes >> 10);
+    println!(
+        "\n(b) valid-records' size over time (unlimited log, {} ms trigger)",
+        period_ns / DUR_MS
+    );
+    println!(
+        "    peak on the busiest server: {} KB",
+        r.stats.peak_valid_bytes >> 10
+    );
     let timeline: Vec<(f64, u64, u64)> = r
         .stats
         .timeline

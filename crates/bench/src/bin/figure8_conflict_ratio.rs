@@ -9,7 +9,6 @@
 
 use cx_bench::{print_table, write_json, Args};
 use cx_core::{Experiment, Protocol, Workload};
-use rayon::prelude::*;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -39,35 +38,31 @@ fn main() {
     // the sharing sweep reaches the higher measured ratios.
     let injections = [0.0, 0.02, 0.05, 0.10, 0.20, 0.35, 0.5];
     let sharing = [0.1, 0.3, 0.6, 0.9];
-    let mut points: Vec<Point> = injections
-        .par_iter()
-        .map(|&injected| {
-            let r = Experiment::new(
-                Workload::trace("home2")
-                    .scale(scale)
-                    .inject_conflicts(injected),
-            )
-            .servers(8)
-            .protocol(Protocol::Cx)
-            .run();
-            assert!(r.is_consistent(), "inject {injected}");
-            Point {
-                injected,
-                measured_conflict_pct: r.stats.conflict_ratio() * 100.0,
-                cx_replay_secs: r.stats.replay_secs(),
-                cx_msgs: r.stats.total_msgs(),
-                immediate: r.stats.server_stats.immediate_commitments,
-                beats_ofs: r.stats.replay_secs() < ofs_secs,
-            }
-        })
-        .collect();
-    points.par_extend(sharing.par_iter().map(|&share| {
-        let trace = cx_core::TraceBuilder::new(
-            cx_core::TraceProfile::by_name("home2").expect("exists"),
+    let mut points: Vec<Point> = cx_bench::par_map(&injections, |&injected| {
+        let r = Experiment::new(
+            Workload::trace("home2")
+                .scale(scale)
+                .inject_conflicts(injected),
         )
-        .scale(scale)
-        .tweak(|p| p.shared_access_prob = share)
-        .build();
+        .servers(8)
+        .protocol(Protocol::Cx)
+        .run();
+        assert!(r.is_consistent(), "inject {injected}");
+        Point {
+            injected,
+            measured_conflict_pct: r.stats.conflict_ratio() * 100.0,
+            cx_replay_secs: r.stats.replay_secs(),
+            cx_msgs: r.stats.total_msgs(),
+            immediate: r.stats.server_stats.immediate_commitments,
+            beats_ofs: r.stats.replay_secs() < ofs_secs,
+        }
+    });
+    points.extend(cx_bench::par_map(&sharing, |&share| {
+        let trace =
+            cx_core::TraceBuilder::new(cx_core::TraceProfile::by_name("home2").expect("exists"))
+                .scale(scale)
+                .tweak(|p| p.shared_access_prob = share)
+                .build();
         let r = Experiment::new(Workload::Custom(trace))
             .servers(8)
             .protocol(Protocol::Cx)

@@ -10,7 +10,6 @@
 
 use cx_bench::{print_table, write_json, Args};
 use cx_core::{BatchTrigger, Experiment, Protocol, Workload, DUR_MS, DUR_SEC};
-use rayon::prelude::*;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -47,21 +46,18 @@ fn main() {
 
     // (a) timeout sweep — scaled-down equivalents of the paper's 1..256 s
     let timeouts_ms: Vec<u64> = vec![25, 50, 100, 200, 400, 800, 1600];
-    let mut points: Vec<Point> = timeouts_ms
-        .par_iter()
-        .map(|&ms| {
-            let (t, batches, peak) = run(BatchTrigger::Timeout {
-                period_ns: ms * DUR_MS,
-            });
-            Point {
-                strategy: "timeout".into(),
-                value: format!("{ms} ms"),
-                replay_secs: t,
-                lazy_batches: batches,
-                peak_valid_kb: peak,
-            }
-        })
-        .collect();
+    let mut points: Vec<Point> = cx_bench::par_map(&timeouts_ms, |&ms| {
+        let (t, batches, peak) = run(BatchTrigger::Timeout {
+            period_ns: ms * DUR_MS,
+        });
+        Point {
+            strategy: "timeout".into(),
+            value: format!("{ms} ms"),
+            replay_secs: t,
+            lazy_batches: batches,
+            peak_valid_kb: peak,
+        }
+    });
     // the paper's optimum: a timeout so large no lazy commitment fires
     {
         let (t, batches, peak) = run(BatchTrigger::Timeout {
@@ -78,7 +74,7 @@ fn main() {
 
     // (b) threshold sweep
     let thresholds: Vec<u64> = vec![8, 32, 128, 512, 2048];
-    points.par_extend(thresholds.par_iter().map(|&n| {
+    points.extend(cx_bench::par_map(&thresholds, |&n| {
         let (t, batches, peak) = run(BatchTrigger::Threshold { pending_ops: n });
         Point {
             strategy: "threshold".into(),
@@ -105,7 +101,13 @@ fn main() {
     }
 
     print_table(
-        &["strategy", "value", "replay (s)", "lazy batches", "peak valid KB"],
+        &[
+            "strategy",
+            "value",
+            "replay (s)",
+            "lazy batches",
+            "peak valid KB",
+        ],
         &points
             .iter()
             .map(|p| {

@@ -1,0 +1,183 @@
+//! Tracked performance baseline for the DES hot path.
+//!
+//! Runs a fixed three-workload basket and records wall-clock time and
+//! simulator events/sec for each item:
+//!
+//! 1. `home2_replay_8s` — the home2 trace (lookup-heavy NFS) replayed on
+//!    8 servers under Cx; the headline events/sec number.
+//! 2. `metarates_update_8s` — update-dominated Metarates at 8 servers
+//!    (mutation-heavy, exercises the protocol engines and WAL).
+//! 3. `table5_recovery_160kb` — a crash at 160 KB of valid records plus
+//!    full recovery (log scan + resumption); wall-clock only, since the
+//!    run is dominated by fixed-size protocol work rather than a stream
+//!    of events.
+//!
+//! Results merge into `BENCH_PR1.json` at the repo root, keyed by
+//! `--label` (e.g. `--label before` / `--label after`), so optimization
+//! PRs commit both sides of the comparison with the same binary.
+//!
+//! Usage: `perf_baseline --label after [--iters 3] [--scale 0.05]
+//!         [--filter home2] [--out path.json]`
+
+use cx_core::{Experiment, MetaratesMix, Protocol, RecoveryExperiment, Workload};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One basket item's measurement. `events == 0` means the item is
+/// wall-clock-only (the recovery run has no meaningful event rate).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Entry {
+    name: String,
+    wall_secs: f64,
+    events: u64,
+    events_per_sec: f64,
+    ops_total: u64,
+}
+
+/// All measurements taken under one `--label`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LabeledRun {
+    label: String,
+    iters: u32,
+    entries: Vec<Entry>,
+}
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct Report {
+    runs: Vec<LabeledRun>,
+}
+
+/// Best-of-N wall time for one run closure returning (events, ops_total).
+fn measure(name: &str, iters: u32, mut run: impl FnMut() -> (u64, u64)) -> Entry {
+    let mut best = f64::INFINITY;
+    let (mut events, mut ops_total) = (0, 0);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let (e, o) = run();
+        let secs = t0.elapsed().as_secs_f64();
+        if secs < best {
+            best = secs;
+        }
+        (events, ops_total) = (e, o);
+    }
+    Entry {
+        name: name.to_string(),
+        wall_secs: best,
+        events,
+        events_per_sec: if events > 0 {
+            events as f64 / best
+        } else {
+            0.0
+        },
+        ops_total,
+    }
+}
+
+fn main() {
+    let args = cx_bench::Args::parse();
+    let label: String = args.value("--label").unwrap_or_else(|| "current".into());
+    // At least one iteration, or best-of-N is `inf` and the JSON row is junk.
+    let iters: u32 = args.value("--iters").unwrap_or(3).max(1);
+    let scale = args.scale(0.05);
+    let filter: Option<String> = args.value("--filter");
+    let out: String = args
+        .value("--out")
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR1.json").into());
+    let wants = |name: &str| filter.as_deref().is_none_or(|f| name.contains(f));
+
+    let mut entries = Vec::new();
+
+    // Traces are built once, outside the timed region: the basket measures
+    // the DES hot path (event queue, protocol engines, WAL, disk model),
+    // not workload generation.
+    if wants("home2_replay_8s") {
+        let e = Experiment::new(Workload::trace("home2").scale(scale))
+            .servers(8)
+            .protocol(Protocol::Cx);
+        let trace = e.workload.build(&e.cfg);
+        entries.push(measure("home2_replay_8s", iters, || {
+            let (stats, violations) = cx_core::run_trace(e.cfg.clone(), &trace);
+            assert!(violations.is_empty(), "home2 replay must stay consistent");
+            (stats.events, stats.ops_total)
+        }));
+    }
+
+    if wants("metarates_update_8s") {
+        let e = Experiment::new(Workload::metarates(MetaratesMix::UpdateDominated))
+            .servers(8)
+            .protocol(Protocol::Cx);
+        let trace = e.workload.build(&e.cfg);
+        entries.push(measure("metarates_update_8s", iters, || {
+            let (stats, violations) = cx_core::run_trace(e.cfg.clone(), &trace);
+            assert!(violations.is_empty(), "metarates must stay consistent");
+            (stats.events, stats.ops_total)
+        }));
+    }
+
+    if wants("table5_recovery_160kb") {
+        entries.push(measure("table5_recovery_160kb", iters, || {
+            let row = RecoveryExperiment {
+                servers: 8,
+                trace_scale: 0.02,
+                detection_ms: 200,
+                reboot_ms: 100,
+                ..Default::default()
+            }
+            .with_target(160 << 10)
+            .run()
+            .expect("160 KB of valid records accumulates");
+            assert!(row.recovery_secs > 0.0);
+            (0, 0)
+        }));
+    }
+
+    cx_bench::print_table(
+        &["item", "wall s", "events", "events/s", "ops"],
+        &entries
+            .iter()
+            .map(|e| {
+                vec![
+                    e.name.clone(),
+                    format!("{:.3}", e.wall_secs),
+                    e.events.to_string(),
+                    format!("{:.0}", e.events_per_sec),
+                    e.ops_total.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // Merge into the tracked report: replace any prior run with this label.
+    let mut report: Report = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_default();
+    report.runs.retain(|r| r.label != label);
+    report.runs.push(LabeledRun {
+        label: label.clone(),
+        iters,
+        entries,
+    });
+
+    // Report the headline speedup whenever both sides are present.
+    let rate = |lbl: &str| {
+        report
+            .runs
+            .iter()
+            .find(|r| r.label == lbl)
+            .and_then(|r| r.entries.iter().find(|e| e.name == "home2_replay_8s"))
+            .map(|e| e.events_per_sec)
+    };
+    if let (Some(before), Some(after)) = (rate("before"), rate("after")) {
+        println!(
+            "\nhome2 events/sec: before {:.0} -> after {:.0} ({:.2}x)",
+            before,
+            after,
+            after / before
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").expect("write BENCH_PR1.json");
+    println!("[json: {out}]  (label: {label})");
+}

@@ -8,7 +8,6 @@
 
 use cx_bench::{print_table, write_json, Args};
 use cx_core::{Experiment, Protocol, Workload, PROFILES};
-use rayon::prelude::*;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -26,24 +25,21 @@ fn main() {
     let scale = args.scale(0.05);
     println!("Table II — conflict ratios (8 servers, Cx, scale {scale})\n");
 
-    let rows: Vec<Row> = PROFILES
-        .par_iter()
-        .map(|p| {
-            let r = Experiment::new(Workload::trace(p.name).scale(scale))
-                .servers(8)
-                .protocol(Protocol::Cx)
-                .run();
-            assert!(r.is_consistent(), "{} diverged", p.name);
-            Row {
-                trace: p.name,
-                total_ops_paper: p.total_ops,
-                replayed_ops: r.stats.ops_total,
-                conflict_ratio_paper: p.paper_conflict_ratio,
-                conflict_ratio_measured: r.stats.conflict_ratio(),
-                conflicts: r.stats.server_stats.conflicts,
-            }
-        })
-        .collect();
+    let rows: Vec<Row> = cx_bench::par_map(&PROFILES, |p| {
+        let r = Experiment::new(Workload::trace(p.name).scale(scale))
+            .servers(8)
+            .protocol(Protocol::Cx)
+            .run();
+        assert!(r.is_consistent(), "{} diverged", p.name);
+        Row {
+            trace: p.name,
+            total_ops_paper: p.total_ops,
+            replayed_ops: r.stats.ops_total,
+            conflict_ratio_paper: p.paper_conflict_ratio,
+            conflict_ratio_measured: r.stats.conflict_ratio(),
+            conflicts: r.stats.server_stats.conflicts,
+        }
+    });
 
     print_table(
         &[

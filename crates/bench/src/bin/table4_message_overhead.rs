@@ -9,7 +9,6 @@
 
 use cx_bench::{print_table, write_json, Args};
 use cx_core::{Experiment, Protocol, Workload, PROFILES};
-use rayon::prelude::*;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -37,34 +36,31 @@ fn main() {
     let scale = args.scale(0.03);
     println!("Table IV — message overhead of OFS-Cx (8 servers, scale {scale})\n");
 
-    let rows: Vec<Row> = PROFILES
-        .par_iter()
-        .map(|p| {
-            let run = |protocol| {
-                let r = Experiment::new(Workload::trace(p.name).scale(scale))
-                    .servers(8)
-                    .protocol(protocol)
-                    .run();
-                assert!(r.is_consistent());
-                r.stats
-            };
-            let se = run(Protocol::Se);
-            let cx = run(Protocol::Cx);
-            Row {
-                trace: p.name,
-                ofs_msgs: se.total_msgs(),
-                cx_msgs: cx.total_msgs(),
-                overhead_pct: (cx.total_msgs() as f64 / se.total_msgs() as f64 - 1.0) * 100.0,
-                paper_overhead_pct: PAPER
-                    .iter()
-                    .find(|(n, _)| *n == p.name)
-                    .map(|(_, o)| *o)
-                    .unwrap_or(0.0),
-                cx_server_msgs: cx.server_msgs,
-                immediate_commitments: cx.server_stats.immediate_commitments,
-            }
-        })
-        .collect();
+    let rows: Vec<Row> = cx_bench::par_map(&PROFILES, |p| {
+        let run = |protocol| {
+            let r = Experiment::new(Workload::trace(p.name).scale(scale))
+                .servers(8)
+                .protocol(protocol)
+                .run();
+            assert!(r.is_consistent());
+            r.stats
+        };
+        let se = run(Protocol::Se);
+        let cx = run(Protocol::Cx);
+        Row {
+            trace: p.name,
+            ofs_msgs: se.total_msgs(),
+            cx_msgs: cx.total_msgs(),
+            overhead_pct: (cx.total_msgs() as f64 / se.total_msgs() as f64 - 1.0) * 100.0,
+            paper_overhead_pct: PAPER
+                .iter()
+                .find(|(n, _)| *n == p.name)
+                .map(|(_, o)| *o)
+                .unwrap_or(0.0),
+            cx_server_msgs: cx.server_msgs,
+            immediate_commitments: cx.server_stats.immediate_commitments,
+        }
+    });
 
     print_table(
         &[

@@ -13,7 +13,6 @@
 
 use cx_bench::{print_table, write_json, Args};
 use cx_core::RecoveryExperiment;
-use rayon::prelude::*;
 
 const PAPER: [(u64, f64); 6] = [
     (5, 3.0),
@@ -29,20 +28,20 @@ fn main() {
     let scale = args.scale(0.12);
     println!("Table V — recovery time vs valid-records' size (8 servers)\n");
 
-    let rows: Vec<_> = PAPER
-        .par_iter()
-        .filter_map(|&(kb, paper_secs)| {
-            let exp = RecoveryExperiment {
-                servers: 8,
-                trace_scale: scale,
-                detection_ms: 2_000,
-                reboot_ms: 800,
-                ..Default::default()
-            }
-            .with_target(kb << 10);
-            exp.run().map(|row| (row, paper_secs))
-        })
-        .collect();
+    let rows: Vec<_> = cx_bench::par_map(&PAPER, |&(kb, paper_secs)| {
+        let exp = RecoveryExperiment {
+            servers: 8,
+            trace_scale: scale,
+            detection_ms: 2_000,
+            reboot_ms: 800,
+            ..Default::default()
+        }
+        .with_target(kb << 10);
+        exp.run().map(|row| (row, paper_secs))
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
     print_table(
         &[

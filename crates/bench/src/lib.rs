@@ -24,6 +24,55 @@
 
 use serde::Serialize;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count for [`par_map`]: `CX_BENCH_THREADS` if set (CI uses this to
+/// cap parallelism), otherwise the machine's available parallelism.
+pub fn bench_threads() -> usize {
+    std::env::var("CX_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Order-preserving parallel map over a slice — the shared sweep helper for
+/// the experiment binaries. Work is handed out item-at-a-time so uneven
+/// sweep points (e.g. different cluster sizes) balance across workers.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = bench_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(&items[i]);
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
+}
 
 /// Parse `--scale <f64>`, `--full`, `--servers <n>` style flags.
 pub struct Args {
@@ -123,10 +172,22 @@ mod tests {
     }
 
     #[test]
+    fn par_map_preserves_order_and_covers_all_items() {
+        let items: Vec<u64> = (0..37).collect();
+        let out = par_map(&items, |&x| x * 3);
+        assert_eq!(out, (0..37).map(|x| x * 3).collect::<Vec<_>>());
+        assert!(par_map(&Vec::<u64>::new(), |&x| x).is_empty());
+    }
+
+    #[test]
     fn args_scale_logic() {
-        let a = Args { raw: vec!["--scale".into(), "0.25".into()] };
+        let a = Args {
+            raw: vec!["--scale".into(), "0.25".into()],
+        };
         assert_eq!(a.scale(0.1), 0.25);
-        let b = Args { raw: vec!["--full".into()] };
+        let b = Args {
+            raw: vec!["--full".into()],
+        };
         assert_eq!(b.scale(0.1), 1.0);
         let c = Args { raw: vec![] };
         assert_eq!(c.scale(0.1), 0.1);

@@ -16,7 +16,9 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.02);
 
-    println!("trace replays at 8 servers (paper bands: Cx >=38%, batched >=15%, Cx-over-batched >=16%)");
+    println!(
+        "trace replays at 8 servers (paper bands: Cx >=38%, batched >=15%, Cx-over-batched >=16%)"
+    );
     for name in ["CTH", "s3d", "home2"] {
         let trace = TraceBuilder::new(TraceProfile::by_name(name).expect("known"))
             .scale(scale)

@@ -22,7 +22,8 @@ use cx_protocol::{Action, ClientDecision, ClientOp, Endpoint, ServerEngine};
 use cx_sim::{FifoResource, Sim};
 use cx_simio::{Batch, Disk, DiskReq};
 use cx_types::{
-    ClusterConfig, FileKind, FsOp, OpId, Payload, Placement, ProcId, ServerId, SimTime, DUR_US,
+    ClusterConfig, FileKind, FsOp, MsgKind, OpId, Payload, Placement, ProcId, ServerId, SimTime,
+    DUR_US,
 };
 use cx_workloads::{SeedEntry, Trace};
 use std::collections::VecDeque;
@@ -53,16 +54,26 @@ enum Ev {
         /// before a crash are discarded.
         generation: u64,
     },
-    ServerTimer { server: u32, token: u64 },
+    ServerTimer {
+        server: u32,
+        token: u64,
+    },
     ProcDeliver {
         proc: u32,
         from: Endpoint,
         payload: Payload,
     },
-    ProcTimer { proc: u32, token: u64 },
-    ProcIssue { proc: u32 },
+    ProcTimer {
+        proc: u32,
+        token: u64,
+    },
+    ProcIssue {
+        proc: u32,
+    },
     /// A crashed server finished rebooting: start its recovery.
-    Reboot { server: u32 },
+    Reboot {
+        server: u32,
+    },
 }
 
 /// When and how to crash a server mid-run (the Table V experiment).
@@ -148,6 +159,15 @@ pub struct DesCluster {
     /// Hard event cap (hang protection).
     max_events: u64,
     crash: Option<CrashState>,
+    /// Per-kind message counters, indexed by `MsgKind as usize` — the
+    /// send path is per-event hot, so the ordered `stats.msgs` map is
+    /// only assembled once, in `finalize`.
+    msg_counts: [u64; MsgKind::COUNT],
+    /// Reusable action buffer: every dispatch takes it, fills it, drains
+    /// it through `do_actions`, and puts it back, so the per-event `Vec`
+    /// allocation disappears. Handlers never reenter `dispatch`, so one
+    /// buffer suffices.
+    scratch: Vec<Action>,
 }
 
 impl DesCluster {
@@ -221,6 +241,8 @@ impl DesCluster {
             next_sample: SimTime::ZERO,
             max_events,
             crash: None,
+            msg_counts: [0; MsgKind::COUNT],
+            scratch: Vec::with_capacity(16),
         }
     }
 
@@ -238,9 +260,10 @@ impl DesCluster {
     pub fn run_recovery_experiment(mut self) -> Option<RecoveryReport> {
         assert!(self.crash.is_some(), "arm a crash with with_crash first");
         for i in 0..self.servers.len() {
-            let mut out = Vec::new();
+            let mut out = std::mem::take(&mut self.scratch);
             self.servers[i].on_start(SimTime::ZERO, &mut out);
-            self.do_actions(Endpoint::Server(ServerId(i as u32)), out);
+            self.do_actions(Endpoint::Server(ServerId(i as u32)), &mut out);
+            self.scratch = out;
         }
         for p in 0..self.procs.len() {
             if !self.procs[p].done {
@@ -259,9 +282,10 @@ impl DesCluster {
     pub fn run(mut self) -> (RunStats, Vec<Violation>) {
         // Boot servers.
         for i in 0..self.servers.len() {
-            let mut out = Vec::new();
+            let mut out = std::mem::take(&mut self.scratch);
             self.servers[i].on_start(SimTime::ZERO, &mut out);
-            self.do_actions(Endpoint::Server(ServerId(i as u32)), out);
+            self.do_actions(Endpoint::Server(ServerId(i as u32)), &mut out);
+            self.scratch = out;
         }
         // Stagger process start slightly to avoid artificial lockstep.
         for p in 0..self.procs.len() {
@@ -279,10 +303,11 @@ impl DesCluster {
                 break;
             }
             for i in 0..self.servers.len() {
-                let mut out = Vec::new();
+                let mut out = std::mem::take(&mut self.scratch);
                 let now = self.sim.now();
                 self.servers[i].quiesce(now, &mut out);
-                self.do_actions(Endpoint::Server(ServerId(i as u32)), out);
+                self.do_actions(Endpoint::Server(ServerId(i as u32)), &mut out);
+                self.scratch = out;
             }
             self.event_loop();
             let _ = round;
@@ -358,9 +383,10 @@ impl DesCluster {
                 from,
                 payload,
             } => {
-                let mut out = Vec::new();
+                let mut out = std::mem::take(&mut self.scratch);
                 self.servers[server as usize].on_msg(now, from, payload, &mut out);
-                self.do_actions(Endpoint::Server(ServerId(server)), out);
+                self.do_actions(Endpoint::Server(ServerId(server)), &mut out);
+                self.scratch = out;
             }
             Ev::DiskDone {
                 server,
@@ -374,39 +400,43 @@ impl DesCluster {
                 if let Some(next) = self.disks[server as usize].complete(now) {
                     self.schedule_batch(server, next);
                 }
-                let mut out = Vec::new();
+                let mut out = std::mem::take(&mut self.scratch);
                 for token in tokens {
                     self.servers[server as usize].on_disk_done(now, token, &mut out);
                 }
-                self.do_actions(Endpoint::Server(ServerId(server)), out);
+                self.do_actions(Endpoint::Server(ServerId(server)), &mut out);
+                self.scratch = out;
             }
             Ev::ServerTimer { server, token } => {
-                let mut out = Vec::new();
+                let mut out = std::mem::take(&mut self.scratch);
                 self.servers[server as usize].on_timer(now, token, &mut out);
-                self.do_actions(Endpoint::Server(ServerId(server)), out);
+                self.do_actions(Endpoint::Server(ServerId(server)), &mut out);
+                self.scratch = out;
             }
             Ev::ProcDeliver {
                 proc,
                 from,
                 payload,
             } => {
-                let mut out = Vec::new();
+                let mut out = std::mem::take(&mut self.scratch);
                 let decision = match self.procs[proc as usize].current.as_mut() {
                     Some(op) => op.on_msg(now, from, payload, &mut out),
                     None => ClientDecision::Pending, // stale (op finished)
                 };
                 let id = self.procs[proc as usize].id;
-                self.do_actions(Endpoint::Proc(id), out);
+                self.do_actions(Endpoint::Proc(id), &mut out);
+                self.scratch = out;
                 self.note_decision(now, proc, decision);
             }
             Ev::ProcTimer { proc, token } => {
-                let mut out = Vec::new();
+                let mut out = std::mem::take(&mut self.scratch);
                 let decision = match self.procs[proc as usize].current.as_mut() {
                     Some(op) => op.on_timer(now, token, &mut out),
                     None => ClientDecision::Pending,
                 };
                 let id = self.procs[proc as usize].id;
-                self.do_actions(Endpoint::Proc(id), out);
+                self.do_actions(Endpoint::Proc(id), &mut out);
+                self.scratch = out;
                 self.note_decision(now, proc, decision);
             }
             Ev::ProcIssue { proc } => self.issue_next(now, proc),
@@ -418,9 +448,10 @@ impl DesCluster {
                 else {
                     return;
                 };
-                let mut out = Vec::new();
+                let mut out = std::mem::take(&mut self.scratch);
                 let scanned = self.servers[server as usize].recover(now, &mut out);
-                self.do_actions(Endpoint::Server(ServerId(server)), out);
+                self.do_actions(Endpoint::Server(ServerId(server)), &mut out);
+                self.scratch = out;
                 self.crash = Some(CrashState::Recovering {
                     crashed_at,
                     valid_bytes,
@@ -514,15 +545,16 @@ impl DesCluster {
         if p.current_cross {
             self.stats.cross_ops += 1;
         }
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.scratch);
         let client = ClientOp::start(self.cfg.protocol, op_id, plan, &self.cfg.cx, &mut out);
         p.current = Some(client);
         let id = p.id;
-        self.do_actions(Endpoint::Proc(id), out);
+        self.do_actions(Endpoint::Proc(id), &mut out);
+        self.scratch = out;
     }
 
-    fn do_actions(&mut self, from: Endpoint, actions: Vec<Action>) {
-        for action in actions {
+    fn do_actions(&mut self, from: Endpoint, actions: &mut Vec<Action>) {
+        for action in actions.drain(..) {
             match action {
                 Action::Send { to, payload } => self.send(from, to, payload),
                 Action::LogAppend { token, bytes } => {
@@ -541,14 +573,10 @@ impl DesCluster {
                     self.submit_disk(from, DiskReq::RandomRead { pages, token });
                 }
                 Action::SetTimer { token, delay_ns } => match from {
-                    Endpoint::Server(s) => self.sim.schedule(
-                        delay_ns,
-                        0,
-                        Ev::ServerTimer {
-                            server: s.0,
-                            token,
-                        },
-                    ),
+                    Endpoint::Server(s) => {
+                        self.sim
+                            .schedule(delay_ns, 0, Ev::ServerTimer { server: s.0, token })
+                    }
                     Endpoint::Proc(p) => self.sim.schedule(
                         delay_ns,
                         0,
@@ -563,7 +591,7 @@ impl DesCluster {
     }
 
     fn send(&mut self, from: Endpoint, to: Endpoint, payload: Payload) {
-        *self.stats.msgs.entry(payload.kind()).or_insert(0) += 1;
+        self.msg_counts[payload.kind() as usize] += 1;
         let server_to_server =
             matches!(from, Endpoint::Server(_)) && matches!(to, Endpoint::Server(_));
         if server_to_server {
@@ -572,8 +600,8 @@ impl DesCluster {
             self.stats.client_msgs += 1;
         }
         let bytes = payload.size_bytes() as u64;
-        let latency = self.cfg.net.one_way_ns
-            + (bytes * 1_000_000_000) / self.cfg.net.bandwidth_bps.max(1);
+        let latency =
+            self.cfg.net.one_way_ns + (bytes * 1_000_000_000) / self.cfg.net.bandwidth_bps.max(1);
         match to {
             Endpoint::Server(s) => self.sim.schedule(
                 latency,
@@ -619,6 +647,11 @@ impl DesCluster {
     }
 
     fn finalize(&mut self) {
+        for (kind, &n) in MsgKind::ALL.iter().zip(&self.msg_counts) {
+            if n > 0 {
+                self.stats.msgs.insert(*kind, n);
+            }
+        }
         for (i, s) in self.servers.iter().enumerate() {
             if !s.is_quiesced() {
                 self.stats
@@ -650,9 +683,7 @@ fn payload_cost(payload: &Payload, cfg: &ClusterConfig) -> u64 {
             cfg.cpu.per_subop_ns + colocated.map_or(0, |_| cfg.cpu.per_subop_ns)
         }
         Payload::OpReq { .. } | Payload::VoteExec { .. } => cfg.cpu.per_subop_ns,
-        Payload::Vote { ops, order_after } => {
-            (ops.len() + order_after.len()) as u64 * PER_ENTRY_NS
-        }
+        Payload::Vote { ops, order_after } => (ops.len() + order_after.len()) as u64 * PER_ENTRY_NS,
         Payload::VoteResult { results } => results.len() as u64 * PER_ENTRY_NS,
         Payload::CommitDecision { commits, aborts } => {
             (commits.len() + aborts.len()) as u64 * PER_ENTRY_NS
@@ -761,7 +792,10 @@ mod tests {
         let trace = tiny_trace();
         let (stats, _) = run_trace(ClusterConfig::new(4, Protocol::Cx), &trace);
         assert!(!stats.timeline.is_empty());
-        assert!(stats.peak_valid_bytes > 0, "Cx must accumulate valid records");
+        assert!(
+            stats.peak_valid_bytes > 0,
+            "Cx must accumulate valid records"
+        );
     }
 
     #[test]

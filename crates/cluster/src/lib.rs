@@ -16,6 +16,5 @@ pub mod stats;
 pub mod threaded;
 
 pub use des::{CrashPlan, DesCluster, RecoveryReport};
-pub use threaded::{ThreadedCluster, ThreadedRunResult};
 pub use stats::{LatencyStat, RunStats, TimelineSample};
-
+pub use threaded::{ThreadedCluster, ThreadedRunResult};

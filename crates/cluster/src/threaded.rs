@@ -10,15 +10,16 @@
 //! simulation: the engines cannot tell which runtime drives them.
 
 use crate::stats::RunStats;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use cx_mdstore::{GlobalView, MetaStore, Violation};
 use cx_protocol::{Action, ClientDecision, ClientOp, Endpoint, ServerEngine, ServerStats};
+use cx_sim::TimerQueue;
 use cx_types::{
     ClusterConfig, FileKind, OpId, OpOutcome, Payload, Placement, ProcId, ServerId, SimTime,
 };
 use cx_workloads::{SeedEntry, Trace};
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -64,23 +65,6 @@ struct TimerReq {
     fire_at: Instant,
     server: u32,
     token: u64,
-}
-
-impl PartialEq for TimerReq {
-    fn eq(&self, other: &Self) -> bool {
-        self.fire_at == other.fire_at
-    }
-}
-impl Eq for TimerReq {}
-impl Ord for TimerReq {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other.fire_at.cmp(&self.fire_at) // min-heap
-    }
-}
-impl PartialOrd for TimerReq {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// Result of a threaded run.
@@ -292,24 +276,29 @@ fn process_actions(me: u32, engine: &mut dyn ServerEngine, actions: Vec<Action>,
 }
 
 fn timer_loop(rx: Receiver<TimerReq>, servers: Arc<Vec<Sender<ServerMsg>>>) {
-    let mut heap: BinaryHeap<TimerReq> = BinaryHeap::new();
+    // The DES kernel's TimerQueue orders equal deadlines FIFO, so two
+    // timers armed for the same instant fire in arrival order — the ad-hoc
+    // BinaryHeap this replaces left that tie unspecified.
+    let epoch = Instant::now();
+    let mut queue: TimerQueue<(u32, u64)> = TimerQueue::new();
     loop {
-        let timeout = heap
-            .peek()
-            .map(|t| t.fire_at.saturating_duration_since(Instant::now()))
+        let timeout = queue
+            .peek_deadline()
+            .map(|d| (epoch + Duration::from_nanos(d.0)).saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_millis(50));
         match rx.recv_timeout(timeout) {
-            Ok(req) => heap.push(req),
+            Ok(req) => {
+                let at = SimTime(req.fire_at.saturating_duration_since(epoch).as_nanos() as u64);
+                queue.push(at, (req.server, req.token));
+            }
             Err(RecvTimeoutError::Timeout) => {}
             // every Router clone is gone: the run is over
             Err(RecvTimeoutError::Disconnected) => return,
         }
-        while let Some(t) = heap.peek() {
-            if t.fire_at > Instant::now() {
-                break;
-            }
-            let t = heap.pop().expect("peeked");
-            let _ = servers[t.server as usize].send(ServerMsg::Timer { token: t.token });
+        let now = SimTime(Instant::now().duration_since(epoch).as_nanos() as u64);
+        while queue.peek_deadline().is_some_and(|d| d <= now) {
+            let (_, (server, token)) = queue.pop().expect("peeked");
+            let _ = servers[server as usize].send(ServerMsg::Timer { token });
         }
     }
 }

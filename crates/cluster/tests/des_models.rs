@@ -70,9 +70,17 @@ fn message_accounting_is_consistent() {
         "every message is either client-facing or server-to-server"
     );
     // execution phase: one request and one response per sub-op assignment
-    let reqs = stats.msgs.get(&cx_types::MsgKind::SubOpReq).copied().unwrap();
-    let resps = stats.msgs.get(&cx_types::MsgKind::SubOpResp).copied().unwrap();
-    assert!(resps >= reqs - stats.server_stats.invalidations as u64);
+    let reqs = stats
+        .msgs
+        .get(&cx_types::MsgKind::SubOpReq)
+        .copied()
+        .unwrap();
+    let resps = stats
+        .msgs
+        .get(&cx_types::MsgKind::SubOpResp)
+        .copied()
+        .unwrap();
+    assert!(resps >= reqs - stats.server_stats.invalidations);
 }
 
 #[test]

@@ -42,8 +42,8 @@
 use serde::Serialize;
 
 pub use cx_cluster::{
-    des::run_trace, CrashPlan, DesCluster, LatencyStat, RecoveryReport, RunStats,
-    ThreadedCluster, TimelineSample,
+    des::run_trace, CrashPlan, DesCluster, LatencyStat, RecoveryReport, RunStats, ThreadedCluster,
+    TimelineSample,
 };
 pub use cx_mdstore::Violation;
 pub use cx_protocol::{ClientOp, CxServer, ServerEngine, ServerStats};
@@ -288,11 +288,10 @@ mod tests {
         let base = Experiment::new(Workload::trace("home2").scale(0.002))
             .servers(4)
             .run();
-        let injected = Experiment::new(
-            Workload::trace("home2").scale(0.002).inject_conflicts(0.05),
-        )
-        .servers(4)
-        .run();
+        let injected =
+            Experiment::new(Workload::trace("home2").scale(0.002).inject_conflicts(0.05))
+                .servers(4)
+                .run();
         assert!(injected.is_consistent());
         assert!(
             injected.stats.server_stats.conflicts > base.stats.server_stats.conflicts,

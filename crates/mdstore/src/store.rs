@@ -1,9 +1,9 @@
 //! In-memory metadata rows, sub-op execution, undo, and dirty tracking.
 
 use cx_simio::object_page;
-use cx_types::{CxError, CxResult, FileKind, InodeNo, Name, ObjectId, SubOp};
+use cx_types::{CxError, CxResult, FileKind, FxHashMap, InodeNo, Name, ObjectId, SubOp};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// An inode row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -70,15 +70,21 @@ pub struct StoreStats {
 
 /// One server's metadata rows.
 ///
-/// BTreeMaps keep iteration deterministic, which the DES determinism
-/// contract relies on.
+/// The row maps use the Fx hasher: lookups dominate the sub-op hot path,
+/// and nothing behavioral reads them in iteration order ([`GlobalView`]
+/// re-sorts into BTreeMaps when merging; the store prop tests sort their
+/// snapshots). The `dirty` set stays a `BTreeSet` on purpose — its
+/// iteration order becomes the write-back page list, which the disk model
+/// times, so it is load-bearing for determinism.
+///
+/// [`GlobalView`]: crate::GlobalView
 #[derive(Debug, Clone, Default)]
 pub struct MetaStore {
-    inodes: BTreeMap<InodeNo, Inode>,
-    dentries: BTreeMap<(InodeNo, Name), InodeNo>,
+    inodes: FxHashMap<InodeNo, Inode>,
+    dentries: FxHashMap<(InodeNo, Name), InodeNo>,
     /// Per-server directory partition attributes ("update parent inode" on
     /// the coordinator updates this server's partition row of the parent).
-    dir_partitions: BTreeMap<InodeNo, u64>,
+    dir_partitions: FxHashMap<InodeNo, u64>,
     dirty: BTreeSet<ObjectId>,
     stats: StoreStats,
 }

@@ -257,36 +257,54 @@ mod tests {
             }
         };
 
-        apply(&mut stores, FsOp::Create {
-            parent: root,
-            name: Name(1),
-            ino: InodeNo(10),
-        });
-        apply(&mut stores, FsOp::Mkdir {
-            parent: root,
-            name: Name(2),
-            ino: InodeNo(11),
-        });
-        apply(&mut stores, FsOp::Link {
-            parent: root,
-            name: Name(3),
-            target: InodeNo(10),
-        });
-        apply(&mut stores, FsOp::Unlink {
-            parent: root,
-            name: Name(3),
-            target: InodeNo(10),
-        });
-        apply(&mut stores, FsOp::Remove {
-            parent: root,
-            name: Name(1),
-            ino: InodeNo(10),
-        });
-        apply(&mut stores, FsOp::Rmdir {
-            parent: root,
-            name: Name(2),
-            ino: InodeNo(11),
-        });
+        apply(
+            &mut stores,
+            FsOp::Create {
+                parent: root,
+                name: Name(1),
+                ino: InodeNo(10),
+            },
+        );
+        apply(
+            &mut stores,
+            FsOp::Mkdir {
+                parent: root,
+                name: Name(2),
+                ino: InodeNo(11),
+            },
+        );
+        apply(
+            &mut stores,
+            FsOp::Link {
+                parent: root,
+                name: Name(3),
+                target: InodeNo(10),
+            },
+        );
+        apply(
+            &mut stores,
+            FsOp::Unlink {
+                parent: root,
+                name: Name(3),
+                target: InodeNo(10),
+            },
+        );
+        apply(
+            &mut stores,
+            FsOp::Remove {
+                parent: root,
+                name: Name(1),
+                ino: InodeNo(10),
+            },
+        );
+        apply(
+            &mut stores,
+            FsOp::Rmdir {
+                parent: root,
+                name: Name(2),
+                ino: InodeNo(11),
+            },
+        );
 
         let view = GlobalView::merge(stores.iter());
         assert_eq!(view.check(&[root]), vec![]);

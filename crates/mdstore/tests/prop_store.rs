@@ -14,7 +14,11 @@ fn subop_strategy() -> impl Strategy<Value = SubOp> {
                 parent: InodeNo(1),
                 name,
                 child,
-                kind: if dir { FileKind::Directory } else { FileKind::Regular },
+                kind: if dir {
+                    FileKind::Directory
+                } else {
+                    FileKind::Regular
+                },
             }
         }),
         (name.clone(), ino.clone()).prop_map(|(name, child)| SubOp::RemoveEntry {
@@ -24,7 +28,11 @@ fn subop_strategy() -> impl Strategy<Value = SubOp> {
         }),
         (ino.clone(), any::<bool>()).prop_map(|(i, dir)| SubOp::CreateInode {
             ino: i,
-            kind: if dir { FileKind::Directory } else { FileKind::Regular },
+            kind: if dir {
+                FileKind::Directory
+            } else {
+                FileKind::Regular
+            },
         }),
         ino.clone().prop_map(|i| SubOp::ReleaseInode { ino: i }),
         ino.clone().prop_map(|i| SubOp::IncNlink { ino: i }),
@@ -38,12 +46,15 @@ fn subop_strategy() -> impl Strategy<Value = SubOp> {
     ]
 }
 
-fn snapshot(store: &MetaStore) -> (Vec<(InodeNo, FileKind, u32)>, Vec<((InodeNo, Name), InodeNo)>) {
-    let inodes = store
-        .inodes()
-        .map(|(i, n)| (*i, n.kind, n.nlink))
-        .collect();
-    let dentries = store.dentries().map(|(k, v)| (*k, *v)).collect();
+type InodeRows = Vec<(InodeNo, FileKind, u32)>;
+type DentryRows = Vec<((InodeNo, Name), InodeNo)>;
+
+fn snapshot(store: &MetaStore) -> (InodeRows, DentryRows) {
+    // Sort: the store's hash maps iterate in table order, not key order.
+    let mut inodes: Vec<_> = store.inodes().map(|(i, n)| (*i, n.kind, n.nlink)).collect();
+    inodes.sort_by_key(|(i, _, _)| i.0);
+    let mut dentries: Vec<_> = store.dentries().map(|(k, v)| (*k, *v)).collect();
+    dentries.sort_by_key(|((p, n), _)| (p.0, n.0));
     (inodes, dentries)
 }
 

@@ -19,6 +19,7 @@ use crate::stats::ServerStats;
 use crate::trigger::{TriggerState, TriggerVerdict};
 use cx_mdstore::{MetaStore, Undo};
 use cx_sim::det_rng;
+use cx_types::FxHashMap;
 use cx_types::{
     ClusterConfig, Hint, ObjectId, OpId, OpOutcome, OpPlan, Payload, Role, ServerId, SimTime,
     SubOp, Verdict,
@@ -26,7 +27,7 @@ use cx_types::{
 use cx_wal::{Record, Wal};
 use rand::rngs::SmallRng;
 use rand::Rng;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 struct Migration {
     plan: OpPlan,
@@ -37,19 +38,27 @@ struct Migration {
 
 enum Io {
     /// Journal write done → migrate the objects back.
-    JournalDurable { op_id: OpId },
+    JournalDurable {
+        op_id: OpId,
+    },
     /// Participant re-installation journaled → MIGRATE-BACK-ACK.
     ReinstallDurable {
         op_id: OpId,
         coordinator: ServerId,
         verdict: Verdict,
     },
-    LocalDurable { op_id: OpId, verdict: Verdict },
+    LocalDurable {
+        op_id: OpId,
+        verdict: Verdict,
+    },
     WritebackDone,
 }
 
 enum Waiting {
-    OpReq { op_id: OpId, plan: OpPlan },
+    OpReq {
+        op_id: OpId,
+        plan: OpPlan,
+    },
     Migrate {
         op_id: OpId,
         objs: Vec<ObjectId>,
@@ -64,11 +73,11 @@ pub struct CeServer {
     wal: Wal,
     fail_prob: f64,
     rng: SmallRng,
-    migrations: HashMap<OpId, Migration>,
-    active: HashMap<ObjectId, OpId>,
-    blocked: HashMap<OpId, VecDeque<Waiting>>,
+    migrations: FxHashMap<OpId, Migration>,
+    active: FxHashMap<ObjectId, OpId>,
+    blocked: FxHashMap<OpId, VecDeque<Waiting>>,
     trigger: TriggerState,
-    io: HashMap<u64, Io>,
+    io: FxHashMap<u64, Io>,
     next_token: u64,
     stats: ServerStats,
 }
@@ -81,11 +90,11 @@ impl CeServer {
             wal: Wal::new(None),
             fail_prob: cfg.failure.subop_fail_prob,
             rng: det_rng(cfg.seed, 0xce00_0000 ^ id.0 as u64),
-            migrations: HashMap::new(),
-            active: HashMap::new(),
-            blocked: HashMap::new(),
+            migrations: FxHashMap::default(),
+            active: FxHashMap::default(),
+            blocked: FxHashMap::default(),
             trigger: TriggerState::new(cfg.cx.trigger),
-            io: HashMap::new(),
+            io: FxHashMap::default(),
             next_token: 0,
             stats: ServerStats::default(),
         }
@@ -171,11 +180,14 @@ impl CeServer {
         if let Some(holder) = self.lock_conflict(&objs, op_id) {
             self.stats.conflicts += 1;
             self.stats.blocked_requests += 1;
-            self.blocked.entry(holder).or_default().push_back(Waiting::Migrate {
-                op_id,
-                objs,
-                coordinator,
-            });
+            self.blocked
+                .entry(holder)
+                .or_default()
+                .push_back(Waiting::Migrate {
+                    op_id,
+                    objs,
+                    coordinator,
+                });
             return;
         }
         // Objects leave this server until MIGRATE-BACK.

@@ -21,7 +21,6 @@ use cx_types::{
     CxConfig, Hint, OpId, OpOutcome, OpPlan, Payload, Protocol, Role, ServerId, SimTime, SubOp,
     Verdict,
 };
-use std::collections::HashMap;
 
 /// Progress report after feeding an event to a [`ClientOp`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,11 +29,59 @@ pub enum ClientDecision {
     Done(OpOutcome),
 }
 
+/// The (verdict, hint) responses collected so far, keyed by server.
+///
+/// An operation touches at most two servers, so two inline slots replace
+/// the per-op `HashMap` the state machine used to allocate. A repeated
+/// server supersedes its earlier entry (invalidated executions, §III-C).
+#[derive(Debug, Default)]
+struct Responses {
+    slots: [Option<(ServerId, Verdict, Hint)>; 2],
+}
+
+/// One server's answer as handed back by [`Responses::pair`].
+type VerdictHint<'a> = (Verdict, &'a Hint);
+
+impl Responses {
+    fn insert(&mut self, server: ServerId, verdict: Verdict, hint: Hint) {
+        for slot in &mut self.slots {
+            match slot {
+                Some((s, v, h)) if *s == server => {
+                    *v = verdict;
+                    *h = hint;
+                    return;
+                }
+                None => {
+                    *slot = Some((server, verdict, hint));
+                    return;
+                }
+                Some(_) => {}
+            }
+        }
+        debug_assert!(false, "an operation involves at most two servers");
+    }
+
+    fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    fn first(&self) -> Option<Verdict> {
+        self.slots[0].as_ref().map(|(_, v, _)| *v)
+    }
+
+    fn pair(&self) -> Option<(VerdictHint<'_>, VerdictHint<'_>)> {
+        match (&self.slots[0], &self.slots[1]) {
+            (Some((_, v1, h1)), Some((_, v2, h2))) => Some(((*v1, h1), (*v2, h2))),
+            _ => None,
+        }
+    }
+}
+
 #[derive(Debug)]
 enum State {
     /// Cx: waiting for (verdict, hint) pairs from the affected servers.
     CxWait {
-        responses: HashMap<ServerId, (Verdict, Hint)>,
+        responses: Responses,
         expected: usize,
         lcom_sent: bool,
         timer_armed: bool,
@@ -84,7 +131,13 @@ impl ClientOp {
         op
     }
 
-    fn subop_req(&self, subop: SubOp, role: Role, peer: Option<ServerId>, colocated: Option<SubOp>) -> Payload {
+    fn subop_req(
+        &self,
+        subop: SubOp,
+        role: Role,
+        peer: Option<ServerId>,
+        colocated: Option<SubOp>,
+    ) -> Payload {
         Payload::SubOpReq {
             op_id: self.op_id,
             subop,
@@ -117,7 +170,7 @@ impl ClientOp {
                     ),
                 });
                 State::CxWait {
-                    responses: HashMap::new(),
+                    responses: Responses::default(),
                     expected: 2,
                     lcom_sent: false,
                     timer_armed: false,
@@ -134,7 +187,7 @@ impl ClientOp {
                     ),
                 });
                 State::CxWait {
-                    responses: HashMap::new(),
+                    responses: Responses::default(),
                     expected: 1,
                     lcom_sent: false,
                     timer_armed: false,
@@ -249,20 +302,18 @@ impl ClientOp {
                 // Later responses supersede invalidated executions
                 // (§III-C: the process "must be able to distinguish the
                 // response of the invalidated execution").
-                responses.insert(server, (verdict, hint));
+                responses.insert(server, verdict, hint);
                 if responses.len() == expected {
                     if expected == 1 {
-                        let (v, _) = responses.values().next().expect("one response");
-                        return (State::Done, ClientDecision::Done(outcome_of(*v)));
+                        let v = responses.first().expect("one response");
+                        return (State::Done, ClientDecision::Done(outcome_of(v)));
                     }
-                    let mut vals = responses.values();
-                    let (v1, h1) = vals.next().expect("two responses");
-                    let (v2, h2) = vals.next().expect("two responses");
+                    let ((v1, h1), (v2, h2)) = responses.pair().expect("two responses");
                     if h1 == h2 {
                         if v1 == v2 {
                             // Agreement: complete now; the commitment is
                             // the servers' lazy business (§III-B step 2a).
-                            let outcome = outcome_of(*v1);
+                            let outcome = outcome_of(v1);
                             return (State::Done, ClientDecision::Done(outcome));
                         }
                         // Disagreement: immediate commitment (step 2b).
@@ -350,7 +401,6 @@ impl ClientOp {
         }
     }
 
-
     /// A timer armed by this operation fired.
     pub fn on_timer(&mut self, _now: SimTime, token: u64, out: &mut Vec<Action>) -> ClientDecision {
         if token != self.op_id.seq {
@@ -363,13 +413,8 @@ impl ClientOp {
             ..
         } = &mut self.state
         {
-            let mismatched = responses.len() == *expected && {
-                let mut vals = responses.values();
-                match (vals.next(), vals.next()) {
-                    (Some((_, h1)), Some((_, h2))) => h1 != h2,
-                    _ => false,
-                }
-            };
+            let mismatched = responses.len() == *expected
+                && matches!(responses.pair(), Some(((_, h1), (_, h2))) if h1 != h2);
             if mismatched && !*lcom_sent {
                 *lcom_sent = true;
                 out.push(Action::Send {

@@ -2,7 +2,10 @@
 //! decisions, acknowledgements, and the L-COM/ALL-NO client exchange
 //! (§III-B steps 3–7, §III-C).
 
-use super::{BatchPhase, CommitBatch, CxServer, IoCont, PendingOp, QueuedReq, ORPHAN_TIMER_BIT, VOTE_TIMER_BIT};
+use super::{
+    BatchPhase, CommitBatch, CxServer, IoCont, PendingOp, QueuedReq, ORPHAN_TIMER_BIT,
+    VOTE_TIMER_BIT,
+};
 use crate::action::{Action, Endpoint};
 use crate::trigger::TriggerVerdict;
 use cx_types::{Hint, OpId, Payload, Role, ServerId, SimTime, Verdict};
@@ -22,8 +25,7 @@ impl CxServer {
                     return;
                 };
                 p.durable = true;
-                let (verdict, hint, role, proc) =
-                    (p.verdict, p.hint.clone(), p.role, p.proc);
+                let (verdict, hint, role, proc) = (p.verdict, p.hint.clone(), p.role, p.proc);
                 self.send(
                     Endpoint::Proc(proc),
                     Payload::SubOpResp {
@@ -66,8 +68,7 @@ impl CxServer {
                     return;
                 };
                 b.phase = BatchPhase::AwaitingAck;
-                let (to, commits, aborts) =
-                    (b.participant, b.commits.clone(), b.aborts.clone());
+                let (to, commits, aborts) = (b.participant, b.commits.clone(), b.aborts.clone());
                 self.send(
                     Endpoint::Server(to),
                     Payload::CommitDecision { commits, aborts },
@@ -97,7 +98,11 @@ impl CxServer {
                     self.pending.remove(&op);
                     self.note_recovery_progress(now, op, out);
                 }
-                self.send(Endpoint::Server(coordinator), Payload::Ack { ops: acked }, out);
+                self.send(
+                    Endpoint::Server(coordinator),
+                    Payload::Ack { ops: acked },
+                    out,
+                );
                 self.flush_dirty_of(objs, out);
             }
             IoCont::CompleteDurable { batch, seq } => {
@@ -175,11 +180,7 @@ impl CxServer {
     /// Write back only the given objects (immediate commitments touch a
     /// handful of operations; flushing the whole dirty set would turn
     /// every conflict into a full cache flush).
-    pub(crate) fn flush_dirty_of(
-        &mut self,
-        objs: Vec<cx_types::ObjectId>,
-        out: &mut Vec<Action>,
-    ) {
+    pub(crate) fn flush_dirty_of(&mut self, objs: Vec<cx_types::ObjectId>, out: &mut Vec<Action>) {
         let pages = self.store.take_dirty_pages_of(objs);
         if pages.is_empty() {
             return;
@@ -518,7 +519,11 @@ impl CxServer {
                 p.in_commitment = true;
             }
         }
-        self.send(Endpoint::Server(coord), Payload::VoteResult { results }, out);
+        self.send(
+            Endpoint::Server(coord),
+            Payload::VoteResult { results },
+            out,
+        );
     }
 
     // ------------------------------------------------------------------
@@ -799,9 +804,7 @@ impl CxServer {
             }
             return;
         }
-        if self.batches.values().any(|b| b.ops.contains(&op))
-            || self.wal.op_state(&op).is_some()
-        {
+        if self.batches.values().any(|b| b.ops.contains(&op)) || self.wal.op_state(&op).is_some() {
             return; // already resolving / already decided
         }
         self.stats.immediate_commitments += 1;
@@ -865,8 +868,7 @@ impl CxServer {
                 );
             }
             BatchPhase::AwaitingAck => {
-                let (to, commits, aborts) =
-                    (b.participant, b.commits.clone(), b.aborts.clone());
+                let (to, commits, aborts) = (b.participant, b.commits.clone(), b.aborts.clone());
                 self.send(
                     Endpoint::Server(to),
                     Payload::CommitDecision { commits, aborts },

@@ -27,7 +27,8 @@ impl CxServer {
         let check = |subop: &SubOp| -> Option<OpId> {
             for obj in subop.conflict_objects().iter() {
                 if let Some(&holder) = self.active.get(&obj) {
-                    if holder != req.op_id && self.pending.get(&holder).map(|p| p.proc) != Some(req.op_id.proc)
+                    if holder != req.op_id
+                        && self.pending.get(&holder).map(|p| p.proc) != Some(req.op_id.proc)
                     {
                         return Some(holder);
                     }
@@ -221,9 +222,7 @@ impl CxServer {
             verdict,
             invalidated: false,
         };
-        let (seq, bytes) = self
-            .append_records(vec![rec])
-            .expect("room checked above");
+        let (seq, bytes) = self.append_records(vec![rec]).expect("room checked above");
         // Response waits for durability; the hint rides along in pending.
         self.flush_records(
             seq,

@@ -24,13 +24,14 @@ use crate::stats::ServerStats;
 use crate::trigger::TriggerState;
 use cx_mdstore::{MetaStore, Undo};
 use cx_sim::det_rng;
+use cx_types::FxHashMap;
 use cx_types::{
     ClusterConfig, CxConfig, Hint, ObjectId, OpId, Payload, ProcId, Role, ServerId, SimTime, SubOp,
     Verdict,
 };
 use cx_wal::{Outcome, Record, SeqNo, Wal};
 use rand::rngs::SmallRng;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// One executed-but-uncommitted operation on this server.
 #[derive(Debug, Clone)]
@@ -141,13 +142,13 @@ pub struct CxServer {
     pub(crate) rng: SmallRng,
 
     /// Executed, uncommitted operations.
-    pub(crate) pending: HashMap<OpId, PendingOp>,
+    pub(crate) pending: FxHashMap<OpId, PendingOp>,
     /// Active objects: modified by a pending operation, conflict-checked
     /// on every access (§III-B). Maps to the *latest* pending op touching
     /// the object; re-dispatch re-checks, so chains resolve correctly.
-    pub(crate) active: HashMap<ObjectId, OpId>,
+    pub(crate) active: FxHashMap<ObjectId, OpId>,
     /// Requests blocked behind a pending operation's commitment.
-    pub(crate) blocked: HashMap<OpId, Vec<QueuedReq>>,
+    pub(crate) blocked: FxHashMap<OpId, Vec<QueuedReq>>,
     /// Requests blocked on log space (Figure 7a).
     pub(crate) log_wait: VecDeque<QueuedReq>,
     /// Coordinator-role ops awaiting a lazy commitment batch.
@@ -155,16 +156,16 @@ pub struct CxServer {
     /// Local mutations awaiting batched write-back and pruning.
     pub(crate) lazy_local: Vec<OpId>,
     /// In-flight commitment batches this server coordinates.
-    pub(crate) batches: HashMap<u64, CommitBatch>,
+    pub(crate) batches: FxHashMap<u64, CommitBatch>,
     pub(crate) next_batch: u64,
     /// Participant-side votes that could not be answered yet
     /// (op → requesting coordinator).
     pub(crate) deferred_votes: BTreeMap<OpId, ServerId>,
     /// Last finished operation outcome per process, for L-COM requests
     /// that race with a completing lazy commitment.
-    pub(crate) recent_outcomes: HashMap<ProcId, (OpId, Outcome)>,
+    pub(crate) recent_outcomes: FxHashMap<ProcId, (OpId, Outcome)>,
     pub(crate) trigger: TriggerState,
-    pub(crate) io: HashMap<u64, IoCont>,
+    pub(crate) io: FxHashMap<u64, IoCont>,
     pub(crate) next_token: u64,
     pub(crate) stats: ServerStats,
     /// Crashed servers drop everything until `recover` runs.
@@ -176,11 +177,11 @@ pub struct CxServer {
     /// Half-completed operations still to resolve before recovery ends.
     pub(crate) recovery_remaining: std::collections::BTreeSet<OpId>,
     /// Pending presumed-abort grace timers (token → (participant, op)).
-    pub(crate) orphan_timers: HashMap<u64, (ServerId, OpId)>,
+    pub(crate) orphan_timers: FxHashMap<u64, (ServerId, OpId)>,
     /// Deferred-vote grace timers (token → (coordinator, op)): a VOTE
     /// arrived for an operation whose sub-op request has not reached this
     /// server yet.
-    pub(crate) vote_timers: HashMap<u64, (ServerId, OpId)>,
+    pub(crate) vote_timers: FxHashMap<u64, (ServerId, OpId)>,
     /// Cold-cache reads of affected rows still in flight during recovery.
     pub(crate) recovery_reads_pending: bool,
 }
@@ -202,26 +203,26 @@ impl CxServer {
             cfg: cfg.cx,
             fail_prob: cfg.failure.subop_fail_prob,
             rng: det_rng(cfg.seed, 0x5e57_0000 ^ id.0 as u64),
-            pending: HashMap::new(),
-            active: HashMap::new(),
-            blocked: HashMap::new(),
+            pending: FxHashMap::default(),
+            active: FxHashMap::default(),
+            blocked: FxHashMap::default(),
             log_wait: VecDeque::new(),
             lazy_queue: Vec::new(),
             lazy_local: Vec::new(),
-            batches: HashMap::new(),
+            batches: FxHashMap::default(),
             next_batch: 0,
             deferred_votes: BTreeMap::new(),
-            recent_outcomes: HashMap::new(),
+            recent_outcomes: FxHashMap::default(),
             trigger: TriggerState::new(cfg.cx.trigger),
-            io: HashMap::new(),
+            io: FxHashMap::default(),
             next_token: 0,
             stats: ServerStats::default(),
             crashed: false,
             recovering: false,
             recovery_wait: VecDeque::new(),
             recovery_remaining: std::collections::BTreeSet::new(),
-            orphan_timers: HashMap::new(),
-            vote_timers: HashMap::new(),
+            orphan_timers: FxHashMap::default(),
+            vote_timers: FxHashMap::default(),
             recovery_reads_pending: false,
         }
     }
@@ -238,7 +239,10 @@ impl CxServer {
     }
 
     /// Append records as one logical disk write; returns (max seq, bytes).
-    pub(crate) fn append_records(&mut self, recs: Vec<Record>) -> Result<(SeqNo, u64), cx_types::CxError> {
+    pub(crate) fn append_records(
+        &mut self,
+        recs: Vec<Record>,
+    ) -> Result<(SeqNo, u64), cx_types::CxError> {
         let mut max_seq = SeqNo(0);
         let mut total = 0;
         for rec in recs {
@@ -253,7 +257,13 @@ impl CxServer {
     /// append to the log-structured file or, with the `log_in_database`
     /// ablation, a synchronous write of log-table rows into the database
     /// (the alternative §IV-A rejects).
-    pub(crate) fn flush_records(&mut self, seq: SeqNo, bytes: u64, cont: IoCont, out: &mut Vec<Action>) {
+    pub(crate) fn flush_records(
+        &mut self,
+        seq: SeqNo,
+        bytes: u64,
+        cont: IoCont,
+        out: &mut Vec<Action>,
+    ) {
         let _ = seq;
         let token = self.token();
         self.io.insert(token, cont);
@@ -267,12 +277,7 @@ impl CxServer {
         }
     }
 
-    pub(crate) fn send(
-        &mut self,
-        to: Endpoint,
-        payload: Payload,
-        out: &mut Vec<Action>,
-    ) {
+    pub(crate) fn send(&mut self, to: Endpoint, payload: Payload, out: &mut Vec<Action>) {
         out.push(Action::Send { to, payload });
     }
 }
@@ -284,7 +289,16 @@ impl ServerEngine for CxServer {
         if self.crashed {
             return; // messages to a dead server are lost
         }
-        if self.recovering && !matches!(payload, Payload::QueryOutcome { .. } | Payload::VoteResult { .. } | Payload::Ack { .. } | Payload::CommitDecision { .. } | Payload::Vote { .. }) {
+        if self.recovering
+            && !matches!(
+                payload,
+                Payload::QueryOutcome { .. }
+                    | Payload::VoteResult { .. }
+                    | Payload::Ack { .. }
+                    | Payload::CommitDecision { .. }
+                    | Payload::Vote { .. }
+            )
+        {
             // §III-D: during recovery the file system stops accepting new
             // requests; commitment traffic still flows.
             self.recovery_wait.push_back((from, payload));

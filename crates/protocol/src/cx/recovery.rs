@@ -217,12 +217,7 @@ impl CxServer {
     }
 
     /// One half-completed operation was resolved.
-    pub(crate) fn note_recovery_progress(
-        &mut self,
-        now: SimTime,
-        op: OpId,
-        out: &mut Vec<Action>,
-    ) {
+    pub(crate) fn note_recovery_progress(&mut self, now: SimTime, op: OpId, out: &mut Vec<Action>) {
         if self.recovery_remaining.remove(&op) {
             self.maybe_finish_recovery(now, out);
         }
@@ -274,7 +269,8 @@ pub(crate) fn revert_subop(store: &mut MetaStore, subop: &SubOp) {
             parent,
             name,
             child,
-        .. } => {
+            ..
+        } => {
             if store.lookup(parent, name) == Some(child) {
                 let _ = store.apply(&SubOp::RemoveEntry {
                     parent,

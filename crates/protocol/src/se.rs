@@ -24,13 +24,11 @@ use crate::trigger::{TriggerState, TriggerVerdict};
 use cx_mdstore::{MetaStore, Undo};
 use cx_sim::det_rng;
 use cx_simio::object_page;
-use cx_types::{
-    ClusterConfig, Hint, OpId, Payload, ProcId, Role, SimTime, SubOp, Verdict,
-};
+use cx_types::FxHashMap;
+use cx_types::{ClusterConfig, Hint, OpId, Payload, ProcId, Role, SimTime, SubOp, Verdict};
 use cx_wal::{Record, SeqNo, Wal};
 use rand::rngs::SmallRng;
 use rand::Rng;
-use std::collections::HashMap;
 
 enum SeIo {
     /// Sync DB write (or batched log flush) done: answer the client.
@@ -41,7 +39,10 @@ enum SeIo {
         seq: Option<SeqNo>,
     },
     /// CLEAR rollback persisted: acknowledge it.
-    ClearDone { op_id: OpId, proc: ProcId },
+    ClearDone {
+        op_id: OpId,
+        proc: ProcId,
+    },
     WritebackDone,
 }
 
@@ -55,11 +56,11 @@ pub struct SeServer {
     fail_prob: f64,
     rng: SmallRng,
     trigger: TriggerState,
-    io: HashMap<u64, SeIo>,
+    io: FxHashMap<u64, SeIo>,
     next_token: u64,
     /// Undo state for the most recent operation of each process (the only
     /// one a CLEAR can target, since processes issue ops sequentially).
-    last_undo: HashMap<ProcId, (OpId, Vec<Undo>)>,
+    last_undo: FxHashMap<ProcId, (OpId, Vec<Undo>)>,
     stats: ServerStats,
 }
 
@@ -73,9 +74,9 @@ impl SeServer {
             fail_prob: cfg.failure.subop_fail_prob,
             rng: det_rng(cfg.seed, 0x5e00_0000 ^ id.0 as u64),
             trigger: TriggerState::new(cfg.cx.trigger),
-            io: HashMap::new(),
+            io: FxHashMap::default(),
             next_token: 0,
-            last_undo: HashMap::new(),
+            last_undo: FxHashMap::default(),
             stats: ServerStats::default(),
         }
     }
@@ -93,7 +94,14 @@ impl SeServer {
         self.store.apply(subop)
     }
 
-    fn on_subop(&mut self, now: SimTime, req_op: OpId, subop: SubOp, colocated: Option<SubOp>, out: &mut Vec<Action>) {
+    fn on_subop(
+        &mut self,
+        now: SimTime,
+        req_op: OpId,
+        subop: SubOp,
+        colocated: Option<SubOp>,
+        out: &mut Vec<Action>,
+    ) {
         // Reads are served from the cache immediately.
         if !subop.is_write() && colocated.is_none() {
             let verdict = Verdict::from_ok(self.store.apply(&subop).is_ok());

@@ -18,6 +18,7 @@ use crate::stats::ServerStats;
 use crate::trigger::{TriggerState, TriggerVerdict};
 use cx_mdstore::{MetaStore, Undo};
 use cx_sim::det_rng;
+use cx_types::FxHashMap;
 use cx_types::{
     ClusterConfig, Hint, ObjectId, OpId, OpOutcome, OpPlan, Payload, Role, ServerId, SimTime,
     SubOp, Verdict,
@@ -25,7 +26,7 @@ use cx_types::{
 use cx_wal::{Record, SeqNo, Wal};
 use rand::rngs::SmallRng;
 use rand::Rng;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Coordinator-side transaction state.
 struct Txn {
@@ -47,17 +48,33 @@ struct ParticipantExec {
 
 enum Io {
     /// Begin record durable → send VOTE to the participant.
-    BeginDurable { op_id: OpId },
+    BeginDurable {
+        op_id: OpId,
+    },
     /// Participant result durable → send the vote.
-    ExecDurable { op_id: OpId },
+    ExecDurable {
+        op_id: OpId,
+    },
     /// Decision durable → send COMMIT/ABORT to participant.
-    DecisionDurable { op_id: OpId, commit: bool },
+    DecisionDurable {
+        op_id: OpId,
+        commit: bool,
+    },
     /// Participant outcome durable → ACK.
-    OutcomeDurable { op_id: OpId, coordinator: ServerId },
+    OutcomeDurable {
+        op_id: OpId,
+        coordinator: ServerId,
+    },
     /// Complete durable → respond to the client.
-    CompleteDurable { op_id: OpId, outcome: OpOutcome },
+    CompleteDurable {
+        op_id: OpId,
+        outcome: OpOutcome,
+    },
     /// Local (single-server) mutation durable → respond.
-    LocalDurable { op_id: OpId, verdict: Verdict },
+    LocalDurable {
+        op_id: OpId,
+        verdict: Verdict,
+    },
     WritebackDone,
 }
 
@@ -79,13 +96,13 @@ pub struct TwoPcServer {
     wal: Wal,
     fail_prob: f64,
     rng: SmallRng,
-    txns: HashMap<OpId, Txn>,
-    execs: HashMap<OpId, ParticipantExec>,
+    txns: FxHashMap<OpId, Txn>,
+    execs: FxHashMap<OpId, ParticipantExec>,
     /// Locked objects → holding transaction.
-    active: HashMap<ObjectId, OpId>,
-    blocked: HashMap<OpId, VecDeque<Waiting>>,
+    active: FxHashMap<ObjectId, OpId>,
+    blocked: FxHashMap<OpId, VecDeque<Waiting>>,
     trigger: TriggerState,
-    io: HashMap<u64, Io>,
+    io: FxHashMap<u64, Io>,
     next_token: u64,
     stats: ServerStats,
 }
@@ -98,12 +115,12 @@ impl TwoPcServer {
             wal: Wal::new(None), // 2PC logs are pruned per transaction
             fail_prob: cfg.failure.subop_fail_prob,
             rng: det_rng(cfg.seed, 0x2bc0_0000 ^ id.0 as u64),
-            txns: HashMap::new(),
-            execs: HashMap::new(),
-            active: HashMap::new(),
-            blocked: HashMap::new(),
+            txns: FxHashMap::default(),
+            execs: FxHashMap::default(),
+            active: FxHashMap::default(),
+            blocked: FxHashMap::default(),
             trigger: TriggerState::new(cfg.cx.trigger),
-            io: HashMap::new(),
+            io: FxHashMap::default(),
             next_token: 0,
             stats: ServerStats::default(),
         }
@@ -220,11 +237,14 @@ impl TwoPcServer {
         if let Some(holder) = self.lock_conflict(&objs, op_id) {
             self.stats.conflicts += 1;
             self.stats.blocked_requests += 1;
-            self.blocked.entry(holder).or_default().push_back(Waiting::VoteExec {
-                op_id,
-                subop,
-                coordinator,
-            });
+            self.blocked
+                .entry(holder)
+                .or_default()
+                .push_back(Waiting::VoteExec {
+                    op_id,
+                    subop,
+                    coordinator,
+                });
             return;
         }
         for o in objs {
@@ -263,7 +283,9 @@ impl TwoPcServer {
         if let Some(waiters) = self.blocked.remove(&op_id) {
             for w in waiters {
                 match w {
-                    Waiting::OpReq { op_id, plan } => self.on_op_req(SimTime::ZERO, op_id, plan, out),
+                    Waiting::OpReq { op_id, plan } => {
+                        self.on_op_req(SimTime::ZERO, op_id, plan, out)
+                    }
                     Waiting::VoteExec {
                         op_id,
                         subop,
@@ -302,7 +324,14 @@ impl TwoPcServer {
     }
 
     /// Single-server requests (reads, colocated mutations) bypass 2PC.
-    fn on_local(&mut self, now: SimTime, op_id: OpId, subop: SubOp, colocated: Option<SubOp>, out: &mut Vec<Action>) {
+    fn on_local(
+        &mut self,
+        now: SimTime,
+        op_id: OpId,
+        subop: SubOp,
+        colocated: Option<SubOp>,
+        out: &mut Vec<Action>,
+    ) {
         if !subop.is_write() && colocated.is_none() {
             let verdict = Verdict::from_ok(self.store.apply(&subop).is_ok());
             self.stats.reads_served += 1;

@@ -7,9 +7,7 @@ mod common;
 use common::*;
 use cx_protocol::testkit::{Envelope, Kit};
 use cx_protocol::Endpoint;
-use cx_types::{
-    FsOp, InodeNo, MsgKind, Name, OpOutcome, Payload, ProcId, Protocol,
-};
+use cx_types::{FsOp, InodeNo, MsgKind, Name, OpOutcome, Payload, ProcId, Protocol};
 
 fn proc(n: u32) -> ProcId {
     ProcId::new(n, 0)
@@ -25,7 +23,14 @@ fn run_standard_workload(protocol: Protocol) -> Kit {
     // so no conflicts arise and every protocol agrees).
     let dir = InodeNo(2);
     assert_eq!(
-        kit.run_op(proc(0), FsOp::Mkdir { parent: ROOT, name: Name(1), ino: dir }),
+        kit.run_op(
+            proc(0),
+            FsOp::Mkdir {
+                parent: ROOT,
+                name: Name(1),
+                ino: dir
+            }
+        ),
         kit.clients[&proc(0)].op_id
     );
     let mut files = Vec::new();
@@ -34,23 +39,57 @@ fn run_standard_workload(protocol: Protocol) -> Kit {
         if files.iter().any(|(n, _)| *n == name) {
             continue;
         }
-        kit.run_op(proc((k % 3) as u32), FsOp::Create { parent: ROOT, name, ino });
+        kit.run_op(
+            proc((k % 3) as u32),
+            FsOp::Create {
+                parent: ROOT,
+                name,
+                ino,
+            },
+        );
         files.push((name, ino));
     }
     // stats and lookups
     for (name, ino) in &files {
         kit.run_op(proc(0), FsOp::Stat { ino: *ino });
-        kit.run_op(proc(1), FsOp::Lookup { parent: ROOT, name: *name });
+        kit.run_op(
+            proc(1),
+            FsOp::Lookup {
+                parent: ROOT,
+                name: *name,
+            },
+        );
     }
     // link + unlink the first file
     if let Some(&(_, target)) = files.first() {
         let link_name = Name(90_001);
-        kit.run_op(proc(2), FsOp::Link { parent: ROOT, name: link_name, target });
-        kit.run_op(proc(2), FsOp::Unlink { parent: ROOT, name: link_name, target });
+        kit.run_op(
+            proc(2),
+            FsOp::Link {
+                parent: ROOT,
+                name: link_name,
+                target,
+            },
+        );
+        kit.run_op(
+            proc(2),
+            FsOp::Unlink {
+                parent: ROOT,
+                name: link_name,
+                target,
+            },
+        );
     }
     // remove the last file
     if let Some(&(name, ino)) = files.last() {
-        kit.run_op(proc(0), FsOp::Remove { parent: ROOT, name, ino });
+        kit.run_op(
+            proc(0),
+            FsOp::Remove {
+                parent: ROOT,
+                name,
+                ino,
+            },
+        );
     }
     kit.fire_timers();
     kit.run();
@@ -63,14 +102,23 @@ fn all_protocols_agree_on_conflict_free_workloads() {
     let reference = run_standard_workload(Protocol::Cx);
     let ref_violations = reference.check_consistency(&roots());
     assert_eq!(ref_violations, vec![]);
-    let ref_inodes: usize = reference.servers.iter().map(|s| s.store().inode_count()).sum();
+    let ref_inodes: usize = reference
+        .servers
+        .iter()
+        .map(|s| s.store().inode_count())
+        .sum();
     let ref_dentries: usize = reference
         .servers
         .iter()
         .map(|s| s.store().dentry_count())
         .sum();
 
-    for protocol in [Protocol::Se, Protocol::SeBatched, Protocol::TwoPc, Protocol::Ce] {
+    for protocol in [
+        Protocol::Se,
+        Protocol::SeBatched,
+        Protocol::TwoPc,
+        Protocol::Ce,
+    ] {
         let kit = run_standard_workload(protocol);
         assert_eq!(
             kit.check_consistency(&roots()),
@@ -79,7 +127,11 @@ fn all_protocols_agree_on_conflict_free_workloads() {
         );
         let inodes: usize = kit.servers.iter().map(|s| s.store().inode_count()).sum();
         let dentries: usize = kit.servers.iter().map(|s| s.store().dentry_count()).sum();
-        assert_eq!((inodes, dentries), (ref_inodes, ref_dentries), "{protocol:?}");
+        assert_eq!(
+            (inodes, dentries),
+            (ref_inodes, ref_dentries),
+            "{protocol:?}"
+        );
         // every outcome matches the Cx run
         for (op, outcome) in &reference.outcomes {
             assert_eq!(kit.outcomes.get(op), Some(outcome), "{protocol:?} {op}");
@@ -92,7 +144,14 @@ fn se_executes_serially_participant_first() {
     let mut kit = kit_never(4, Protocol::Se);
     seed_namespace(&mut kit, &[]);
     let (name, ino) = cross_server_pair(&kit.placement, 100, 1000);
-    let op = kit.run_op(proc(0), FsOp::Create { parent: ROOT, name, ino });
+    let op = kit.run_op(
+        proc(0),
+        FsOp::Create {
+            parent: ROOT,
+            name,
+            ino,
+        },
+    );
     assert_eq!(kit.outcome(op), Some(OpOutcome::Applied));
     // Serial execution: 2 requests, 2 responses, zero commitment traffic.
     assert_eq!(kit.msg_counts.get(&MsgKind::SubOpReq), Some(&2));
@@ -115,7 +174,14 @@ fn se_clear_withdraws_participant_half() {
         .map(InodeNo)
         .find(|i| kit.placement.inode_server(*i) != coord && *i != seeded_ino)
         .unwrap();
-    let op = kit.run_op(proc(0), FsOp::Create { parent: ROOT, name, ino });
+    let op = kit.run_op(
+        proc(0),
+        FsOp::Create {
+            parent: ROOT,
+            name,
+            ino,
+        },
+    );
     assert_eq!(kit.outcome(op), Some(OpOutcome::Failed));
     assert_eq!(kit.msg_counts.get(&MsgKind::Clear), Some(&1));
     assert_eq!(kit.msg_counts.get(&MsgKind::ClearResp), Some(&1));
@@ -142,7 +208,14 @@ fn se_client_failure_leaves_orphan_objects() {
     kit.hold_if(move |env: &Envelope| {
         matches!(env.payload, Payload::SubOpReq { .. }) && env.to == coord_ep
     });
-    let op = kit.start_op(proc(0), FsOp::Create { parent: ROOT, name, ino });
+    let op = kit.start_op(
+        proc(0),
+        FsOp::Create {
+            parent: ROOT,
+            name,
+            ino,
+        },
+    );
     kit.run();
     assert_eq!(kit.outcome(op), None, "client died mid-operation");
     kit.quiesce();
@@ -169,7 +242,14 @@ fn cx_does_not_leave_orphans_in_the_same_scenario() {
     kit.hold_if(move |env: &Envelope| {
         matches!(env.payload, Payload::SubOpReq { .. }) && env.to == coord_ep
     });
-    let op = kit.start_op(proc(0), FsOp::Create { parent: ROOT, name, ino });
+    let op = kit.start_op(
+        proc(0),
+        FsOp::Create {
+            parent: ROOT,
+            name,
+            ino,
+        },
+    );
     kit.run();
     assert_eq!(kit.outcome(op), None);
     kit.stop_holding();
@@ -196,7 +276,14 @@ fn twopc_message_pattern_matches_figure_1a() {
     let mut kit = kit_never(4, Protocol::TwoPc);
     seed_namespace(&mut kit, &[]);
     let (name, ino) = cross_server_pair(&kit.placement, 100, 1000);
-    let op = kit.run_op(proc(0), FsOp::Create { parent: ROOT, name, ino });
+    let op = kit.run_op(
+        proc(0),
+        FsOp::Create {
+            parent: ROOT,
+            name,
+            ino,
+        },
+    );
     assert_eq!(kit.outcome(op), Some(OpOutcome::Applied));
     // REQ → VOTE → YES → COMMIT → ACK → RESP
     assert_eq!(kit.msg_counts.get(&MsgKind::OpReq), Some(&1));
@@ -220,12 +307,22 @@ fn twopc_aborts_atomically_on_participant_failure() {
         .map(Name)
         .find(|n| kit.placement.dentry_server(ROOT, *n) != parti)
         .unwrap();
-    let op = kit.run_op(proc(0), FsOp::Create { parent: ROOT, name: fresh, ino });
+    let op = kit.run_op(
+        proc(0),
+        FsOp::Create {
+            parent: ROOT,
+            name: fresh,
+            ino,
+        },
+    );
     assert_eq!(kit.outcome(op), Some(OpOutcome::Failed));
     assert_eq!(kit.msg_counts.get(&MsgKind::AbortReq), Some(&1));
     kit.quiesce();
     assert_eq!(kit.check_consistency(&roots()), vec![]);
-    assert!(kit.servers.iter().all(|s| s.store().lookup(ROOT, fresh).is_none()));
+    assert!(kit
+        .servers
+        .iter()
+        .all(|s| s.store().lookup(ROOT, fresh).is_none()));
 }
 
 #[test]
@@ -233,7 +330,14 @@ fn ce_migrates_objects_and_executes_centrally() {
     let mut kit = kit_never(4, Protocol::Ce);
     seed_namespace(&mut kit, &[]);
     let (name, ino) = cross_server_pair(&kit.placement, 100, 1000);
-    let op = kit.run_op(proc(0), FsOp::Create { parent: ROOT, name, ino });
+    let op = kit.run_op(
+        proc(0),
+        FsOp::Create {
+            parent: ROOT,
+            name,
+            ino,
+        },
+    );
     assert_eq!(kit.outcome(op), Some(OpOutcome::Applied));
     // REQ → MIGRATION round trip → local txn → migrate back → RESP
     assert_eq!(kit.msg_counts.get(&MsgKind::Migrate), Some(&1));
@@ -264,7 +368,10 @@ fn ce_aborts_cleanly_when_central_execution_fails() {
     assert_eq!(kit.outcome(op), Some(OpOutcome::Failed));
     kit.quiesce();
     assert_eq!(kit.check_consistency(&roots()), vec![]);
-    assert!(kit.servers.iter().all(|s| s.store().inode(fresh_ino).is_none()));
+    assert!(kit
+        .servers
+        .iter()
+        .all(|s| s.store().inode(fresh_ino).is_none()));
 }
 
 #[test]
@@ -272,7 +379,14 @@ fn twopc_blocks_conflicting_transactions() {
     let mut kit = kit_never(4, Protocol::TwoPc);
     seed_namespace(&mut kit, &[]);
     let (name, i1) = cross_server_pair(&kit.placement, 100, 1000);
-    let a = kit.run_op(proc(0), FsOp::Create { parent: ROOT, name, ino: i1 });
+    let a = kit.run_op(
+        proc(0),
+        FsOp::Create {
+            parent: ROOT,
+            name,
+            ino: i1,
+        },
+    );
     // Same name from another proc: must fail (entry exists), not deadlock.
     let b = kit.run_op(
         proc(1),

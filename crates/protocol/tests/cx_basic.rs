@@ -5,9 +5,7 @@ mod common;
 
 use common::*;
 use cx_protocol::testkit::Kit;
-use cx_types::{
-    BatchTrigger, ClusterConfig, FsOp, MsgKind, Name, OpOutcome, ProcId, Protocol,
-};
+use cx_types::{BatchTrigger, ClusterConfig, FsOp, MsgKind, Name, OpOutcome, ProcId, Protocol};
 
 fn proc(n: u32) -> ProcId {
     ProcId::new(n, 0)
@@ -202,7 +200,9 @@ fn timeout_trigger_commits_without_quiesce() {
 #[test]
 fn single_server_ops_complete_without_commitment_traffic() {
     let mut kit = kit_never(4, Protocol::Cx);
-    let files: Vec<_> = (0..8u64).map(|i| (Name(500 + i), cx_types::InodeNo(900 + i))).collect();
+    let files: Vec<_> = (0..8u64)
+        .map(|i| (Name(500 + i), cx_types::InodeNo(900 + i)))
+        .collect();
     seed_namespace(&mut kit, &files);
     for (name, ino) in &files {
         let op = kit.run_op(proc(0), FsOp::Stat { ino: *ino });
@@ -264,7 +264,12 @@ fn full_lifecycle_create_stat_remove() {
 fn failed_read_reports_failure() {
     let mut kit = kit_never(4, Protocol::Cx);
     seed_namespace(&mut kit, &[]);
-    let op = kit.run_op(proc(0), FsOp::Stat { ino: cx_types::InodeNo(4242) });
+    let op = kit.run_op(
+        proc(0),
+        FsOp::Stat {
+            ino: cx_types::InodeNo(4242),
+        },
+    );
     assert_eq!(kit.outcome(op), Some(OpOutcome::Failed));
 }
 

@@ -8,8 +8,7 @@ use common::*;
 use cx_protocol::testkit::{Envelope, Kit};
 use cx_protocol::Endpoint;
 use cx_types::{
-    ClusterConfig, FsOp, InodeNo, MsgKind, Name, OpOutcome, Payload, ProcId, Protocol,
-    ServerId,
+    ClusterConfig, FsOp, InodeNo, MsgKind, Name, OpOutcome, Payload, ProcId, Protocol, ServerId,
 };
 
 fn proc(n: u32) -> ProcId {
@@ -36,13 +35,7 @@ fn ordered_conflict_commits_pending_op_then_executes() {
     assert_eq!(kit.outcome(a), Some(OpOutcome::Applied));
 
     // Process B looks the new entry up: it touches A's active dentry.
-    let b = kit.run_op(
-        proc(1),
-        FsOp::Lookup {
-            parent: ROOT,
-            name,
-        },
-    );
+    let b = kit.run_op(proc(1), FsOp::Lookup { parent: ROOT, name });
     // The conflict forced an immediate commitment; afterwards B's lookup
     // executed against the committed entry.
     assert_eq!(kit.outcome(b), Some(OpOutcome::Applied));
@@ -180,7 +173,10 @@ fn disordered_conflict_invalidates_and_requeues() {
     kit.quiesce();
     assert_eq!(kit.check_consistency(&roots()), vec![]);
     // Net effect: the entry n is gone again and t is back to nlink 2.
-    assert!(kit.servers.iter().all(|s| s.store().lookup(ROOT, n).is_none()));
+    assert!(kit
+        .servers
+        .iter()
+        .all(|s| s.store().lookup(ROOT, n).is_none()));
     let nlink = kit
         .servers
         .iter()
@@ -349,8 +345,7 @@ fn conflict_during_inflight_commitment_waits() {
 
     // Hold the participant's VoteResult so A's commitment stays in flight.
     kit.hold_if(move |env: &Envelope| {
-        matches!(env.payload, Payload::VoteResult { .. })
-            && env.to == Endpoint::Server(coord)
+        matches!(env.payload, Payload::VoteResult { .. }) && env.to == Endpoint::Server(coord)
     });
     // Kick off the lazy commitment: the VOTE goes out, its result is held,
     // so the batch stays open.
@@ -359,13 +354,7 @@ fn conflict_during_inflight_commitment_waits() {
 
     // B's lookup now conflicts with A, whose commitment is in flight;
     // the request blocks without launching a second commitment.
-    let b = kit.start_op(
-        proc(1),
-        FsOp::Lookup {
-            parent: ROOT,
-            name,
-        },
-    );
+    let b = kit.start_op(proc(1), FsOp::Lookup { parent: ROOT, name });
     kit.run();
     assert_eq!(kit.outcome(b), None, "B waits for the commitment");
 

@@ -94,10 +94,7 @@ fn orphaned_participant_half_is_presumed_aborted() {
     );
     kit.quiesce();
     assert_eq!(kit.check_consistency(&roots()), vec![]);
-    assert!(kit
-        .servers
-        .iter()
-        .all(|s| s.store().inode(ino).is_none()));
+    assert!(kit.servers.iter().all(|s| s.store().inode(ino).is_none()));
 }
 
 /// Crash the coordinator after its decision is durable but before the
@@ -144,7 +141,13 @@ fn recovery_resumes_a_decided_batch() {
         .iter()
         .any(|s| s.store().lookup(ROOT, name) == Some(ino)));
     // the decision was re-sent at least once
-    assert!(kit.msg_counts.get(&MsgKind::CommitReq).copied().unwrap_or(0) >= 2);
+    assert!(
+        kit.msg_counts
+            .get(&MsgKind::CommitReq)
+            .copied()
+            .unwrap_or(0)
+            >= 2
+    );
 }
 
 /// The threshold trigger fires mid-stream once enough operations are
@@ -222,8 +225,22 @@ fn invalidated_reexecution_failure_resolves() {
         }
         false
     });
-    let a = kit.start_op(a_proc, FsOp::Link { parent: ROOT, name: n, target: t });
-    let b = kit.start_op(b_proc, FsOp::Unlink { parent: ROOT, name: n, target: t });
+    let a = kit.start_op(
+        a_proc,
+        FsOp::Link {
+            parent: ROOT,
+            name: n,
+            target: t,
+        },
+    );
+    let b = kit.start_op(
+        b_proc,
+        FsOp::Unlink {
+            parent: ROOT,
+            name: n,
+            target: t,
+        },
+    );
     kit.run();
     kit.stop_holding();
     kit.release_held();

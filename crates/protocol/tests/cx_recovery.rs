@@ -88,10 +88,7 @@ fn participant_crash_queries_coordinator_for_outcome() {
     );
     assert!(kit.servers.iter().all(|s| s.is_quiesced()));
     assert_eq!(kit.check_consistency(&roots()), vec![]);
-    assert!(kit
-        .servers
-        .iter()
-        .any(|s| s.store().inode(ino).is_some()));
+    assert!(kit.servers.iter().any(|s| s.store().inode(ino).is_some()));
 }
 
 #[test]
@@ -164,9 +161,7 @@ fn unflushed_execution_is_rolled_back_on_crash() {
         &mut out,
     );
     // The engine asked for a log append…
-    assert!(out
-        .iter()
-        .any(|a| matches!(a, Action::LogAppend { .. })));
+    assert!(out.iter().any(|a| matches!(a, Action::LogAppend { .. })));
     // …and applied the execution in memory.
     assert_eq!(server.store().lookup(ROOT, name), Some(ino));
 
@@ -210,13 +205,7 @@ fn recovery_defers_new_requests_until_done() {
     assert_eq!(kit.held_count(), 1, "recovery vote is held");
 
     // A new lookup at the recovering server must not be served yet.
-    let b = kit.start_op(
-        proc(1),
-        FsOp::Lookup {
-            parent: ROOT,
-            name,
-        },
-    );
+    let b = kit.start_op(proc(1), FsOp::Lookup { parent: ROOT, name });
     kit.run();
     assert_eq!(kit.outcome(b), None, "requests wait during recovery");
 

@@ -14,9 +14,7 @@ mod common;
 
 use common::*;
 use cx_protocol::testkit::Envelope;
-use cx_types::{
-    FileKind, FsOp, InodeNo, Name, OpOutcome, ProcId, Protocol,
-};
+use cx_types::{FileKind, FsOp, InodeNo, Name, OpOutcome, ProcId, Protocol};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -70,8 +68,7 @@ impl Model {
                 name,
                 target,
             } => {
-                if !self.dentries.contains_key(&(parent, name))
-                    && self.inodes.contains_key(&target)
+                if !self.dentries.contains_key(&(parent, name)) && self.inodes.contains_key(&target)
                 {
                     self.dentries.insert((parent, name), target);
                     self.inodes.get_mut(&target).expect("checked").1 += 1;
@@ -100,9 +97,10 @@ impl Model {
                     false
                 }
             }
-            FsOp::Stat { ino } | FsOp::Getattr { ino } | FsOp::Access { ino } | FsOp::Setattr { ino } => {
-                self.inodes.contains_key(&ino)
-            }
+            FsOp::Stat { ino }
+            | FsOp::Getattr { ino }
+            | FsOp::Access { ino }
+            | FsOp::Setattr { ino } => self.inodes.contains_key(&ino),
             FsOp::Lookup { parent, name } => self.dentries.contains_key(&(parent, name)),
             FsOp::Readdir { .. } => true,
         };

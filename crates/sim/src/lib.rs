@@ -19,6 +19,6 @@ pub mod kernel;
 pub mod resource;
 pub mod rng;
 
-pub use kernel::{NodeIdx, Sim};
+pub use kernel::{NodeIdx, Sim, TimerQueue};
 pub use resource::FifoResource;
 pub use rng::det_rng;

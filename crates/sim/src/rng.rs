@@ -22,8 +22,14 @@ mod tests {
 
     #[test]
     fn same_seed_same_stream_same_sequence() {
-        let a: Vec<u64> = det_rng(7, 3).sample_iter(rand::distributions::Standard).take(16).collect();
-        let b: Vec<u64> = det_rng(7, 3).sample_iter(rand::distributions::Standard).take(16).collect();
+        let a: Vec<u64> = det_rng(7, 3)
+            .sample_iter(rand::distributions::Standard)
+            .take(16)
+            .collect();
+        let b: Vec<u64> = det_rng(7, 3)
+            .sample_iter(rand::distributions::Standard)
+            .take(16)
+            .collect();
         assert_eq!(a, b);
     }
 

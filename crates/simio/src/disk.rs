@@ -324,7 +324,13 @@ mod tests {
     #[test]
     fn single_append_starts_immediately() {
         let mut d = disk();
-        let b = d.submit(SimTime(0), DiskReq::LogAppend { bytes: 128, token: 1 });
+        let b = d.submit(
+            SimTime(0),
+            DiskReq::LogAppend {
+                bytes: 128,
+                token: 1,
+            },
+        );
         let b = b.expect("idle disk starts immediately");
         assert_eq!(b.tokens, vec![1]);
         assert!(b.finish.0 >= DiskConfig::default().log_flush_ns);
@@ -334,12 +340,24 @@ mod tests {
     fn group_commit_absorbs_queued_appends() {
         let mut d = disk();
         let first = d
-            .submit(SimTime(0), DiskReq::LogAppend { bytes: 100, token: 1 })
+            .submit(
+                SimTime(0),
+                DiskReq::LogAppend {
+                    bytes: 100,
+                    token: 1,
+                },
+            )
             .unwrap();
         // These queue behind the in-flight flush...
         for t in 2..=10 {
             assert!(d
-                .submit(SimTime(10), DiskReq::LogAppend { bytes: 100, token: t })
+                .submit(
+                    SimTime(10),
+                    DiskReq::LogAppend {
+                        bytes: 100,
+                        token: t
+                    }
+                )
                 .is_none());
         }
         // ...and all complete in the *next single* flush.
@@ -413,7 +431,13 @@ mod tests {
         // 100 adjacent pages: one run.
         let adj: Vec<u64> = (0..100).collect();
         let b = d
-            .submit(SimTime(0), DiskReq::DbWriteback { pages: adj, token: 1 })
+            .submit(
+                SimTime(0),
+                DiskReq::DbWriteback {
+                    pages: adj,
+                    token: 1,
+                },
+            )
             .unwrap();
         let adjacent_time = b.finish.0;
         assert_eq!(d.stats().wb_runs, 1);
@@ -423,7 +447,13 @@ mod tests {
         let scat: Vec<u64> = (0..100).map(|i| i * 10_000).collect();
         let t0 = b.finish;
         let b2 = d
-            .submit(t0, DiskReq::DbWriteback { pages: scat, token: 2 })
+            .submit(
+                t0,
+                DiskReq::DbWriteback {
+                    pages: scat,
+                    token: 2,
+                },
+            )
             .unwrap();
         let scattered_time = b2.finish.0 - t0.0;
         assert_eq!(d.stats().wb_runs, 1 + 100);
@@ -455,9 +485,27 @@ mod tests {
         let b1 = d
             .submit(SimTime(0), DiskReq::DbSyncWrite { page: 1, token: 1 })
             .unwrap();
-        d.submit(SimTime(0), DiskReq::DbWriteback { pages: vec![9], token: 2 });
-        d.submit(SimTime(0), DiskReq::LogAppend { bytes: 64, token: 3 });
-        d.submit(SimTime(0), DiskReq::LogAppend { bytes: 64, token: 4 });
+        d.submit(
+            SimTime(0),
+            DiskReq::DbWriteback {
+                pages: vec![9],
+                token: 2,
+            },
+        );
+        d.submit(
+            SimTime(0),
+            DiskReq::LogAppend {
+                bytes: 64,
+                token: 3,
+            },
+        );
+        d.submit(
+            SimTime(0),
+            DiskReq::LogAppend {
+                bytes: 64,
+                token: 4,
+            },
+        );
         // The write-back arrived first, but both (blocking) log appends
         // ride the next flush ahead of it.
         let b2 = d.complete(b1.finish).unwrap();
@@ -499,12 +547,24 @@ mod tests {
     fn seq_read_time_scales_with_bytes() {
         let mut d = disk();
         let b1 = d
-            .submit(SimTime(0), DiskReq::SeqRead { bytes: 1 << 20, token: 1 })
+            .submit(
+                SimTime(0),
+                DiskReq::SeqRead {
+                    bytes: 1 << 20,
+                    token: 1,
+                },
+            )
             .unwrap();
         let t1 = b1.finish.0;
         d.complete(b1.finish);
         let b2 = d
-            .submit(b1.finish, DiskReq::SeqRead { bytes: 10 << 20, token: 2 })
+            .submit(
+                b1.finish,
+                DiskReq::SeqRead {
+                    bytes: 10 << 20,
+                    token: 2,
+                },
+            )
             .unwrap();
         let t2 = b2.finish.0 - b1.finish.0;
         assert!(t2 > t1, "10 MB read must take longer than 1 MB read");

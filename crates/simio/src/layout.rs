@@ -55,7 +55,10 @@ mod tests {
         let dir = InodeNo(7);
         let base = object_page(&ObjectId::Dentry(dir, Name(0)));
         for n in 0..10_000u64 {
-            let p = object_page(&ObjectId::Dentry(dir, Name(n.wrapping_mul(0x9E3779B97F4A7C15))));
+            let p = object_page(&ObjectId::Dentry(
+                dir,
+                Name(n.wrapping_mul(0x9E3779B97F4A7C15)),
+            ));
             assert!(
                 p >= base && p < base + DENTRY_DIR_WINDOW_PAGES,
                 "entry page {p} escaped window [{base}, {})",

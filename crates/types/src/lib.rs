@@ -20,6 +20,7 @@
 
 pub mod config;
 pub mod error;
+pub mod fxhash;
 pub mod ids;
 pub mod msg;
 pub mod op;
@@ -32,6 +33,7 @@ pub use config::{
     ServerCpuConfig,
 };
 pub use error::{CxError, CxResult};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use ids::{ClientId, InodeNo, Name, ObjectId, OpId, ProcId, ProcessId, ServerId};
 pub use msg::{Hint, MsgKind, Payload, Verdict};
 pub use op::{FileKind, FsOp, OpClass, OpOutcome};

@@ -88,6 +88,35 @@ pub enum MsgKind {
     MigrateBackAck,
 }
 
+impl MsgKind {
+    /// Every kind, in declaration (= discriminant) order, so per-kind
+    /// counters can live in a flat `[u64; MsgKind::COUNT]` indexed by
+    /// `kind as usize` on the hot path and fold into ordered maps later.
+    pub const ALL: [MsgKind; 20] = [
+        MsgKind::SubOpReq,
+        MsgKind::SubOpResp,
+        MsgKind::Vote,
+        MsgKind::VoteResult,
+        MsgKind::CommitReq,
+        MsgKind::AbortReq,
+        MsgKind::Ack,
+        MsgKind::LCom,
+        MsgKind::AllNo,
+        MsgKind::Committed,
+        MsgKind::CommitmentReq,
+        MsgKind::QueryOutcome,
+        MsgKind::OpReq,
+        MsgKind::OpResp,
+        MsgKind::Clear,
+        MsgKind::ClearResp,
+        MsgKind::Migrate,
+        MsgKind::MigrateResp,
+        MsgKind::MigrateBack,
+        MsgKind::MigrateBackAck,
+    ];
+    pub const COUNT: usize = Self::ALL.len();
+}
+
 /// A protocol message payload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Payload {
@@ -112,12 +141,18 @@ pub enum Payload {
     },
     /// Client asks the coordinator to launch an immediate commitment
     /// (Table III, "L-COM").
-    LCom { op_id: OpId },
+    LCom {
+        op_id: OpId,
+    },
     /// Coordinator tells the process all successful executions have been
     /// aborted (Table III, "ALL-NO").
-    AllNo { op_id: OpId },
+    AllNo {
+        op_id: OpId,
+    },
     /// Coordinator tells the process its immediate commitment committed.
-    Committed { op_id: OpId },
+    Committed {
+        op_id: OpId,
+    },
 
     // ---- server <-> server (commitment phase) ----
     /// Coordinator queries sub-op results; batched over many operations
@@ -133,7 +168,9 @@ pub enum Payload {
         order_after: Vec<OpId>,
     },
     /// Participant's per-operation YES/NO votes (Cx step 4).
-    VoteResult { results: Vec<(OpId, Verdict)> },
+    VoteResult {
+        results: Vec<(OpId, Verdict)>,
+    },
     /// Commit/abort decisions (Cx step 5); one batched message may carry
     /// both commits and aborts.
     CommitDecision {
@@ -141,33 +178,60 @@ pub enum Payload {
         aborts: Vec<OpId>,
     },
     /// Participant acknowledges commitment completion (Cx step 6).
-    Ack { ops: Vec<OpId> },
+    Ack {
+        ops: Vec<OpId>,
+    },
     /// Participant-detected conflict (or log pressure): ask the
     /// coordinator to launch an immediate commitment for `pending`.
     /// `sweep` asks the coordinator to flush its whole lazy queue along
     /// (log pressure); a plain conflict commits only the pending op, as in
     /// Figure 3.
-    CommitmentReq { pending: OpId, sweep: bool },
+    CommitmentReq {
+        pending: OpId,
+        sweep: bool,
+    },
     /// Recovery: participant asks the coordinator for outcomes of
     /// half-completed operations.
-    QueryOutcome { ops: Vec<OpId> },
+    QueryOutcome {
+        ops: Vec<OpId>,
+    },
 
     // ---- 2PC / CE: client sends the whole operation to the coordinator ----
-    OpReq { op_id: OpId, plan: OpPlan },
-    OpResp { op_id: OpId, outcome: OpOutcome },
+    OpReq {
+        op_id: OpId,
+        plan: OpPlan,
+    },
+    OpResp {
+        op_id: OpId,
+        outcome: OpOutcome,
+    },
     /// 2PC vote request carrying the sub-op the participant must perform.
-    VoteExec { op_id: OpId, subop: SubOp },
+    VoteExec {
+        op_id: OpId,
+        subop: SubOp,
+    },
 
     // ---- SE baseline ----
     /// Withdraw a previously executed sub-op ("CLEAR", §II-B).
-    Clear { op_id: OpId, subop: SubOp },
-    ClearResp { op_id: OpId },
+    Clear {
+        op_id: OpId,
+        subop: SubOp,
+    },
+    ClearResp {
+        op_id: OpId,
+    },
 
     // ---- CE baseline (Ursa Minor style migration) ----
     /// Coordinator pulls the participant-side objects.
-    Migrate { op_id: OpId, objs: Vec<ObjectId> },
+    Migrate {
+        op_id: OpId,
+        objs: Vec<ObjectId>,
+    },
     /// Participant ships the objects (size models the object data).
-    MigrateResp { op_id: OpId, objs: Vec<ObjectId> },
+    MigrateResp {
+        op_id: OpId,
+        objs: Vec<ObjectId>,
+    },
     /// Coordinator ships modified objects back. `install` is the logical
     /// content of the shipped images: the sub-operation whose effect the
     /// home server re-installs (None when the central execution failed and
@@ -178,7 +242,10 @@ pub enum Payload {
         install: Option<SubOp>,
     },
     /// Participant confirms re-installation of the migrated objects.
-    MigrateBackAck { op_id: OpId, verdict: Verdict },
+    MigrateBackAck {
+        op_id: OpId,
+        verdict: Verdict,
+    },
 }
 
 impl Payload {
@@ -232,9 +299,7 @@ impl Payload {
             Payload::Vote { ops, order_after } => {
                 HDR + (ops.len() + order_after.len()) as u32 * PER_OP
             }
-            Payload::QueryOutcome { ops } | Payload::Ack { ops } => {
-                HDR + ops.len() as u32 * PER_OP
-            }
+            Payload::QueryOutcome { ops } | Payload::Ack { ops } => HDR + ops.len() as u32 * PER_OP,
             Payload::VoteResult { results } => HDR + results.len() as u32 * (PER_OP + 1),
             Payload::CommitDecision { commits, aborts } => {
                 HDR + (commits.len() + aborts.len()) as u32 * PER_OP
@@ -323,5 +388,12 @@ mod tests {
     fn all_payloads_have_nonzero_size() {
         let p = Payload::LCom { op_id: oid(1) };
         assert!(p.size_bytes() >= 64);
+    }
+
+    #[test]
+    fn msg_kind_all_is_in_discriminant_order() {
+        for (i, k) in MsgKind::ALL.iter().enumerate() {
+            assert_eq!(*k as usize, i, "{k:?} out of order in MsgKind::ALL");
+        }
     }
 }

@@ -131,7 +131,9 @@ impl Placement {
                 self.dentry_server(parent, name),
                 SubOp::ReadEntry { parent, name },
             ),
-            FsOp::Readdir { dir } => self.single(op, self.inode_server(dir), SubOp::ReadDir { dir }),
+            FsOp::Readdir { dir } => {
+                self.single(op, self.inode_server(dir), SubOp::ReadDir { dir })
+            }
         }
     }
 
@@ -254,11 +256,7 @@ mod tests {
             target: InodeNo(42),
         });
         assert!(matches!(plan.coord_subop, SubOp::RemoveEntry { .. }));
-        let second = plan
-            .participant
-            .map(|(_, s)| s)
-            .or(plan.colocated)
-            .unwrap();
+        let second = plan.participant.map(|(_, s)| s).or(plan.colocated).unwrap();
         assert_eq!(second, SubOp::DecNlink { ino: InodeNo(42) });
     }
 

@@ -216,7 +216,10 @@ mod tests {
         let objs: Vec<_> = s.objects().iter().collect();
         assert_eq!(
             objs,
-            vec![ObjectId::Inode(InodeNo(1)), ObjectId::Dentry(InodeNo(1), Name(7))]
+            vec![
+                ObjectId::Inode(InodeNo(1)),
+                ObjectId::Dentry(InodeNo(1), Name(7))
+            ]
         );
         assert!(s.is_write());
         assert!(s.write_bytes() > 0);

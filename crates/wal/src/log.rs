@@ -2,11 +2,127 @@
 
 use crate::record::{Outcome, Record};
 use cx_types::{CxError, CxResult, OpId, Role, ServerId, SubOp, Verdict};
-use std::collections::{BTreeMap, HashMap};
+use cx_types::{FxBuildHasher, FxHashMap};
+use std::collections::VecDeque;
 
 /// Position of a record in the log's append order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SeqNo(pub u64);
+
+/// Inline list of an operation's record sequence numbers.
+///
+/// An operation logs at most a Result-Record, an outcome record, and a
+/// Complete-Record in the common case, so four inline slots cover almost
+/// every op without a heap allocation; longer histories (re-executed
+/// sub-ops during disordered-conflict handling) spill to a `Vec`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SeqList {
+    inline: [u64; 4],
+    len: u8,
+    spill: Vec<u64>,
+}
+
+impl SeqList {
+    pub fn push(&mut self, seq: u64) {
+        if (self.len as usize) < self.inline.len() {
+            self.inline[self.len as usize] = seq;
+            self.len += 1;
+        } else {
+            self.spill.push(seq);
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.inline[..self.len as usize]
+            .iter()
+            .copied()
+            .chain(self.spill.iter().copied())
+    }
+
+    pub fn len(&self) -> usize {
+        self.len as usize + self.spill.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0 && self.spill.is_empty()
+    }
+}
+
+/// Record store indexed by sequence number.
+///
+/// Sequence numbers are dense and monotone, so slot `seq - base` replaces
+/// the tree walk a `BTreeMap<u64, Record>` would need on the append/prune
+/// hot path. Pruning leaves holes; a pruned prefix is compacted away by
+/// advancing `base`, and trailing holes are popped so the deque stays
+/// bounded by the live span of the log.
+#[derive(Debug, Clone, Default)]
+struct RecordSlots {
+    /// Sequence number of `slots[0]`.
+    base: u64,
+    slots: VecDeque<Option<Record>>,
+    live: usize,
+}
+
+impl RecordSlots {
+    /// Insert at `seq`, which never falls inside the occupied span: appends
+    /// are monotone, and a crash that truncated the tail leaves `next_seq`
+    /// pointing past it (the gap is padded with holes).
+    fn insert(&mut self, seq: u64, rec: Record) {
+        if self.slots.is_empty() {
+            self.base = seq;
+        }
+        debug_assert!(seq >= self.base + self.slots.len() as u64);
+        while self.base + (self.slots.len() as u64) < seq {
+            self.slots.push_back(None);
+        }
+        self.slots.push_back(Some(rec));
+        self.live += 1;
+    }
+
+    fn get_mut(&mut self, seq: u64) -> Option<&mut Record> {
+        let idx = seq.checked_sub(self.base)? as usize;
+        self.slots.get_mut(idx)?.as_mut()
+    }
+
+    fn remove(&mut self, seq: u64) -> Option<Record> {
+        let idx = seq.checked_sub(self.base)? as usize;
+        let rec = self.slots.get_mut(idx)?.take()?;
+        self.live -= 1;
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        while matches!(self.slots.back(), Some(None)) {
+            self.slots.pop_back();
+        }
+        Some(rec)
+    }
+
+    /// Drop every record with sequence number `>= seq` (crash truncation).
+    fn truncate_from(&mut self, seq: u64) {
+        let keep = seq.saturating_sub(self.base).min(self.slots.len() as u64) as usize;
+        while self.slots.len() > keep {
+            if self.slots.pop_back().flatten().is_some() {
+                self.live -= 1;
+            }
+        }
+        while matches!(self.slots.back(), Some(None)) {
+            self.slots.pop_back();
+        }
+    }
+
+    /// Live records in sequence order.
+    fn iter(&self) -> impl Iterator<Item = (u64, &Record)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, s)| s.as_ref().map(|r| (self.base + i as u64, r)))
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+}
 
 /// Per-operation view assembled by the index.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -28,7 +144,7 @@ pub struct OpLogState {
     pub bytes: u64,
     /// Sequence numbers of this operation's records (so pruning removes
     /// exactly them without scanning the whole log).
-    pub seqs: Vec<u64>,
+    pub seqs: SeqList,
 }
 
 impl OpLogState {
@@ -56,11 +172,11 @@ impl OpLogState {
 /// which is exactly the state a rebooted server recovers from.
 #[derive(Debug, Clone, Default)]
 pub struct Wal {
-    records: BTreeMap<u64, Record>,
+    records: RecordSlots,
     next_seq: u64,
     /// All records with seq < durable_next are on disk.
     durable_next: u64,
-    index: HashMap<OpId, OpLogState>,
+    index: FxHashMap<OpId, OpLogState>,
     valid_bytes: u64,
     limit: Option<u64>,
     total_appended: u64,
@@ -71,6 +187,9 @@ impl Wal {
     pub fn new(limit: Option<u64>) -> Self {
         Self {
             limit,
+            // Pre-sized to the typical in-flight op count so the steady
+            // state never pays a rehash.
+            index: FxHashMap::with_capacity_and_hasher(256, FxBuildHasher::default()),
             ..Self::default()
         }
     }
@@ -172,19 +291,13 @@ impl Wal {
     /// (§III-C step 4: "the participant first invalidates the execution of
     /// Ep-B by invalidating the Result-Record of Ep-B").
     pub fn invalidate_result(&mut self, op: &OpId) -> CxResult<()> {
-        let st = self
-            .index
-            .get_mut(op)
-            .ok_or(CxError::NoSuchRecord(*op))?;
+        let st = self.index.get_mut(op).ok_or(CxError::NoSuchRecord(*op))?;
         st.invalidated = true;
-        for rec in self.records.values_mut() {
-            if let Record::Result {
-                op_id, invalidated, ..
-            } = rec
-            {
-                if op_id == op {
-                    *invalidated = true;
-                }
+        // The index knows exactly which records belong to this op; no need
+        // to scan the whole log.
+        for seq in st.seqs.iter() {
+            if let Some(Record::Result { invalidated, .. }) = self.records.get_mut(seq) {
+                *invalidated = true;
             }
         }
         Ok(())
@@ -201,8 +314,8 @@ impl Wal {
         }
         let freed = st.bytes;
         let st = self.index.remove(op).expect("checked above");
-        for seq in st.seqs {
-            self.records.remove(&seq);
+        for seq in st.seqs.iter() {
+            self.records.remove(seq);
         }
         self.valid_bytes -= freed;
         self.total_pruned += freed;
@@ -242,8 +355,7 @@ impl Wal {
     /// Crash: lose every record that never became durable, then rebuild
     /// the index from what remains.
     pub fn crash(&mut self) {
-        let durable_next = self.durable_next;
-        self.records.retain(|seq, _| *seq < durable_next);
+        self.records.truncate_from(self.durable_next);
         self.rebuild_index();
     }
 
@@ -251,7 +363,7 @@ impl Wal {
         self.index.clear();
         self.valid_bytes = 0;
         let records: Vec<(u64, Record)> =
-            self.records.iter().map(|(s, r)| (*s, r.clone())).collect();
+            self.records.iter().map(|(s, r)| (s, r.clone())).collect();
         for (seq, rec) in &records {
             let bytes = rec.encoded_len();
             self.index_record(rec, bytes, *seq);
@@ -261,7 +373,7 @@ impl Wal {
 
     /// Records in append order (the recovery scan).
     pub fn scan(&self) -> impl Iterator<Item = (SeqNo, &Record)> {
-        self.records.iter().map(|(s, r)| (SeqNo(*s), r))
+        self.records.iter().map(|(s, r)| (SeqNo(s), r))
     }
 
     pub fn record_count(&self) -> usize {
@@ -417,7 +529,10 @@ mod tests {
         let st = wal.op_state(&oid(1)).unwrap();
         assert_eq!(st.outcome, Some(Outcome::Committed));
         assert!(st.prunable());
-        assert_eq!(wal.valid_bytes(), wal.scan().map(|(_, r)| r.encoded_len()).sum::<u64>());
+        assert_eq!(
+            wal.valid_bytes(),
+            wal.scan().map(|(_, r)| r.encoded_len()).sum::<u64>()
+        );
     }
 
     #[test]

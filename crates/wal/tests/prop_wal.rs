@@ -6,8 +6,7 @@ use cx_wal::{decode_record, encode_record, Record, SeqNo, Wal};
 use proptest::prelude::*;
 
 fn op_id_strategy() -> impl Strategy<Value = OpId> {
-    (0u32..4, 0u32..2, 0u64..64)
-        .prop_map(|(c, p, seq)| OpId::new(ProcId::new(c, p), seq))
+    (0u32..4, 0u32..2, 0u64..64).prop_map(|(c, p, seq)| OpId::new(ProcId::new(c, p), seq))
 }
 
 fn subop_strategy() -> impl Strategy<Value = SubOp> {
@@ -19,7 +18,11 @@ fn subop_strategy() -> impl Strategy<Value = SubOp> {
                 parent,
                 name,
                 child,
-                kind: if dir { FileKind::Directory } else { FileKind::Regular },
+                kind: if dir {
+                    FileKind::Directory
+                } else {
+                    FileKind::Regular
+                },
             }
         ),
         (ino.clone(), name.clone(), ino.clone()).prop_map(|(parent, name, child)| {
@@ -31,7 +34,11 @@ fn subop_strategy() -> impl Strategy<Value = SubOp> {
         }),
         (ino.clone(), any::<bool>()).prop_map(|(i, dir)| SubOp::CreateInode {
             ino: i,
-            kind: if dir { FileKind::Directory } else { FileKind::Regular },
+            kind: if dir {
+                FileKind::Directory
+            } else {
+                FileKind::Regular
+            },
         }),
         ino.clone().prop_map(|i| SubOp::ReleaseInode { ino: i }),
         ino.clone().prop_map(|i| SubOp::IncNlink { ino: i }),
@@ -52,14 +59,20 @@ fn record_strategy() -> impl Strategy<Value = Record> {
             any::<bool>(),
             any::<bool>(),
         )
-            .prop_map(|(op_id, coord, peer, subop, yes, invalidated)| Record::Result {
-                op_id,
-                role: if coord { Role::Coordinator } else { Role::Participant },
-                peer: peer.map(ServerId),
-                subop,
-                verdict: if yes { Verdict::Yes } else { Verdict::No },
-                invalidated,
-            }),
+            .prop_map(
+                |(op_id, coord, peer, subop, yes, invalidated)| Record::Result {
+                    op_id,
+                    role: if coord {
+                        Role::Coordinator
+                    } else {
+                        Role::Participant
+                    },
+                    peer: peer.map(ServerId),
+                    subop,
+                    verdict: if yes { Verdict::Yes } else { Verdict::No },
+                    invalidated,
+                }
+            ),
         op_id_strategy().prop_map(|op_id| Record::Commit { op_id }),
         op_id_strategy().prop_map(|op_id| Record::Abort { op_id }),
         op_id_strategy().prop_map(|op_id| Record::Complete { op_id }),

@@ -116,7 +116,8 @@ impl Metarates {
                 if rng.gen::<f64>() < self.mix.update_fraction() {
                     // update: alternate create / remove to keep the
                     // population stable
-                    let remove = owned[p as usize].len() > (self.seed_files / self.processes) as usize
+                    let remove = owned[p as usize].len()
+                        > (self.seed_files / self.processes) as usize
                         && rng.gen_bool(0.5);
                     if remove {
                         let idx = rng.gen_range(0..owned[p as usize].len());
@@ -205,11 +206,9 @@ mod tests {
         for s in &t.seeds {
             match *s {
                 SeedEntry::Dir { ino } => m.add_dir(ino),
-                SeedEntry::File { parent, name, ino } => m.apply(&FsOp::Create {
-                    parent,
-                    name,
-                    ino,
-                }),
+                SeedEntry::File { parent, name, ino } => {
+                    m.apply(&FsOp::Create { parent, name, ino })
+                }
             }
         }
         for top in &t.ops {

@@ -65,7 +65,10 @@ impl ClassMix {
 }
 
 /// One synthetic trace profile.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Serialize-only: the `&'static str` fields cannot be deserialized from an
+/// owned JSON tree, and profiles are compile-time constants anyway.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct TraceProfile {
     /// Trace name as in the paper.
     pub name: &'static str,
@@ -262,9 +265,13 @@ mod tests {
     fn cross_server_shares_match_the_text() {
         // "about 35% of metadata requests are cross-server operations" on
         // CTH and "about 48%" on s3d, at 8 servers (§IV-C1).
-        let cth = TraceProfile::by_name("CTH").unwrap().expected_cross_server(8);
+        let cth = TraceProfile::by_name("CTH")
+            .unwrap()
+            .expected_cross_server(8);
         assert!((0.30..=0.42).contains(&cth), "CTH cross-server {cth}");
-        let s3d = TraceProfile::by_name("s3d").unwrap().expected_cross_server(8);
+        let s3d = TraceProfile::by_name("s3d")
+            .unwrap()
+            .expected_cross_server(8);
         assert!((0.43..=0.53).contains(&s3d), "s3d cross-server {s3d}");
     }
 

@@ -100,9 +100,10 @@ fn target_of(op: &FsOp) -> (Option<u64>, Option<u64>) {
         FsOp::Link { parent, target, .. } | FsOp::Unlink { parent, target, .. } => {
             (Some(target.0), Some(parent.0))
         }
-        FsOp::Stat { ino } | FsOp::Getattr { ino } | FsOp::Access { ino } | FsOp::Setattr { ino } => {
-            (Some(ino.0), None)
-        }
+        FsOp::Stat { ino }
+        | FsOp::Getattr { ino }
+        | FsOp::Access { ino }
+        | FsOp::Setattr { ino } => (Some(ino.0), None),
         FsOp::Lookup { .. } | FsOp::Readdir { .. } => (None, None),
     }
 }
@@ -144,7 +145,10 @@ mod tests {
         let s = summary("home2");
         let total: f64 = s.class_shares.values().sum();
         assert!((total - 1.0).abs() < 1e-9);
-        assert!(s.class_shares[OpClass::Lookup.name()] > 0.2, "NFS is lookup-heavy");
+        assert!(
+            s.class_shares[OpClass::Lookup.name()] > 0.2,
+            "NFS is lookup-heavy"
+        );
     }
 
     #[test]

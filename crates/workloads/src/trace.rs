@@ -18,7 +18,9 @@ pub const SHARED_DIR: InodeNo = InodeNo(2);
 /// Pre-existing namespace content to seed into the servers before replay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SeedEntry {
-    Dir { ino: InodeNo },
+    Dir {
+        ino: InodeNo,
+    },
     File {
         parent: InodeNo,
         name: Name,
@@ -69,14 +71,17 @@ impl Trace {
         }
         let mut rng = det_rng(seed, 0x1213);
         let mut out = Vec::with_capacity(self.ops.len());
+        // Only mutations with a (parent, name) target receive injected
+        // lookups, so normalize by those — not by all mutations — or the
+        // realized count undershoots `added_ratio`.
         let per_mutation = {
-            let mutations = self
+            let injectable = self
                 .ops
                 .iter()
-                .filter(|t| t.op.is_mutation())
+                .filter(|t| matches!(t.op, FsOp::Create { .. } | FsOp::Mkdir { .. }))
                 .count()
                 .max(1);
-            added_ratio * self.ops.len() as f64 / mutations as f64
+            added_ratio * self.ops.len() as f64 / injectable as f64
         };
         for t in self.ops.drain(..) {
             let mutation = t.op.is_mutation();
@@ -266,7 +271,11 @@ fn synthesize(
                   recent_shared: &mut VecDeque<(u32, InodeNo, Name, InodeNo)>,
                   rng: &mut SmallRng| {
         let shared = rng.gen::<f64>() < profile.shared_create_frac;
-        let parent = if shared { SHARED_DIR } else { states[p as usize].dir };
+        let parent = if shared {
+            SHARED_DIR
+        } else {
+            states[p as usize].dir
+        };
         let name = model.fresh_name();
         let ino = model.fresh_ino();
         let op = FsOp::Create { parent, name, ino };
@@ -478,11 +487,9 @@ mod tests {
         for s in &t.seeds {
             match *s {
                 SeedEntry::Dir { ino } => m.add_dir(ino),
-                SeedEntry::File { parent, name, ino } => m.apply(&FsOp::Create {
-                    parent,
-                    name,
-                    ino,
-                }),
+                SeedEntry::File { parent, name, ino } => {
+                    m.apply(&FsOp::Create { parent, name, ino })
+                }
             }
         }
         for top in &t.ops {
@@ -509,7 +516,8 @@ mod tests {
         let added = t.ops.len() - before;
         let target = (before as f64 * 0.05) as usize;
         assert!(
-            added as f64 > target as f64 * 0.5 && added as f64 <= (target as f64 * 1.5 + mutations as f64),
+            added as f64 > target as f64 * 0.5
+                && added as f64 <= (target as f64 * 1.5 + mutations as f64),
             "added {added} lookups for target {target}"
         );
         // injected lookups follow a mutation by a different process

@@ -10,8 +10,7 @@
 use cx_protocol::testkit::{Envelope, Kit};
 use cx_protocol::Endpoint;
 use cx_types::{
-    BatchTrigger, ClusterConfig, FileKind, FsOp, InodeNo, MsgKind, Name, ProcId, Protocol,
-    ServerId,
+    BatchTrigger, ClusterConfig, FileKind, FsOp, InodeNo, MsgKind, Name, ProcId, Protocol, ServerId,
 };
 
 const ROOT: InodeNo = InodeNo(1);
@@ -45,16 +44,13 @@ fn ordered() {
             ino,
         },
     );
-    println!("ProA create(root/42): {:?} — both sub-ops executed concurrently,", kit.outcome(a).unwrap());
+    println!(
+        "ProA create(root/42): {:?} — both sub-ops executed concurrently,",
+        kit.outcome(a).unwrap()
+    );
     println!("  commitment deferred; the new dentry and inode are now *active objects*");
 
-    let b = kit.run_op(
-        ProcId::new(1, 0),
-        FsOp::Lookup {
-            parent: ROOT,
-            name,
-        },
-    );
+    let b = kit.run_op(ProcId::new(1, 0), FsOp::Lookup { parent: ROOT, name });
     println!(
         "ProB lookup(root/42): touches the active dentry → conflict → the\n\
          coordinator launches an immediate commitment for ProA's create,\n\
@@ -116,8 +112,22 @@ fn disordered() {
         false
     });
 
-    let a = kit.start_op(a_proc, FsOp::Link { parent: ROOT, name: n, target: t });
-    let b = kit.start_op(b_proc, FsOp::Unlink { parent: ROOT, name: n, target: t });
+    let a = kit.start_op(
+        a_proc,
+        FsOp::Link {
+            parent: ROOT,
+            name: n,
+            target: t,
+        },
+    );
+    let b = kit.start_op(
+        b_proc,
+        FsOp::Unlink {
+            parent: ROOT,
+            name: n,
+            target: t,
+        },
+    );
     kit.run();
     println!(
         "held deliveries: coordinator saw only A, participant saw only B\n\

@@ -39,9 +39,7 @@ fn main() {
                 row.recovery_secs,
                 row.protocol_secs
             ),
-            None => println!(
-                "{target_kb:>8}KB    — workload too small to accumulate this volume"
-            ),
+            None => println!("{target_kb:>8}KB    — workload too small to accumulate this volume"),
         }
     }
 

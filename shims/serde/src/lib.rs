@@ -1,0 +1,298 @@
+//! Local `serde` shim: `Serialize`/`Deserialize` over an owned JSON tree.
+//!
+//! The real serde's visitor architecture is replaced by a concrete [`Json`]
+//! intermediate value: `Serialize` renders into it, `Deserialize` reads from
+//! it, and the `serde_json` shim handles text. Object member order is
+//! preserved (insertion order), matching serde's struct-field order.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+
+/// Owned JSON value. Objects keep member order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+pub trait Serialize {
+    fn to_json(&self) -> Json;
+}
+
+pub trait Deserialize: Sized {
+    fn from_json(v: &Json) -> Result<Self, String>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json { Json::U64(*self as u64) }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                let v = *self as i64;
+                if v >= 0 { Json::U64(v as u64) } else { Json::I64(v) }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(|x| x.to_json()).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(|x| x.to_json()).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(|x| x.to_json()).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(x) => x.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json(&self) -> Json {
+                Json::Array(vec![$(self.$n.to_json()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Map keys must serialize to a string or an integer (integers are
+/// stringified, as serde_json does for integer-keyed maps).
+fn key_to_string(k: &Json) -> String {
+    match k {
+        Json::Str(s) => s.clone(),
+        Json::U64(n) => n.to_string(),
+        Json::I64(n) => n.to_string(),
+        other => panic!("serde shim: unsupported map key {other:?}"),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(&k.to_json()), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<Self, String> {
+                let n: u64 = match v {
+                    Json::U64(n) => *n,
+                    Json::I64(n) if *n >= 0 => *n as u64,
+                    Json::F64(f) if *f >= 0.0 && f.fract() == 0.0 => *f as u64,
+                    // Map keys arrive as strings.
+                    Json::Str(s) => s.parse().map_err(|_| format!("bad integer `{s}`"))?,
+                    other => return Err(format!("expected unsigned integer, got {other:?}")),
+                };
+                <$t>::try_from(n).map_err(|_| format!("integer {n} out of range"))
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<Self, String> {
+                let n: i64 = match v {
+                    Json::I64(n) => *n,
+                    Json::U64(n) => i64::try_from(*n).map_err(|_| "integer overflow".to_string())?,
+                    Json::F64(f) if f.fract() == 0.0 => *f as i64,
+                    Json::Str(s) => s.parse().map_err(|_| format!("bad integer `{s}`"))?,
+                    other => return Err(format!("expected integer, got {other:?}")),
+                };
+                <$t>::try_from(n).map_err(|_| format!("integer {n} out of range"))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v {
+            Json::F64(f) => Ok(*f),
+            Json::U64(n) => Ok(*n as f64),
+            Json::I64(n) => Ok(*n as f64),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        f64::from_json(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v {
+            Json::Array(a) => a.iter().map(T::from_json).collect(),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v {
+            Json::Array(a) if a.len() == N => {
+                let items: Vec<T> = a.iter().map(T::from_json).collect::<Result<_, _>>()?;
+                items
+                    .try_into()
+                    .map_err(|_| "array length mismatch".to_string())
+            }
+            other => Err(format!("expected {N}-element array, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json(v: &Json) -> Result<Self, String> {
+                match v {
+                    Json::Array(a) if a.len() == $len => {
+                        Ok(($($t::from_json(&a[$n])?,)+))
+                    }
+                    other => Err(format!("expected {}-tuple, got {other:?}", $len)),
+                }
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v {
+            Json::Object(o) => o
+                .iter()
+                .map(|(k, val)| {
+                    let key = K::from_json(&Json::Str(k.clone()))?;
+                    Ok((key, V::from_json(val)?))
+                })
+                .collect(),
+            other => Err(format!("expected object, got {other:?}")),
+        }
+    }
+}

@@ -1,0 +1,609 @@
+//! Minimal `#[derive(Serialize, Deserialize)]` for the local `serde` shim.
+//!
+//! Parses the item's token stream by hand (no syn/quote) and emits impls of
+//! the shim traits (`serde::Serialize::to_json` / `serde::Deserialize::from_json`)
+//! over the shim's owned `serde::Json` tree.
+//!
+//! Supported shapes (everything this workspace derives):
+//! - structs: named, tuple (incl. newtype), unit; lifetime-only generics
+//! - enums: unit, newtype, tuple, and struct variants (externally tagged)
+//!
+//! `#[serde(...)]` attributes are accepted but ignored (none exist in-tree).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed shape
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Raw generics text between `<` and `>` (e.g. `'a`), empty if none.
+    generics: String,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde_derive: expected `struct` or `enum`, found {t}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde_derive: expected item name, found {t}"),
+    };
+    i += 1;
+
+    let generics = parse_generics(&toks, &mut i);
+
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_struct_fields(&toks, &mut i)),
+        "enum" => {
+            let group = expect_group(&toks, &mut i, Delimiter::Brace, "enum body");
+            Body::Enum(parse_variants(&group))
+        }
+        k => panic!("serde_derive: cannot derive for `{k}` items"),
+    };
+
+    Item {
+        name,
+        generics,
+        body,
+    }
+}
+
+/// Skips `#[...]` attributes (incl. doc comments) and a `pub` / `pub(...)`
+/// visibility prefix, starting at `*i`.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                *i += 1; // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// If positioned at `<`, captures the raw generics text up to the matching
+/// `>` (exclusive) and advances past it. Lifetime tokens (`'` + ident) are
+/// re-joined without a space.
+fn parse_generics(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return String::new(),
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut out = String::new();
+    let mut glue_next = false;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                out.push('<');
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *i += 1;
+                    return out;
+                }
+                out.push('>');
+            }
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                out.push_str(" '");
+                glue_next = true;
+                *i += 1;
+                continue;
+            }
+            t => {
+                if !glue_next {
+                    out.push(' ');
+                }
+                out.push_str(&t.to_string());
+            }
+        }
+        glue_next = false;
+        *i += 1;
+    }
+    panic!("serde_derive: unclosed generics");
+}
+
+fn expect_group(toks: &[TokenTree], i: &mut usize, delim: Delimiter, what: &str) -> Vec<TokenTree> {
+    match toks.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == delim => {
+            *i += 1;
+            g.stream().into_iter().collect()
+        }
+        t => panic!("serde_derive: expected {what}, found {t:?}"),
+    }
+}
+
+fn parse_struct_fields(toks: &[TokenTree], i: &mut usize) -> Fields {
+    match toks.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            *i += 1;
+            Fields::Named(parse_named_fields(&inner))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            *i += 1;
+            Fields::Tuple(count_tuple_fields(&inner))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+            *i += 1;
+            Fields::Unit
+        }
+        t => panic!("serde_derive: expected struct body, found {t:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` field lists; skips attributes, visibility and
+/// type tokens (tracking `<`/`>` depth so commas inside generics don't split).
+fn parse_named_fields(toks: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("serde_derive: expected field name, found {t}"),
+        };
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            t => panic!("serde_derive: expected `:` after field `{name}`, found {t}"),
+        }
+        skip_type(toks, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+/// Advances past one type, stopping after a depth-0 `,` (consumed) or at the
+/// end of the token list.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Counts fields of a tuple struct/variant body (the tokens inside `(...)`).
+fn count_tuple_fields(toks: &[TokenTree]) -> usize {
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut depth = 0i32;
+    let mut trailing_comma = false;
+    for (idx, t) in toks.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if idx == toks.len() - 1 {
+                    trailing_comma = true;
+                } else {
+                    n += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = trailing_comma;
+    n
+}
+
+fn parse_variants(toks: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("serde_derive: expected variant name, found {t}"),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Fields::Named(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Fields::Tuple(count_tuple_fields(&inner))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Emission helpers
+// ---------------------------------------------------------------------------
+
+impl Item {
+    /// `("<'a>", "<'a>")` — (impl generics, type generics) — or two empty
+    /// strings. Bounds are stripped from the type-generics side.
+    fn generic_parts(&self) -> (String, String) {
+        if self.generics.is_empty() {
+            return (String::new(), String::new());
+        }
+        let params: Vec<&str> = split_top_level(&self.generics);
+        let names: Vec<String> = params
+            .iter()
+            .map(|p| p.split(':').next().unwrap_or(p).trim().to_string())
+            .collect();
+        (
+            format!("<{}>", self.generics),
+            format!("<{}>", names.join(", ")),
+        )
+    }
+}
+
+/// Splits `s` at depth-0 commas (depth tracked over `<`/`>`).
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (idx, c) in s.char_indices() {
+        match c {
+            '<' => depth += 1,
+            '>' => depth -= 1,
+            ',' if depth == 0 => {
+                parts.push(s[start..idx].trim());
+                start = idx + 1;
+            }
+            _ => {}
+        }
+    }
+    let last = s[start..].trim();
+    if !last.is_empty() {
+        parts.push(last);
+    }
+    parts
+}
+
+// ---------------------------------------------------------------------------
+// Serialize emission
+// ---------------------------------------------------------------------------
+
+fn emit_serialize(item: &Item) -> String {
+    let (ig, tg) = item.generic_parts();
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => serialize_struct_body(fields),
+        Body::Enum(variants) => serialize_enum_body(name, variants),
+    };
+    format!(
+        "impl{ig} ::serde::Serialize for {name}{tg} {{\n\
+         \tfn to_json(&self) -> ::serde::Json {{\n{body}\t}}\n}}\n"
+    )
+}
+
+fn serialize_struct_body(fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_json(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "\t\t::serde::Json::Object(::std::vec![{}])\n",
+                entries.join(", ")
+            )
+        }
+        Fields::Tuple(1) => "\t\t::serde::Serialize::to_json(&self.0)\n".to_string(),
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_json(&self.{k})"))
+                .collect();
+            format!(
+                "\t\t::serde::Json::Array(::std::vec![{}])\n",
+                elems.join(", ")
+            )
+        }
+        Fields::Unit => "\t\t::serde::Json::Null\n".to_string(),
+    }
+}
+
+fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                arms.push_str(&format!(
+                    "\t\t\t{name}::{vname} => \
+                     ::serde::Json::Str(::std::string::String::from(\"{vname}\")),\n"
+                ));
+            }
+            Fields::Tuple(1) => {
+                arms.push_str(&format!(
+                    "\t\t\t{name}::{vname}(__f0) => ::serde::Json::Object(::std::vec![\
+                     (::std::string::String::from(\"{vname}\"), \
+                     ::serde::Serialize::to_json(__f0))]),\n"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                let elems: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_json({b})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "\t\t\t{name}::{vname}({}) => ::serde::Json::Object(::std::vec![\
+                     (::std::string::String::from(\"{vname}\"), \
+                     ::serde::Json::Array(::std::vec![{}]))]),\n",
+                    binds.join(", "),
+                    elems.join(", ")
+                ));
+            }
+            Fields::Named(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_json({f}))"
+                        )
+                    })
+                    .collect();
+                arms.push_str(&format!(
+                    "\t\t\t{name}::{vname} {{ {} }} => ::serde::Json::Object(::std::vec![\
+                     (::std::string::String::from(\"{vname}\"), \
+                     ::serde::Json::Object(::std::vec![{}]))]),\n",
+                    fields.join(", "),
+                    entries.join(", ")
+                ));
+            }
+        }
+    }
+    format!("\t\tmatch self {{\n{arms}\t\t}}\n")
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize emission
+// ---------------------------------------------------------------------------
+
+fn emit_deserialize(item: &Item) -> String {
+    let (ig, tg) = item.generic_parts();
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => deserialize_struct_body(name, fields),
+        Body::Enum(variants) => deserialize_enum_body(name, variants),
+    };
+    format!(
+        "impl{ig} ::serde::Deserialize for {name}{tg} {{\n\
+         \tfn from_json(__v: &::serde::Json) -> \
+         ::std::result::Result<Self, ::std::string::String> {{\n{body}\t}}\n}}\n"
+    )
+}
+
+/// `field: <lookup in __o>` initializer for one named field. Missing fields
+/// fall back to deserializing from `Null` (so `Option` defaults to `None`).
+fn named_field_init(owner: &str, f: &str) -> String {
+    format!(
+        "{f}: match __o.iter().find(|__kv| __kv.0 == \"{f}\") {{\
+         ::std::option::Option::Some(__kv) => ::serde::Deserialize::from_json(&__kv.1)?, \
+         ::std::option::Option::None => \
+         ::serde::Deserialize::from_json(&::serde::Json::Null)\
+         .map_err(|_| ::std::string::String::from(\"missing field `{f}` in {owner}\"))?, \
+         }}"
+    )
+}
+
+fn deserialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let inits: Vec<String> = names.iter().map(|f| named_field_init(name, f)).collect();
+            format!(
+                "\t\tmatch __v {{\n\
+                 \t\t\t::serde::Json::Object(__o) => ::std::result::Result::Ok({name} {{ {} }}),\n\
+                 \t\t\t_ => ::std::result::Result::Err(\
+                 ::std::string::String::from(\"expected object for {name}\")),\n\
+                 \t\t}}\n",
+                inits.join(", ")
+            )
+        }
+        Fields::Tuple(1) => format!(
+            "\t\t::std::result::Result::Ok({name}(::serde::Deserialize::from_json(__v)?))\n"
+        ),
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_json(&__a[{k}])?"))
+                .collect();
+            format!(
+                "\t\tmatch __v {{\n\
+                 \t\t\t::serde::Json::Array(__a) if __a.len() == {n} => \
+                 ::std::result::Result::Ok({name}({})),\n\
+                 \t\t\t_ => ::std::result::Result::Err(\
+                 ::std::string::String::from(\"expected {n}-element array for {name}\")),\n\
+                 \t\t}}\n",
+                elems.join(", ")
+            )
+        }
+        Fields::Unit => {
+            format!("\t\tlet _ = __v;\n\t\t::std::result::Result::Ok({name})\n")
+        }
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .collect();
+    let data: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, Fields::Unit))
+        .collect();
+
+    let mut out = String::from("\t\tmatch __v {\n");
+
+    if !unit.is_empty() {
+        let arms: Vec<String> = unit
+            .iter()
+            .map(|v| {
+                format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                    vn = v.name
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "\t\t\t::serde::Json::Str(__s) => match __s.as_str() {{ {} _ => \
+             ::std::result::Result::Err(::std::format!(\
+             \"unknown variant `{{}}` for {name}\", __s)), }},\n",
+            arms.join(" ")
+        ));
+    }
+
+    if !data.is_empty() {
+        let mut arms = String::new();
+        for v in &data {
+            let vn = &v.name;
+            match &v.fields {
+                Fields::Tuple(1) => {
+                    arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok(\
+                         {name}::{vn}(::serde::Deserialize::from_json(__val)?)), "
+                    ));
+                }
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_json(&__a[{k}])?"))
+                        .collect();
+                    arms.push_str(&format!(
+                        "\"{vn}\" => match __val {{ \
+                         ::serde::Json::Array(__a) if __a.len() == {n} => \
+                         ::std::result::Result::Ok({name}::{vn}({})), \
+                         _ => ::std::result::Result::Err(::std::string::String::from(\
+                         \"expected {n}-element array for {name}::{vn}\")), }}, ",
+                        elems.join(", ")
+                    ));
+                }
+                Fields::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| named_field_init(&format!("{name}::{vn}"), f))
+                        .collect();
+                    arms.push_str(&format!(
+                        "\"{vn}\" => match __val {{ \
+                         ::serde::Json::Object(__o) => \
+                         ::std::result::Result::Ok({name}::{vn} {{ {} }}), \
+                         _ => ::std::result::Result::Err(::std::string::String::from(\
+                         \"expected object for {name}::{vn}\")), }}, ",
+                        inits.join(", ")
+                    ));
+                }
+                Fields::Unit => unreachable!(),
+            }
+        }
+        out.push_str(&format!(
+            "\t\t\t::serde::Json::Object(__o1) if __o1.len() == 1 => {{\n\
+             \t\t\t\tlet __val = &__o1[0].1;\n\
+             \t\t\t\tmatch __o1[0].0.as_str() {{ {arms} _ => \
+             ::std::result::Result::Err(::std::format!(\
+             \"unknown variant `{{}}` for {name}\", __o1[0].0)), }}\n\
+             \t\t\t}}\n"
+        ));
+    }
+
+    out.push_str(&format!(
+        "\t\t\t_ => ::std::result::Result::Err(\
+         ::std::string::String::from(\"invalid json for enum {name}\")),\n\t\t}}\n"
+    ));
+    out
+}

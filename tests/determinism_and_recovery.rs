@@ -92,6 +92,92 @@ fn threaded_and_des_agree() {
         .run_threaded();
     assert!(des.is_consistent() && thr.is_consistent());
     assert_eq!(des.stats.ops_total, thr.stats.ops_total);
-    assert_eq!(des.stats.ops_applied, thr.stats.ops_applied);
-    assert_eq!(des.stats.ops_failed, thr.stats.ops_failed);
+    // The threaded runtime batches on *wall-clock* timers, so which ops land
+    // in which lazy-commitment batch — and therefore which concurrent ops
+    // conflict and abort — races with real thread scheduling. Exact
+    // applied/failed equality with the virtual-time simulator is not a
+    // guaranteed invariant; near-agreement is.
+    assert_eq!(
+        thr.stats.ops_applied + thr.stats.ops_failed,
+        thr.stats.ops_total
+    );
+    let diff = des.stats.ops_applied.abs_diff(thr.stats.ops_applied);
+    assert!(
+        diff <= des.stats.ops_total / 50,
+        "threaded applied {} vs DES {} — divergence beyond scheduling noise",
+        thr.stats.ops_applied,
+        des.stats.ops_applied
+    );
 }
+
+/// FNV-1a over a stable rendering of the run's key statistics.
+fn stats_digest(r: &cx_core::ExperimentResult) -> u64 {
+    use std::fmt::Write;
+    let s = &r.stats;
+    let mut text = String::new();
+    write!(
+        text,
+        "{:?}|{:?}|{:?}|{}|{}|{}|{}|{:?}|{:?}|{:?}|{}|{}",
+        s.replay,
+        s.drained,
+        s.msgs,
+        s.events,
+        s.ops_total,
+        s.ops_applied,
+        s.ops_failed,
+        s.disk,
+        s.server_stats,
+        s.latency,
+        s.cross_ops,
+        s.peak_valid_bytes,
+    )
+    .expect("write to String");
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Perf-pass regression guard: the home2 replay must stay bit-identical
+/// run to run, identical under both event-queue backends (timing wheel vs
+/// the reference binary heap selected by `CX_SIM_QUEUE=heap`), and
+/// identical to the digest pinned when the optimization pass landed. A
+/// digest change means simulator *behavior* changed — intended changes
+/// must re-pin the golden value.
+#[test]
+fn home2_digest_pins_simulator_behavior() {
+    let run = || {
+        Experiment::new(Workload::trace("home2").scale(0.005).seed(7))
+            .servers(8)
+            .protocol(Protocol::Cx)
+            .seed(42)
+            .run()
+    };
+    let a = run();
+    let b = run();
+    assert!(a.is_consistent());
+    assert_eq!(
+        stats_digest(&a),
+        stats_digest(&b),
+        "same-process replay must be exact"
+    );
+
+    // Reference-backend equivalence. Setting the env var mid-process is
+    // benign for concurrently starting runs: both backends produce
+    // identical event orderings by construction.
+    std::env::set_var("CX_SIM_QUEUE", "heap");
+    let c = run();
+    std::env::remove_var("CX_SIM_QUEUE");
+    assert_eq!(
+        stats_digest(&a),
+        stats_digest(&c),
+        "timing-wheel and heap backends must replay identically"
+    );
+
+    assert_eq!(stats_digest(&a), GOLDEN_HOME2_DIGEST);
+}
+
+/// Pinned by running the home2 replay above at the end of the perf pass.
+const GOLDEN_HOME2_DIGEST: u64 = 4_199_832_947_163_537_151;

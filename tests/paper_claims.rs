@@ -49,8 +49,14 @@ fn cx_improvement_is_substantial() {
 #[test]
 fn table4_message_overhead_is_low() {
     let trace = Workload::trace("CTH").scale(0.008);
-    let se = Experiment::new(trace.clone()).servers(8).protocol(Protocol::Se).run();
-    let cx = Experiment::new(trace).servers(8).protocol(Protocol::Cx).run();
+    let se = Experiment::new(trace.clone())
+        .servers(8)
+        .protocol(Protocol::Se)
+        .run();
+    let cx = Experiment::new(trace)
+        .servers(8)
+        .protocol(Protocol::Cx)
+        .run();
     let overhead = cx.stats.total_msgs() as f64 / se.stats.total_msgs() as f64 - 1.0;
     assert!(
         (0.0..0.08).contains(&overhead),
@@ -123,13 +129,18 @@ fn table2_conflict_ratios_are_low_and_ordered() {
 fn figure8_conflicts_erode_the_advantage() {
     let cx_time = |inject| {
         let r = Experiment::new(
-            Workload::trace("home2").scale(0.004).inject_conflicts(inject),
+            Workload::trace("home2")
+                .scale(0.004)
+                .inject_conflicts(inject),
         )
         .servers(8)
         .protocol(Protocol::Cx)
         .run();
         assert!(r.is_consistent());
-        (r.stats.replay_secs(), r.stats.server_stats.immediate_commitments)
+        (
+            r.stats.replay_secs(),
+            r.stats.server_stats.immediate_commitments,
+        )
     };
     let (t0, imm0) = cx_time(0.0);
     let (t_hi, imm_hi) = cx_time(0.10);
@@ -152,7 +163,12 @@ fn all_protocols_agree_end_to_end() {
         .servers(4)
         .protocol(Protocol::Cx)
         .run();
-    for protocol in [Protocol::Se, Protocol::SeBatched, Protocol::TwoPc, Protocol::Ce] {
+    for protocol in [
+        Protocol::Se,
+        Protocol::SeBatched,
+        Protocol::TwoPc,
+        Protocol::Ce,
+    ] {
         let r = Experiment::new(workload.clone())
             .servers(4)
             .protocol(protocol)

@@ -133,7 +133,12 @@ fn injected_subop_failures_abort_atomically() {
     assert!(r.is_consistent(), "aborts must leave no partial state");
     assert!(r.stats.ops_failed > 0, "injected failures must surface");
     assert!(
-        r.stats.msgs.get(&cx_core::MsgKind::AllNo).copied().unwrap_or(0) > 0,
+        r.stats
+            .msgs
+            .get(&cx_core::MsgKind::AllNo)
+            .copied()
+            .unwrap_or(0)
+            > 0,
         "disagreements must resolve through ALL-NO"
     );
 }

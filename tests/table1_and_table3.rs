@@ -23,32 +23,80 @@ fn halves(op: FsOp) -> (SubOp, SubOp) {
 #[test]
 fn table1_sub_operation_split() {
     // create: insert entry + update parent | add inode, flag regular
-    let (c, p) = halves(FsOp::Create { parent: PARENT, name: NAME, ino: INO });
-    assert!(matches!(c, SubOp::InsertEntry { kind: cx_types::FileKind::Regular, .. }));
-    assert!(matches!(p, SubOp::CreateInode { kind: cx_types::FileKind::Regular, .. }));
+    let (c, p) = halves(FsOp::Create {
+        parent: PARENT,
+        name: NAME,
+        ino: INO,
+    });
+    assert!(matches!(
+        c,
+        SubOp::InsertEntry {
+            kind: cx_types::FileKind::Regular,
+            ..
+        }
+    ));
+    assert!(matches!(
+        p,
+        SubOp::CreateInode {
+            kind: cx_types::FileKind::Regular,
+            ..
+        }
+    ));
 
     // remove: remove entry + update parent | free inode if nlink reaches 0
-    let (c, p) = halves(FsOp::Remove { parent: PARENT, name: NAME, ino: INO });
+    let (c, p) = halves(FsOp::Remove {
+        parent: PARENT,
+        name: NAME,
+        ino: INO,
+    });
     assert!(matches!(c, SubOp::RemoveEntry { .. }));
     assert!(matches!(p, SubOp::ReleaseInode { .. }));
 
     // mkdir: insert entry + update parent | add inode, flag dir, allocate entry space
-    let (c, p) = halves(FsOp::Mkdir { parent: PARENT, name: NAME, ino: INO });
-    assert!(matches!(c, SubOp::InsertEntry { kind: cx_types::FileKind::Directory, .. }));
-    assert!(matches!(p, SubOp::CreateInode { kind: cx_types::FileKind::Directory, .. }));
+    let (c, p) = halves(FsOp::Mkdir {
+        parent: PARENT,
+        name: NAME,
+        ino: INO,
+    });
+    assert!(matches!(
+        c,
+        SubOp::InsertEntry {
+            kind: cx_types::FileKind::Directory,
+            ..
+        }
+    ));
+    assert!(matches!(
+        p,
+        SubOp::CreateInode {
+            kind: cx_types::FileKind::Directory,
+            ..
+        }
+    ));
 
     // rmdir: remove entry + update parent | free inode if nlink reaches 0
-    let (c, p) = halves(FsOp::Rmdir { parent: PARENT, name: NAME, ino: INO });
+    let (c, p) = halves(FsOp::Rmdir {
+        parent: PARENT,
+        name: NAME,
+        ino: INO,
+    });
     assert!(matches!(c, SubOp::RemoveEntry { .. }));
     assert!(matches!(p, SubOp::ReleaseInode { .. }));
 
     // link: insert entry + update parent | increase nlink
-    let (c, p) = halves(FsOp::Link { parent: PARENT, name: NAME, target: INO });
+    let (c, p) = halves(FsOp::Link {
+        parent: PARENT,
+        name: NAME,
+        target: INO,
+    });
     assert!(matches!(c, SubOp::InsertEntry { .. }));
     assert!(matches!(p, SubOp::IncNlink { .. }));
 
     // unlink: remove entry + update parent | decrease nlink
-    let (c, p) = halves(FsOp::Unlink { parent: PARENT, name: NAME, target: INO });
+    let (c, p) = halves(FsOp::Unlink {
+        parent: PARENT,
+        name: NAME,
+        target: INO,
+    });
     assert!(matches!(c, SubOp::RemoveEntry { .. }));
     assert!(matches!(p, SubOp::DecNlink { .. }));
 }
@@ -60,25 +108,45 @@ fn table3_message_vocabulary() {
 
     // VOTE: coordinator → participant, queries the sub-ops' results
     assert_eq!(
-        Payload::Vote { ops: vec![op], order_after: vec![] }.kind(),
+        Payload::Vote {
+            ops: vec![op],
+            order_after: vec![]
+        }
+        .kind(),
         MsgKind::Vote
     );
     // YES/NO: execution results (sub-op responses and vote results)
     assert_eq!(
-        Payload::SubOpResp { op_id: op, verdict: Verdict::Yes, hint: cx_types::Hint::null() }.kind(),
+        Payload::SubOpResp {
+            op_id: op,
+            verdict: Verdict::Yes,
+            hint: cx_types::Hint::null()
+        }
+        .kind(),
         MsgKind::SubOpResp
     );
     assert_eq!(
-        Payload::VoteResult { results: vec![(op, Verdict::No)] }.kind(),
+        Payload::VoteResult {
+            results: vec![(op, Verdict::No)]
+        }
+        .kind(),
         MsgKind::VoteResult
     );
     // COMMIT-REQ / ABORT-REQ: asks to commit/abort the executions
     assert_eq!(
-        Payload::CommitDecision { commits: vec![op], aborts: vec![] }.kind(),
+        Payload::CommitDecision {
+            commits: vec![op],
+            aborts: vec![]
+        }
+        .kind(),
         MsgKind::CommitReq
     );
     assert_eq!(
-        Payload::CommitDecision { commits: vec![], aborts: vec![op] }.kind(),
+        Payload::CommitDecision {
+            commits: vec![],
+            aborts: vec![op]
+        }
+        .kind(),
         MsgKind::AbortReq
     );
     // ACK: participant → coordinator, completes an operation
@@ -102,7 +170,11 @@ fn operation_id_components() {
 
     // the participant sub-op of a Table I op carries role Participant in
     // its assignment
-    let plan = Placement::new(16).plan(FsOp::Create { parent: PARENT, name: NAME, ino: INO });
+    let plan = Placement::new(16).plan(FsOp::Create {
+        parent: PARENT,
+        name: NAME,
+        ino: INO,
+    });
     for (_, _, role) in plan.assignments().into_iter().skip(1) {
         assert_eq!(role, Role::Participant);
     }
