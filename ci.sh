@@ -17,12 +17,18 @@ cargo fmt --all -- --check
 step "clippy (hot-path crates, -D warnings)"
 cargo clippy -q \
     -p cx-types -p cx-sim -p cx-wal -p cx-mdstore \
-    -p cx-protocol -p cx-cluster -p cx-bench \
+    -p cx-protocol -p cx-cluster -p cx-bench -p cx-chaos \
     --all-targets -- -D warnings
 
 if [ "${1:-}" != "quick" ]; then
     step "cargo build --release"
     cargo build --release --workspace
+
+    # Fixed-seed chaos smoke: both protocol envelopes must come out clean,
+    # and the oracle must still catch the deliberately broken recovery.
+    step "chaos smoke (fixed seeds)"
+    cargo run -q --release -p cx-chaos -- --seeds 25 --out-dir target
+    cargo run -q --release -p cx-chaos -- --demo-broken --seeds 5 --out-dir target
 fi
 
 step "cargo test (workspace)"

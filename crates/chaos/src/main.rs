@@ -1,0 +1,255 @@
+//! The schedule explorer CLI.
+//!
+//! ```text
+//! cx-chaos --seeds 200                  # explore Cx and 2PC envelopes
+//! cx-chaos --seeds 100 --protocol cx    # one protocol only
+//! cx-chaos --demo-broken                # prove the oracle catches bugs
+//! cx-chaos --replay repro.json          # re-run a recorded schedule
+//! ```
+//!
+//! Exit status: 0 = no violations (or, under `--demo-broken`, the broken
+//! variant *was* caught; or a `--replay` reproduced); 1 otherwise.
+
+use cx_chaos::{explore, run_plan, ChaosScenario, CrashFault, CrashPoint, FaultPlan, Repro};
+use cx_types::{Protocol, ServerId, DUR_MS};
+use cx_wal::RecordFamily;
+use std::process::ExitCode;
+
+struct Args {
+    seeds: u64,
+    first_seed: u64,
+    protocols: Vec<Protocol>,
+    demo_broken: bool,
+    replay: Option<String>,
+    out_dir: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 50,
+        first_seed: 0,
+        protocols: vec![Protocol::Cx, Protocol::TwoPc],
+        demo_broken: false,
+        replay: None,
+        out_dir: ".".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--seeds" => {
+                args.seeds = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?
+            }
+            "--first-seed" => {
+                args.first_seed = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--first-seed: {e}"))?
+            }
+            "--protocol" => {
+                args.protocols = match value(&mut i)?.as_str() {
+                    "cx" => vec![Protocol::Cx],
+                    "2pc" | "twopc" => vec![Protocol::TwoPc],
+                    "both" => vec![Protocol::Cx, Protocol::TwoPc],
+                    other => return Err(format!("unknown protocol {other:?} (cx|2pc|both)")),
+                }
+            }
+            "--demo-broken" => args.demo_broken = true,
+            "--replay" => args.replay = Some(value(&mut i)?),
+            "--out-dir" => args.out_dir = value(&mut i)?,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn proto_tag(p: Protocol) -> &'static str {
+    match p {
+        Protocol::Cx => "cx",
+        Protocol::TwoPc => "2pc",
+        _ => "other",
+    }
+}
+
+fn write_repro(dir: &str, repro: &Repro) -> String {
+    let path = format!(
+        "{dir}/chaos-repro-{}-{}.json",
+        proto_tag(repro.scenario.protocol),
+        repro.seed
+    );
+    std::fs::write(&path, repro.to_json()).expect("write repro file");
+    path
+}
+
+fn replay(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let repro = match Repro::from_json(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let run = run_plan(&repro.scenario, &repro.plan);
+    println!("replayed seed {} ({} faults)", repro.seed, repro.plan.len());
+    for f in &run.failures {
+        println!("  {f}");
+    }
+    if run.digest == repro.digest && run.failures == repro.failures {
+        println!("reproduced: digest {} matches the recording", run.digest);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "MISMATCH: digest {} vs recorded {} ({} vs {} failures)",
+            run.digest,
+            repro.digest,
+            run.failures.len(),
+            repro.failures.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Prove the oracle has teeth: under `unsafe_skip_recovery_resume`, a
+/// participant crash with commitments in flight must produce violations,
+/// a shrunken repro, and a byte-identical replay.
+fn demo_broken(args: &Args) -> ExitCode {
+    let mut scn = ChaosScenario::new(Protocol::Cx);
+    scn.broken = true;
+
+    // Random exploration first — the generator's own envelope finds it.
+    let out = explore(&scn, args.first_seed, args.seeds);
+    let mut repros = out.repros;
+    if !out.replay_mismatches.is_empty() {
+        for m in &out.replay_mismatches {
+            eprintln!("{m}");
+        }
+        return ExitCode::FAILURE;
+    }
+    if repros.is_empty() {
+        // Fall back to a targeted sweep of participant crash points so the
+        // demonstration stays robust at tiny seed budgets.
+        'sweep: for server in 0..scn.servers {
+            for nth in [3u64, 6, 10, 16, 24] {
+                let plan = FaultPlan {
+                    crashes: vec![CrashFault {
+                        server: ServerId(server),
+                        point: CrashPoint::WalAppend {
+                            family: RecordFamily::Result,
+                            nth,
+                        },
+                        torn_extra_bytes: 0,
+                        detection_ns: 30 * DUR_MS,
+                        reboot_ns: 15 * DUR_MS,
+                    }],
+                    ..FaultPlan::default()
+                };
+                let run = run_plan(&scn, &plan);
+                if !run.failures.is_empty() {
+                    let again = run_plan(&scn, &plan);
+                    assert_eq!(run.digest, again.digest, "replay must be exact");
+                    repros.push(Repro {
+                        seed: args.first_seed,
+                        scenario: scn,
+                        plan,
+                        failures: run.failures,
+                        digest: run.digest,
+                    });
+                    break 'sweep;
+                }
+            }
+        }
+    }
+
+    match repros.first() {
+        Some(repro) => {
+            let path = write_repro(&args.out_dir, repro);
+            println!(
+                "broken recovery caught: {} finding(s), {}-fault shrunken plan -> {path}",
+                repro.failures.len(),
+                repro.plan.len()
+            );
+            for f in repro.failures.iter().take(4) {
+                println!("  {f}");
+            }
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "oracle failed to catch the broken recovery in {} seeds + targeted sweep",
+                args.seeds
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &args.replay {
+        return replay(path);
+    }
+    if args.demo_broken {
+        return demo_broken(&args);
+    }
+
+    let mut failed = false;
+    for &protocol in &args.protocols {
+        let scn = ChaosScenario::new(protocol);
+        let out = explore(&scn, args.first_seed, args.seeds);
+        let f = &out.faults;
+        println!(
+            "{}: {} seeds | drops {} delays {} dups {} dead {} | crashes {} (torn {}) recoveries {} | \
+             oracle checks {} violations {} | wedged runs {}",
+            proto_tag(protocol),
+            out.seeds_run,
+            f.drops,
+            f.delays,
+            f.dups,
+            f.dead_drops,
+            f.crashes,
+            f.torn_crashes,
+            f.recoveries,
+            f.oracle_checks,
+            f.oracle_violations,
+            out.wedged,
+        );
+        for m in &out.replay_mismatches {
+            eprintln!("  {m}");
+            failed = true;
+        }
+        for repro in &out.repros {
+            let path = write_repro(&args.out_dir, repro);
+            eprintln!("  VIOLATION at seed {} -> {path}", repro.seed);
+            for f in repro.failures.iter().take(4) {
+                eprintln!("    {f}");
+            }
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

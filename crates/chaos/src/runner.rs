@@ -1,0 +1,109 @@
+//! One fault-injected run: scenario × plan → outcome.
+
+use crate::inject::PlanInjector;
+use crate::plan::FaultPlan;
+use cx_cluster::{ChaosOutcome, DesCluster};
+use cx_types::{ClusterConfig, Protocol, DUR_MS};
+use cx_workloads::{Trace, TraceBuilder, TraceProfile};
+use serde::{Deserialize, Serialize};
+
+/// Everything that determines a chaos run besides the fault plan. The
+/// whole struct serializes into repro files, so a failing schedule is
+/// replayable from the JSON alone.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosScenario {
+    pub protocol: Protocol,
+    pub servers: u32,
+    pub trace_scale: f64,
+    pub workload_seed: u64,
+    /// Commitment re-drive period; gives Cx liveness when a VOTE or its
+    /// answer dies with a crashed participant.
+    pub commit_retry_ms: u64,
+    /// Run the deliberately broken recovery (skip §III-D resumption) so
+    /// the oracle's teeth can be demonstrated. Never set outside tests.
+    pub broken: bool,
+}
+
+impl ChaosScenario {
+    pub fn new(protocol: Protocol) -> Self {
+        Self {
+            protocol,
+            servers: 4,
+            trace_scale: 0.002,
+            workload_seed: 1,
+            commit_retry_ms: 40,
+            broken: false,
+        }
+    }
+
+    /// The driving workload (CTH mix: mutation-heavy, lots of
+    /// cross-server creates).
+    pub fn trace(&self) -> Trace {
+        TraceBuilder::new(TraceProfile::by_name("CTH").expect("profile exists"))
+            .scale(self.trace_scale)
+            .seed(self.workload_seed)
+            .build()
+    }
+
+    fn config(&self) -> ClusterConfig {
+        let mut cfg = ClusterConfig::new(self.servers, self.protocol);
+        cfg.seed = 42;
+        cfg.cx.commit_retry_timeout_ns = Some(self.commit_retry_ms * DUR_MS);
+        cfg.cx.unsafe_skip_recovery_resume = self.broken;
+        cfg
+    }
+}
+
+/// Result of one run, with the failure list the explorer/shrinker key on.
+pub struct ChaosRun {
+    /// The shared reproducibility fingerprint (`RunStats::digest`); equal
+    /// digests mean the runs were observably identical.
+    pub digest: u64,
+    /// Namespace violations (prefixed `namespace:`) plus every oracle
+    /// finding. Empty = the run passed.
+    pub failures: Vec<String>,
+    pub outcome: ChaosOutcome,
+}
+
+/// Execute `plan` under `scn` on the deterministic simulator.
+pub fn run_plan(scn: &ChaosScenario, plan: &FaultPlan) -> ChaosRun {
+    let trace = scn.trace();
+    let injector = PlanInjector::new(plan.clone(), &trace);
+    let outcome = DesCluster::new(scn.config(), &trace)
+        .with_injector(Box::new(injector))
+        .run_chaos();
+    let mut failures: Vec<String> = outcome
+        .violations
+        .iter()
+        .map(|v| format!("namespace: {v}"))
+        .collect();
+    failures.extend(outcome.oracle_report.iter().cloned());
+    ChaosRun {
+        digest: outcome.stats.digest(),
+        failures,
+        outcome,
+    }
+}
+
+/// A reproducible failing schedule: seed + scenario + (shrunken) plan,
+/// plus what it produced when found.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Repro {
+    /// The explorer seed that generated the original plan.
+    pub seed: u64,
+    pub scenario: ChaosScenario,
+    pub plan: FaultPlan,
+    pub failures: Vec<String>,
+    /// Event digest of the failing run; replays must reproduce it.
+    pub digest: u64,
+}
+
+impl Repro {
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("repro serializes")
+    }
+
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("bad repro file: {e:?}"))
+    }
+}

@@ -16,7 +16,8 @@
 //! synchronously (closed loop); "replay time" is the virtual time at which
 //! the last operation response arrives, matching the paper's metric.
 
-use crate::stats::{RunStats, TimelineSample};
+use crate::fault::{ClusterSnapshot, CrashCmd, FaultEvent, FaultInjector, MsgFate};
+use crate::stats::{AckRecord, RecoveryCycle, RunStats, TimelineSample};
 use cx_mdstore::{GlobalView, Violation};
 use cx_protocol::{Action, ClientDecision, ClientOp, Endpoint, ServerEngine};
 use cx_sim::{FifoResource, Sim};
@@ -25,6 +26,7 @@ use cx_types::{
     ClusterConfig, FileKind, FsOp, MsgKind, OpId, Payload, Placement, ProcId, ServerId, SimTime,
     DUR_US,
 };
+use cx_wal::RecordFamily;
 use cx_workloads::{SeedEntry, Trace};
 use std::collections::VecDeque;
 
@@ -90,34 +92,45 @@ pub struct CrashPlan {
     pub reboot_ns: u64,
 }
 
-/// Timing of one crash/recovery cycle.
-#[derive(Debug, Clone, Copy)]
+/// The crash/recovery cycles a run observed. The one-shot Table V
+/// experiment reads `cycles[0]`; multi-crash chaos schedules accumulate
+/// several (possibly for several servers).
+#[derive(Debug, Clone, Default)]
 pub struct RecoveryReport {
-    pub crashed_at: SimTime,
-    pub valid_bytes_at_crash: u64,
-    /// When the rebooted server began its log scan.
-    pub recovery_started: SimTime,
-    /// When the server resumed serving requests.
-    pub recovery_finished: SimTime,
-    pub scanned_bytes: u64,
+    /// Completed cycles, in completion order.
+    pub cycles: Vec<RecoveryCycle>,
 }
 
 impl RecoveryReport {
-    /// The paper's recovery time: reboot to serving again.
-    pub fn recovery_secs(&self) -> f64 {
-        (self.recovery_finished.0 - self.crashed_at.0) as f64 / 1e9
-    }
-
-    /// Protocol-only portion (log scan + resumption, excluding detection
-    /// and reboot).
-    pub fn protocol_secs(&self) -> f64 {
-        (self.recovery_finished.0 - self.recovery_started.0) as f64 / 1e9
+    /// The first completed cycle (the single-crash experiments' result).
+    pub fn first(&self) -> Option<&RecoveryCycle> {
+        self.cycles.first()
     }
 }
 
+/// Everything a fault-injected run reports (see [`DesCluster::run_chaos`]).
+pub struct ChaosOutcome {
+    pub stats: RunStats,
+    /// Namespace-atomicity violations from the merged final view. Only
+    /// meaningful when `quiesced` — a wedged cluster legitimately holds
+    /// half-committed state — so it is left empty otherwise.
+    pub violations: Vec<Violation>,
+    /// Violation descriptions accumulated by the injector's oracle.
+    pub oracle_report: Vec<String>,
+    /// Whether every server drained all pending protocol state.
+    pub quiesced: bool,
+    /// Client-acked operations, in ack order.
+    pub acks: Vec<AckRecord>,
+    /// Every operation issued (acked or not).
+    pub issued: Vec<(OpId, FsOp)>,
+    /// Merged final metadata view of all servers.
+    pub view: GlobalView,
+}
+
+/// Per-server liveness during a run with crashes.
 #[derive(Debug, Clone, Copy)]
-enum CrashState {
-    Armed(CrashPlan),
+enum SrvPhase {
+    Up,
     Down {
         crashed_at: SimTime,
         valid_bytes: u64,
@@ -127,15 +140,15 @@ enum CrashState {
         valid_bytes: u64,
         started: SimTime,
         scanned: u64,
-        server: u32,
     },
-    Done(RecoveryReport),
 }
 
 struct ProcRuntime {
     id: ProcId,
     queue: VecDeque<FsOp>,
     current: Option<ClientOp>,
+    /// Identity of the in-flight operation (durability-oracle input).
+    current_meta: Option<(OpId, FsOp)>,
     issued_at: SimTime,
     current_cross: bool,
     next_seq: u64,
@@ -158,7 +171,30 @@ pub struct DesCluster {
     next_sample: SimTime,
     /// Hard event cap (hang protection).
     max_events: u64,
-    crash: Option<CrashState>,
+    /// Per-server liveness (all `Up` unless crashes are in play).
+    phases: Vec<SrvPhase>,
+    /// Servers currently Down or Recovering; fast skip of the per-event
+    /// recovery-completion scan.
+    in_fault: u32,
+    /// The legacy volume-triggered crash (Table V experiment).
+    legacy_plan: Option<CrashPlan>,
+    /// Stop the event loop at the first completed recovery cycle
+    /// (`run_recovery_experiment` semantics).
+    stop_after_first_cycle: bool,
+    /// The fault plane; `None` on uninstrumented runs.
+    injector: Option<Box<dyn FaultInjector>>,
+    /// Crash requested by the injector during the current event; executed
+    /// once the event finishes dispatching (first request wins).
+    pending_crash: Option<CrashCmd>,
+    /// Record per-op issue/ack logs for the durability oracle.
+    record_ops: bool,
+    acks: Vec<AckRecord>,
+    issued: Vec<(OpId, FsOp)>,
+    /// Per-server WAL/writeback counters already reported to the injector
+    /// (FaultEvents are the diffs against these).
+    wal_appended_seen: Vec<[u64; RecordFamily::COUNT]>,
+    wal_durable_seen: Vec<[u64; RecordFamily::COUNT]>,
+    writebacks_seen: Vec<u64>,
     /// Per-kind message counters, indexed by `MsgKind as usize` — the
     /// send path is per-event hot, so the ordered `stats.msgs` map is
     /// only assembled once, in `finalize`.
@@ -214,6 +250,7 @@ impl DesCluster {
                 done: queue.is_empty(),
                 queue,
                 current: None,
+                current_meta: None,
                 issued_at: SimTime::ZERO,
                 current_cross: false,
                 next_seq: 0,
@@ -226,6 +263,7 @@ impl DesCluster {
         let stats = RunStats::new(cfg.protocol, cfg.servers, trace.processes);
         let max_events = 800 * trace.ops.len() as u64 + 10_000_000;
 
+        let n = cfg.servers as usize;
         Self {
             cfg,
             placement,
@@ -240,7 +278,18 @@ impl DesCluster {
             sample_every_ns: 200_000_000, // 200 ms samples for Figure 7b
             next_sample: SimTime::ZERO,
             max_events,
-            crash: None,
+            phases: vec![SrvPhase::Up; n],
+            in_fault: 0,
+            legacy_plan: None,
+            stop_after_first_cycle: false,
+            injector: None,
+            pending_crash: None,
+            record_ops: false,
+            acks: Vec::new(),
+            issued: Vec::new(),
+            wal_appended_seen: vec![[0; RecordFamily::COUNT]; n],
+            wal_durable_seen: vec![[0; RecordFamily::COUNT]; n],
+            writebacks_seen: vec![0; n],
             msg_counts: [0; MsgKind::COUNT],
             scratch: Vec::with_capacity(16),
         }
@@ -251,67 +300,64 @@ impl DesCluster {
     /// time the recovery (Table V: "we killed the processes on a server
     /// after it has accepted a specific size of valid-records").
     pub fn with_crash(mut self, plan: CrashPlan) -> Self {
-        self.crash = Some(CrashState::Armed(plan));
+        self.legacy_plan = Some(plan);
         self
+    }
+
+    /// Install a fault injector. Message sends and protocol events route
+    /// through it, and the per-op issue/ack logs the oracle needs are
+    /// recorded. Use [`DesCluster::run_chaos`] afterwards.
+    pub fn with_injector(mut self, injector: Box<dyn FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self.record_ops = true;
+        self
+    }
+
+    /// Boot the servers and schedule the first client issues (process
+    /// starts are staggered slightly to avoid artificial lockstep).
+    fn boot(&mut self) {
+        for i in 0..self.servers.len() {
+            let mut out = std::mem::take(&mut self.scratch);
+            self.servers[i].on_start(SimTime::ZERO, &mut out);
+            self.do_actions(Endpoint::Server(ServerId(i as u32)), &mut out);
+            self.scratch = out;
+        }
+        if self.injector.is_some() {
+            self.probe_all(SimTime::ZERO);
+            self.fire_pending_crash();
+        }
+        for p in 0..self.procs.len() {
+            if !self.procs[p].done {
+                self.sim
+                    .schedule(p as u64 * 2 * DUR_US, 0, Ev::ProcIssue { proc: p as u32 });
+            }
+        }
     }
 
     /// Run until the armed crash has fully recovered; returns the timing
     /// report (None if the workload never produced enough valid records).
     pub fn run_recovery_experiment(mut self) -> Option<RecoveryReport> {
-        assert!(self.crash.is_some(), "arm a crash with with_crash first");
-        for i in 0..self.servers.len() {
-            let mut out = std::mem::take(&mut self.scratch);
-            self.servers[i].on_start(SimTime::ZERO, &mut out);
-            self.do_actions(Endpoint::Server(ServerId(i as u32)), &mut out);
-            self.scratch = out;
-        }
-        for p in 0..self.procs.len() {
-            if !self.procs[p].done {
-                self.sim
-                    .schedule(p as u64 * 2 * DUR_US, 0, Ev::ProcIssue { proc: p as u32 });
-            }
-        }
+        assert!(
+            self.legacy_plan.is_some(),
+            "arm a crash with with_crash first"
+        );
+        self.stop_after_first_cycle = true;
+        self.boot();
         self.event_loop();
-        match self.crash {
-            Some(CrashState::Done(report)) => Some(report),
-            _ => None,
+        if self.stats.recovery_cycles.is_empty() {
+            None
+        } else {
+            Some(RecoveryReport {
+                cycles: self.stats.recovery_cycles.clone(),
+            })
         }
     }
 
     /// Run the replay to completion and return the statistics.
     pub fn run(mut self) -> (RunStats, Vec<Violation>) {
-        // Boot servers.
-        for i in 0..self.servers.len() {
-            let mut out = std::mem::take(&mut self.scratch);
-            self.servers[i].on_start(SimTime::ZERO, &mut out);
-            self.do_actions(Endpoint::Server(ServerId(i as u32)), &mut out);
-            self.scratch = out;
-        }
-        // Stagger process start slightly to avoid artificial lockstep.
-        for p in 0..self.procs.len() {
-            if !self.procs[p].done {
-                self.sim
-                    .schedule(p as u64 * 2 * DUR_US, 0, Ev::ProcIssue { proc: p as u32 });
-            }
-        }
-
+        self.boot();
         self.event_loop();
-
-        // Natural drain finished; now force the remaining lazy work.
-        for round in 0..16 {
-            if self.servers.iter().all(|s| s.is_quiesced()) {
-                break;
-            }
-            for i in 0..self.servers.len() {
-                let mut out = std::mem::take(&mut self.scratch);
-                let now = self.sim.now();
-                self.servers[i].quiesce(now, &mut out);
-                self.do_actions(Endpoint::Server(ServerId(i as u32)), &mut out);
-                self.scratch = out;
-            }
-            self.event_loop();
-            let _ = round;
-        }
+        self.drain();
         self.stats.drained = self.sim.now();
         self.finalize();
 
@@ -320,14 +366,91 @@ impl DesCluster {
         (self.stats, violations)
     }
 
+    /// Natural drain finished; force the remaining lazy work.
+    fn drain(&mut self) {
+        for _ in 0..16 {
+            if self.in_fault == 0 && self.servers.iter().all(|s| s.is_quiesced()) {
+                break;
+            }
+            for i in 0..self.servers.len() {
+                if !matches!(self.phases[i], SrvPhase::Up) {
+                    continue; // a down server cannot be asked to flush
+                }
+                let mut out = std::mem::take(&mut self.scratch);
+                let now = self.sim.now();
+                self.servers[i].quiesce(now, &mut out);
+                self.do_actions(Endpoint::Server(ServerId(i as u32)), &mut out);
+                self.scratch = out;
+            }
+            if self.injector.is_some() {
+                self.probe_all(self.sim.now());
+                self.fire_pending_crash();
+            }
+            self.event_loop();
+        }
+    }
+
+    /// Run a fault-injected replay to completion: like [`DesCluster::run`],
+    /// but crashes can repeat, the namespace check is gated on quiescence,
+    /// and the injector's oracle output is part of the result.
+    pub fn run_chaos(mut self) -> ChaosOutcome {
+        assert!(self.injector.is_some(), "install with_injector first");
+        self.boot();
+        self.event_loop();
+        self.drain();
+        self.stats.drained = self.sim.now();
+        // Faults can wedge clients forever (a dropped message with no
+        // retransmission); surface that instead of hanging.
+        let stuck: u64 = self
+            .procs
+            .iter()
+            .map(|p| p.queue.len() as u64 + p.current.is_some() as u64)
+            .sum();
+        self.stats.ops_stuck = self.stats.ops_stuck.max(stuck);
+        self.finalize();
+
+        let quiesced = self.in_fault == 0 && self.servers.iter().all(|s| s.is_quiesced());
+        let view = GlobalView::merge(self.servers.iter().map(|s| s.store()));
+        let violations = if quiesced {
+            view.check(&self.roots)
+        } else {
+            Vec::new()
+        };
+        let mut oracle_report = Vec::new();
+        if let Some(mut inj) = self.injector.take() {
+            let snap = ClusterSnapshot {
+                stores: self.servers.iter().map(|s| s.store()).collect(),
+                acks: &self.acks,
+                issued: &self.issued,
+            };
+            let v = inj.on_run_end(self.sim.now(), quiesced, snap);
+            self.stats.faults.oracle_checks += 1;
+            self.stats.faults.oracle_violations += v;
+            oracle_report = inj.take_report();
+        }
+        ChaosOutcome {
+            stats: self.stats,
+            violations,
+            oracle_report,
+            quiesced,
+            acks: self.acks,
+            issued: self.issued,
+            view,
+        }
+    }
+
     fn event_loop(&mut self) {
         while let Some((now, _, ev)) = self.sim.pop() {
             if now >= self.next_sample {
                 self.sample_timeline(now);
             }
             self.dispatch(now, ev);
-            self.check_crash_plan();
-            if matches!(self.crash, Some(CrashState::Done(_))) {
+            if self.injector.is_some() {
+                self.probe_all(now);
+                self.fire_pending_crash();
+            }
+            self.check_fault_progress();
+            if self.stop_after_first_cycle && !self.stats.recovery_cycles.is_empty() {
                 break;
             }
             if self.sim.events_processed() > self.max_events {
@@ -366,6 +489,11 @@ impl DesCluster {
                 from,
                 payload,
             } => {
+                if matches!(self.phases[server as usize], SrvPhase::Down { .. }) {
+                    // a dead server's NIC receives nothing
+                    self.stats.faults.dead_drops += 1;
+                    return;
+                }
                 let cost = self.cfg.cpu.per_msg_ns + payload_cost(&payload, &self.cfg);
                 let at = self.cpus[server as usize].reserve(now, cost);
                 self.sim.schedule_at(
@@ -383,6 +511,24 @@ impl DesCluster {
                 from,
                 payload,
             } => {
+                if self.injector.is_some() {
+                    self.emit_fault(
+                        now,
+                        FaultEvent::Deliver {
+                            server: ServerId(server),
+                            kind: payload.kind(),
+                        },
+                    );
+                    if let Some(cmd) = self.pending_crash {
+                        if cmd.server.0 == server {
+                            // crash at delivery: the message perishes with
+                            // its server, unhandled
+                            self.pending_crash = None;
+                            self.crash_server(now, cmd);
+                            return;
+                        }
+                    }
+                }
                 let mut out = std::mem::take(&mut self.scratch);
                 self.servers[server as usize].on_msg(now, from, payload, &mut out);
                 self.do_actions(Endpoint::Server(ServerId(server)), &mut out);
@@ -441,10 +587,10 @@ impl DesCluster {
             }
             Ev::ProcIssue { proc } => self.issue_next(now, proc),
             Ev::Reboot { server } => {
-                let Some(CrashState::Down {
+                let SrvPhase::Down {
                     crashed_at,
                     valid_bytes,
-                }) = self.crash
+                } = self.phases[server as usize]
                 else {
                     return;
                 };
@@ -452,70 +598,217 @@ impl DesCluster {
                 let scanned = self.servers[server as usize].recover(now, &mut out);
                 self.do_actions(Endpoint::Server(ServerId(server)), &mut out);
                 self.scratch = out;
-                self.crash = Some(CrashState::Recovering {
+                self.phases[server as usize] = SrvPhase::Recovering {
                     crashed_at,
                     valid_bytes,
                     started: now,
                     scanned,
-                    server,
-                });
+                };
             }
         }
     }
 
-    /// Crash bookkeeping, checked after every event.
-    fn check_crash_plan(&mut self) {
+    /// Crash bookkeeping, checked after every event: fire the legacy
+    /// volume-triggered plan, and detect recovery completions.
+    fn check_fault_progress(&mut self) {
         let now = self.sim.now();
-        match self.crash {
-            Some(CrashState::Armed(plan)) => {
-                let idx = plan.server.0 as usize;
-                let valid = self.servers[idx].valid_log_bytes();
-                if valid >= plan.valid_bytes_target {
-                    self.servers[idx].crash(now);
-                    self.disks[idx].crash();
-                    self.cpus[idx].reset(now);
-                    self.sim.schedule(
-                        plan.detection_ns + plan.reboot_ns,
-                        0,
-                        Ev::Reboot {
-                            server: plan.server.0,
-                        },
-                    );
-                    self.crash = Some(CrashState::Down {
-                        crashed_at: now,
-                        valid_bytes: valid,
-                    });
-                }
+        if let Some(plan) = self.legacy_plan {
+            let idx = plan.server.0 as usize;
+            if matches!(self.phases[idx], SrvPhase::Up)
+                && self.servers[idx].valid_log_bytes() >= plan.valid_bytes_target
+            {
+                self.legacy_plan = None;
+                self.crash_server(
+                    now,
+                    CrashCmd {
+                        server: plan.server,
+                        torn_extra_bytes: 0,
+                        detection_ns: plan.detection_ns,
+                        reboot_ns: plan.reboot_ns,
+                    },
+                );
             }
-            Some(CrashState::Recovering {
+        }
+        if self.in_fault == 0 {
+            return;
+        }
+        for idx in 0..self.phases.len() {
+            let SrvPhase::Recovering {
                 crashed_at,
                 valid_bytes,
                 started,
                 scanned,
-                server,
-            }) if !self.servers[server as usize].is_recovering() => {
-                self.crash = Some(CrashState::Done(RecoveryReport {
-                    crashed_at,
-                    valid_bytes_at_crash: valid_bytes,
-                    recovery_started: started,
-                    recovery_finished: self.sim.now(),
-                    scanned_bytes: scanned,
-                }));
+            } = self.phases[idx]
+            else {
+                continue;
+            };
+            if self.servers[idx].is_recovering() {
+                continue;
             }
-            _ => {}
+            self.phases[idx] = SrvPhase::Up;
+            self.in_fault -= 1;
+            self.stats.faults.recoveries += 1;
+            self.stats.recovery_cycles.push(RecoveryCycle {
+                server: ServerId(idx as u32),
+                crashed_at,
+                valid_bytes_at_crash: valid_bytes,
+                recovery_started: started,
+                recovery_finished: now,
+                scanned_bytes: scanned,
+            });
+            self.oracle_check(now, ServerId(idx as u32));
         }
+    }
+
+    /// Kill a server now. No-op if it is already down or its engine has no
+    /// crash/recovery path (fault plans only aim at crash-capable engines,
+    /// but a shrunk plan may still carry a stale crash).
+    fn crash_server(&mut self, now: SimTime, cmd: CrashCmd) {
+        let idx = cmd.server.0 as usize;
+        if !matches!(self.phases[idx], SrvPhase::Up) || !self.servers[idx].supports_crash() {
+            return;
+        }
+        let valid = self.servers[idx].valid_log_bytes();
+        if cmd.torn_extra_bytes > 0 {
+            self.servers[idx].crash_torn(now, cmd.torn_extra_bytes);
+            self.stats.faults.torn_crashes += 1;
+        } else {
+            self.servers[idx].crash(now);
+        }
+        self.stats.faults.crashes += 1;
+        self.disks[idx].crash();
+        self.cpus[idx].reset(now);
+        self.phases[idx] = SrvPhase::Down {
+            crashed_at: now,
+            valid_bytes: valid,
+        };
+        self.in_fault += 1;
+        // The crash swallows whatever WAL/writeback deltas were unreported;
+        // resync so they are not misattributed to the next incarnation.
+        self.resync_probes(idx);
+        self.sim.schedule(
+            cmd.detection_ns + cmd.reboot_ns,
+            0,
+            Ev::Reboot {
+                server: cmd.server.0,
+            },
+        );
+    }
+
+    fn fire_pending_crash(&mut self) {
+        if let Some(cmd) = self.pending_crash.take() {
+            self.crash_server(self.sim.now(), cmd);
+        }
+    }
+
+    /// Feed one protocol event to the injector; a requested crash is
+    /// parked until the current event finishes dispatching.
+    fn emit_fault(&mut self, now: SimTime, ev: FaultEvent) {
+        let Some(inj) = self.injector.as_mut() else {
+            return;
+        };
+        if let Some(cmd) = inj.on_event(now, &ev) {
+            if self.pending_crash.is_none() {
+                self.pending_crash = Some(cmd);
+            }
+        }
+    }
+
+    /// Diff every server's WAL append/durable counters and write-back
+    /// count against what the injector has already seen, emitting one
+    /// [`FaultEvent`] per increment. Called after each event while an
+    /// injector is installed.
+    fn probe_all(&mut self, now: SimTime) {
+        for idx in 0..self.servers.len() {
+            let server = ServerId(idx as u32);
+            if let Some(w) = self.servers[idx].wal() {
+                let (ap, du) = (w.appended_counts(), w.durable_counts());
+                for family in RecordFamily::ALL {
+                    let i = family.index();
+                    while self.wal_appended_seen[idx][i] < ap[i] {
+                        self.wal_appended_seen[idx][i] += 1;
+                        let nth = self.wal_appended_seen[idx][i];
+                        self.emit_fault(
+                            now,
+                            FaultEvent::WalAppend {
+                                server,
+                                family,
+                                nth,
+                            },
+                        );
+                    }
+                    while self.wal_durable_seen[idx][i] < du[i] {
+                        self.wal_durable_seen[idx][i] += 1;
+                        let nth = self.wal_durable_seen[idx][i];
+                        self.emit_fault(
+                            now,
+                            FaultEvent::WalDurable {
+                                server,
+                                family,
+                                nth,
+                            },
+                        );
+                    }
+                }
+            }
+            let wb = self.servers[idx].stats().writebacks;
+            while self.writebacks_seen[idx] < wb {
+                self.writebacks_seen[idx] += 1;
+                let nth = self.writebacks_seen[idx];
+                self.emit_fault(now, FaultEvent::Writeback { server, nth });
+            }
+        }
+    }
+
+    /// Fast-forward one server's probe counters without emitting events.
+    fn resync_probes(&mut self, idx: usize) {
+        if self.injector.is_none() {
+            return;
+        }
+        if let Some(w) = self.servers[idx].wal() {
+            self.wal_appended_seen[idx] = w.appended_counts();
+            self.wal_durable_seen[idx] = w.durable_counts();
+        }
+        self.writebacks_seen[idx] = self.servers[idx].stats().writebacks;
+    }
+
+    /// Run the injector's oracle after a recovery completed.
+    fn oracle_check(&mut self, now: SimTime, server: ServerId) {
+        let Some(mut inj) = self.injector.take() else {
+            return;
+        };
+        let snap = ClusterSnapshot {
+            stores: self.servers.iter().map(|s| s.store()).collect(),
+            acks: &self.acks,
+            issued: &self.issued,
+        };
+        let v = inj.on_recovery_complete(now, server, snap);
+        self.stats.faults.oracle_checks += 1;
+        self.stats.faults.oracle_violations += v;
+        self.injector = Some(inj);
     }
 
     fn note_decision(&mut self, now: SimTime, proc: u32, decision: ClientDecision) {
         if let ClientDecision::Done(outcome) = decision {
             let p = &mut self.procs[proc as usize];
             p.current = None;
+            let meta = p.current_meta.take();
             let latency = now.since(p.issued_at);
             self.stats.latency.record(latency);
             if p.current_cross {
                 self.stats.cross_latency.record(latency);
             }
             self.stats.record_outcome(outcome);
+            if self.record_ops {
+                if let Some((op, fs_op)) = meta {
+                    self.acks.push(AckRecord {
+                        op,
+                        fs_op,
+                        outcome,
+                        at: now,
+                    });
+                }
+            }
             self.sim
                 .schedule(CLIENT_ISSUE_NS, 0, Ev::ProcIssue { proc });
         }
@@ -540,10 +833,14 @@ impl DesCluster {
         p.next_seq += 1;
         let plan = self.placement.plan(op);
         p.current_cross = plan.is_cross_server();
+        p.current_meta = Some((op_id, op));
         p.issued_at = now;
         self.stats.ops_total += 1;
         if p.current_cross {
             self.stats.cross_ops += 1;
+        }
+        if self.record_ops {
+            self.issued.push((op_id, op));
         }
         let mut out = std::mem::take(&mut self.scratch);
         let client = ClientOp::start(self.cfg.protocol, op_id, plan, &self.cfg.cx, &mut out);
@@ -602,9 +899,31 @@ impl DesCluster {
         let bytes = payload.size_bytes() as u64;
         let latency =
             self.cfg.net.one_way_ns + (bytes * 1_000_000_000) / self.cfg.net.bandwidth_bps.max(1);
+        let mut extra_ns = 0;
+        if let Some(inj) = self.injector.as_mut() {
+            match inj.on_send(self.sim.now(), from, to, payload.kind()) {
+                MsgFate::Deliver => {}
+                MsgFate::Drop => {
+                    self.stats.faults.drops += 1;
+                    return;
+                }
+                MsgFate::Delay(ns) => {
+                    self.stats.faults.delays += 1;
+                    extra_ns = ns;
+                }
+                MsgFate::Duplicate(ns) => {
+                    self.stats.faults.dups += 1;
+                    self.deliver(from, to, payload.clone(), latency + ns);
+                }
+            }
+        }
+        self.deliver(from, to, payload, latency + extra_ns);
+    }
+
+    fn deliver(&mut self, from: Endpoint, to: Endpoint, payload: Payload, after_ns: u64) {
         match to {
             Endpoint::Server(s) => self.sim.schedule(
-                latency,
+                after_ns,
                 0,
                 Ev::ServerArrive {
                     server: s.0,
@@ -613,7 +932,7 @@ impl DesCluster {
                 },
             ),
             Endpoint::Proc(p) => self.sim.schedule(
-                latency,
+                after_ns,
                 0,
                 Ev::ProcDeliver {
                     proc: p.client.0,

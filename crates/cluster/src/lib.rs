@@ -12,9 +12,11 @@
 //!   and the Criterion micro-benchmarks.
 
 pub mod des;
+pub mod fault;
 pub mod stats;
 pub mod threaded;
 
-pub use des::{CrashPlan, DesCluster, RecoveryReport};
-pub use stats::{LatencyStat, RunStats, TimelineSample};
+pub use des::{ChaosOutcome, CrashPlan, DesCluster, RecoveryReport};
+pub use fault::{ClusterSnapshot, CrashCmd, FaultEvent, FaultInjector, MsgFate, NoFaults};
+pub use stats::{AckRecord, FaultStats, LatencyStat, RecoveryCycle, RunStats, TimelineSample};
 pub use threaded::{ThreadedCluster, ThreadedRunResult};

@@ -2,9 +2,73 @@
 
 use cx_protocol::ServerStats;
 use cx_simio::DiskStats;
-use cx_types::{MsgKind, OpOutcome, Protocol, SimTime};
+use cx_types::{FsOp, MsgKind, OpId, OpOutcome, Protocol, ServerId, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// Timing of one crash/recovery cycle. Multi-crash schedules accumulate a
+/// `Vec` of these (the one-shot Table V experiment reads `cycles[0]`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryCycle {
+    pub server: ServerId,
+    pub crashed_at: SimTime,
+    pub valid_bytes_at_crash: u64,
+    /// When the rebooted server began its log scan.
+    pub recovery_started: SimTime,
+    /// When the server resumed serving requests.
+    pub recovery_finished: SimTime,
+    pub scanned_bytes: u64,
+}
+
+impl RecoveryCycle {
+    /// The paper's recovery time: crash to serving again.
+    pub fn recovery_secs(&self) -> f64 {
+        (self.recovery_finished.0 - self.crashed_at.0) as f64 / 1e9
+    }
+
+    /// Protocol-only portion (log scan + resumption, excluding detection
+    /// and reboot).
+    pub fn protocol_secs(&self) -> f64 {
+        (self.recovery_finished.0 - self.recovery_started.0) as f64 / 1e9
+    }
+}
+
+/// One client-visible operation completion, recorded when fault injection
+/// is active. The durability oracle replays these against the post-crash
+/// namespace: every acked `Applied` mutation must survive, every acked
+/// `Failed` one must have left no partial state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AckRecord {
+    pub op: OpId,
+    pub fs_op: FsOp,
+    pub outcome: OpOutcome,
+    pub at: SimTime,
+}
+
+/// Per-run fault-injection counters. All zero on uninstrumented runs, and
+/// deliberately excluded from [`RunStats::digest`] so chaos bookkeeping can
+/// never perturb the pinned golden digests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Messages discarded by the injector.
+    pub drops: u64,
+    /// Messages delivered late.
+    pub delays: u64,
+    /// Messages delivered twice.
+    pub dups: u64,
+    /// Messages that arrived at a crashed (down) server and were lost.
+    pub dead_drops: u64,
+    /// Server crashes executed.
+    pub crashes: u64,
+    /// Crashes that kept a torn (partially flushed) log tail.
+    pub torn_crashes: u64,
+    /// Recoveries that ran to completion.
+    pub recoveries: u64,
+    /// Oracle passes executed (one per recovery plus the end-of-run pass).
+    pub oracle_checks: u64,
+    /// Violations those passes reported.
+    pub oracle_violations: u64,
+}
 
 /// Simple accumulator for latencies.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -92,6 +156,11 @@ pub struct RunStats {
     pub final_inodes: u64,
     /// Final namespace size across all servers (directory entries).
     pub final_dentries: u64,
+
+    /// Fault-injection counters (all zero when no injector is installed).
+    pub faults: FaultStats,
+    /// Completed crash/recovery cycles, in completion order.
+    pub recovery_cycles: Vec<RecoveryCycle>,
 }
 
 impl RunStats {
@@ -120,7 +189,43 @@ impl RunStats {
             leftovers: Vec::new(),
             final_inodes: 0,
             final_dentries: 0,
+            faults: FaultStats::default(),
+            recovery_cycles: Vec::new(),
         }
+    }
+
+    /// FNV-1a over a stable rendering of the run's key statistics — the
+    /// reproducibility fingerprint. Identical configuration must yield an
+    /// identical digest; the golden-digest tests and the chaos replay
+    /// checks pin on it. Fault counters are deliberately *not* rendered:
+    /// the digest describes simulator behavior, and instrumentation
+    /// bookkeeping must never perturb it.
+    pub fn digest(&self) -> u64 {
+        use std::fmt::Write;
+        let mut text = String::new();
+        write!(
+            text,
+            "{:?}|{:?}|{:?}|{}|{}|{}|{}|{:?}|{:?}|{:?}|{}|{}",
+            self.replay,
+            self.drained,
+            self.msgs,
+            self.events,
+            self.ops_total,
+            self.ops_applied,
+            self.ops_failed,
+            self.disk,
+            self.server_stats,
+            self.latency,
+            self.cross_ops,
+            self.peak_valid_bytes,
+        )
+        .expect("write to String");
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in text.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        h
     }
 
     pub fn total_msgs(&self) -> u64 {

@@ -42,8 +42,9 @@
 use serde::Serialize;
 
 pub use cx_cluster::{
-    des::run_trace, CrashPlan, DesCluster, LatencyStat, RecoveryReport, RunStats, ThreadedCluster,
-    TimelineSample,
+    des::run_trace, AckRecord, ChaosOutcome, ClusterSnapshot, CrashCmd, CrashPlan, DesCluster,
+    FaultEvent, FaultInjector, FaultStats, LatencyStat, MsgFate, RecoveryCycle, RecoveryReport,
+    RunStats, ThreadedCluster, TimelineSample,
 };
 pub use cx_mdstore::Violation;
 pub use cx_protocol::{ClientOp, CxServer, ServerEngine, ServerStats};

@@ -105,6 +105,30 @@ impl GlobalView {
         self.inodes.contains_key(&ino)
     }
 
+    /// The inode a directory entry points at, if the entry exists.
+    pub fn dentry(&self, parent: InodeNo, name: Name) -> Option<InodeNo> {
+        self.dentries.get(&(parent, name)).copied()
+    }
+
+    /// An inode's kind and link count, if it exists on any server.
+    pub fn inode(&self, ino: InodeNo) -> Option<(FileKind, u32)> {
+        self.inodes.get(&ino).copied()
+    }
+
+    /// All directory entries, in key order.
+    pub fn dentries(&self) -> impl Iterator<Item = (InodeNo, Name, InodeNo)> + '_ {
+        self.dentries
+            .iter()
+            .map(|(&(parent, name), &child)| (parent, name, child))
+    }
+
+    /// All inodes, in key order.
+    pub fn inodes(&self) -> impl Iterator<Item = (InodeNo, FileKind, u32)> + '_ {
+        self.inodes
+            .iter()
+            .map(|(&ino, &(kind, nlink))| (ino, kind, nlink))
+    }
+
     /// Check the atomicity invariants. `roots` are inodes that legitimately
     /// have no referencing entry (the namespace roots seeded by the
     /// workload).

@@ -78,11 +78,26 @@ pub trait ServerEngine: Send {
 
     fn stats(&self) -> &ServerStats;
 
+    /// True when the engine implements [`ServerEngine::crash`] and
+    /// [`ServerEngine::recover`]. Fault plans only aim crash points at
+    /// crash-capable engines; network faults apply to every protocol.
+    fn supports_crash(&self) -> bool {
+        false
+    }
+
     /// Crash the server: volatile state (store image, pending protocol
     /// state, queued IO continuations) is lost; the durable log prefix
     /// survives. Only meaningful for engines with a log.
     fn crash(&mut self, _now: SimTime) {
         unimplemented!("crash/recovery is implemented for the Cx engine");
+    }
+
+    /// Crash with a torn log tail: beyond the durable prefix, up to
+    /// `extra_bytes` of whole in-flight records also made it to the
+    /// platter before power was lost (see `Wal::crash_torn`). Engines
+    /// without torn-tail modeling fall back to a plain crash.
+    fn crash_torn(&mut self, now: SimTime, _extra_bytes: u64) {
+        self.crash(now);
     }
 
     /// Rebooted after a crash: scan the log and resume half-completed

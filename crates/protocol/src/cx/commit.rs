@@ -315,9 +315,41 @@ impl CxServer {
                     },
                     out,
                 );
+                self.arm_batch_retry(batch_id, out);
             }
         }
         let _ = now;
+    }
+
+    /// Arm the commitment re-drive timer for a batch, when enabled. The
+    /// paper's protocol never retransmits (servers are assumed not to
+    /// fail); under injected crashes the timer re-sends the idempotent
+    /// VOTE / COMMIT-REQ so a batch whose message died with a crashed
+    /// participant incarnation eventually completes.
+    pub(crate) fn arm_batch_retry(&mut self, batch_id: u64, out: &mut Vec<Action>) {
+        let Some(delay_ns) = self.cfg.commit_retry_timeout_ns else {
+            return;
+        };
+        out.push(Action::SetTimer {
+            token: super::BATCH_TIMER_BIT | batch_id,
+            delay_ns,
+        });
+    }
+
+    /// The commitment re-drive timer fired: if the batch is still alive,
+    /// re-send its in-flight message and re-arm.
+    pub(crate) fn on_batch_retry_timer(
+        &mut self,
+        now: SimTime,
+        batch_id: u64,
+        out: &mut Vec<Action>,
+    ) {
+        let _ = now;
+        if !self.batches.contains_key(&batch_id) {
+            return; // completed; retries stop
+        }
+        self.redrive_batch(batch_id, out);
+        self.arm_batch_retry(batch_id, out);
     }
 
     // ------------------------------------------------------------------

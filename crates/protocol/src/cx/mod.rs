@@ -193,6 +193,14 @@ pub(crate) const LOG_TABLE_REGION: u64 = 1 << 55;
 pub(crate) const ORPHAN_TIMER_BIT: u64 = 1 << 63;
 /// Bit marking deferred-vote presumed-abort timers.
 pub(crate) const VOTE_TIMER_BIT: u64 = 1 << 62;
+/// Bit marking the recovery outcome-query retry timer: a recovering
+/// participant re-sends QueryOutcome until every half-completed op is
+/// resolved, so recovery converges even when the coordinator was down for
+/// the first query (double-crash schedules).
+pub(crate) const QUERY_TIMER_BIT: u64 = 1 << 61;
+/// Bit marking commitment re-drive timers (low bits carry the batch id).
+/// Armed only when `CxConfig::commit_retry_timeout_ns` is set.
+pub(crate) const BATCH_TIMER_BIT: u64 = 1 << 60;
 
 impl CxServer {
     pub fn new(id: ServerId, cfg: &ClusterConfig) -> Self {
@@ -367,14 +375,24 @@ impl ServerEngine for CxServer {
     }
 
     fn on_timer(&mut self, now: SimTime, token: u64, out: &mut Vec<Action>) {
-        if self.crashed || self.recovering {
+        if self.crashed {
             return;
         }
-        if token & ORPHAN_TIMER_BIT != 0 {
+        // Commitment-protocol timers must keep firing *during* recovery:
+        // the query retry exists exactly for that window, deferred-vote
+        // grace periods answer re-driven VOTEs for operations lost in a
+        // torn tail, and batch re-drives unwedge peers whose participant
+        // crashed with the VOTE in flight. Only the batch trigger waits
+        // for recovery to finish.
+        if token & QUERY_TIMER_BIT != 0 {
+            self.on_query_retry_timer(now, out);
+        } else if token & ORPHAN_TIMER_BIT != 0 {
             self.on_orphan_timer(now, token, out);
         } else if token & VOTE_TIMER_BIT != 0 {
             self.on_vote_timer(now, token, out);
-        } else {
+        } else if token & BATCH_TIMER_BIT != 0 {
+            self.on_batch_retry_timer(now, token & !BATCH_TIMER_BIT, out);
+        } else if !self.recovering {
             self.on_trigger_timer(now, token, out);
         }
     }
@@ -412,8 +430,16 @@ impl ServerEngine for CxServer {
         &self.stats
     }
 
+    fn supports_crash(&self) -> bool {
+        true
+    }
+
     fn crash(&mut self, now: SimTime) {
-        self.crash_impl(now);
+        self.crash_impl(now, 0);
+    }
+
+    fn crash_torn(&mut self, now: SimTime, extra_bytes: u64) {
+        self.crash_impl(now, extra_bytes);
     }
 
     fn recover(&mut self, now: SimTime, out: &mut Vec<Action>) -> u64 {

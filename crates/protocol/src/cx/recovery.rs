@@ -26,19 +26,28 @@ use std::collections::BTreeMap;
 
 impl CxServer {
     /// Crash: all volatile state is lost. Effects of executions whose
-    /// Result-Record never reached the disk are rolled back immediately —
+    /// Result-Record does not survive on disk are rolled back immediately —
     /// this models the fact that they exist nowhere once power is cut
     /// (the in-memory store object survives in the simulator, so undo
     /// stands in for "was never in the database").
-    pub(crate) fn crash_impl(&mut self, _now: SimTime) {
-        for (_, p) in self.pending.drain() {
-            if !p.durable {
+    ///
+    /// With a torn tail (`extra_bytes > 0`) some in-flight Result-Records
+    /// also made it to the platter; their executions survive exactly like
+    /// flushed ones and are resolved by the recovery scan, so the undo
+    /// criterion is "no Result-Record on disk", not "flush incomplete".
+    pub(crate) fn crash_impl(&mut self, _now: SimTime, extra_bytes: u64) {
+        // Crash the log first: what physically survived — durable prefix
+        // plus any whole torn-tail records — defines which executions
+        // still exist.
+        self.wal.crash_torn(extra_bytes);
+        for (op, p) in self.pending.drain() {
+            let survived = p.durable || self.wal.op_state(&op).is_some_and(|st| st.subop.is_some());
+            if !survived {
                 if let Some(undo) = p.undo {
                     self.store.undo(undo);
                 }
             }
         }
-        self.wal.crash();
         self.active.clear();
         self.blocked.clear();
         self.log_wait.clear();
@@ -77,6 +86,16 @@ impl CxServer {
     pub(crate) fn on_recovery_scan_done(&mut self, now: SimTime, out: &mut Vec<Action>) {
         self.wal.prune_all();
         let (coord_ops, parti_ops) = self.wal.half_completed();
+
+        if self.cfg.unsafe_skip_recovery_resume {
+            // Deliberately BROKEN (chaos-oracle self-test): forget the
+            // §III-D resumption step. Surviving executions keep their
+            // store effects but nobody is left to commit or abort them;
+            // peers eventually presume-abort their halves, leaving the
+            // namespace split — exactly what the oracle must catch.
+            self.maybe_finish_recovery(now, out);
+            return;
+        }
 
         // Rebuild pending entries (role, peer, sub-op, verdict) from the
         // index the scan reconstructed.
@@ -163,6 +182,7 @@ impl CxServer {
                 cx_types::Payload::CommitDecision { commits, aborts },
                 out,
             );
+            self.arm_batch_retry(batch_id, out);
         }
 
         // Coordinator resumptions without a decision: fresh VOTE round.
@@ -213,7 +233,66 @@ impl CxServer {
             out.push(Action::DbRandomRead { token, pages });
         }
 
+        // A single query round is not enough when the coordinator is
+        // *also* down (double-crash schedules): the QueryOutcome just sent
+        // is lost with its dead incarnation. Retry until everything
+        // half-completed is resolved.
+        if !self.recovery_remaining.is_empty() {
+            self.arm_query_retry(out);
+        }
+
         self.maybe_finish_recovery(now, out);
+    }
+
+    fn arm_query_retry(&mut self, out: &mut Vec<Action>) {
+        let token = super::QUERY_TIMER_BIT | self.token();
+        out.push(Action::SetTimer {
+            token,
+            delay_ns: self.cfg.presumed_abort_timeout_ns,
+        });
+    }
+
+    /// The recovery retry timer fired: re-send outcome queries and
+    /// re-drive coordinator-side resumption batches for whatever is still
+    /// unresolved, then re-arm. Both messages are idempotent, so a retry
+    /// racing a late answer is harmless.
+    pub(crate) fn on_query_retry_timer(&mut self, now: SimTime, out: &mut Vec<Action>) {
+        let _ = now;
+        if !self.recovering || self.crashed {
+            return; // recovery finished (or died again); retries stop
+        }
+        let mut queries: BTreeMap<ServerId, Vec<OpId>> = BTreeMap::new();
+        let mut batches: Vec<u64> = Vec::new();
+        for op in self.recovery_remaining.iter() {
+            let Some(p) = self.pending.get(op) else {
+                continue;
+            };
+            match p.role {
+                Role::Participant => {
+                    if let Some(peer) = p.peer {
+                        queries.entry(peer).or_default().push(*op);
+                    }
+                }
+                Role::Coordinator => {
+                    if let Some(b) = p.batch {
+                        if !batches.contains(&b) {
+                            batches.push(b);
+                        }
+                    }
+                }
+            }
+        }
+        for (coord, ops) in queries {
+            self.send(
+                Endpoint::Server(coord),
+                cx_types::Payload::QueryOutcome { ops },
+                out,
+            );
+        }
+        for batch in batches {
+            self.redrive_batch(batch, out);
+        }
+        self.arm_query_retry(out);
     }
 
     /// One half-completed operation was resolved.

@@ -13,6 +13,7 @@
 //! crate is the measurement harness.
 
 use cx_cluster::des::{CrashPlan, DesCluster, RecoveryReport};
+use cx_cluster::stats::RecoveryCycle;
 use cx_types::{BatchTrigger, ClusterConfig, Protocol, ServerId, DUR_MS};
 use cx_workloads::{Trace, TraceBuilder, TraceProfile};
 use serde::{Deserialize, Serialize};
@@ -92,7 +93,8 @@ impl RecoveryExperiment {
     pub fn run(&self) -> Option<RecoveryRow> {
         let trace = self.workload();
         let report = self.run_with_trace(&trace)?;
-        Some(self.row(report))
+        let cycle = *report.first()?;
+        Some(self.row(&cycle))
     }
 
     /// Same, reusing a pre-built trace (sweeps share the workload).
@@ -106,13 +108,13 @@ impl RecoveryExperiment {
         cluster.run_recovery_experiment()
     }
 
-    pub fn row(&self, report: RecoveryReport) -> RecoveryRow {
+    pub fn row(&self, cycle: &RecoveryCycle) -> RecoveryRow {
         RecoveryRow {
             target_kb: self.valid_bytes_target >> 10,
-            valid_kb_at_crash: report.valid_bytes_at_crash >> 10,
-            recovery_secs: report.recovery_secs(),
-            protocol_secs: report.protocol_secs(),
-            scanned_bytes: report.scanned_bytes,
+            valid_kb_at_crash: cycle.valid_bytes_at_crash >> 10,
+            recovery_secs: cycle.recovery_secs(),
+            protocol_secs: cycle.protocol_secs(),
+            scanned_bytes: cycle.scanned_bytes,
         }
     }
 }

@@ -186,6 +186,17 @@ pub struct CxConfig {
     /// as a log-structured file. We choose the latter approach to exploit
     /// more disk bandwidth", §IV-A). Kept as an ablation knob.
     pub log_in_database: bool,
+    /// Re-drive an unfinished commitment batch (re-send VOTE or
+    /// COMMIT-REQ) after this long without progress. `None` — the paper's
+    /// behavior — never retransmits: fine when servers don't fail, but a
+    /// participant that crashed with the VOTE in flight would wedge the
+    /// batch forever. The chaos harness turns this on.
+    pub commit_retry_timeout_ns: Option<u64>,
+    /// Deliberately broken recovery: skip resuming half-completed
+    /// commitments after the log scan (the §III-D resumption step). Exists
+    /// so the chaos oracle can prove it catches real atomicity and
+    /// durability violations; never enable outside that self-test.
+    pub unsafe_skip_recovery_resume: bool,
 }
 
 impl Default for CxConfig {
@@ -197,6 +208,8 @@ impl Default for CxConfig {
             hint_mismatch_timeout_ns: 50 * DUR_MS,
             presumed_abort_timeout_ns: 200 * DUR_MS,
             log_in_database: false,
+            commit_retry_timeout_ns: None,
+            unsafe_skip_recovery_resume: false,
         }
     }
 }

@@ -28,4 +28,4 @@ pub mod log;
 pub mod record;
 
 pub use log::{OpLogState, SeqNo, Wal};
-pub use record::{decode_record, encode_record, Outcome, Record};
+pub use record::{decode_record, encode_record, Outcome, Record, RecordFamily};

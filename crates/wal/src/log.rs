@@ -1,6 +1,6 @@
 //! The logical write-ahead log: append order, durability, index, pruning.
 
-use crate::record::{Outcome, Record};
+use crate::record::{Outcome, Record, RecordFamily};
 use cx_types::{CxError, CxResult, OpId, Role, ServerId, SubOp, Verdict};
 use cx_types::{FxBuildHasher, FxHashMap};
 use std::collections::VecDeque;
@@ -181,6 +181,16 @@ pub struct Wal {
     limit: Option<u64>,
     total_appended: u64,
     total_pruned: u64,
+    /// Cumulative appends per record family (never decremented — pruning
+    /// and crashes don't undo that the protocol step happened). Fault
+    /// injection keys crash points on these counts.
+    appended_counts: [u64; RecordFamily::COUNT],
+    /// Cumulative flush completions per record family.
+    durable_counts: [u64; RecordFamily::COUNT],
+    /// Families of the not-yet-durable suffix, in append order, so
+    /// [`Wal::mark_durable`] can attribute flush completions to families
+    /// without re-reading (possibly already pruned) records.
+    tail_families: VecDeque<(u64, RecordFamily)>,
 }
 
 impl Wal {
@@ -240,6 +250,9 @@ impl Wal {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
+        let family = rec.family();
+        self.appended_counts[family.index()] += 1;
+        self.tail_families.push_back((seq, family));
         self.index_record(&rec, bytes, seq);
         self.records.insert(seq, rec);
         self.valid_bytes += bytes;
@@ -275,6 +288,22 @@ impl Wal {
     /// Mark every record with sequence number `<= upto` durable.
     pub fn mark_durable(&mut self, upto: SeqNo) {
         self.durable_next = self.durable_next.max(upto.0 + 1);
+        while matches!(self.tail_families.front(), Some(&(seq, _)) if seq < self.durable_next) {
+            let (_, family) = self.tail_families.pop_front().expect("checked front");
+            self.durable_counts[family.index()] += 1;
+        }
+    }
+
+    /// Cumulative appends per record family, indexed by
+    /// [`RecordFamily::index`].
+    pub fn appended_counts(&self) -> [u64; RecordFamily::COUNT] {
+        self.appended_counts
+    }
+
+    /// Cumulative flush completions per record family, indexed by
+    /// [`RecordFamily::index`].
+    pub fn durable_counts(&self) -> [u64; RecordFamily::COUNT] {
+        self.durable_counts
     }
 
     /// True once the given append survived a flush.
@@ -355,7 +384,45 @@ impl Wal {
     /// Crash: lose every record that never became durable, then rebuild
     /// the index from what remains.
     pub fn crash(&mut self) {
-        self.records.truncate_from(self.durable_next);
+        self.crash_torn(0);
+    }
+
+    /// Crash with a torn tail. The durable prefix always survives — an
+    /// acknowledgement is only sent after its flush completed, so durable
+    /// records are physically on the platter — plus whichever *whole*
+    /// volatile records fit in the first `extra_bytes` of the in-flight
+    /// suffix: the bytes the disk happened to have written when power was
+    /// lost. A partially-written record never survives; the on-disk format
+    /// rejects torn encodings (see [`crate::decode_record`]), so the
+    /// recovery scan stops at the last whole record.
+    ///
+    /// Survivors are promoted to durable: they are on disk now, whatever
+    /// the in-flight flush bookkeeping said when power failed.
+    pub fn crash_torn(&mut self, extra_bytes: u64) {
+        let mut survive_next = self.durable_next;
+        if extra_bytes > 0 {
+            let mut budget = extra_bytes;
+            for (seq, rec) in self.records.iter() {
+                if seq < self.durable_next {
+                    continue;
+                }
+                let len = rec.encoded_len();
+                if len > budget {
+                    break;
+                }
+                budget -= len;
+                survive_next = seq + 1;
+            }
+        }
+        self.records.truncate_from(survive_next);
+        // Promote the surviving volatile records to durable; the rest of
+        // the in-flight suffix is gone for good.
+        while matches!(self.tail_families.front(), Some(&(seq, _)) if seq < survive_next) {
+            let (_, family) = self.tail_families.pop_front().expect("checked front");
+            self.durable_counts[family.index()] += 1;
+        }
+        self.tail_families.clear();
+        self.durable_next = self.durable_next.max(survive_next);
         self.rebuild_index();
     }
 
@@ -533,6 +600,62 @@ mod tests {
             wal.valid_bytes(),
             wal.scan().map(|(_, r)| r.encoded_len()).sum::<u64>()
         );
+    }
+
+    #[test]
+    fn family_counters_track_appends_and_flushes() {
+        let mut wal = Wal::new(None);
+        let (s1, _) = wal.append(result(oid(1), Role::Participant)).unwrap();
+        wal.append(Record::Commit { op_id: oid(1) }).unwrap();
+        let idx = |f: RecordFamily| f.index();
+        assert_eq!(wal.appended_counts()[idx(RecordFamily::Result)], 1);
+        assert_eq!(wal.appended_counts()[idx(RecordFamily::Commit)], 1);
+        assert_eq!(wal.durable_counts(), [0; RecordFamily::COUNT]);
+        wal.mark_durable(s1);
+        assert_eq!(wal.durable_counts()[idx(RecordFamily::Result)], 1);
+        assert_eq!(wal.durable_counts()[idx(RecordFamily::Commit)], 0);
+        // pruning never decrements the cumulative counters
+        wal.append(Record::Complete { op_id: oid(1) }).unwrap();
+        wal.prune_all();
+        assert_eq!(wal.appended_counts()[idx(RecordFamily::Result)], 1);
+    }
+
+    #[test]
+    fn torn_crash_keeps_whole_volatile_prefix() {
+        let mut wal = Wal::new(None);
+        let (s1, _) = wal.append(result(oid(1), Role::Participant)).unwrap();
+        let (_, b2) = wal.append(result(oid(2), Role::Participant)).unwrap();
+        wal.append(result(oid(3), Role::Participant)).unwrap();
+        wal.mark_durable(s1);
+        // enough torn bytes for op 2's whole record but not op 3's
+        wal.crash_torn(b2 + 1);
+        assert!(wal.op_state(&oid(1)).is_some());
+        assert!(
+            wal.op_state(&oid(2)).is_some(),
+            "whole torn record survives"
+        );
+        assert!(wal.op_state(&oid(3)).is_none(), "partial record is lost");
+        // survivors are durable now: a second crash keeps them
+        wal.crash();
+        assert!(wal.op_state(&oid(2)).is_some());
+        assert_eq!(wal.record_count(), 2);
+    }
+
+    #[test]
+    fn torn_crash_with_zero_extra_matches_plain_crash() {
+        let build = || {
+            let mut wal = Wal::new(None);
+            let (s, _) = wal.append(result(oid(1), Role::Coordinator)).unwrap();
+            wal.append(result(oid(2), Role::Coordinator)).unwrap();
+            wal.mark_durable(s);
+            wal
+        };
+        let mut a = build();
+        let mut b = build();
+        a.crash();
+        b.crash_torn(0);
+        assert_eq!(a.record_count(), b.record_count());
+        assert_eq!(a.valid_bytes(), b.valid_bytes());
     }
 
     #[test]

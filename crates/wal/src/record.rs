@@ -17,6 +17,31 @@ pub enum Outcome {
     Aborted,
 }
 
+/// The four record families of §III-A, as a dense index. Fault injection
+/// keys crash points on "the Nth append of family F", so the [`crate::Wal`]
+/// counts appends and flush completions per family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RecordFamily {
+    Result,
+    Commit,
+    Abort,
+    Complete,
+}
+
+impl RecordFamily {
+    pub const COUNT: usize = 4;
+    pub const ALL: [RecordFamily; Self::COUNT] = [
+        RecordFamily::Result,
+        RecordFamily::Commit,
+        RecordFamily::Abort,
+        RecordFamily::Complete,
+    ];
+
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
 /// A log record (§III-A).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Record {
@@ -49,6 +74,15 @@ impl Record {
             | Record::Commit { op_id }
             | Record::Abort { op_id }
             | Record::Complete { op_id } => op_id,
+        }
+    }
+
+    pub fn family(&self) -> RecordFamily {
+        match self {
+            Record::Result { .. } => RecordFamily::Result,
+            Record::Commit { .. } => RecordFamily::Commit,
+            Record::Abort { .. } => RecordFamily::Abort,
+            Record::Complete { .. } => RecordFamily::Complete,
         }
     }
 
@@ -135,7 +169,12 @@ fn byte_kind(b: u8) -> FileKind {
     }
 }
 
+const SUBOP_BYTES: usize = 34;
+
 fn get_subop(buf: &mut &[u8]) -> Result<SubOp, String> {
+    if buf.len() < SUBOP_BYTES {
+        return Err("truncated sub-op".into());
+    }
     let tag = buf.get_u8();
     let k = buf.get_u8();
     let a = buf.get_u64();
@@ -220,15 +259,27 @@ pub fn encode_record(buf: &mut Vec<u8>, rec: &Record) {
 
 /// Decode one record from the front of `buf`, returning it and the number
 /// of bytes consumed.
+///
+/// A truncated buffer — a torn tail left by a crash mid-append — is an
+/// `Err`, never a panic and never a phantom record: every fixed-size field
+/// group is length-checked before it is read.
 pub fn decode_record(mut buf: &[u8]) -> Result<(Record, usize), String> {
     let start = buf.len();
     if buf.is_empty() {
         return Err("empty buffer".into());
     }
     let tag = buf.get_u8();
+    // Every record starts with a 16-byte operation id.
+    if buf.len() < 16 {
+        return Err("truncated op id".into());
+    }
     let rec = match tag {
         TAG_RESULT => {
             let op_id = get_op_id(&mut buf);
+            // role + peer flag + peer id + verdict + invalidated
+            if buf.len() < 1 + 1 + 4 + 1 + 1 {
+                return Err("truncated result header".into());
+            }
             let role = if buf.get_u8() == 1 {
                 Role::Coordinator
             } else {
@@ -244,6 +295,9 @@ pub fn decode_record(mut buf: &[u8]) -> Result<(Record, usize), String> {
             };
             let invalidated = buf.get_u8() == 1;
             let subop = get_subop(&mut buf)?;
+            if buf.len() < 4 {
+                return Err("truncated image length".into());
+            }
             let image = buf.get_u32() as usize;
             if buf.len() < image {
                 return Err("truncated image".into());
@@ -394,6 +448,37 @@ mod tests {
     fn garbage_is_rejected() {
         assert!(decode_record(&[]).is_err());
         assert!(decode_record(&[99, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn truncation_at_every_offset_is_an_error_not_a_panic() {
+        for rec in [
+            sample_result(),
+            Record::Commit { op_id: oid(1) },
+            Record::Abort { op_id: oid(2) },
+            Record::Complete { op_id: oid(3) },
+        ] {
+            let mut buf = Vec::new();
+            encode_record(&mut buf, &rec);
+            for cut in 0..buf.len() {
+                assert!(
+                    decode_record(&buf[..cut]).is_err(),
+                    "{rec:?} truncated to {cut} bytes must not decode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn families_are_dense_and_match() {
+        for (i, f) in RecordFamily::ALL.iter().enumerate() {
+            assert_eq!(f.index(), i);
+        }
+        assert_eq!(sample_result().family(), RecordFamily::Result);
+        assert_eq!(
+            Record::Complete { op_id: oid(1) }.family(),
+            RecordFamily::Complete
+        );
     }
 
     #[test]

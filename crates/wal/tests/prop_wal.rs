@@ -173,6 +173,96 @@ proptest! {
         prop_assert_eq!(wal.valid_bytes(), fresh.valid_bytes());
     }
 
+    /// Torn tail at every byte offset of the last record: decoding a log
+    /// image whose physical tail was cut anywhere inside the last record
+    /// yields exactly the whole-record prefix — no panic, no phantom
+    /// record, regardless of where the cut lands.
+    #[test]
+    fn torn_tail_decodes_exact_prefix(recs in prop::collection::vec(record_strategy(), 1..10)) {
+        let mut buf = Vec::new();
+        let mut boundaries = vec![0usize];
+        for r in &recs {
+            encode_record(&mut buf, r);
+            boundaries.push(buf.len());
+        }
+        let last_start = boundaries[recs.len() - 1];
+        for cut in last_start..buf.len() {
+            let torn = &buf[..cut];
+            let mut off = 0;
+            let mut decoded = Vec::new();
+            while off < torn.len() {
+                match decode_record(&torn[off..]) {
+                    Ok((r, n)) => {
+                        decoded.push(r);
+                        off += n;
+                    }
+                    Err(_) => break,
+                }
+            }
+            prop_assert_eq!(
+                &decoded[..],
+                &recs[..recs.len() - 1],
+                "cut at byte {} must recover exactly the whole-record prefix",
+                cut
+            );
+        }
+    }
+
+    /// `Wal::crash_torn` at any byte budget keeps exactly the durable
+    /// prefix plus the maximal run of whole volatile records that fits —
+    /// checked at every record boundary and one byte either side of it.
+    #[test]
+    fn wal_torn_crash_keeps_whole_record_prefix(
+        recs in prop::collection::vec(record_strategy(), 1..10),
+        durable_upto in 0usize..10,
+    ) {
+        let cut = durable_upto.min(recs.len());
+        let build = || {
+            let mut wal = Wal::new(None);
+            let mut seqs = Vec::new();
+            for rec in &recs {
+                let (seq, _) = wal.append(rec.clone()).expect("unlimited");
+                seqs.push(seq);
+            }
+            if cut > 0 {
+                wal.mark_durable(seqs[cut - 1]);
+            }
+            wal
+        };
+        // candidate torn budgets: every whole-record boundary of the
+        // volatile suffix, plus one byte either side
+        let mut budgets = vec![0u64];
+        let mut cum = 0u64;
+        for rec in &recs[cut..] {
+            cum += rec.encoded_len();
+            budgets.extend([cum.saturating_sub(1), cum, cum + 1]);
+        }
+        for extra in budgets {
+            // how many whole volatile records fit in `extra` bytes?
+            let mut fit = 0;
+            let mut used = 0u64;
+            for rec in &recs[cut..] {
+                if used + rec.encoded_len() > extra {
+                    break;
+                }
+                used += rec.encoded_len();
+                fit += 1;
+            }
+            let mut wal = build();
+            wal.crash_torn(extra);
+            let survivors: Vec<Record> = wal.scan().map(|(_, r)| r.clone()).collect();
+            prop_assert_eq!(
+                &survivors[..],
+                &recs[..cut + fit],
+                "durable prefix {} + torn budget {} must keep {} records",
+                cut, extra, cut + fit
+            );
+            // survivors are durable: a second, clean crash changes nothing
+            wal.crash();
+            prop_assert_eq!(wal.record_count(), cut + fit);
+        }
+    }
+
     /// The log limit is a true invariant: valid bytes never exceed the
     /// cap plus control-record slack, and appends start succeeding again
     /// after pruning.

@@ -110,34 +110,10 @@ fn threaded_and_des_agree() {
     );
 }
 
-/// FNV-1a over a stable rendering of the run's key statistics.
+/// The shared reproducibility fingerprint (also used by the chaos replay
+/// checks, so this test pins the same digest a repro file pins).
 fn stats_digest(r: &cx_core::ExperimentResult) -> u64 {
-    use std::fmt::Write;
-    let s = &r.stats;
-    let mut text = String::new();
-    write!(
-        text,
-        "{:?}|{:?}|{:?}|{}|{}|{}|{}|{:?}|{:?}|{:?}|{}|{}",
-        s.replay,
-        s.drained,
-        s.msgs,
-        s.events,
-        s.ops_total,
-        s.ops_applied,
-        s.ops_failed,
-        s.disk,
-        s.server_stats,
-        s.latency,
-        s.cross_ops,
-        s.peak_valid_bytes,
-    )
-    .expect("write to String");
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in text.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1_0000_01b3);
-    }
-    h
+    r.stats.digest()
 }
 
 /// Perf-pass regression guard: the home2 replay must stay bit-identical
