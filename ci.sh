@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Local CI gate — everything runs offline against the vendored shims.
 #
-#   ./ci.sh          # fmt check, clippy, release build, full test suite
+#   ./ci.sh          # fmt check, clippy, release build, smoke, full test suite
 #   ./ci.sh quick    # skip the release build (fast pre-commit loop)
 #
 # Clippy runs with -D warnings on the crates the perf pass touches most;
-# the whole workspace still builds and tests warning-free.
+# the message-plane crates additionally deny redundant clones and the
+# perf lint group, so allocation regressions on the hot path fail CI.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -17,12 +18,21 @@ cargo fmt --all -- --check
 step "clippy (hot-path crates, -D warnings)"
 cargo clippy -q \
     -p cx-types -p cx-sim -p cx-wal -p cx-mdstore \
-    -p cx-protocol -p cx-cluster -p cx-bench -p cx-chaos \
+    -p cx-protocol -p cx-cluster -p cx-bench -p cx-chaos -p cx-workloads \
     --all-targets -- -D warnings
+
+step "clippy (message plane: deny redundant_clone + perf lints)"
+cargo clippy -q -p cx-cluster -p cx-workloads --all-targets -- \
+    -D warnings -D clippy::redundant_clone -D clippy::perf
 
 if [ "${1:-}" != "quick" ]; then
     step "cargo build --release"
     cargo build --release --workspace
+
+    # Fixed-seed golden-digest smoke: the pinned home2 scenario must
+    # replay to the pinned digest through both workload intakes.
+    step "perf_baseline --smoke (golden digest, both intakes)"
+    cargo run -q --release -p cx-bench --bin perf_baseline -- --smoke
 
     # Fixed-seed chaos smoke: both protocol envelopes must come out clean,
     # and the oracle must still catch the deliberately broken recovery.

@@ -1,11 +1,18 @@
-//! Run every paper experiment in sequence (the `EXPERIMENTS.md`
-//! regeneration driver).
+//! Run every paper experiment (the `EXPERIMENTS.md` regeneration driver).
 //!
-//!     cargo run --release -p cx-bench --bin all_experiments [--scale f|--full]
+//!     cargo run --release -p cx-bench --bin all_experiments \
+//!         [--scale f|--full] [--jobs n]
 //!
 //! Each experiment prints its table and writes JSON under
-//! `target/experiments/`; this driver just invokes them in paper order
-//! with consistent flags.
+//! `target/experiments/`; this driver invokes them in paper order with
+//! consistent flags. Experiments run **concurrently** (`--jobs`, default
+//! one per core) with captured output, replayed in paper order as each
+//! finishes — at `--full` scale the basket is dominated by a handful of
+//! long traces×protocols sweeps, so fanning binaries across cores cuts
+//! the wall-clock to roughly the longest single experiment. When more
+//! than one job runs at a time, each child is pinned to one internal
+//! worker (`CX_BENCH_THREADS=1`) so the fan-out doesn't oversubscribe
+//! the machine with nested sweeps.
 
 use std::process::Command;
 
@@ -25,31 +32,70 @@ const EXPERIMENTS: [&str; 12] = [
 ];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = cx_bench::Args::parse();
+    // Strip `--jobs <n>` from the forwarded flags (children don't know it).
+    let fwd: Vec<String> = {
+        let mut out = Vec::new();
+        let mut skip_next = false;
+        for a in std::env::args().skip(1) {
+            if skip_next {
+                skip_next = false;
+                continue;
+            }
+            if a == "--jobs" {
+                skip_next = true;
+                continue;
+            }
+            out.push(a);
+        }
+        out
+    };
+    let jobs: usize = args
+        .value("--jobs")
+        .unwrap_or_else(cx_bench::bench_threads)
+        .max(1);
     let exe_dir = std::env::current_exe()
         .expect("current exe")
         .parent()
         .expect("exe dir")
         .to_path_buf();
 
+    // Capture each child's output and replay it in paper order; stream
+    // directly only when running sequentially.
+    let results = cx_bench::par_map_with(jobs, &EXPERIMENTS, |name| {
+        let bin = exe_dir.join(name);
+        let mut cmd = Command::new(&bin);
+        cmd.args(&fwd);
+        if jobs > 1 {
+            cmd.env("CX_BENCH_THREADS", "1");
+        }
+        let out = cmd
+            .output()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", bin.display()));
+        (out.status.success(), out.stdout, out.stderr)
+    });
+
     let mut failures = Vec::new();
-    for (i, name) in EXPERIMENTS.iter().enumerate() {
+    for (i, (name, (ok, stdout, stderr))) in EXPERIMENTS.iter().zip(&results).enumerate() {
         println!("\n======================================================================");
         println!("[{}/{}] {}", i + 1, EXPERIMENTS.len(), name);
         println!("======================================================================");
-        let bin = exe_dir.join(name);
-        let status = Command::new(&bin)
-            .args(&args)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", bin.display()));
-        if !status.success() {
+        print!("{}", String::from_utf8_lossy(stdout));
+        if !stderr.is_empty() {
+            eprint!("{}", String::from_utf8_lossy(stderr));
+        }
+        if !ok {
             failures.push(*name);
         }
     }
 
     println!("\n======================================================================");
     if failures.is_empty() {
-        println!("all {} experiments completed", EXPERIMENTS.len());
+        println!(
+            "all {} experiments completed ({} jobs)",
+            EXPERIMENTS.len(),
+            jobs
+        );
     } else {
         println!("FAILED: {failures:?}");
         std::process::exit(1);

@@ -11,20 +11,32 @@
 //!    full recovery (log scan + resumption); wall-clock only, since the
 //!    run is dominated by fixed-size protocol work rather than a stream
 //!    of events.
+//! 4. `lair62b_full_replay` / `lair62b_full_replay_materialized` — the
+//!    11M-op lair62b trace replayed end-to-end through the streaming
+//!    intake and through an up-front materialized `Trace`. These two
+//!    record `peak_rss_kb` (VmHWM, reset between entries): the streamed
+//!    path must hold peak memory flat where the materialized path pays
+//!    for the whole op vector.
 //!
-//! Results merge into `BENCH_PR1.json` at the repo root, keyed by
+//! Results merge into `BENCH_PR3.json` at the repo root, keyed by
 //! `--label` (e.g. `--label before` / `--label after`), so optimization
 //! PRs commit both sides of the comparison with the same binary.
 //!
+//! `--smoke` runs none of the basket: it replays the golden-digest
+//! scenario through both intakes and asserts the pinned digest, then
+//! exits — the fixed-seed CI gate (`ci.sh`).
+//!
 //! Usage: `perf_baseline --label after [--iters 3] [--scale 0.05]
-//!         [--filter home2] [--out path.json]`
+//!         [--filter home2] [--out path.json] [--smoke]`
 
 use cx_core::{Experiment, MetaratesMix, Protocol, RecoveryExperiment, Workload};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// One basket item's measurement. `events == 0` means the item is
-/// wall-clock-only (the recovery run has no meaningful event rate).
+/// wall-clock-only (the recovery run has no meaningful event rate);
+/// `peak_rss_kb` is `None` for items that don't track memory (an
+/// `Option` so reports written before the column existed still parse).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Entry {
     name: String,
@@ -32,6 +44,7 @@ struct Entry {
     events: u64,
     events_per_sec: f64,
     ops_total: u64,
+    peak_rss_kb: Option<u64>,
 }
 
 /// All measurements taken under one `--label`.
@@ -70,11 +83,48 @@ fn measure(name: &str, iters: u32, mut run: impl FnMut() -> (u64, u64)) -> Entry
             0.0
         },
         ops_total,
+        peak_rss_kb: None,
     }
+}
+
+/// Golden-digest gate: the pinned home2 scenario must replay to the
+/// digest `tests/determinism_and_recovery.rs` pins, through both the
+/// streaming and the materialized intake. Panics (non-zero exit) on any
+/// drift, so `ci.sh` catches behavioral changes before the full test
+/// suite even builds.
+fn smoke() {
+    const GOLDEN_HOME2_DIGEST: u64 = 4_199_832_947_163_537_151;
+    let e = Experiment::new(Workload::trace("home2").scale(0.005).seed(7))
+        .servers(8)
+        .protocol(Protocol::Cx)
+        .seed(42);
+    let streamed = e.run();
+    assert!(streamed.is_consistent(), "smoke: streamed run inconsistent");
+    assert_eq!(
+        streamed.stats.digest(),
+        GOLDEN_HOME2_DIGEST,
+        "smoke: streamed-intake digest drifted from the golden pin"
+    );
+    let trace = e.workload.build(&e.cfg);
+    let (stats, violations) = cx_core::run_trace(e.cfg.clone(), &trace);
+    assert!(
+        violations.is_empty(),
+        "smoke: materialized run inconsistent"
+    );
+    assert_eq!(
+        stats.digest(),
+        GOLDEN_HOME2_DIGEST,
+        "smoke: materialized-intake digest drifted from the golden pin"
+    );
+    println!("smoke ok: home2 digest {GOLDEN_HOME2_DIGEST} on both intakes");
 }
 
 fn main() {
     let args = cx_bench::Args::parse();
+    if args.flag("--smoke") {
+        smoke();
+        return;
+    }
     let label: String = args.value("--label").unwrap_or_else(|| "current".into());
     // At least one iteration, or best-of-N is `inf` and the JSON row is junk.
     let iters: u32 = args.value("--iters").unwrap_or(3).max(1);
@@ -82,7 +132,7 @@ fn main() {
     let filter: Option<String> = args.value("--filter");
     let out: String = args
         .value("--out")
-        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR1.json").into());
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json").into());
     let wants = |name: &str| filter.as_deref().is_none_or(|f| name.contains(f));
 
     let mut entries = Vec::new();
@@ -114,6 +164,37 @@ fn main() {
         }));
     }
 
+    // The full-scale pair measures the end-to-end pipeline (generation +
+    // replay), one pass each, with the peak-RSS watermark reset before
+    // every entry. The streamed entry runs first so the materialized
+    // trace's footprint cannot inflate its high-water mark.
+    if wants("lair62b_full_replay") || wants("lair62b_full_replay_materialized") {
+        let e = Experiment::new(Workload::trace("lair62b"))
+            .servers(8)
+            .protocol(Protocol::Cx);
+        if wants("lair62b_full_replay") {
+            cx_bench::reset_peak_rss();
+            let mut entry = measure("lair62b_full_replay", 1, || {
+                let r = e.run();
+                assert!(r.is_consistent(), "lair62b streamed replay dirty");
+                (r.stats.events, r.stats.ops_total)
+            });
+            entry.peak_rss_kb = Some(cx_bench::peak_rss_kb());
+            entries.push(entry);
+        }
+        if wants("lair62b_full_replay_materialized") {
+            cx_bench::reset_peak_rss();
+            let mut entry = measure("lair62b_full_replay_materialized", 1, || {
+                let trace = e.workload.build(&e.cfg);
+                let (stats, violations) = cx_core::run_trace(e.cfg.clone(), &trace);
+                assert!(violations.is_empty(), "lair62b materialized replay dirty");
+                (stats.events, stats.ops_total)
+            });
+            entry.peak_rss_kb = Some(cx_bench::peak_rss_kb());
+            entries.push(entry);
+        }
+    }
+
     if wants("table5_recovery_160kb") {
         entries.push(measure("table5_recovery_160kb", iters, || {
             let row = RecoveryExperiment {
@@ -132,7 +213,14 @@ fn main() {
     }
 
     cx_bench::print_table(
-        &["item", "wall s", "events", "events/s", "ops"],
+        &[
+            "item",
+            "wall s",
+            "events",
+            "events/s",
+            "ops",
+            "peak RSS KiB",
+        ],
         &entries
             .iter()
             .map(|e| {
@@ -142,6 +230,10 @@ fn main() {
                     e.events.to_string(),
                     format!("{:.0}", e.events_per_sec),
                     e.ops_total.to_string(),
+                    match e.peak_rss_kb {
+                        Some(kb) => kb.to_string(),
+                        None => "-".into(),
+                    },
                 ]
             })
             .collect::<Vec<_>>(),
@@ -177,7 +269,29 @@ fn main() {
         );
     }
 
+    // And the memory headline: streamed vs materialized full-scale RSS.
+    let rss = |name: &str| {
+        report
+            .runs
+            .iter()
+            .find(|r| r.label == label)
+            .and_then(|r| r.entries.iter().find(|e| e.name == name))
+            .and_then(|e| e.peak_rss_kb)
+            .filter(|&kb| kb > 0)
+    };
+    if let (Some(st), Some(mat)) = (
+        rss("lair62b_full_replay"),
+        rss("lair62b_full_replay_materialized"),
+    ) {
+        println!(
+            "lair62b peak RSS: streamed {} KiB vs materialized {} KiB ({:.1}x lower)",
+            st,
+            mat,
+            mat as f64 / st as f64
+        );
+    }
+
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(&out, json + "\n").expect("write BENCH_PR1.json");
+    std::fs::write(&out, json + "\n").expect("write benchmark report");
     println!("[json: {out}]  (label: {label})");
 }

@@ -50,7 +50,19 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = bench_threads().min(items.len());
+    par_map_with(bench_threads(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (clamped to at least one).
+/// The `--full` driver uses this to fan whole experiment binaries across
+/// cores with `--jobs`, independent of `CX_BENCH_THREADS`.
+pub fn par_map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len());
     if threads <= 1 {
         return items.iter().map(f).collect();
     }
@@ -112,6 +124,30 @@ impl Args {
             self.value("--scale").unwrap_or(default)
         }
     }
+}
+
+/// Peak resident set size ("VmHWM") of this process in KiB, read from
+/// `/proc/self/status`. Returns 0 where the proc file is unavailable
+/// (non-Linux), so callers can record it unconditionally.
+pub fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Reset the kernel's peak-RSS watermark (writes `5` to
+/// `/proc/self/clear_refs`) so back-to-back measurements in one process
+/// don't inherit each other's high-water mark. Best-effort: where the
+/// write is not permitted the old watermark simply survives, which only
+/// ever over-reports.
+pub fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
 }
 
 /// Print an aligned table.

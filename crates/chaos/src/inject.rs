@@ -27,12 +27,18 @@ pub struct PlanInjector {
 
 impl PlanInjector {
     pub fn new(plan: FaultPlan, trace: &Trace) -> Self {
+        Self::with_seeds(plan, &trace.seeds)
+    }
+
+    /// Build from the bare seed list — the only part of the workload the
+    /// injector's oracle needs, so streamed workloads plug in directly.
+    pub fn with_seeds(plan: FaultPlan, seeds: &[cx_workloads::SeedEntry]) -> Self {
         Self {
             net_seen: vec![0; plan.net.len()],
             net_done: vec![false; plan.net.len()],
             crash_done: vec![false; plan.crashes.len()],
             deliver_seen: vec![0; plan.crashes.len()],
-            base: ModelFs::from_seeds(trace),
+            base: ModelFs::from_seed_entries(seeds),
             report: Vec::new(),
             seen: BTreeSet::new(),
             plan,

@@ -32,8 +32,13 @@ pub struct ModelFs {
 impl ModelFs {
     /// The pre-run state: the workload's seed directories and files.
     pub fn from_seeds(trace: &Trace) -> Self {
+        Self::from_seed_entries(&trace.seeds)
+    }
+
+    /// Same, from the bare seed list (all a streamed workload carries).
+    pub fn from_seed_entries(seeds: &[SeedEntry]) -> Self {
         let mut m = ModelFs::default();
-        for seed in &trace.seeds {
+        for seed in seeds {
             match *seed {
                 SeedEntry::Dir { ino } => {
                     m.inodes.insert(ino, (FileKind::Directory, 1));

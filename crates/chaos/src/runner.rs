@@ -4,7 +4,7 @@ use crate::inject::PlanInjector;
 use crate::plan::FaultPlan;
 use cx_cluster::{ChaosOutcome, DesCluster};
 use cx_types::{ClusterConfig, Protocol, DUR_MS};
-use cx_workloads::{Trace, TraceBuilder, TraceProfile};
+use cx_workloads::{StreamTrace, Trace, TraceBuilder, TraceProfile};
 use serde::{Deserialize, Serialize};
 
 /// Everything that determines a chaos run besides the fault plan. The
@@ -39,10 +39,16 @@ impl ChaosScenario {
     /// The driving workload (CTH mix: mutation-heavy, lots of
     /// cross-server creates).
     pub fn trace(&self) -> Trace {
+        self.stream().materialize()
+    }
+
+    /// The same workload as a lazy stream (ops generated as the replay
+    /// pulls them).
+    pub fn stream(&self) -> StreamTrace {
         TraceBuilder::new(TraceProfile::by_name("CTH").expect("profile exists"))
             .scale(self.trace_scale)
             .seed(self.workload_seed)
-            .build()
+            .stream()
     }
 
     fn config(&self) -> ClusterConfig {
@@ -65,13 +71,30 @@ pub struct ChaosRun {
     pub outcome: ChaosOutcome,
 }
 
-/// Execute `plan` under `scn` on the deterministic simulator.
+/// Execute `plan` under `scn` on the deterministic simulator, pulling
+/// the workload through the streaming intake (the default path).
 pub fn run_plan(scn: &ChaosScenario, plan: &FaultPlan) -> ChaosRun {
+    let st = scn.stream();
+    let injector = PlanInjector::with_seeds(plan.clone(), &st.seeds);
+    let outcome = DesCluster::new_stream(scn.config(), st)
+        .with_injector(Box::new(injector))
+        .run_chaos();
+    finish(outcome)
+}
+
+/// Same plan over the fully materialized workload — kept as the
+/// regression twin proving streamed and materialized intakes replay
+/// fault schedules to byte-identical digests.
+pub fn run_plan_materialized(scn: &ChaosScenario, plan: &FaultPlan) -> ChaosRun {
     let trace = scn.trace();
     let injector = PlanInjector::new(plan.clone(), &trace);
     let outcome = DesCluster::new(scn.config(), &trace)
         .with_injector(Box::new(injector))
         .run_chaos();
+    finish(outcome)
+}
+
+fn finish(outcome: ChaosOutcome) -> ChaosRun {
     let mut failures: Vec<String> = outcome
         .violations
         .iter()

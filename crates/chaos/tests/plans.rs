@@ -8,7 +8,8 @@
 //! not.
 
 use cx_chaos::{
-    run_plan, shrink, ChaosScenario, CrashFault, CrashPoint, FaultPlan, NetAction, NetFault,
+    run_plan, run_plan_materialized, shrink, ChaosScenario, CrashFault, CrashPoint, FaultPlan,
+    NetAction, NetFault,
 };
 use cx_types::{MsgKind, Protocol, ServerId, DUR_MS};
 use cx_wal::RecordFamily;
@@ -27,12 +28,8 @@ fn crash(server: u32, point: CrashPoint, torn: u64) -> CrashFault {
     }
 }
 
-/// Delaying VOTEs and sub-op responses exercises the disordered-delivery
-/// hint path (§III-B's conflict hints arrive out of order) without ever
-/// losing a message; the run must stay fully clean and quiesce.
-#[test]
-fn delayed_votes_exercise_the_disorder_hint_path() {
-    let plan = FaultPlan {
+fn delayed_votes_plan() -> FaultPlan {
+    FaultPlan {
         net: (1..=3)
             .flat_map(|n| {
                 [
@@ -54,19 +51,11 @@ fn delayed_votes_exercise_the_disorder_hint_path() {
             })
             .collect(),
         ..FaultPlan::default()
-    };
-    let run = run_plan(&scenario(), &plan);
-    assert_eq!(run.failures, Vec::<String>::new());
-    assert!(run.outcome.quiesced, "delays alone must not wedge anything");
-    assert!(run.outcome.stats.faults.delays >= 4);
+    }
 }
 
-/// Kill a participant right after it appended a Result record (acked work
-/// in its log, commitment still pending). Recovery must resume the
-/// half-completed commitments and the oracle must stay silent.
-#[test]
-fn participant_crash_mid_execution_recovers_cleanly() {
-    let plan = FaultPlan {
+fn participant_crash_plan() -> FaultPlan {
+    FaultPlan {
         crashes: vec![crash(
             2,
             CrashPoint::WalAppend {
@@ -76,24 +65,11 @@ fn participant_crash_mid_execution_recovers_cleanly() {
             0,
         )],
         ..FaultPlan::default()
-    };
-    let run = run_plan(&scenario(), &plan);
-    assert_eq!(run.failures, Vec::<String>::new());
-    let f = &run.outcome.stats.faults;
-    assert_eq!(f.crashes, 1, "the crash point must fire");
-    assert_eq!(f.recoveries, 1);
-    assert!(f.oracle_checks >= 2, "post-recovery + end-of-run passes");
-    assert_eq!(run.outcome.stats.recovery_cycles.len(), 1);
-    assert_eq!(run.outcome.stats.recovery_cycles[0].server, ServerId(2));
+    }
 }
 
-/// Kill a coordinator right after it appended its first Commit record —
-/// i.e. after the VOTE round decided but with COMMIT-REQs at most in
-/// flight (§III-C's window). The decision is durable, so recovery must
-/// finish the commitment on both sides.
-#[test]
-fn coordinator_crash_between_vote_and_commit_req() {
-    let plan = FaultPlan {
+fn coordinator_crash_plan() -> FaultPlan {
+    FaultPlan {
         crashes: vec![crash(
             0,
             CrashPoint::WalAppend {
@@ -103,18 +79,11 @@ fn coordinator_crash_between_vote_and_commit_req() {
             0,
         )],
         ..FaultPlan::default()
-    };
-    let run = run_plan(&scenario(), &plan);
-    assert_eq!(run.failures, Vec::<String>::new());
-    assert_eq!(run.outcome.stats.faults.crashes, 1);
-    assert_eq!(run.outcome.stats.faults.recoveries, 1);
+    }
 }
 
-/// Coordinator and participant die in the same run (different moments).
-/// Both recover; the cross-server state they shared must reconcile.
-#[test]
-fn coordinator_and_participant_double_crash() {
-    let plan = FaultPlan {
+fn double_crash_plan() -> FaultPlan {
+    FaultPlan {
         crashes: vec![
             crash(
                 0,
@@ -134,8 +103,125 @@ fn coordinator_and_participant_double_crash() {
             ),
         ],
         ..FaultPlan::default()
-    };
-    let run = run_plan(&scenario(), &plan);
+    }
+}
+
+fn torn_tail_plan() -> FaultPlan {
+    FaultPlan {
+        crashes: vec![crash(
+            1,
+            CrashPoint::WalAppend {
+                family: RecordFamily::Result,
+                nth: 8,
+            },
+            300,
+        )],
+        ..FaultPlan::default()
+    }
+}
+
+fn mixed_faults_plan() -> FaultPlan {
+    FaultPlan {
+        net: vec![
+            NetFault {
+                kind: MsgKind::CommitReq,
+                from: None,
+                to: None,
+                nth: 2,
+                action: NetAction::Drop,
+            },
+            NetFault {
+                kind: MsgKind::VoteResult,
+                from: Some(ServerId(1)),
+                to: None,
+                nth: 4,
+                action: NetAction::Duplicate { ns: 500_000 },
+            },
+        ],
+        crashes: vec![crash(
+            2,
+            CrashPoint::WalAppend {
+                family: RecordFamily::Result,
+                nth: 6,
+            },
+            128,
+        )],
+        ..FaultPlan::default()
+    }
+}
+
+fn duplicate_storm_plan() -> FaultPlan {
+    FaultPlan {
+        net: vec![
+            NetFault {
+                kind: MsgKind::Vote,
+                from: None,
+                to: None,
+                nth: 1,
+                action: NetAction::Duplicate { ns: 250_000 },
+            },
+            NetFault {
+                kind: MsgKind::Ack,
+                from: None,
+                to: None,
+                nth: 3,
+                action: NetAction::Drop,
+            },
+            NetFault {
+                kind: MsgKind::CommitReq,
+                from: None,
+                to: None,
+                nth: 5,
+                action: NetAction::Delay { ns: 4_000_000 },
+            },
+        ],
+        ..FaultPlan::default()
+    }
+}
+
+/// Delaying VOTEs and sub-op responses exercises the disordered-delivery
+/// hint path (§III-B's conflict hints arrive out of order) without ever
+/// losing a message; the run must stay fully clean and quiesce.
+#[test]
+fn delayed_votes_exercise_the_disorder_hint_path() {
+    let run = run_plan(&scenario(), &delayed_votes_plan());
+    assert_eq!(run.failures, Vec::<String>::new());
+    assert!(run.outcome.quiesced, "delays alone must not wedge anything");
+    assert!(run.outcome.stats.faults.delays >= 4);
+}
+
+/// Kill a participant right after it appended a Result record (acked work
+/// in its log, commitment still pending). Recovery must resume the
+/// half-completed commitments and the oracle must stay silent.
+#[test]
+fn participant_crash_mid_execution_recovers_cleanly() {
+    let run = run_plan(&scenario(), &participant_crash_plan());
+    assert_eq!(run.failures, Vec::<String>::new());
+    let f = &run.outcome.stats.faults;
+    assert_eq!(f.crashes, 1, "the crash point must fire");
+    assert_eq!(f.recoveries, 1);
+    assert!(f.oracle_checks >= 2, "post-recovery + end-of-run passes");
+    assert_eq!(run.outcome.stats.recovery_cycles.len(), 1);
+    assert_eq!(run.outcome.stats.recovery_cycles[0].server, ServerId(2));
+}
+
+/// Kill a coordinator right after it appended its first Commit record —
+/// i.e. after the VOTE round decided but with COMMIT-REQs at most in
+/// flight (§III-C's window). The decision is durable, so recovery must
+/// finish the commitment on both sides.
+#[test]
+fn coordinator_crash_between_vote_and_commit_req() {
+    let run = run_plan(&scenario(), &coordinator_crash_plan());
+    assert_eq!(run.failures, Vec::<String>::new());
+    assert_eq!(run.outcome.stats.faults.crashes, 1);
+    assert_eq!(run.outcome.stats.faults.recoveries, 1);
+}
+
+/// Coordinator and participant die in the same run (different moments).
+/// Both recover; the cross-server state they shared must reconcile.
+#[test]
+fn coordinator_and_participant_double_crash() {
+    let run = run_plan(&scenario(), &double_crash_plan());
     assert_eq!(run.failures, Vec::<String>::new());
     let f = &run.outcome.stats.faults;
     assert_eq!(f.crashes, 2, "both crash points must fire");
@@ -147,18 +233,7 @@ fn coordinator_and_participant_double_crash() {
 /// and recovery must still reconcile.
 #[test]
 fn torn_tail_crash_is_survivable() {
-    let plan = FaultPlan {
-        crashes: vec![crash(
-            1,
-            CrashPoint::WalAppend {
-                family: RecordFamily::Result,
-                nth: 8,
-            },
-            300,
-        )],
-        ..FaultPlan::default()
-    };
-    let run = run_plan(&scenario(), &plan);
+    let run = run_plan(&scenario(), &torn_tail_plan());
     assert_eq!(run.failures, Vec::<String>::new());
     assert_eq!(run.outcome.stats.faults.torn_crashes, 1);
     assert_eq!(run.outcome.stats.faults.recoveries, 1);
@@ -221,33 +296,7 @@ fn broken_recovery_is_caught_and_shrinks_to_one_fault() {
 /// findings — the property that makes repro files trustworthy.
 #[test]
 fn same_plan_replays_to_identical_digest() {
-    let plan = FaultPlan {
-        net: vec![
-            NetFault {
-                kind: MsgKind::CommitReq,
-                from: None,
-                to: None,
-                nth: 2,
-                action: NetAction::Drop,
-            },
-            NetFault {
-                kind: MsgKind::VoteResult,
-                from: Some(ServerId(1)),
-                to: None,
-                nth: 4,
-                action: NetAction::Duplicate { ns: 500_000 },
-            },
-        ],
-        crashes: vec![crash(
-            2,
-            CrashPoint::WalAppend {
-                family: RecordFamily::Result,
-                nth: 6,
-            },
-            128,
-        )],
-        ..FaultPlan::default()
-    };
+    let plan = mixed_faults_plan();
     let scn = scenario();
     let a = run_plan(&scn, &plan);
     let b = run_plan(&scn, &plan);
@@ -257,4 +306,36 @@ fn same_plan_replays_to_identical_digest() {
         a.outcome.stats.faults.crashes,
         b.outcome.stats.faults.crashes
     );
+}
+
+/// The streaming intake is the default chaos path; the materialized twin
+/// must replay every regression plan to the same digest and the same
+/// findings. This is the fault-injected version of the clean-run intake
+/// parity pinned in `tests/determinism_and_recovery.rs` — faults key on
+/// message and WAL-append counts, so any intake-order drift would show
+/// up here first.
+#[test]
+fn every_regression_plan_replays_identically_on_both_intakes() {
+    let plans: [(&str, FaultPlan); 7] = [
+        ("delayed_votes", delayed_votes_plan()),
+        ("participant_crash", participant_crash_plan()),
+        ("coordinator_crash", coordinator_crash_plan()),
+        ("double_crash", double_crash_plan()),
+        ("torn_tail", torn_tail_plan()),
+        ("mixed_faults", mixed_faults_plan()),
+        ("duplicate_storm", duplicate_storm_plan()),
+    ];
+    let scn = scenario();
+    for (name, plan) in &plans {
+        let streamed = run_plan(&scn, plan);
+        let materialized = run_plan_materialized(&scn, plan);
+        assert_eq!(
+            streamed.digest, materialized.digest,
+            "{name}: intake digests diverged"
+        );
+        assert_eq!(
+            streamed.failures, materialized.failures,
+            "{name}: intake findings diverged"
+        );
+    }
 }

@@ -17,6 +17,7 @@
 //! the last operation response arrives, matching the paper's metric.
 
 use crate::fault::{ClusterSnapshot, CrashCmd, FaultEvent, FaultInjector, MsgFate};
+use crate::feed::OpFeed;
 use crate::stats::{AckRecord, RecoveryCycle, RunStats, TimelineSample};
 use cx_mdstore::{GlobalView, Violation};
 use cx_protocol::{Action, ClientDecision, ClientOp, Endpoint, ServerEngine};
@@ -27,14 +28,19 @@ use cx_types::{
     DUR_US,
 };
 use cx_wal::RecordFamily;
-use cx_workloads::{SeedEntry, Trace};
-use std::collections::VecDeque;
+use cx_workloads::{SeedEntry, StreamTrace, Trace};
 
 /// Client-side overhead between completing one op and issuing the next.
 const CLIENT_ISSUE_NS: u64 = 15 * DUR_US;
 /// CPU cost per entry of a batched commitment message.
 const PER_ENTRY_NS: u64 = 3 * DUR_US;
 
+// Messages move through the plane by value and are never cloned on the
+// delivery path: `send` moves the payload into the event, the simulator's
+// slab (see `cx-sim::kernel`) parks it while only a 24-byte handle is
+// sorted, and the engine receives it back by move. The one remaining
+// `Payload::clone` is the duplication fault, which genuinely needs two
+// copies in flight.
 enum Ev {
     /// A message reached the server NIC; queue it on the CPU.
     ServerArrive {
@@ -145,7 +151,6 @@ enum SrvPhase {
 
 struct ProcRuntime {
     id: ProcId,
-    queue: VecDeque<FsOp>,
     current: Option<ClientOp>,
     /// Identity of the in-flight operation (durability-oracle input).
     current_meta: Option<(OpId, FsOp)>,
@@ -163,6 +168,8 @@ pub struct DesCluster {
     disks: Vec<Disk>,
     cpus: Vec<FifoResource>,
     procs: Vec<ProcRuntime>,
+    /// Shared op intake: per-process buffers over the workload stream.
+    feed: OpFeed,
     sim: Sim<Ev>,
     stats: RunStats,
     roots: Vec<cx_types::InodeNo>,
@@ -207,15 +214,30 @@ pub struct DesCluster {
 }
 
 impl DesCluster {
-    /// Build a cluster and load the trace's seeds and process queues.
+    /// Build a cluster from a materialized trace (vec-backed stream).
     pub fn new(cfg: ClusterConfig, trace: &Trace) -> Self {
+        Self::new_stream(cfg, trace.to_stream())
+    }
+
+    /// Build a cluster over a streaming workload: the trace header
+    /// (seeds, roots, process count) is consumed eagerly, operations are
+    /// pulled on demand as processes issue them.
+    pub fn new_stream(cfg: ClusterConfig, st: StreamTrace) -> Self {
+        let StreamTrace {
+            name: _,
+            processes,
+            seeds,
+            roots,
+            total_ops_hint,
+            ops,
+        } = st;
         let placement = Placement::new(cfg.servers);
         let mut servers: Vec<Box<dyn ServerEngine>> = (0..cfg.servers)
             .map(|i| cx_protocol::make_server(ServerId(i), &cfg))
             .collect();
 
         // Seed the initial namespace.
-        for seed in &trace.seeds {
+        for seed in &seeds {
             match *seed {
                 SeedEntry::Dir { ino } => {
                     // directory partition rows exist on every server
@@ -236,19 +258,11 @@ impl DesCluster {
             }
         }
 
-        // Per-process operation queues in trace order.
-        let mut queues: Vec<VecDeque<FsOp>> =
-            (0..trace.processes).map(|_| VecDeque::new()).collect();
-        for t in &trace.ops {
-            queues[t.proc.client.0 as usize].push_back(t.op);
-        }
-        let procs: Vec<ProcRuntime> = queues
-            .into_iter()
-            .enumerate()
-            .map(|(i, queue)| ProcRuntime {
-                id: ProcId::new(i as u32, 0),
-                done: queue.is_empty(),
-                queue,
+        let feed = OpFeed::new(ops, processes, total_ops_hint);
+        let procs: Vec<ProcRuntime> = (0..processes)
+            .map(|i| ProcRuntime {
+                id: ProcId::new(i, 0),
+                done: feed.starts_empty(i),
                 current: None,
                 current_meta: None,
                 issued_at: SimTime::ZERO,
@@ -260,8 +274,8 @@ impl DesCluster {
 
         let disks = (0..cfg.servers).map(|_| Disk::new(cfg.disk)).collect();
         let cpus = (0..cfg.servers).map(|_| FifoResource::new()).collect();
-        let stats = RunStats::new(cfg.protocol, cfg.servers, trace.processes);
-        let max_events = 800 * trace.ops.len() as u64 + 10_000_000;
+        let stats = RunStats::new(cfg.protocol, cfg.servers, processes);
+        let max_events = 800 * feed.total_hint() + 10_000_000;
 
         let n = cfg.servers as usize;
         Self {
@@ -271,9 +285,10 @@ impl DesCluster {
             disks,
             cpus,
             procs,
+            feed,
             sim: Sim::new(),
             stats,
-            roots: trace.roots.clone(),
+            roots,
             active_procs,
             sample_every_ns: 200_000_000, // 200 ms samples for Figure 7b
             next_sample: SimTime::ZERO,
@@ -401,11 +416,8 @@ impl DesCluster {
         self.stats.drained = self.sim.now();
         // Faults can wedge clients forever (a dropped message with no
         // retransmission); surface that instead of hanging.
-        let stuck: u64 = self
-            .procs
-            .iter()
-            .map(|p| p.queue.len() as u64 + p.current.is_some() as u64)
-            .sum();
+        let in_flight: u64 = self.procs.iter().map(|p| p.current.is_some() as u64).sum();
+        let stuck = self.feed.remaining() + in_flight;
         self.stats.ops_stuck = self.stats.ops_stuck.max(stuck);
         self.finalize();
 
@@ -455,11 +467,8 @@ impl DesCluster {
             }
             if self.sim.events_processed() > self.max_events {
                 // hang protection: record and bail
-                self.stats.ops_stuck = self
-                    .procs
-                    .iter()
-                    .map(|p| p.queue.len() as u64 + p.current.is_some() as u64)
-                    .sum();
+                let in_flight: u64 = self.procs.iter().map(|p| p.current.is_some() as u64).sum();
+                self.stats.ops_stuck = self.feed.remaining() + in_flight;
                 break;
             }
         }
@@ -815,11 +824,12 @@ impl DesCluster {
     }
 
     fn issue_next(&mut self, now: SimTime, proc: u32) {
-        let p = &mut self.procs[proc as usize];
-        if p.current.is_some() {
+        if self.procs[proc as usize].current.is_some() {
             return;
         }
-        let Some(op) = p.queue.pop_front() else {
+        let next = self.feed.next_for(proc);
+        let p = &mut self.procs[proc as usize];
+        let Some(op) = next else {
             if !p.done {
                 p.done = true;
                 self.active_procs -= 1;
@@ -913,6 +923,7 @@ impl DesCluster {
                 }
                 MsgFate::Duplicate(ns) => {
                     self.stats.faults.dups += 1;
+                    // the one remaining payload clone: duplication faults
                     self.deliver(from, to, payload.clone(), latency + ns);
                 }
             }
@@ -1018,6 +1029,14 @@ fn payload_cost(payload: &Payload, cfg: &ClusterConfig) -> u64 {
 /// Convenience: build and run in one call.
 pub fn run_trace(cfg: ClusterConfig, trace: &Trace) -> (RunStats, Vec<Violation>) {
     DesCluster::new(cfg, trace).run()
+}
+
+/// Streamed counterpart of [`run_trace`]: the workload is generated on
+/// the fly as processes pull ops, so peak memory is independent of trace
+/// length. Digest-identical to the materialized path for the same
+/// workload parameters.
+pub fn run_stream_trace(cfg: ClusterConfig, st: StreamTrace) -> (RunStats, Vec<Violation>) {
+    DesCluster::new_stream(cfg, st).run()
 }
 
 #[cfg(test)]

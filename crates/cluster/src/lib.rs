@@ -13,10 +13,12 @@
 
 pub mod des;
 pub mod fault;
+pub mod feed;
 pub mod stats;
 pub mod threaded;
 
-pub use des::{ChaosOutcome, CrashPlan, DesCluster, RecoveryReport};
+pub use des::{run_stream_trace, run_trace, ChaosOutcome, CrashPlan, DesCluster, RecoveryReport};
 pub use fault::{ClusterSnapshot, CrashCmd, FaultEvent, FaultInjector, MsgFate, NoFaults};
+pub use feed::OpFeed;
 pub use stats::{AckRecord, FaultStats, LatencyStat, RecoveryCycle, RunStats, TimelineSample};
 pub use threaded::{ThreadedCluster, ThreadedRunResult};

@@ -9,6 +9,7 @@
 //! This runtime deliberately shares every line of protocol code with the
 //! simulation: the engines cannot tell which runtime drives them.
 
+use crate::feed::OpFeed;
 use crate::stats::RunStats;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use cx_mdstore::{GlobalView, MetaStore, Violation};
@@ -17,7 +18,7 @@ use cx_sim::TimerQueue;
 use cx_types::{
     ClusterConfig, FileKind, OpId, OpOutcome, Payload, Placement, ProcId, ServerId, SimTime,
 };
-use cx_workloads::{SeedEntry, Trace};
+use cx_workloads::{SeedEntry, StreamTrace, Trace};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -82,6 +83,21 @@ impl ThreadedCluster {
     /// runtime); returns outcomes, aggregated stats, and the consistency
     /// check result.
     pub fn run(cfg: ClusterConfig, trace: &Trace) -> ThreadedRunResult {
+        Self::run_stream(cfg, trace.to_stream())
+    }
+
+    /// Streamed form: client threads pull their next op from a shared
+    /// [`OpFeed`] over the workload stream instead of pre-built queues,
+    /// so memory stays flat regardless of trace length.
+    pub fn run_stream(cfg: ClusterConfig, st: StreamTrace) -> ThreadedRunResult {
+        let StreamTrace {
+            name: _,
+            processes,
+            seeds,
+            roots,
+            total_ops_hint,
+            ops,
+        } = st;
         let start = Instant::now();
         let placement = Placement::new(cfg.servers);
 
@@ -95,7 +111,7 @@ impl ThreadedCluster {
         }
         let mut proc_tx = Vec::new();
         let mut proc_rx = Vec::new();
-        for _ in 0..trace.processes {
+        for _ in 0..processes {
             let (tx, rx) = unbounded::<ProcMsg>();
             proc_tx.push(tx);
             proc_rx.push(rx);
@@ -118,25 +134,22 @@ impl ThreadedCluster {
         let mut server_threads = Vec::new();
         for (i, rx) in server_rx.into_iter().enumerate() {
             let mut engine = cx_protocol::make_server(ServerId(i as u32), &cfg);
-            seed_engine(engine.as_mut(), &placement, trace, ServerId(i as u32));
+            seed_engine(engine.as_mut(), &placement, &seeds, ServerId(i as u32));
             let r = router.clone();
             server_threads.push(thread::spawn(move || server_loop(i as u32, engine, rx, r)));
         }
 
-        // Client threads.
+        // Client threads, sharing one locked feed over the stream.
         let outcomes = Arc::new(Mutex::new(Vec::<(OpId, OpOutcome)>::new()));
-        let mut queues: Vec<VecDeque<cx_types::FsOp>> =
-            (0..trace.processes).map(|_| VecDeque::new()).collect();
-        for t in &trace.ops {
-            queues[t.proc.client.0 as usize].push_back(t.op);
-        }
+        let feed = Arc::new(Mutex::new(OpFeed::new(ops, processes, total_ops_hint)));
         let mut client_threads = Vec::new();
-        for (i, (rx, queue)) in proc_rx.into_iter().zip(queues).enumerate() {
+        for (i, rx) in proc_rx.into_iter().enumerate() {
             let r = router.clone();
             let cfg = cfg.clone();
             let outcomes = Arc::clone(&outcomes);
+            let feed = Arc::clone(&feed);
             client_threads.push(thread::spawn(move || {
-                client_loop(i as u32, queue, rx, r, &cfg, placement, outcomes)
+                client_loop(i as u32, feed, rx, r, &cfg, placement, outcomes)
             }));
         }
         for t in client_threads {
@@ -163,7 +176,7 @@ impl ThreadedCluster {
         }
 
         // Collect final state.
-        let mut stats = RunStats::new(cfg.protocol, cfg.servers, trace.processes);
+        let mut stats = RunStats::new(cfg.protocol, cfg.servers, processes);
         let mut stores = Vec::new();
         for tx in router.servers.iter() {
             let (stx, srx) = bounded(1);
@@ -179,7 +192,7 @@ impl ThreadedCluster {
             stats.record_outcome(*outcome);
             stats.ops_total += 1;
         }
-        let violations = GlobalView::merge(stores.iter()).check(&trace.roots);
+        let violations = GlobalView::merge(stores.iter()).check(&roots);
         ThreadedRunResult {
             stats,
             violations,
@@ -188,8 +201,13 @@ impl ThreadedCluster {
     }
 }
 
-fn seed_engine(engine: &mut dyn ServerEngine, placement: &Placement, trace: &Trace, me: ServerId) {
-    for seed in &trace.seeds {
+fn seed_engine(
+    engine: &mut dyn ServerEngine,
+    placement: &Placement,
+    seeds: &[SeedEntry],
+    me: ServerId,
+) {
+    for seed in seeds {
         match *seed {
             SeedEntry::Dir { ino } => {
                 engine.store_mut().seed_inode(ino, FileKind::Directory, 1);
@@ -306,7 +324,7 @@ fn timer_loop(rx: Receiver<TimerReq>, servers: Arc<Vec<Sender<ServerMsg>>>) {
 #[allow(clippy::too_many_arguments)]
 fn client_loop(
     me: u32,
-    mut queue: VecDeque<cx_types::FsOp>,
+    feed: Arc<Mutex<OpFeed>>,
     rx: Receiver<ProcMsg>,
     router: Router,
     cfg: &ClusterConfig,
@@ -316,7 +334,13 @@ fn client_loop(
     let proc = ProcId::new(me, 0);
     let from_me = Endpoint::Proc(proc);
     let mut seq = 0u64;
-    while let Some(op) = queue.pop_front() {
+    loop {
+        // bind first: a `while let` scrutinee would hold the feed lock
+        // across the synchronous wait below, serializing every client
+        let next = feed.lock().next_for(me);
+        let Some(op) = next else {
+            return;
+        };
         let op_id = OpId::new(proc, seq);
         seq += 1;
         let plan = placement.plan(op);

@@ -42,9 +42,9 @@
 use serde::Serialize;
 
 pub use cx_cluster::{
-    des::run_trace, AckRecord, ChaosOutcome, ClusterSnapshot, CrashCmd, CrashPlan, DesCluster,
-    FaultEvent, FaultInjector, FaultStats, LatencyStat, MsgFate, RecoveryCycle, RecoveryReport,
-    RunStats, ThreadedCluster, TimelineSample,
+    des::run_trace, run_stream_trace, AckRecord, ChaosOutcome, ClusterSnapshot, CrashCmd,
+    CrashPlan, DesCluster, FaultEvent, FaultInjector, FaultStats, LatencyStat, MsgFate,
+    RecoveryCycle, RecoveryReport, RunStats, ThreadedCluster, TimelineSample,
 };
 pub use cx_mdstore::Violation;
 pub use cx_protocol::{ClientOp, CxServer, ServerEngine, ServerStats};
@@ -54,7 +54,8 @@ pub use cx_types::{
     OpOutcome, Placement, Protocol, SimTime, DUR_MS, DUR_SEC, DUR_US,
 };
 pub use cx_workloads::{
-    ClassMix, Metarates, MetaratesMix, Trace, TraceBuilder, TraceProfile, PROFILES,
+    ClassMix, Metarates, MetaratesMix, OpStream, StreamTrace, Trace, TraceBuilder, TraceProfile,
+    PROFILES,
 };
 
 /// A workload specification for [`Experiment`].
@@ -153,6 +154,47 @@ impl Workload {
             Workload::Custom(t) => t.clone(),
         }
     }
+
+    /// Streaming form of [`Workload::build`]: trace-profile workloads
+    /// are generated lazily (constant memory regardless of scale); the
+    /// op sequence is identical to the materialized one. Conflict
+    /// injection first runs a counting pass over a second generator
+    /// stream to recover the normalization the materialized path
+    /// computed from the full vector — CPU for memory.
+    pub fn stream(&self, cfg: &ClusterConfig) -> StreamTrace {
+        match self {
+            Workload::TraceProfile {
+                name,
+                scale,
+                seed,
+                inject_conflicts,
+            } => {
+                let profile = TraceProfile::by_name(name).expect("validated in trace()");
+                let builder = TraceBuilder::new(profile).scale(*scale).seed(*seed);
+                if *inject_conflicts > 0.0 {
+                    let (total, injectable) =
+                        cx_workloads::injection_counts(builder.clone().stream());
+                    builder.stream().inject_conflicting_lookups(
+                        *inject_conflicts,
+                        *seed,
+                        total,
+                        injectable,
+                    )
+                } else {
+                    builder.stream()
+                }
+            }
+            Workload::Metarates {
+                mix,
+                ops_per_proc,
+                files_per_server,
+            } => Metarates::new(*mix, cfg.total_processes())
+                .seed_files(files_per_server * cfg.servers)
+                .ops_per_proc(*ops_per_proc)
+                .stream(),
+            Workload::Custom(t) => t.to_stream(),
+        }
+    }
 }
 
 /// Builder for one simulated cluster run.
@@ -209,18 +251,21 @@ impl Experiment {
         self
     }
 
-    /// Run on the deterministic simulator.
+    /// Run on the deterministic simulator. The workload streams into the
+    /// replay (ops generated as clients issue them), which keeps peak
+    /// memory flat even at `--full` scale; results are digest-identical
+    /// to replaying the materialized trace.
     pub fn run(&self) -> ExperimentResult {
-        let trace = self.workload.build(&self.cfg);
-        let (stats, violations) = run_trace(self.cfg.clone(), &trace);
+        let st = self.workload.stream(&self.cfg);
+        let (stats, violations) = run_stream_trace(self.cfg.clone(), st);
         ExperimentResult { stats, violations }
     }
 
     /// Run on the multi-threaded runtime (correctness under real
     /// concurrency; no timing model).
     pub fn run_threaded(&self) -> ExperimentResult {
-        let trace = self.workload.build(&self.cfg);
-        let res = ThreadedCluster::run(self.cfg.clone(), &trace);
+        let st = self.workload.stream(&self.cfg);
+        let res = ThreadedCluster::run_stream(self.cfg.clone(), st);
         ExperimentResult {
             stats: res.stats,
             violations: res.violations,

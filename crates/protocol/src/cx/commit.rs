@@ -68,7 +68,9 @@ impl CxServer {
                     return;
                 };
                 b.phase = BatchPhase::AwaitingAck;
-                let (to, commits, aborts) = (b.participant, b.commits.clone(), b.aborts.clone());
+                let to = b.participant;
+                let commits = self.op_pool.get_copied(&b.commits);
+                let aborts = self.op_pool.get_copied(&b.aborts);
                 self.send(
                     Endpoint::Server(to),
                     Payload::CommitDecision { commits, aborts },
@@ -82,7 +84,7 @@ impl CxServer {
                 seq,
             } => {
                 self.wal.mark_durable(seq);
-                let mut acked = Vec::new();
+                let mut acked = self.op_pool.get();
                 let mut objs = Vec::new();
                 for (op, _outcome) in commits
                     .iter()
@@ -103,6 +105,9 @@ impl CxServer {
                     Payload::Ack { ops: acked },
                     out,
                 );
+                // The decision's buffers drain here; recycle them.
+                self.op_pool.put(commits);
+                self.op_pool.put(aborts);
                 self.flush_dirty_of(objs, out);
             }
             IoCont::CompleteDurable { batch, seq } => {
@@ -122,6 +127,15 @@ impl CxServer {
                 for &op in &b.aborts {
                     self.finish_op(now, op, Outcome::Aborted, out);
                 }
+                let CommitBatch {
+                    ops,
+                    commits,
+                    aborts,
+                    ..
+                } = b;
+                self.op_pool.put(ops);
+                self.op_pool.put(commits);
+                self.op_pool.put(aborts);
                 self.flush_dirty_of(objs, out);
                 self.drain_log_wait(now, out);
             }
@@ -233,11 +247,11 @@ impl CxServer {
     /// grouped per participant ("a large number of postponed commitments
     /// can be batched", §I), local mutations flushed and pruned.
     pub(crate) fn launch_lazy_batch(&mut self, now: SimTime, _force: bool, out: &mut Vec<Action>) {
-        let ops = std::mem::take(&mut self.lazy_queue);
+        let ops = std::mem::replace(&mut self.lazy_queue, self.op_pool.get());
         if !ops.is_empty() {
             self.launch_commitment(now, ops, false, out);
         }
-        let locals = std::mem::take(&mut self.lazy_local);
+        let locals = std::mem::replace(&mut self.lazy_local, self.op_pool.get());
         if !locals.is_empty() {
             for op in &locals {
                 self.wal.prune_op(op);
@@ -245,6 +259,7 @@ impl CxServer {
             self.flush_dirty(out);
             self.drain_log_wait(now, out);
         }
+        self.op_pool.put(locals);
         self.trigger.on_batch_launched(now);
     }
 
@@ -262,7 +277,7 @@ impl CxServer {
         // the lazy queue), and a duplicate in a batch would wait for a
         // vote count the participant can never reach.
         let mut groups: BTreeMap<ServerId, Vec<OpId>> = BTreeMap::new();
-        for op in ops {
+        for &op in &ops {
             let Some(p) = self.pending.get_mut(&op) else {
                 continue;
             };
@@ -271,8 +286,10 @@ impl CxServer {
             }
             let Some(peer) = p.peer else { continue };
             p.in_commitment = true;
-            groups.entry(peer).or_default().push(op);
+            let slot = groups.entry(peer).or_insert_with(|| self.op_pool.get());
+            slot.push(op);
         }
+        self.op_pool.put(ops);
         for (participant, group) in groups {
             self.lazy_queue.retain(|op| !group.contains(op));
             for chunk in group.chunks(self.cfg.commit_batch_max.max(1)) {
@@ -282,15 +299,16 @@ impl CxServer {
                     let p = self.pending.get_mut(op).expect("grouped from pending");
                     p.batch = Some(batch_id);
                 }
+                let batch_ops = self.op_pool.get_copied(chunk);
                 self.batches.insert(
                     batch_id,
                     CommitBatch {
                         participant,
-                        ops: chunk.to_vec(),
+                        ops: batch_ops,
                         votes: BTreeMap::new(),
                         phase: BatchPhase::Voting,
-                        commits: Vec::new(),
-                        aborts: Vec::new(),
+                        commits: self.op_pool.get(),
+                        aborts: self.op_pool.get(),
                     },
                 );
                 if immediate {
@@ -302,21 +320,25 @@ impl CxServer {
                 // behind the voted ones have demonstrably not executed at
                 // this coordinator, so the participant may invalidate them
                 // to match our order (§III-C step 3).
-                let order_after: Vec<OpId> = chunk
-                    .iter()
-                    .flat_map(|op| self.blocked.get(op).into_iter().flatten())
-                    .map(|req| req.op_id)
-                    .collect();
+                let mut order_after = self.op_pool.get();
+                order_after.extend(
+                    chunk
+                        .iter()
+                        .flat_map(|op| self.blocked.get(op).into_iter().flatten())
+                        .map(|req| req.op_id),
+                );
+                let vote_ops = self.op_pool.get_copied(chunk);
                 self.send(
                     Endpoint::Server(participant),
                     Payload::Vote {
-                        ops: chunk.to_vec(),
+                        ops: vote_ops,
                         order_after,
                     },
                     out,
                 );
                 self.arm_batch_retry(batch_id, out);
             }
+            self.op_pool.put(group);
         }
         let _ = now;
     }
@@ -368,7 +390,7 @@ impl CxServer {
         out: &mut Vec<Action>,
     ) {
         let mut ready = Vec::new();
-        for op in ops {
+        for &op in &ops {
             if let Some(p) = self.pending.get_mut(&op) {
                 if p.durable {
                     p.in_commitment = true;
@@ -398,6 +420,10 @@ impl CxServer {
         if !ready.is_empty() {
             self.send_vote_result(coord, ready, out);
         }
+        // Both batch buffers came from the coordinator's pool; they refill
+        // this server's own sends from here on.
+        self.op_pool.put(ops);
+        self.op_pool.put(order_after);
     }
 
     /// The op being voted on is blocked here behind `holder`.
@@ -535,7 +561,7 @@ impl CxServer {
             },
         );
         self.deferred_votes.insert(op, coord);
-        if let Ok((seq, bytes)) = self.append_records(vec![rec]) {
+        if let Ok((seq, bytes)) = self.append_records([rec]) {
             self.flush_records(seq, bytes, IoCont::ResultDurable { op_id: op, seq }, out);
         }
     }
@@ -606,13 +632,19 @@ impl CxServer {
                 continue;
             }
             let (ops, votes) = {
-                let b = &self.batches[&batch_id];
-                (b.ops.clone(), b.votes.clone())
+                let b = self.batches.get_mut(&batch_id).expect("checked");
+                // The vote tally is complete and never read again; the op
+                // list is still needed for ACK routing, so copy it through
+                // the pool.
+                (
+                    self.op_pool.get_copied(&b.ops),
+                    std::mem::take(&mut b.votes),
+                )
             };
-            let mut commits = Vec::new();
-            let mut aborts = Vec::new();
-            let mut recs = Vec::new();
-            for op in ops {
+            let mut commits = self.op_pool.get();
+            let mut aborts = self.op_pool.get();
+            let mut recs = self.rec_pool.get();
+            for &op in &ops {
                 let local_yes = self
                     .pending
                     .get(&op)
@@ -629,14 +661,16 @@ impl CxServer {
                     recs.push(Record::Abort { op_id: op });
                 }
             }
+            self.op_pool.put(ops);
             let (seq, bytes) = self
-                .append_records(recs)
+                .append_records(recs.drain(..))
                 .expect("control records are never limited");
+            self.rec_pool.put(recs);
             {
                 let b = self.batches.get_mut(&batch_id).expect("checked");
                 b.phase = BatchPhase::LoggingDecision;
-                b.commits = commits;
-                b.aborts = aborts;
+                self.op_pool.put(std::mem::replace(&mut b.commits, commits));
+                self.op_pool.put(std::mem::replace(&mut b.aborts, aborts));
             }
             self.flush_records(
                 seq,
@@ -659,7 +693,7 @@ impl CxServer {
         aborts: Vec<OpId>,
         out: &mut Vec<Action>,
     ) {
-        let mut recs = Vec::new();
+        let mut recs = self.rec_pool.get();
         for &op in &commits {
             recs.push(Record::Commit { op_id: op });
         }
@@ -684,8 +718,9 @@ impl CxServer {
             recs.push(Record::Abort { op_id: op });
         }
         let (seq, bytes) = self
-            .append_records(recs)
+            .append_records(recs.drain(..))
             .expect("control records are never limited");
+        self.rec_pool.put(recs);
         self.flush_records(
             seq,
             bytes,
@@ -722,15 +757,18 @@ impl CxServer {
             return;
         }
         b.phase = BatchPhase::Completing;
-        let recs: Vec<Record> = b
-            .commits
-            .iter()
-            .chain(b.aborts.iter())
-            .map(|op| Record::Complete { op_id: *op })
-            .collect();
+        let mut recs = self.rec_pool.get();
+        recs.extend(
+            b.commits
+                .iter()
+                .chain(b.aborts.iter())
+                .map(|op| Record::Complete { op_id: *op }),
+        );
         let (seq, bytes) = self
-            .append_records(recs)
+            .append_records(recs.drain(..))
             .expect("control records are never limited");
+        self.rec_pool.put(recs);
+        self.op_pool.put(ops);
         self.flush_records(
             seq,
             bytes,
@@ -752,7 +790,8 @@ impl CxServer {
         if let Some(p) = self.pending.get_mut(&op) {
             p.reply_to_client = true;
             if !p.in_commitment {
-                self.launch_commitment(now, vec![op], true, out);
+                let ops = self.op_vec1(op);
+                self.launch_commitment(now, ops, true, out);
             }
             return;
         }
@@ -782,7 +821,7 @@ impl CxServer {
     ) {
         if let Some(p) = self.pending.get(&op) {
             if p.role == Role::Coordinator && !p.in_commitment {
-                let mut ops = vec![op];
+                let mut ops = self.op_vec1(op);
                 if sweep {
                     // Log pressure at the participant: flush everything we
                     // have — the VOTE round costs the same for one op or
@@ -803,12 +842,11 @@ impl CxServer {
         }
         match self.wal.op_state(&op).and_then(|st| st.outcome) {
             Some(Outcome::Committed) => {
+                let commits = self.op_vec1(op);
+                let aborts = self.op_pool.get();
                 self.send(
                     Endpoint::Server(parti),
-                    Payload::CommitDecision {
-                        commits: vec![op],
-                        aborts: vec![],
-                    },
+                    Payload::CommitDecision { commits, aborts },
                     out,
                 );
             }
@@ -832,7 +870,8 @@ impl CxServer {
             // The operation showed up after all — but the participant is
             // still waiting for the commitment it asked for.
             if p.role == Role::Coordinator && !p.in_commitment {
-                self.launch_commitment(now, vec![op], true, out);
+                let ops = self.op_vec1(op);
+                self.launch_commitment(now, ops, true, out);
             }
             return;
         }
@@ -842,19 +881,22 @@ impl CxServer {
         self.stats.immediate_commitments += 1;
         let batch_id = self.next_batch;
         self.next_batch += 1;
+        let ops = self.op_vec1(op);
+        let commits = self.op_pool.get();
+        let aborts = self.op_vec1(op);
         self.batches.insert(
             batch_id,
             CommitBatch {
                 participant: parti,
-                ops: vec![op],
+                ops,
                 votes: BTreeMap::new(),
                 phase: BatchPhase::LoggingDecision,
-                commits: Vec::new(),
-                aborts: vec![op],
+                commits,
+                aborts,
             },
         );
         let (seq, bytes) = self
-            .append_records(vec![Record::Abort { op_id: op }])
+            .append_records([Record::Abort { op_id: op }])
             .expect("control records are never limited");
         self.flush_records(
             seq,
@@ -925,7 +967,8 @@ impl CxServer {
         for op in ops {
             if let Some(p) = self.pending.get(&op) {
                 if p.role == Role::Coordinator && !p.in_commitment {
-                    self.launch_commitment(now, vec![op], true, out);
+                    let ops = self.op_vec1(op);
+                    self.launch_commitment(now, ops, true, out);
                     continue;
                 }
                 // The op is already in a commitment batch — but the

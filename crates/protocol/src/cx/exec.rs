@@ -64,7 +64,10 @@ impl CxServer {
             return; // already being resolved
         }
         match p.role {
-            Role::Coordinator => self.launch_commitment(now, vec![op], true, out),
+            Role::Coordinator => {
+                let ops = self.op_vec1(op);
+                self.launch_commitment(now, ops, true, out);
+            }
             Role::Participant => {
                 // DESIGN.md §5.6: the participant detected the conflict
                 // first; notify the coordinator with a C-REQ.
@@ -132,7 +135,7 @@ impl CxServer {
         self.stats.local_mutations += 1;
         // Log Result + Commit together; prunable immediately, pruned at the
         // next write-back.
-        let recs = vec![
+        let recs = [
             Record::Result {
                 op_id: req.op_id,
                 role: Role::Participant,
@@ -222,7 +225,7 @@ impl CxServer {
             verdict,
             invalidated: false,
         };
-        let (seq, bytes) = self.append_records(vec![rec]).expect("room checked above");
+        let (seq, bytes) = self.append_records([rec]).expect("room checked above");
         // Response waits for durability; the hint rides along in pending.
         self.flush_records(
             seq,

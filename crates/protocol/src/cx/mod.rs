@@ -27,7 +27,7 @@ use cx_sim::det_rng;
 use cx_types::FxHashMap;
 use cx_types::{
     ClusterConfig, CxConfig, Hint, ObjectId, OpId, Payload, ProcId, Role, ServerId, SimTime, SubOp,
-    Verdict,
+    VecPool, Verdict,
 };
 use cx_wal::{Outcome, Record, SeqNo, Wal};
 use rand::rngs::SmallRng;
@@ -184,6 +184,12 @@ pub struct CxServer {
     pub(crate) vote_timers: FxHashMap<u64, (ServerId, OpId)>,
     /// Cold-cache reads of affected rows still in flight during recovery.
     pub(crate) recovery_reads_pending: bool,
+    /// Recycled `Vec<OpId>` buffers for batched commitment messages:
+    /// drawn when building VOTE/COMMIT-REQ/ACK payloads, returned when a
+    /// received batch is drained.
+    pub(crate) op_pool: VecPool<OpId>,
+    /// Recycled record buffers for multi-record log appends.
+    pub(crate) rec_pool: VecPool<Record>,
 }
 
 /// Database region holding the log table in the `log_in_database` mode.
@@ -232,6 +238,8 @@ impl CxServer {
             orphan_timers: FxHashMap::default(),
             vote_timers: FxHashMap::default(),
             recovery_reads_pending: false,
+            op_pool: VecPool::default(),
+            rec_pool: VecPool::default(),
         }
     }
 
@@ -246,10 +254,18 @@ impl CxServer {
         t
     }
 
+    /// A pooled single-element `Vec<OpId>` (immediate commitments and
+    /// single-op decisions reuse batch buffers like everything else).
+    pub(crate) fn op_vec1(&mut self, op: OpId) -> Vec<OpId> {
+        let mut v = self.op_pool.get();
+        v.push(op);
+        v
+    }
+
     /// Append records as one logical disk write; returns (max seq, bytes).
     pub(crate) fn append_records(
         &mut self,
-        recs: Vec<Record>,
+        recs: impl IntoIterator<Item = Record>,
     ) -> Result<(SeqNo, u64), cx_types::CxError> {
         let mut max_seq = SeqNo(0);
         let mut total = 0;

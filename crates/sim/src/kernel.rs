@@ -204,8 +204,11 @@ impl<E> Slab<E> {
 struct Wheel<E> {
     /// Bucket number currently being drained (monotone).
     cursor: u64,
-    /// Handles of the cursor bucket, popped in exact `(at, seq)` order.
-    active: BinaryHeap<Handle>,
+    /// Handles of the cursor bucket, sorted descending by `(at, seq)` and
+    /// popped from the back — buckets hold a handful of handles, so one
+    /// sort per bucket beats a binary heap's per-operation sifting, and
+    /// same-bucket inserts during the drain are a short memmove.
+    active: Vec<Handle>,
     ring: Vec<Vec<Handle>>,
     /// One bit per ring slot: slot is non-empty.
     occupied: [u64; WORDS],
@@ -218,7 +221,7 @@ impl<E> Wheel<E> {
     fn new() -> Self {
         Self {
             cursor: 0,
-            active: BinaryHeap::new(),
+            active: Vec::new(),
             ring: (0..RING_BUCKETS).map(|_| Vec::new()).collect(),
             occupied: [0; WORDS],
             overflow: BinaryHeap::new(),
@@ -234,7 +237,10 @@ impl<E> Wheel<E> {
         self.len += 1;
         let b = bucket_of(at);
         if b == self.cursor {
-            self.active.push(h);
+            // Keep the drain order exact: insert behind every handle that
+            // pops later (descending, so "greater" keys come first).
+            let pos = self.active.partition_point(|x| (x.at, x.seq) > (at, seq));
+            self.active.insert(pos, h);
         } else if b < self.cursor + RING_BUCKETS as u64 {
             let slot = (b & RING_MASK) as usize;
             self.ring[slot].push(h);
@@ -287,9 +293,7 @@ impl<E> Wheel<E> {
         // (at, seq) order among all of them.
         if ring_b == Some(next) {
             let slot = (next & RING_MASK) as usize;
-            for h in self.ring[slot].drain(..) {
-                self.active.push(h);
-            }
+            self.active.append(&mut self.ring[slot]);
             self.occupied[slot >> 6] &= !(1 << (slot & 63));
         }
         while self
@@ -300,6 +304,8 @@ impl<E> Wheel<E> {
             let h = self.overflow.pop().expect("peeked");
             self.active.push(h);
         }
+        self.active
+            .sort_unstable_by_key(|h| std::cmp::Reverse((h.at, h.seq)));
         debug_assert!(!self.active.is_empty());
         true
     }
@@ -316,7 +322,7 @@ impl<E> Wheel<E> {
     /// Earliest event time without popping. O(len of the next bucket);
     /// only used by diagnostics and tests, not the event loop.
     fn peek_time(&self) -> Option<SimTime> {
-        if let Some(h) = self.active.peek() {
+        if let Some(h) = self.active.last() {
             return Some(h.at);
         }
         let ring_t = self.next_ring_bucket().and_then(|b| {

@@ -25,6 +25,7 @@ pub mod ids;
 pub mod msg;
 pub mod op;
 pub mod placement;
+pub mod pool;
 pub mod subop;
 pub mod time;
 
@@ -38,5 +39,6 @@ pub use ids::{ClientId, InodeNo, Name, ObjectId, OpId, ProcId, ProcessId, Server
 pub use msg::{Hint, MsgKind, Payload, Verdict};
 pub use op::{FileKind, FsOp, OpClass, OpOutcome};
 pub use placement::Placement;
+pub use pool::VecPool;
 pub use subop::{OpPlan, Role, SubOp};
 pub use time::{SimTime, DUR_MS, DUR_SEC, DUR_US};

@@ -26,10 +26,12 @@ pub mod metarates;
 pub mod model;
 pub mod profile;
 pub mod stats;
+pub mod stream;
 pub mod trace;
 
 pub use metarates::{Metarates, MetaratesMix};
 pub use model::NamespaceModel;
 pub use profile::{ClassMix, TraceProfile, PROFILES};
 pub use stats::TraceSummary;
+pub use stream::{injection_counts, OpStream, StreamTrace, VecStream};
 pub use trace::{SeedEntry, Trace, TraceBuilder, TraceOp};

@@ -81,6 +81,17 @@ impl Metarates {
         self
     }
 
+    /// Stream form for the unified workload plane. Metarates draws its
+    /// rng per-process *sequentially* (all of rank 0's ops before rank
+    /// 1's) but interleaves the global order round-robin, so emitting
+    /// the first global op already requires every rank's stream —
+    /// generation cannot be made lazy without changing the sequences.
+    /// The workload is small by construction (`processes × ops_per_proc`),
+    /// so this materializes internally and streams the result.
+    pub fn stream(&self) -> crate::stream::StreamTrace {
+        self.build().into_stream()
+    }
+
     pub fn build(&self) -> Trace {
         let mut rng = det_rng(self.seed, 0x3e7a_0000);
         let mut seeds = vec![

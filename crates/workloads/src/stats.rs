@@ -2,7 +2,8 @@
 //! workloads (total operations, per-class mix, cross-server share,
 //! sharing structure) computed from a generated [`Trace`].
 
-use crate::trace::{Trace, SHARED_DIR};
+use crate::stream::StreamTrace;
+use crate::trace::{Trace, TraceOp, SHARED_DIR};
 use cx_types::{FsOp, Placement};
 use serde::Serialize;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -29,63 +30,107 @@ pub struct TraceSummary {
     pub max_process_share: f64,
 }
 
-impl TraceSummary {
-    /// Analyze `trace` as placed on `servers` metadata servers.
-    pub fn analyze(trace: &Trace, servers: u32) -> TraceSummary {
-        let placement = Placement::new(servers);
-        let mut class_counts: BTreeMap<&'static str, u64> = BTreeMap::new();
-        let mut mutations = 0u64;
-        let mut cross = 0u64;
-        let mut shared_mutations = 0u64;
-        let mut per_proc: HashMap<u32, u64> = HashMap::new();
-        let mut file_users: HashMap<u64, HashSet<u32>> = HashMap::new();
+/// Streaming accumulator behind both analysis entry points: one pass,
+/// one op at a time, so full traces never need materializing.
+struct SummaryAcc {
+    placement: Placement,
+    class_counts: BTreeMap<&'static str, u64>,
+    total: u64,
+    mutations: u64,
+    cross: u64,
+    shared_mutations: u64,
+    per_proc: HashMap<u32, u64>,
+    file_users: HashMap<u64, HashSet<u32>>,
+}
 
-        for t in &trace.ops {
-            *class_counts.entry(t.op.class().name()).or_insert(0) += 1;
-            *per_proc.entry(t.proc.client.0).or_insert(0) += 1;
-            if t.op.is_mutation() {
-                mutations += 1;
-                if placement.plan(t.op).is_cross_server() {
-                    cross += 1;
-                }
-            }
-            let (target, parent) = target_of(&t.op);
-            if let Some(ino) = target {
-                file_users.entry(ino).or_default().insert(t.proc.client.0);
-            }
-            if t.op.is_mutation() && parent == Some(SHARED_DIR.0) {
-                shared_mutations += 1;
+impl SummaryAcc {
+    fn new(servers: u32) -> Self {
+        Self {
+            placement: Placement::new(servers),
+            class_counts: BTreeMap::new(),
+            total: 0,
+            mutations: 0,
+            cross: 0,
+            shared_mutations: 0,
+            per_proc: HashMap::new(),
+            file_users: HashMap::new(),
+        }
+    }
+
+    fn push(&mut self, t: &TraceOp) {
+        self.total += 1;
+        *self.class_counts.entry(t.op.class().name()).or_insert(0) += 1;
+        *self.per_proc.entry(t.proc.client.0).or_insert(0) += 1;
+        if t.op.is_mutation() {
+            self.mutations += 1;
+            if self.placement.plan(t.op).is_cross_server() {
+                self.cross += 1;
             }
         }
+        let (target, parent) = target_of(&t.op);
+        if let Some(ino) = target {
+            self.file_users
+                .entry(ino)
+                .or_default()
+                .insert(t.proc.client.0);
+        }
+        if t.op.is_mutation() && parent == Some(SHARED_DIR.0) {
+            self.shared_mutations += 1;
+        }
+    }
 
-        let total = trace.ops.len() as u64;
-        let multi = file_users.values().filter(|u| u.len() > 1).count() as f64;
+    fn finish(self, name: String, processes: u32) -> TraceSummary {
+        let total = self.total;
+        let multi = self.file_users.values().filter(|u| u.len() > 1).count() as f64;
         TraceSummary {
-            name: trace.name.clone(),
+            name,
             total_ops: total,
-            processes: trace.processes,
-            class_shares: class_counts
+            processes,
+            class_shares: self
+                .class_counts
                 .into_iter()
                 .map(|(c, n)| (c, n as f64 / total as f64))
                 .collect(),
-            mutation_share: mutations as f64 / total as f64,
-            cross_server_share: cross as f64 / total as f64,
-            shared_mutation_share: if mutations == 0 {
+            mutation_share: self.mutations as f64 / total as f64,
+            cross_server_share: self.cross as f64 / total as f64,
+            shared_mutation_share: if self.mutations == 0 {
                 0.0
             } else {
-                shared_mutations as f64 / mutations as f64
+                self.shared_mutations as f64 / self.mutations as f64
             },
-            distinct_files: file_users.len() as u64,
-            multi_process_files: if file_users.is_empty() {
+            distinct_files: self.file_users.len() as u64,
+            multi_process_files: if self.file_users.is_empty() {
                 0.0
             } else {
-                multi / file_users.len() as f64
+                multi / self.file_users.len() as f64
             },
-            max_process_share: per_proc
+            max_process_share: self
+                .per_proc
                 .values()
                 .map(|n| *n as f64 / total as f64)
                 .fold(0.0, f64::max),
         }
+    }
+}
+
+impl TraceSummary {
+    /// Analyze `trace` as placed on `servers` metadata servers.
+    pub fn analyze(trace: &Trace, servers: u32) -> TraceSummary {
+        let mut acc = SummaryAcc::new(servers);
+        for t in &trace.ops {
+            acc.push(t);
+        }
+        acc.finish(trace.name.clone(), trace.processes)
+    }
+
+    /// Same analysis off a stream, consuming it — peak memory stays at
+    /// the accumulator's maps regardless of trace length.
+    pub fn analyze_stream(mut stream: StreamTrace, servers: u32) -> TraceSummary {
+        let mut acc = SummaryAcc::new(servers);
+        while let Some(t) = stream.ops.next_op() {
+            acc.push(&t);
+        }
+        acc.finish(stream.name, stream.processes)
     }
 }
 

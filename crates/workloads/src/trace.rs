@@ -2,6 +2,7 @@
 
 use crate::model::NamespaceModel;
 use crate::profile::TraceProfile;
+use crate::stream::{OpStream, StreamTrace, VecStream};
 use cx_sim::det_rng;
 use cx_types::{FsOp, InodeNo, Name, OpClass, ProcId};
 use rand::rngs::SmallRng;
@@ -69,51 +70,37 @@ impl Trace {
         if added_ratio <= 0.0 {
             return;
         }
-        let mut rng = det_rng(seed, 0x1213);
-        let mut out = Vec::with_capacity(self.ops.len());
         // Only mutations with a (parent, name) target receive injected
         // lookups, so normalize by those — not by all mutations — or the
         // realized count undershoots `added_ratio`.
-        let per_mutation = {
-            let injectable = self
-                .ops
-                .iter()
-                .filter(|t| matches!(t.op, FsOp::Create { .. } | FsOp::Mkdir { .. }))
-                .count()
-                .max(1);
-            added_ratio * self.ops.len() as f64 / injectable as f64
-        };
-        for t in self.ops.drain(..) {
-            let mutation = t.op.is_mutation();
-            let proc = t.proc;
-            let target = match t.op {
-                FsOp::Create { parent, name, .. } | FsOp::Mkdir { parent, name, .. } => {
-                    Some((parent, name))
-                }
-                _ => None,
-            };
-            out.push(t);
-            if mutation {
-                if let Some((parent, name)) = target {
-                    let mut n = per_mutation;
-                    while n > 0.0 && rng.gen::<f64>() < n {
-                        // an access by a *different* process right after
-                        // the mutation: lands in the inconsistency window
-                        let other = ProcId::new(proc.client.0.wrapping_add(1) % self.processes, 0);
-                        out.push(TraceOp {
-                            proc: other,
-                            op: FsOp::Lookup { parent, name },
-                        });
-                        n -= 1.0;
-                    }
-                }
-            }
+        let total = self.ops.len() as u64;
+        let injectable = self
+            .ops
+            .iter()
+            .filter(|t| matches!(t.op, FsOp::Create { .. } | FsOp::Mkdir { .. }))
+            .count() as u64;
+        let mut adapter = StreamTrace {
+            name: std::mem::take(&mut self.name),
+            processes: self.processes,
+            seeds: std::mem::take(&mut self.seeds),
+            roots: std::mem::take(&mut self.roots),
+            total_ops_hint: total,
+            ops: Box::new(VecStream::new(std::mem::take(&mut self.ops))),
         }
+        .inject_conflicting_lookups(added_ratio, seed, total, injectable);
+        let mut out = Vec::with_capacity(total as usize);
+        while let Some(t) = adapter.ops.next_op() {
+            out.push(t);
+        }
+        self.name = adapter.name;
+        self.seeds = adapter.seeds;
+        self.roots = adapter.roots;
         self.ops = out;
     }
 }
 
 /// Builds a [`Trace`] from a [`TraceProfile`].
+#[derive(Clone)]
 pub struct TraceBuilder {
     profile: TraceProfile,
     scale: f64,
@@ -158,11 +145,21 @@ impl TraceBuilder {
         self
     }
 
+    /// Materialize the whole trace up front: collect [`Self::stream`].
     pub fn build(self) -> Trace {
-        let profile = &self.profile;
+        self.stream().materialize()
+    }
+
+    /// Lazy form: run the (cheap) namespace-seeding prelude eagerly so
+    /// the header is available, then hand the generator state — rng,
+    /// namespace model, per-process file lists — to a [`TraceStream`]
+    /// that synthesizes one op per pull. Yields exactly the sequence
+    /// [`Self::build`] materializes.
+    pub fn stream(self) -> StreamTrace {
+        let profile = self.profile;
         let total = ((profile.total_ops as f64 * self.scale).round() as u64).max(1);
         let procs = profile.processes;
-        let mut rng = det_rng(self.seed, 0x7ace_0000);
+        let rng = det_rng(self.seed, 0x7ace_0000);
         let mut model = NamespaceModel::new();
         let mut seeds = Vec::new();
         let mut roots = vec![ROOT, SHARED_DIR];
@@ -174,7 +171,7 @@ impl TraceBuilder {
 
         // Per-process private directories plus a few pre-existing files so
         // early removes and stats have targets.
-        let mut states: Vec<ProcState> = (0..procs)
+        let states: Vec<ProcState> = (0..procs)
             .map(|p| {
                 let dir = model.fresh_ino();
                 model.add_dir(dir);
@@ -206,9 +203,6 @@ impl TraceBuilder {
             })
             .collect();
 
-        // Recently created shared files: conflict targets.
-        let mut recent_shared: VecDeque<(u32, InodeNo, Name, InodeNo)> = VecDeque::new();
-
         // Cumulative class weights for sampling.
         let classes: Vec<(OpClass, f64)> = OpClass::ALL
             .iter()
@@ -216,32 +210,63 @@ impl TraceBuilder {
             .collect();
         let weight_sum: f64 = classes.iter().map(|(_, w)| w).sum();
 
-        let mut ops = Vec::with_capacity(total as usize);
-        for _ in 0..total {
-            let p = rng.gen_range(0..procs);
-            let class = pick_class(&classes, weight_sum, &mut rng);
-            let op = synthesize(
-                profile,
-                class,
-                p,
-                &mut states,
-                &mut model,
-                &mut recent_shared,
-                &mut rng,
-            );
-            ops.push(TraceOp {
-                proc: ProcId::new(p, 0),
-                op,
-            });
-        }
-
-        Trace {
+        StreamTrace {
             name: profile.name.to_string(),
             processes: procs,
             seeds,
-            ops,
             roots,
+            total_ops_hint: total,
+            ops: Box::new(TraceStream {
+                profile,
+                remaining: total,
+                procs,
+                rng,
+                model,
+                states,
+                recent_shared: VecDeque::new(),
+                classes,
+                weight_sum,
+            }),
         }
+    }
+}
+
+/// The lazy generator behind [`TraceBuilder::stream`]: one synthesized
+/// op per pull, with all namespace/validity state held internally.
+pub struct TraceStream {
+    profile: TraceProfile,
+    remaining: u64,
+    procs: u32,
+    rng: SmallRng,
+    model: NamespaceModel,
+    states: Vec<ProcState>,
+    /// Recently created shared files: conflict targets.
+    recent_shared: VecDeque<(u32, InodeNo, Name, InodeNo)>,
+    classes: Vec<(OpClass, f64)>,
+    weight_sum: f64,
+}
+
+impl OpStream for TraceStream {
+    fn next_op(&mut self) -> Option<TraceOp> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let p = self.rng.gen_range(0..self.procs);
+        let class = pick_class(&self.classes, self.weight_sum, &mut self.rng);
+        let op = synthesize(
+            &self.profile,
+            class,
+            p,
+            &mut self.states,
+            &mut self.model,
+            &mut self.recent_shared,
+            &mut self.rng,
+        );
+        Some(TraceOp {
+            proc: ProcId::new(p, 0),
+            op,
+        })
     }
 }
 

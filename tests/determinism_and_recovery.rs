@@ -23,6 +23,46 @@ fn identical_runs_are_bit_identical() {
     }
 }
 
+/// The two workload intakes — a materialized `Trace` handed to the
+/// cluster up front vs the pull-based stream the clients drain on demand
+/// — must replay to byte-identical digests, for every Table II profile
+/// and for Metarates. This is the contract that lets `--full` runs
+/// stream (constant memory) without changing a single result.
+#[test]
+fn streamed_and_materialized_intakes_replay_identically() {
+    use cx_core::MetaratesMix;
+    let mut workloads: Vec<(String, Workload)> =
+        ["CTH", "s3d", "alegra", "home2", "deasna2", "lair62b"]
+            .into_iter()
+            .map(|name| {
+                (
+                    name.to_string(),
+                    Workload::trace(name).scale(0.002).seed(11),
+                )
+            })
+            .collect();
+    workloads.push((
+        "metarates".into(),
+        Workload::metarates(MetaratesMix::UpdateDominated),
+    ));
+    for (name, w) in workloads {
+        let e = Experiment::new(w)
+            .servers(8)
+            .protocol(Protocol::Cx)
+            .seed(42);
+        let streamed = e.run();
+        let trace = e.workload.build(&e.cfg);
+        let (mat_stats, mat_violations) = cx_core::run_trace(e.cfg.clone(), &trace);
+        assert!(mat_violations.is_empty(), "{name}: materialized run dirty");
+        assert!(streamed.is_consistent(), "{name}: streamed run dirty");
+        assert_eq!(
+            streamed.stats.digest(),
+            mat_stats.digest(),
+            "{name}: intake paths diverged"
+        );
+    }
+}
+
 /// A different workload seed produces a genuinely different run.
 #[test]
 fn different_seeds_diverge() {
