@@ -19,6 +19,7 @@ step "clippy (hot-path crates, -D warnings)"
 cargo clippy -q \
     -p cx-types -p cx-sim -p cx-wal -p cx-mdstore \
     -p cx-protocol -p cx-cluster -p cx-bench -p cx-chaos -p cx-workloads \
+    -p cx-obs \
     --all-targets -- -D warnings
 
 step "clippy (message plane: deny redundant_clone + perf lints)"
@@ -39,6 +40,27 @@ if [ "${1:-}" != "quick" ]; then
     step "chaos smoke (fixed seeds)"
     cargo run -q --release -p cx-chaos -- --seeds 25 --out-dir target
     cargo run -q --release -p cx-chaos -- --demo-broken --seeds 5 --out-dir target
+
+    # Observability smoke: a home2 replay with recording on must export a
+    # parseable report whose per-phase accounting sums to the client
+    # latency (cx-obs check), and must leave the replay digest untouched
+    # (asserted inside --obs itself).
+    step "obs smoke (home2 --obs, phase accounting)"
+    cargo run -q --release -p cx-bench --bin perf_baseline -- \
+        --obs --scale 0.005 --obs-out target/obs_home2 > /dev/null
+    cargo run -q --release -p cx-obs -- check target/obs_home2.report.json
+
+    # The observability PR's throughput gate: uninstrumented home2 replay
+    # must hold the BENCH_PR3.json rate (the enum sink compiles to a no-op
+    # when Off). The floor is 0.70 rather than 1.0 because the recorded
+    # baseline came from an idle machine: interleaved old/new binaries on
+    # a loaded single-core box measure within a few percent of each other
+    # while absolute rates swing ±20%; an accidental always-on recorder
+    # costs far more than 30%.
+    step "BENCH_PR4.json (no throughput regression vs BENCH_PR3.json)"
+    cargo run -q --release -p cx-bench --bin perf_baseline -- \
+        --label pr4 --iters 5 --filter home2_replay_8s \
+        --out BENCH_PR4.json --against BENCH_PR3.json --tolerance 0.70
 fi
 
 step "cargo test (workspace)"

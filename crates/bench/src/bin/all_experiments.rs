@@ -13,6 +13,10 @@
 //! than one job runs at a time, each child is pinned to one internal
 //! worker (`CX_BENCH_THREADS=1`) so the fan-out doesn't oversubscribe
 //! the machine with nested sweeps.
+//!
+//! `--obs` additionally runs the observability export (`perf_baseline
+//! --obs`) after the basket, leaving a Perfetto trace + report under
+//! `target/experiments/obs_home2.*` beside the JSON artifacts.
 
 use std::process::Command;
 
@@ -75,6 +79,19 @@ fn main() {
         (out.status.success(), out.stdout, out.stderr)
     });
 
+    // The obs export rides along after the basket: one home2 replay with
+    // recording on, dumped under target/experiments/ with the rest of
+    // the artifacts. The children already ignore the `--obs` flag.
+    let obs_extra = args.flag("--obs").then(|| {
+        let bin = exe_dir.join("perf_baseline");
+        let mut cmd = Command::new(&bin);
+        cmd.args(&fwd)
+            .arg("--obs-out")
+            .arg("target/experiments/obs_home2");
+        cmd.output()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", bin.display()))
+    });
+
     let mut failures = Vec::new();
     for (i, (name, (ok, stdout, stderr))) in EXPERIMENTS.iter().zip(&results).enumerate() {
         println!("\n======================================================================");
@@ -86,6 +103,18 @@ fn main() {
         }
         if !ok {
             failures.push(*name);
+        }
+    }
+    if let Some(out) = &obs_extra {
+        println!("\n======================================================================");
+        println!("[extra] perf_baseline --obs");
+        println!("======================================================================");
+        print!("{}", String::from_utf8_lossy(&out.stdout));
+        if !out.stderr.is_empty() {
+            eprint!("{}", String::from_utf8_lossy(&out.stderr));
+        }
+        if !out.status.success() {
+            failures.push("perf_baseline --obs");
         }
     }
 

@@ -8,7 +8,7 @@
 //! beats OFS-batched by ≥16%.
 
 use cx_bench::{improvement, print_table, write_json, Args};
-use cx_core::{Experiment, Protocol, Workload, PROFILES};
+use cx_core::{Experiment, HistSummary, Protocol, Workload, PROFILES};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -22,6 +22,10 @@ struct Row {
     cx_vs_ofs_pct: f64,
     batched_vs_ofs_pct: f64,
     cx_vs_batched_pct: f64,
+    /// Client-visible latency quantiles under Cx (mean kept for
+    /// paper-parity; p50/p99 come from the always-on histogram).
+    cx_latency: HistSummary,
+    ofs_latency: HistSummary,
 }
 
 fn main() {
@@ -53,6 +57,8 @@ fn main() {
             cx_vs_ofs_pct: improvement(se.replay.as_secs_f64(), cx.replay.as_secs_f64()),
             batched_vs_ofs_pct: improvement(se.replay.as_secs_f64(), ba.replay.as_secs_f64()),
             cx_vs_batched_pct: improvement(ba.replay.as_secs_f64(), cx.replay.as_secs_f64()),
+            cx_latency: cx.latency_hist.summary(),
+            ofs_latency: se.latency_hist.summary(),
         }
     });
 
@@ -67,6 +73,9 @@ fn main() {
             "Cx vs OFS",
             "batched vs OFS",
             "Cx vs batched",
+            "Cx lat mean",
+            "Cx p50",
+            "Cx p99",
         ],
         &rows
             .iter()
@@ -81,6 +90,9 @@ fn main() {
                     format!("+{:.0}%", r.cx_vs_ofs_pct),
                     format!("+{:.0}%", r.batched_vs_ofs_pct),
                     format!("+{:.0}%", r.cx_vs_batched_pct),
+                    cx_core::fmt_ns_f(r.cx_latency.mean_ns),
+                    HistSummary::fmt_ns(r.cx_latency.p50_ns),
+                    HistSummary::fmt_ns(r.cx_latency.p99_ns),
                 ]
             })
             .collect::<Vec<_>>(),

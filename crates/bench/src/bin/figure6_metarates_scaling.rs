@@ -9,7 +9,7 @@
 //! runs; OFS-batched sits between.
 
 use cx_bench::{gain, print_table, write_json, Args};
-use cx_core::{Experiment, MetaratesMix, Protocol, Workload};
+use cx_core::{Experiment, HistSummary, MetaratesMix, Protocol, Workload};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -20,6 +20,9 @@ struct Point {
     batched: f64,
     cx: f64,
     cx_gain_pct: f64,
+    /// Client-visible latency quantiles under Cx (p50/p99 from the
+    /// always-on histogram; mean kept for paper-parity).
+    cx_latency: HistSummary,
 }
 
 fn main() {
@@ -48,9 +51,9 @@ fn main() {
                 .protocol(protocol)
                 .run();
                 assert!(r.is_consistent(), "{mix:?}/{servers}/{protocol:?}");
-                r.stats.throughput()
+                (r.stats.throughput(), r.stats.latency_hist.summary())
             };
-            let (se, ba, cx) = (
+            let ((se, _), (ba, _), (cx, cx_lat)) = (
                 run(Protocol::Se),
                 run(Protocol::SeBatched),
                 run(Protocol::Cx),
@@ -62,6 +65,7 @@ fn main() {
                 batched: ba,
                 cx,
                 cx_gain_pct: gain(se, cx),
+                cx_latency: cx_lat,
             }
         });
         println!("--- {} runs ---", mix.name());
@@ -72,6 +76,9 @@ fn main() {
                 "OFS-batched op/s",
                 "OFS-Cx op/s",
                 "Cx gain",
+                "Cx lat mean",
+                "Cx p50",
+                "Cx p99",
             ],
             &mix_points
                 .iter()
@@ -82,6 +89,9 @@ fn main() {
                         format!("{:.0}", p.batched),
                         format!("{:.0}", p.cx),
                         format!("+{:.0}%", p.cx_gain_pct),
+                        cx_core::fmt_ns_f(p.cx_latency.mean_ns),
+                        HistSummary::fmt_ns(p.cx_latency.p50_ns),
+                        HistSummary::fmt_ns(p.cx_latency.p99_ns),
                     ]
                 })
                 .collect::<Vec<_>>(),

@@ -26,10 +26,21 @@
 //! scenario through both intakes and asserts the pinned digest, then
 //! exits — the fixed-seed CI gate (`ci.sh`).
 //!
+//! `--obs` runs the observability export instead of the basket: one home2
+//! replay with lifecycle recording on, dashboard to stdout, Perfetto
+//! trace + report + JSONL next to `--obs-out <prefix>`, and a digest
+//! check that instrumentation didn't perturb the run.
+//!
+//! `--against other.json` (with the basket) compares this run's home2
+//! events/sec to the best rate in another report and fails below
+//! `--tolerance` (default 0.80) — the `BENCH_PR4.json` vs
+//! `BENCH_PR3.json` no-regression gate in `ci.sh`.
+//!
 //! Usage: `perf_baseline --label after [--iters 3] [--scale 0.05]
-//!         [--filter home2] [--out path.json] [--smoke]`
+//!         [--filter home2] [--out path.json] [--smoke]
+//!         [--obs [--obs-out prefix]] [--against path.json]`
 
-use cx_core::{Experiment, MetaratesMix, Protocol, RecoveryExperiment, Workload};
+use cx_core::{Experiment, MetaratesMix, ObsSink, Protocol, RecoveryExperiment, Workload};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -119,10 +130,109 @@ fn smoke() {
     println!("smoke ok: home2 digest {GOLDEN_HOME2_DIGEST} on both intakes");
 }
 
+/// `--obs`: replay the home2 scenario once with the observability plane
+/// recording and export the run as `<prefix>.report.json` (full
+/// [`cx_core::ObsReport`]), `<prefix>.trace.json` (Chrome-trace-event /
+/// Perfetto), and `<prefix>.jsonl` (event stream), then print the text
+/// dashboard. A second, uninstrumented replay of the same configuration
+/// asserts the digest is untouched — the zero-overhead-when-disabled
+/// contract, checked on every `--obs` invocation.
+fn obs_run(args: &cx_bench::Args) {
+    let scale = args.scale(0.02);
+    let servers: u32 = args.value("--servers").unwrap_or(8);
+    let prefix: String = args
+        .value("--obs-out")
+        .unwrap_or_else(|| "target/obs_home2".into());
+    let e = Experiment::new(Workload::trace("home2").scale(scale).seed(7))
+        .servers(servers)
+        .protocol(Protocol::Cx)
+        .seed(42);
+    let sink = ObsSink::recording("cx");
+    let r = e.run_obs(sink.clone());
+    assert!(r.is_consistent(), "obs: home2 replay inconsistent");
+    let report = sink.report().expect("recording sink yields a report");
+    report
+        .validate()
+        .expect("obs: phase accounting must sum to client latency");
+
+    if let Some(dir) = std::path::Path::new(&prefix).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(format!("{prefix}.report.json"), report.to_json()).expect("write obs report");
+    std::fs::write(format!("{prefix}.trace.json"), report.to_chrome_trace())
+        .expect("write obs trace");
+    std::fs::write(format!("{prefix}.jsonl"), report.to_jsonl()).expect("write obs jsonl");
+
+    println!("{}", report.render_dashboard());
+    println!(
+        "[obs: {prefix}.report.json | {prefix}.trace.json ({} spans, load at ui.perfetto.dev) | {prefix}.jsonl]",
+        report.spans.len()
+    );
+
+    let plain = e.run();
+    assert_eq!(
+        plain.stats.digest(),
+        r.stats.digest(),
+        "--obs must not perturb the replay digest"
+    );
+    println!(
+        "digest {} identical with and without --obs",
+        plain.stats.digest()
+    );
+}
+
+/// `--against <report.json>`: compare this run's home2 events/sec with
+/// the best home2 rate in a previous report (any label). Exits non-zero
+/// below `--tolerance` (default 0.80 — best-of-N on shared CI hardware
+/// jitters, and real regressions from accidental instrumentation on the
+/// hot path are far larger than 20%).
+fn check_against(report: &Report, label: &str, baseline_path: &str, tolerance: f64) {
+    let home2 = |r: &LabeledRun| {
+        r.entries
+            .iter()
+            .find(|e| e.name == "home2_replay_8s")
+            .map(|e| e.events_per_sec)
+    };
+    let baseline: Report = serde_json::from_str(
+        &std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("--against {baseline_path}: {e}")),
+    )
+    .unwrap_or_else(|e| panic!("--against {baseline_path}: bad report: {e:?}"));
+    let best = baseline
+        .runs
+        .iter()
+        .filter_map(home2)
+        .fold(0.0f64, f64::max);
+    let cur = report
+        .runs
+        .iter()
+        .find(|r| r.label == label)
+        .and_then(home2)
+        .unwrap_or(0.0);
+    if best <= 0.0 || cur <= 0.0 {
+        println!("--against: no home2_replay_8s entry on one side, skipping comparison");
+        return;
+    }
+    let ratio = cur / best;
+    println!(
+        "home2 events/sec vs {baseline_path}: {cur:.0} / {best:.0} = {ratio:.2}x \
+         (tolerance {tolerance:.2})"
+    );
+    assert!(
+        ratio >= tolerance,
+        "throughput regression: {ratio:.2}x of the {baseline_path} baseline \
+         is below the {tolerance:.2} floor"
+    );
+}
+
 fn main() {
     let args = cx_bench::Args::parse();
     if args.flag("--smoke") {
         smoke();
+        return;
+    }
+    if args.flag("--obs") {
+        obs_run(&args);
         return;
     }
     let label: String = args.value("--label").unwrap_or_else(|| "current".into());
@@ -294,4 +404,9 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, json + "\n").expect("write benchmark report");
     println!("[json: {out}]  (label: {label})");
+
+    if let Some(baseline_path) = args.value::<String>("--against") {
+        let tolerance: f64 = args.value("--tolerance").unwrap_or(0.80);
+        check_against(&report, &label, &baseline_path, tolerance);
+    }
 }

@@ -5,12 +5,18 @@
 //! cx-chaos --seeds 100 --protocol cx    # one protocol only
 //! cx-chaos --demo-broken                # prove the oracle catches bugs
 //! cx-chaos --replay repro.json          # re-run a recorded schedule
+//! cx-chaos --replay repro.json --obs-out trace.json
+//!                                       # …and dump a Perfetto trace of
+//!                                       # the run around the fault
 //! ```
 //!
 //! Exit status: 0 = no violations (or, under `--demo-broken`, the broken
 //! variant *was* caught; or a `--replay` reproduced); 1 otherwise.
 
-use cx_chaos::{explore, run_plan, ChaosScenario, CrashFault, CrashPoint, FaultPlan, Repro};
+use cx_chaos::{
+    explore, run_plan, run_plan_obs, ChaosScenario, CrashFault, CrashPoint, FaultPlan, Repro,
+};
+use cx_cluster::ObsSink;
 use cx_types::{Protocol, ServerId, DUR_MS};
 use cx_wal::RecordFamily;
 use std::process::ExitCode;
@@ -22,6 +28,9 @@ struct Args {
     demo_broken: bool,
     replay: Option<String>,
     out_dir: String,
+    /// `--obs-out <path>`: with `--replay`, record op lifecycles and dump
+    /// a Perfetto trace to `<path>` (report JSON beside it).
+    obs_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         demo_broken: false,
         replay: None,
         out_dir: ".".to_string(),
+        obs_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -64,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
             "--demo-broken" => args.demo_broken = true,
             "--replay" => args.replay = Some(value(&mut i)?),
             "--out-dir" => args.out_dir = value(&mut i)?,
+            "--obs-out" => args.obs_out = Some(value(&mut i)?),
             other => return Err(format!("unknown argument {other:?}")),
         }
         i += 1;
@@ -89,7 +100,7 @@ fn write_repro(dir: &str, repro: &Repro) -> String {
     path
 }
 
-fn replay(path: &str) -> ExitCode {
+fn replay(path: &str, obs_out: Option<&str>) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -104,7 +115,27 @@ fn replay(path: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let run = run_plan(&repro.scenario, &repro.plan);
+    // Recording doesn't perturb the schedule, so the instrumented replay
+    // still has to reproduce the recorded digest below.
+    let sink = match obs_out {
+        Some(_) => ObsSink::recording(proto_tag(repro.scenario.protocol)),
+        None => ObsSink::Off,
+    };
+    let run = run_plan_obs(&repro.scenario, &repro.plan, sink.clone());
+    if let Some(out) = obs_out {
+        let report = sink.report().expect("recording sink yields a report");
+        if let Err(e) = report.validate() {
+            eprintln!("obs: phase accounting broken: {e}");
+            return ExitCode::FAILURE;
+        }
+        std::fs::write(out, report.to_chrome_trace()).expect("write obs trace");
+        let report_path = format!("{out}.report.json");
+        std::fs::write(&report_path, report.to_json()).expect("write obs report");
+        println!(
+            "obs: {} spans -> {out} (load at ui.perfetto.dev), report -> {report_path}",
+            report.spans.len()
+        );
+    }
     println!("replayed seed {} ({} faults)", repro.seed, repro.plan.len());
     for f in &run.failures {
         println!("  {f}");
@@ -207,7 +238,7 @@ fn main() -> ExitCode {
         }
     };
     if let Some(path) = &args.replay {
-        return replay(path);
+        return replay(path, args.obs_out.as_deref());
     }
     if args.demo_broken {
         return demo_broken(&args);

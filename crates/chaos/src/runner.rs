@@ -2,7 +2,7 @@
 
 use crate::inject::PlanInjector;
 use crate::plan::FaultPlan;
-use cx_cluster::{ChaosOutcome, DesCluster};
+use cx_cluster::{ChaosOutcome, DesCluster, ObsSink};
 use cx_types::{ClusterConfig, Protocol, DUR_MS};
 use cx_workloads::{StreamTrace, Trace, TraceBuilder, TraceProfile};
 use serde::{Deserialize, Serialize};
@@ -74,9 +74,19 @@ pub struct ChaosRun {
 /// Execute `plan` under `scn` on the deterministic simulator, pulling
 /// the workload through the streaming intake (the default path).
 pub fn run_plan(scn: &ChaosScenario, plan: &FaultPlan) -> ChaosRun {
+    run_plan_obs(scn, plan, ObsSink::Off)
+}
+
+/// [`run_plan`] with an observability sink attached, so a fault-injected
+/// replay can dump the op lifecycles surrounding the injected fault as a
+/// Perfetto trace (`cx-chaos --replay --obs-out`). Recording never
+/// perturbs the schedule: the digest is identical to an `Off` run, which
+/// is exactly what lets an instrumented replay still claim "reproduced".
+pub fn run_plan_obs(scn: &ChaosScenario, plan: &FaultPlan, obs: ObsSink) -> ChaosRun {
     let st = scn.stream();
     let injector = PlanInjector::with_seeds(plan.clone(), &st.seeds);
     let outcome = DesCluster::new_stream(scn.config(), st)
+        .with_obs(obs)
         .with_injector(Box::new(injector))
         .run_chaos();
     finish(outcome)

@@ -20,12 +20,13 @@ use crate::fault::{ClusterSnapshot, CrashCmd, FaultEvent, FaultInjector, MsgFate
 use crate::feed::OpFeed;
 use crate::stats::{AckRecord, RecoveryCycle, RunStats, TimelineSample};
 use cx_mdstore::{GlobalView, Violation};
+use cx_obs::{GaugeKind, ObsSink, Phase};
 use cx_protocol::{Action, ClientDecision, ClientOp, Endpoint, ServerEngine};
 use cx_sim::{FifoResource, Sim};
 use cx_simio::{Batch, Disk, DiskReq};
 use cx_types::{
-    ClusterConfig, FileKind, FsOp, MsgKind, OpId, Payload, Placement, ProcId, ServerId, SimTime,
-    DUR_US,
+    ClusterConfig, FileKind, FsOp, MsgKind, OpId, Payload, Placement, ProcId, Protocol, ServerId,
+    SimTime, DUR_US,
 };
 use cx_wal::RecordFamily;
 use cx_workloads::{SeedEntry, StreamTrace, Trace};
@@ -211,6 +212,10 @@ pub struct DesCluster {
     /// allocation disappears. Handlers never reenter `dispatch`, so one
     /// buffer suffices.
     scratch: Vec<Action>,
+    /// Observability sink. `Off` (the default) makes every emission a
+    /// single-branch no-op; recording never schedules events or touches
+    /// protocol state, so the golden digest is identical either way.
+    obs: ObsSink,
 }
 
 impl DesCluster {
@@ -307,7 +312,19 @@ impl DesCluster {
             writebacks_seen: vec![0; n],
             msg_counts: [0; MsgKind::COUNT],
             scratch: Vec::with_capacity(16),
+            obs: ObsSink::Off,
         }
+    }
+
+    /// Install an observability sink: the run records op-lifecycle spans,
+    /// latency histograms, and virtual-time gauges into it. Engines get a
+    /// clone so they can stamp milestones only they see (Cx `Completed`).
+    pub fn with_obs(mut self, sink: ObsSink) -> Self {
+        for s in self.servers.iter_mut() {
+            s.install_obs(sink.clone());
+        }
+        self.obs = sink;
+        self
     }
 
     /// Arm a crash: the run will kill `plan.server` once its valid-record
@@ -488,6 +505,24 @@ impl DesCluster {
             mean_bytes: sum / self.servers.len() as u64,
             max_bytes: max,
         });
+        if self.obs.enabled() {
+            for (i, s) in self.servers.iter().enumerate() {
+                let sid = i as u32;
+                self.obs
+                    .gauge(now, sid, GaugeKind::ValidLogBytes, s.valid_log_bytes());
+                let g = s.obs_gauges();
+                self.obs
+                    .gauge(now, sid, GaugeKind::ActiveObjects, g.active_objects);
+                self.obs
+                    .gauge(now, sid, GaugeKind::PendingBatchOps, g.pending_batch_ops);
+                self.obs.gauge(
+                    now,
+                    sid,
+                    GaugeKind::QueueBacklogNs,
+                    self.cpus[i].backlog_ns(now),
+                );
+            }
+        }
         self.next_sample = now + self.sample_every_ns;
     }
 
@@ -804,8 +839,20 @@ impl DesCluster {
             let meta = p.current_meta.take();
             let latency = now.since(p.issued_at);
             self.stats.latency.record(latency);
+            self.stats.latency_hist.record(latency);
             if p.current_cross {
                 self.stats.cross_latency.record(latency);
+                self.stats.cross_latency_hist.record(latency);
+            }
+            if self.obs.enabled() {
+                if let Some((op, fs_op)) = meta {
+                    // Only Cx leaves commitment work running behind the
+                    // reply; everyone else is fully done here.
+                    let awaits = p.current_cross && self.cfg.protocol == Protocol::Cx;
+                    self.obs.op_replied(op, now, outcome, awaits);
+                    self.obs
+                        .client_latency(fs_op.class(), p.current_cross, latency);
+                }
             }
             self.stats.record_outcome(outcome);
             if self.record_ops {
@@ -845,6 +892,7 @@ impl DesCluster {
         p.current_cross = plan.is_cross_server();
         p.current_meta = Some((op_id, op));
         p.issued_at = now;
+        self.obs.op_issued(op_id, op.class(), p.current_cross, now);
         self.stats.ops_total += 1;
         if p.current_cross {
             self.stats.cross_ops += 1;
@@ -897,7 +945,60 @@ impl DesCluster {
         }
     }
 
+    /// Stamp lifecycle milestones from the message plane: the payload kind
+    /// names the Cx phase the sender just entered. Stamps record the send
+    /// (a later drop fault does not unhappen the phase), and `OpSpan`
+    /// stamping is first-writer-wins, so re-driven batches and
+    /// retransmissions never move a milestone.
+    fn obs_on_send(&self, from: Endpoint, payload: &Payload) {
+        let now = self.sim.now();
+        let srv = match from {
+            Endpoint::Server(s) => Some(s),
+            Endpoint::Proc(_) => None,
+        };
+        match payload {
+            // Client-visible path.
+            Payload::SubOpReq { op_id, .. } | Payload::OpReq { op_id, .. } => {
+                self.obs.op_phase(*op_id, Phase::Dispatched, now, None);
+            }
+            Payload::SubOpResp { op_id, .. } | Payload::OpResp { op_id, .. } => {
+                self.obs.op_phase(*op_id, Phase::Executed, now, srv);
+            }
+            // Commitment path: batched Cx messages carry many ops; 2PC's
+            // VoteExec and CE's migration round-trip are their (pre-reply)
+            // analogues, so the same milestones work for every protocol.
+            Payload::Vote { ops, .. } => {
+                for &op in ops {
+                    self.obs.op_phase(op, Phase::VoteSent, now, srv);
+                }
+            }
+            Payload::VoteExec { op_id, .. } | Payload::Migrate { op_id, .. } => {
+                self.obs.op_phase(*op_id, Phase::VoteSent, now, srv);
+            }
+            Payload::CommitDecision { commits, aborts } => {
+                for &op in commits.iter().chain(aborts) {
+                    self.obs.op_phase(op, Phase::DecisionSent, now, srv);
+                }
+            }
+            Payload::MigrateBack { op_id, .. } => {
+                self.obs.op_phase(*op_id, Phase::DecisionSent, now, srv);
+            }
+            Payload::Ack { ops } => {
+                for &op in ops {
+                    self.obs.op_phase(op, Phase::Acked, now, srv);
+                }
+            }
+            Payload::MigrateBackAck { op_id, .. } => {
+                self.obs.op_phase(*op_id, Phase::Acked, now, srv);
+            }
+            _ => {}
+        }
+    }
+
     fn send(&mut self, from: Endpoint, to: Endpoint, payload: Payload) {
+        if self.obs.enabled() {
+            self.obs_on_send(from, &payload);
+        }
         self.msg_counts[payload.kind() as usize] += 1;
         let server_to_server =
             matches!(from, Endpoint::Server(_)) && matches!(to, Endpoint::Server(_));
@@ -982,6 +1083,9 @@ impl DesCluster {
                 self.stats.msgs.insert(*kind, n);
             }
         }
+        // Structured hang diagnostics: the recorder's live-op map names the
+        // exact stalled phase for every op still short of its reply.
+        self.stats.stuck_ops = self.obs.stuck_report();
         for (i, s) in self.servers.iter().enumerate() {
             if !s.is_quiesced() {
                 self.stats

@@ -17,6 +17,7 @@ pub mod feed;
 pub mod stats;
 pub mod threaded;
 
+pub use cx_obs::{ObsConfig, ObsReport, ObsSink};
 pub use des::{run_stream_trace, run_trace, ChaosOutcome, CrashPlan, DesCluster, RecoveryReport};
 pub use fault::{ClusterSnapshot, CrashCmd, FaultEvent, FaultInjector, MsgFate, NoFaults};
 pub use feed::OpFeed;

@@ -1,5 +1,6 @@
 //! Statistics collected from a cluster run.
 
+use cx_obs::{LogHistogram, StuckOp};
 use cx_protocol::ServerStats;
 use cx_simio::DiskStats;
 use cx_types::{FsOp, MsgKind, OpId, OpOutcome, Protocol, ServerId, SimTime};
@@ -138,6 +139,12 @@ pub struct RunStats {
     pub latency: LatencyStat,
     /// Latency of cross-server mutations only.
     pub cross_latency: LatencyStat,
+    /// Percentile-capable client-latency histogram (always recorded; like
+    /// `faults`, excluded from [`RunStats::digest`] so the rendering of
+    /// `latency` keeps its historical digest coverage).
+    pub latency_hist: LogHistogram,
+    /// Histogram of cross-server mutation latencies only.
+    pub cross_latency_hist: LogHistogram,
     /// Cross-server operations issued.
     pub cross_ops: u64,
 
@@ -152,6 +159,11 @@ pub struct RunStats {
     /// Per-server unfinished-state descriptions when the run failed to
     /// quiesce (hang diagnostics; empty on clean runs).
     pub leftovers: Vec<String>,
+    /// Structured hang diagnostics from the obs plane: which op is stuck,
+    /// in which lifecycle phase, on which server, since when. Populated
+    /// only on `--obs` runs (the recorder's live-op map is the source);
+    /// complements the free-text `leftovers`.
+    pub stuck_ops: Vec<StuckOp>,
     /// Final namespace size across all servers (inode rows).
     pub final_inodes: u64,
     /// Final namespace size across all servers (directory entries).
@@ -182,11 +194,14 @@ impl RunStats {
             server_stats: ServerStats::default(),
             latency: LatencyStat::default(),
             cross_latency: LatencyStat::default(),
+            latency_hist: LogHistogram::new(),
+            cross_latency_hist: LogHistogram::new(),
             cross_ops: 0,
             timeline: Vec::new(),
             peak_valid_bytes: 0,
             events: 0,
             leftovers: Vec::new(),
+            stuck_ops: Vec::new(),
             final_inodes: 0,
             final_dentries: 0,
             faults: FaultStats::default(),
@@ -254,6 +269,18 @@ impl RunStats {
         }
     }
 
+    /// Fixed-quantile digest (p50/p90/p99/p99.9/max) of the client-visible
+    /// latency histogram — what the figure/table binaries print next to
+    /// the paper-parity mean.
+    pub fn latency_summary(&self) -> cx_obs::HistSummary {
+        self.latency_hist.summary()
+    }
+
+    /// Quantile digest of cross-server mutation latencies only.
+    pub fn cross_latency_summary(&self) -> cx_obs::HistSummary {
+        self.cross_latency_hist.summary()
+    }
+
     /// Measured conflict ratio: conflicting operations over all
     /// operations (Table II's metric).
     pub fn conflict_ratio(&self) -> f64 {
@@ -302,8 +329,18 @@ mod tests {
 
     #[test]
     fn serializes_to_json() {
-        let s = RunStats::new(Protocol::Cx, 8, 256);
+        let mut s = RunStats::new(Protocol::Cx, 8, 256);
+        s.latency_hist.record(1_000);
+        s.latency_hist.record(9_000);
         let json = serde_json::to_string(&s).unwrap();
         assert!(json.contains("\"servers\":8"));
+        // The percentile histograms travel with the serialized stats, so
+        // quantile summaries are recoverable from any stored run.
+        assert!(json.contains("\"latency_hist\""));
+        assert!(json.contains("\"cross_latency_hist\""));
+        let back: RunStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.latency_summary().count, 2);
+        assert_eq!(back.latency_summary().max_ns, 9_000);
+        assert_eq!(back.cross_latency_summary().count, 0);
     }
 }

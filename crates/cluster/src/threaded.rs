@@ -16,7 +16,8 @@ use cx_mdstore::{GlobalView, MetaStore, Violation};
 use cx_protocol::{Action, ClientDecision, ClientOp, Endpoint, ServerEngine, ServerStats};
 use cx_sim::TimerQueue;
 use cx_types::{
-    ClusterConfig, FileKind, OpId, OpOutcome, Payload, Placement, ProcId, ServerId, SimTime,
+    ClusterConfig, FileKind, OpId, OpOutcome, Payload, Placement, ProcId, Protocol, ServerId,
+    SimTime,
 };
 use cx_workloads::{SeedEntry, StreamTrace, Trace};
 use parking_lot::Mutex;
@@ -90,6 +91,21 @@ impl ThreadedCluster {
     /// [`OpFeed`] over the workload stream instead of pre-built queues,
     /// so memory stays flat regardless of trace length.
     pub fn run_stream(cfg: ClusterConfig, st: StreamTrace) -> ThreadedRunResult {
+        Self::run_stream_obs(cfg, st, cx_obs::ObsSink::Off)
+    }
+
+    /// Like [`ThreadedCluster::run_stream`] with an observability sink
+    /// installed into every engine and carried by every client thread (the
+    /// sink is `Arc<Mutex<…>>`-backed, so one recorder serves them all).
+    /// Clients emit issue/reply lifecycle events and latencies; engines
+    /// stamp commitment completion. The threaded runtime has no virtual
+    /// clock; stamps use its wall-clock-derived `now` values, which is
+    /// sufficient for phase *ordering* and count checks.
+    pub fn run_stream_obs(
+        cfg: ClusterConfig,
+        st: StreamTrace,
+        obs: cx_obs::ObsSink,
+    ) -> ThreadedRunResult {
         let StreamTrace {
             name: _,
             processes,
@@ -134,6 +150,7 @@ impl ThreadedCluster {
         let mut server_threads = Vec::new();
         for (i, rx) in server_rx.into_iter().enumerate() {
             let mut engine = cx_protocol::make_server(ServerId(i as u32), &cfg);
+            engine.install_obs(obs.clone());
             seed_engine(engine.as_mut(), &placement, &seeds, ServerId(i as u32));
             let r = router.clone();
             server_threads.push(thread::spawn(move || server_loop(i as u32, engine, rx, r)));
@@ -148,8 +165,9 @@ impl ThreadedCluster {
             let cfg = cfg.clone();
             let outcomes = Arc::clone(&outcomes);
             let feed = Arc::clone(&feed);
+            let obs = obs.clone();
             client_threads.push(thread::spawn(move || {
-                client_loop(i as u32, feed, rx, r, &cfg, placement, outcomes)
+                client_loop(i as u32, feed, rx, r, &cfg, placement, outcomes, obs)
             }));
         }
         for t in client_threads {
@@ -330,6 +348,7 @@ fn client_loop(
     cfg: &ClusterConfig,
     placement: Placement,
     outcomes: Arc<Mutex<Vec<(OpId, OpOutcome)>>>,
+    obs: cx_obs::ObsSink,
 ) {
     let proc = ProcId::new(me, 0);
     let from_me = Endpoint::Proc(proc);
@@ -344,6 +363,9 @@ fn client_loop(
         let op_id = OpId::new(proc, seq);
         seq += 1;
         let plan = placement.plan(op);
+        let cross = plan.is_cross_server();
+        let issued_at = router.now();
+        obs.op_issued(op_id, op.class(), cross, issued_at);
         let mut out = Vec::new();
         let mut client = ClientOp::start(cfg.protocol, op_id, plan, &cfg.cx, &mut out);
         let mut timer: Option<(Instant, u64)> = None;
@@ -377,6 +399,12 @@ fn client_loop(
                 Err(RecvTimeoutError::Disconnected) => return,
             }
         };
+        let done = router.now();
+        // Only Cx leaves commitment running behind the reply; its engine
+        // stamps `Completed` through the same sink when the ack lands.
+        let awaits = cross && cfg.protocol == Protocol::Cx;
+        obs.op_replied(op_id, done, outcome, awaits);
+        obs.client_latency(op.class(), cross, done.0.saturating_sub(issued_at.0));
         outcomes.lock().push((op_id, outcome));
     }
 }

@@ -47,6 +47,9 @@ pub use cx_cluster::{
     RecoveryCycle, RecoveryReport, RunStats, ThreadedCluster, TimelineSample,
 };
 pub use cx_mdstore::Violation;
+pub use cx_obs::{
+    fmt_ns_f, HistSummary, LogHistogram, ObsConfig, ObsReport, ObsSink, Phase, StuckOp,
+};
 pub use cx_protocol::{ClientOp, CxServer, ServerEngine, ServerStats};
 pub use cx_recovery::{table5_sweep, RecoveryExperiment, RecoveryRow};
 pub use cx_types::{
@@ -258,6 +261,17 @@ impl Experiment {
     pub fn run(&self) -> ExperimentResult {
         let st = self.workload.stream(&self.cfg);
         let (stats, violations) = run_stream_trace(self.cfg.clone(), st);
+        ExperimentResult { stats, violations }
+    }
+
+    /// Like [`Experiment::run`], with observability recording into `sink`.
+    /// Recording never perturbs the simulation — the stats digest is
+    /// identical to an uninstrumented run — so this is the `--obs` path of
+    /// the experiment binaries. Read the trace/report off the sink after.
+    pub fn run_obs(&self, sink: ObsSink) -> ExperimentResult {
+        let st = self.workload.stream(&self.cfg);
+        let cluster = DesCluster::new_stream(self.cfg.clone(), st).with_obs(sink);
+        let (stats, violations) = cluster.run();
         ExperimentResult { stats, violations }
     }
 

@@ -1,0 +1,26 @@
+//! cx-obs — the observability plane for the Cx reproduction.
+//!
+//! Four pieces, layered so the protocol engines and runtimes only ever see
+//! the cheap sink:
+//!
+//! - [`span`]: the op-lifecycle phase model (Issued → … → Completed) with
+//!   virtual-time stamps, split into the client-visible prefix and the
+//!   decoupled commitment suffix, plus structured [`StuckOp`] diagnostics.
+//! - [`hist`]: log-bucketed, mergeable latency histograms (p50/p99/p99.9)
+//!   replacing mean-only reporting.
+//! - [`sink`]: the enum collector. `ObsSink::Off` makes every emission a
+//!   single-branch no-op; recording never touches protocol or scheduler
+//!   state, so golden digests are identical with the sink on or off.
+//! - [`report`]: the exportable snapshot and the exporters — Chrome
+//!   trace-event JSON for Perfetto, a JSONL event stream, and the text
+//!   dashboard behind `cx-obs report`.
+
+pub mod hist;
+pub mod report;
+pub mod sink;
+pub mod span;
+
+pub use hist::{fmt_ns_f, HistSummary, LogHistogram};
+pub use report::{ClassRow, ObsReport, SegmentRow};
+pub use sink::{EngineGauges, GaugeKind, GaugeSample, ObsConfig, ObsSink, Recorder};
+pub use span::{OpSpan, Phase, StuckOp};

@@ -1,0 +1,61 @@
+//! `cx-obs` — inspect observability artifacts written by `--obs` runs.
+//!
+//! ```text
+//! cx-obs report <report.json>     render the text dashboard
+//! cx-obs check  <report.json>     validate phase accounting (CI smoke)
+//! cx-obs trace  <report.json>     re-export the Chrome/Perfetto trace to stdout
+//! ```
+
+use cx_obs::ObsReport;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<ObsReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    ObsReport::from_json(&text)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path) = match (args.first(), args.get(1)) {
+        (Some(c), Some(p)) => (c.as_str(), p.as_str()),
+        _ => {
+            eprintln!("usage: cx-obs <report|check|trace> <report.json>");
+            return ExitCode::from(2);
+        }
+    };
+    let rep = match load(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cx-obs: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd {
+        "report" => {
+            print!("{}", rep.render_dashboard());
+            ExitCode::SUCCESS
+        }
+        "check" => match rep.validate() {
+            Ok(()) => {
+                println!(
+                    "ok: {} spans, {} ops, phase accounting sums to client latency",
+                    rep.spans.len(),
+                    rep.ops_issued
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cx-obs check failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "trace" => {
+            print!("{}", rep.to_chrome_trace());
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("cx-obs: unknown command '{other}' (want report|check|trace)");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! The collector: an enum sink that is a no-op when disabled.
+//!
+//! Runtimes and engines hold an [`ObsSink`] by value. `ObsSink::Off` is a
+//! unit variant, so every emission call is a single discriminant branch
+//! and returns immediately — the instrumented hot path costs nothing when
+//! observability is off, and recording never schedules events or touches
+//! protocol state, so golden digests are identical either way (pinned by
+//! `tests/observability.rs`). `ObsSink::On` wraps the recorder in
+//! `Arc<Mutex<…>>` so the same sink type serves the single-threaded DES
+//! and the threaded runtime.
+
+use crate::hist::LogHistogram;
+use crate::report::ObsReport;
+use crate::span::{OpSpan, Phase, StuckOp};
+use cx_types::{FxHashMap, OpClass, OpId, OpOutcome, ServerId, SimTime};
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
+
+/// What the recorder keeps in detail. Histograms always cover *every*
+/// operation; full spans (for the Perfetto trace) are kept for a sampled
+/// window so memory stays bounded on full-scale replays.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsConfig {
+    /// Keep a full span for every `sample_every`-th issued op…
+    pub sample_every: u64,
+    /// …up to this many spans in total.
+    pub max_spans: usize,
+    /// Cap on stored gauge samples (oldest kept; the run start is the
+    /// interesting window once the cap is hit).
+    pub max_gauges: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            sample_every: 1,
+            max_spans: 20_000,
+            max_gauges: 100_000,
+        }
+    }
+}
+
+/// A virtual-time-sampled scalar, per server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum GaugeKind {
+    /// Objects modified by pending (uncommitted) operations.
+    ActiveObjects,
+    /// Unpruned log bytes.
+    ValidLogBytes,
+    /// Ops queued for, or riding in, commitment batches.
+    PendingBatchOps,
+    /// CPU queue backlog in nanoseconds (busy-until minus now).
+    QueueBacklogNs,
+}
+
+impl GaugeKind {
+    pub const ALL: [GaugeKind; 4] = [
+        GaugeKind::ActiveObjects,
+        GaugeKind::ValidLogBytes,
+        GaugeKind::PendingBatchOps,
+        GaugeKind::QueueBacklogNs,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            GaugeKind::ActiveObjects => "active_objects",
+            GaugeKind::ValidLogBytes => "valid_log_bytes",
+            GaugeKind::PendingBatchOps => "pending_batch_ops",
+            GaugeKind::QueueBacklogNs => "queue_backlog_ns",
+        }
+    }
+}
+
+/// One gauge observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSample {
+    pub at: SimTime,
+    pub server: u32,
+    pub kind: GaugeKind,
+    pub value: u64,
+}
+
+/// Engine-reported instantaneous state, polled by the runtime on the
+/// sampling cadence. Every protocol fills in what it has; zeros are fine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineGauges {
+    /// Active objects (Cx §III-B) or the closest analogue.
+    pub active_objects: u64,
+    /// Ops awaiting a lazy batch plus ops inside in-flight batches.
+    pub pending_batch_ops: u64,
+}
+
+/// Minimal per-op state kept for *every* in-flight op (16 bytes of
+/// payload), enough for commitment-latency histograms and stuck-op
+/// diagnostics without storing full spans.
+#[derive(Debug, Clone, Copy)]
+struct LiveOp {
+    phase: Phase,
+    at: SimTime,
+    server: u32,
+    replied_at: u64,
+    cross: bool,
+}
+
+/// The shared collector behind `ObsSink::On`.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    cfg: ObsConfig,
+    pub protocol: String,
+
+    // -------- histograms over every op --------
+    pub client_all: LogHistogram,
+    pub client_cross: LogHistogram,
+    pub client_local: LogHistogram,
+    /// Replied → Completed, cross ops only (the paper's decoupled path).
+    pub commitment: LogHistogram,
+    pub client_by_class: Vec<LogHistogram>,
+
+    // -------- sampled span window --------
+    spans: FxHashMap<OpId, OpSpan>,
+    span_order: Vec<OpId>,
+    issued_seen: u64,
+
+    // -------- live tracking of all in-flight ops --------
+    live: FxHashMap<OpId, LiveOp>,
+
+    // -------- gauges & diagnostics --------
+    pub gauges: Vec<GaugeSample>,
+    pub stuck: Vec<StuckOp>,
+    dropped_spans: u64,
+    dropped_gauges: u64,
+}
+
+impl Recorder {
+    pub fn new(protocol: impl Into<String>, cfg: ObsConfig) -> Self {
+        Self {
+            cfg,
+            protocol: protocol.into(),
+            client_by_class: vec![LogHistogram::new(); OpClass::COUNT],
+            ..Self::default()
+        }
+    }
+
+    fn class_index(class: OpClass) -> usize {
+        class.index()
+    }
+
+    fn issued(&mut self, op: OpId, class: OpClass, cross: bool, at: SimTime) {
+        self.live.insert(
+            op,
+            LiveOp {
+                phase: Phase::Issued,
+                at,
+                server: u32::MAX,
+                replied_at: u64::MAX,
+                cross,
+            },
+        );
+        let sampled = self.issued_seen.is_multiple_of(self.cfg.sample_every)
+            && self.spans.len() < self.cfg.max_spans;
+        self.issued_seen += 1;
+        if sampled {
+            self.spans.insert(op, OpSpan::new(op, class, cross, at));
+            self.span_order.push(op);
+        } else {
+            self.dropped_spans += 1;
+        }
+    }
+
+    fn phase(&mut self, op: OpId, phase: Phase, at: SimTime, server: Option<ServerId>) {
+        if let Some(live) = self.live.get_mut(&op) {
+            if phase > live.phase {
+                live.phase = phase;
+                live.at = at;
+                if let Some(s) = server {
+                    live.server = s.0;
+                }
+            }
+            if phase == Phase::Completed {
+                let live = self.live.remove(&op).expect("just fetched");
+                if live.replied_at != u64::MAX && live.cross {
+                    self.commitment.record(at.0.saturating_sub(live.replied_at));
+                }
+            }
+        }
+        if let Some(span) = self.spans.get_mut(&op) {
+            span.stamp(phase, at, server);
+        }
+    }
+
+    fn replied(&mut self, op: OpId, at: SimTime, outcome: OpOutcome, awaits_commitment: bool) {
+        if awaits_commitment {
+            if let Some(live) = self.live.get_mut(&op) {
+                if Phase::Replied > live.phase {
+                    live.phase = Phase::Replied;
+                    live.at = at;
+                }
+                live.replied_at = at.0;
+            }
+        } else {
+            self.live.remove(&op);
+        }
+        if let Some(span) = self.spans.get_mut(&op) {
+            span.stamp(Phase::Replied, at, None);
+            span.outcome = Some(outcome);
+        }
+    }
+
+    /// Client latency histograms are fed directly by the runtime (it
+    /// already computes the latency for `RunStats`), so the recorder does
+    /// not need to track issue stamps for unsampled ops.
+    fn client_latency(&mut self, class: OpClass, cross: bool, latency_ns: u64) {
+        self.client_all.record(latency_ns);
+        if cross {
+            self.client_cross.record(latency_ns);
+        } else {
+            self.client_local.record(latency_ns);
+        }
+        self.client_by_class[Self::class_index(class)].record(latency_ns);
+    }
+
+    fn gauge(&mut self, sample: GaugeSample) {
+        if self.gauges.len() < self.cfg.max_gauges {
+            self.gauges.push(sample);
+        } else {
+            self.dropped_gauges += 1;
+        }
+    }
+
+    /// Structured hang diagnostics for every op still in flight: derived
+    /// from the live map, so it names the exact stalled phase even for
+    /// ops outside the sampled span window.
+    pub fn stuck_report(&mut self) -> Vec<StuckOp> {
+        let mut v: Vec<StuckOp> = self
+            .live
+            .iter()
+            .filter(|(_, l)| l.phase < Phase::Replied)
+            .map(|(&op, l)| StuckOp {
+                op,
+                phase: l.phase,
+                server: (l.server != u32::MAX).then_some(ServerId(l.server)),
+                since: l.at,
+            })
+            .collect();
+        v.sort_by_key(|s| (s.since, s.op));
+        self.stuck = v.clone();
+        v
+    }
+
+    /// The sampled spans, in issue order.
+    pub fn spans(&self) -> Vec<OpSpan> {
+        self.span_order
+            .iter()
+            .filter_map(|op| self.spans.get(op).copied())
+            .collect()
+    }
+
+    /// Snapshot everything into the exportable report.
+    pub fn report(&self) -> ObsReport {
+        ObsReport::from_recorder(self)
+    }
+
+    pub fn dropped_spans(&self) -> u64 {
+        self.dropped_spans
+    }
+}
+
+/// The sink handed to runtimes and engines. Cloning is cheap (`Off` is a
+/// unit; `On` bumps an `Arc`).
+#[derive(Clone, Default)]
+pub enum ObsSink {
+    /// Recording disabled: every call returns immediately.
+    #[default]
+    Off,
+    /// Recording into a shared [`Recorder`].
+    On(Arc<Mutex<Recorder>>),
+}
+
+impl std::fmt::Debug for ObsSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObsSink::Off => write!(f, "ObsSink::Off"),
+            ObsSink::On(_) => write!(f, "ObsSink::On"),
+        }
+    }
+}
+
+impl ObsSink {
+    /// A recording sink with the default sampling window.
+    pub fn recording(protocol: impl Into<String>) -> Self {
+        Self::with_config(protocol, ObsConfig::default())
+    }
+
+    pub fn with_config(protocol: impl Into<String>, cfg: ObsConfig) -> Self {
+        ObsSink::On(Arc::new(Mutex::new(Recorder::new(protocol, cfg))))
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        matches!(self, ObsSink::On(_))
+    }
+
+    #[inline]
+    fn with(&self, f: impl FnOnce(&mut Recorder)) {
+        if let ObsSink::On(rec) = self {
+            f(&mut rec.lock().expect("obs recorder poisoned"));
+        }
+    }
+
+    /// An operation was issued by its process.
+    #[inline]
+    pub fn op_issued(&self, op: OpId, class: OpClass, cross: bool, at: SimTime) {
+        self.with(|r| r.issued(op, class, cross, at));
+    }
+
+    /// A lifecycle milestone was reached.
+    #[inline]
+    pub fn op_phase(&self, op: OpId, phase: Phase, at: SimTime, server: Option<ServerId>) {
+        self.with(|r| r.phase(op, phase, at, server));
+    }
+
+    /// The process received its final response. `awaits_commitment` keeps
+    /// the op live until [`Phase::Completed`] (Cx cross ops); all other
+    /// protocols finish everything before the reply.
+    #[inline]
+    pub fn op_replied(&self, op: OpId, at: SimTime, outcome: OpOutcome, awaits_commitment: bool) {
+        self.with(|r| r.replied(op, at, outcome, awaits_commitment));
+    }
+
+    /// Feed the client-visible latency (the runtime computes it anyway).
+    #[inline]
+    pub fn client_latency(&self, class: OpClass, cross: bool, latency_ns: u64) {
+        self.with(|r| r.client_latency(class, cross, latency_ns));
+    }
+
+    /// Record a gauge observation.
+    #[inline]
+    pub fn gauge(&self, at: SimTime, server: u32, kind: GaugeKind, value: u64) {
+        self.with(|r| {
+            r.gauge(GaugeSample {
+                at,
+                server,
+                kind,
+                value,
+            })
+        });
+    }
+
+    /// Snapshot the exportable report (None when the sink is off).
+    pub fn report(&self) -> Option<ObsReport> {
+        match self {
+            ObsSink::Off => None,
+            ObsSink::On(rec) => Some(rec.lock().expect("obs recorder poisoned").report()),
+        }
+    }
+
+    /// Structured stuck-op diagnostics (empty when off or nothing hangs).
+    pub fn stuck_report(&self) -> Vec<StuckOp> {
+        match self {
+            ObsSink::Off => Vec::new(),
+            ObsSink::On(rec) => rec.lock().expect("obs recorder poisoned").stuck_report(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_types::ProcId;
+
+    fn op(seq: u64) -> OpId {
+        OpId::new(ProcId::new(1, 0), seq)
+    }
+
+    #[test]
+    fn off_sink_is_inert() {
+        let s = ObsSink::Off;
+        assert!(!s.enabled());
+        s.op_issued(op(0), OpClass::Create, true, SimTime(0));
+        s.client_latency(OpClass::Create, true, 100);
+        assert!(s.report().is_none());
+        assert!(s.stuck_report().is_empty());
+    }
+
+    #[test]
+    fn lifecycle_flows_into_report() {
+        let s = ObsSink::recording("cx");
+        s.op_issued(op(1), OpClass::Create, true, SimTime(0));
+        s.op_phase(op(1), Phase::Dispatched, SimTime(10), None);
+        s.op_phase(op(1), Phase::Executed, SimTime(50), Some(ServerId(2)));
+        s.op_replied(op(1), SimTime(80), OpOutcome::Applied, true);
+        s.client_latency(OpClass::Create, true, 80);
+        s.op_phase(op(1), Phase::VoteSent, SimTime(400), Some(ServerId(2)));
+        s.op_phase(op(1), Phase::Completed, SimTime(900), Some(ServerId(2)));
+        let rep = s.report().unwrap();
+        assert_eq!(rep.spans.len(), 1);
+        assert_eq!(rep.spans[0].client_visible_ns(), Some(80));
+        assert_eq!(rep.spans[0].commitment_ns(), Some(820));
+        assert_eq!(rep.client_all.count, 1);
+        assert_eq!(rep.commitment.count, 1);
+        assert_eq!(rep.commitment.max, 820);
+        assert!(s.stuck_report().is_empty());
+    }
+
+    #[test]
+    fn unreplied_ops_become_stuck() {
+        let s = ObsSink::recording("cx");
+        s.op_issued(op(7), OpClass::Mkdir, true, SimTime(5));
+        s.op_phase(op(7), Phase::Dispatched, SimTime(9), None);
+        let stuck = s.stuck_report();
+        assert_eq!(stuck.len(), 1);
+        assert_eq!(stuck[0].phase, Phase::Dispatched);
+        assert_eq!(stuck[0].since, SimTime(9));
+    }
+
+    #[test]
+    fn sampling_caps_span_memory_but_not_histograms() {
+        let cfg = ObsConfig {
+            sample_every: 4,
+            max_spans: 3,
+            max_gauges: 2,
+        };
+        let s = ObsSink::with_config("cx", cfg);
+        for i in 0..40 {
+            s.op_issued(op(i), OpClass::Stat, false, SimTime(i));
+            s.op_replied(op(i), SimTime(i + 10), OpOutcome::Applied, false);
+            s.client_latency(OpClass::Stat, false, 10);
+        }
+        for i in 0..5 {
+            s.gauge(SimTime(i), 0, GaugeKind::ValidLogBytes, i);
+        }
+        let rep = s.report().unwrap();
+        assert_eq!(rep.spans.len(), 3);
+        assert_eq!(rep.client_all.count, 40);
+        assert_eq!(rep.gauges.len(), 2);
+    }
+}

@@ -1,0 +1,283 @@
+//! Per-operation lifecycle spans: the Cx phase model.
+//!
+//! A cross-server operation under Cx passes through two decoupled paths:
+//!
+//! ```text
+//!  client-visible            Issued → Dispatched → Executed → Replied
+//!  commitment (lazy, batched)          Replied → VoteSent → DecisionSent
+//!                                              → Acked → Completed
+//! ```
+//!
+//! The client-visible path ends when the process receives its response;
+//! the commitment path (VOTE / COMMIT-REQ / ACK / Complete-Record and
+//! write-back) runs behind it. SE/2PC/CE finish all their work before the
+//! reply, so their post-`Replied` phases stay unset — which is exactly the
+//! paper's claim, rendered measurable: Cx is the only protocol whose
+//! commitment latency is *excluded* from the client-visible latency.
+
+use cx_types::{OpClass, OpId, OpOutcome, ServerId, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One lifecycle milestone of an operation. Order matters: stamps must be
+/// non-decreasing along the enum for the client-visible prefix, and the
+/// exporters rely on `index()` for the per-phase arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// The process issued the operation (client runtime).
+    Issued,
+    /// First sub-op request left the client.
+    Dispatched,
+    /// A server executed its sub-op and sent the result back.
+    Executed,
+    /// The process received its final response (client-visible end).
+    Replied,
+    /// The coordinator launched the commitment batch (VOTE sent).
+    VoteSent,
+    /// The coordinator logged the decision and sent COMMIT-REQ/ABORT-REQ.
+    DecisionSent,
+    /// The participant acknowledged the decision.
+    Acked,
+    /// The coordinator's Complete-Record is durable and the op is pruned
+    /// (write-back rides the following flush).
+    Completed,
+}
+
+impl Phase {
+    pub const COUNT: usize = 8;
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Issued,
+        Phase::Dispatched,
+        Phase::Executed,
+        Phase::Replied,
+        Phase::VoteSent,
+        Phase::DecisionSent,
+        Phase::Acked,
+        Phase::Completed,
+    ];
+
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Issued => "issued",
+            Phase::Dispatched => "dispatched",
+            Phase::Executed => "executed",
+            Phase::Replied => "replied",
+            Phase::VoteSent => "vote-sent",
+            Phase::DecisionSent => "decision-sent",
+            Phase::Acked => "acked",
+            Phase::Completed => "completed",
+        }
+    }
+}
+
+/// Virtual-time stamps of one operation's lifecycle. `u64::MAX` marks an
+/// unreached phase (0 is a legal virtual time).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpSpan {
+    pub op: OpId,
+    pub class: OpClass,
+    pub cross: bool,
+    pub outcome: Option<OpOutcome>,
+    /// Stamp per phase, `u64::MAX` = never reached. First writer wins
+    /// (retransmissions and re-driven batches must not move a milestone).
+    pub at_ns: [u64; Phase::COUNT],
+    /// Server that stamped the phase (`u32::MAX` = client side / unset).
+    pub server: [u32; Phase::COUNT],
+}
+
+pub(crate) const UNSET: u64 = u64::MAX;
+pub(crate) const NO_SERVER: u32 = u32::MAX;
+
+impl OpSpan {
+    pub fn new(op: OpId, class: OpClass, cross: bool, issued: SimTime) -> Self {
+        let mut s = Self {
+            op,
+            class,
+            cross,
+            outcome: None,
+            at_ns: [UNSET; Phase::COUNT],
+            server: [NO_SERVER; Phase::COUNT],
+        };
+        s.at_ns[Phase::Issued.index()] = issued.0;
+        s
+    }
+
+    /// Record `phase` at `at` unless already stamped.
+    pub fn stamp(&mut self, phase: Phase, at: SimTime, server: Option<ServerId>) {
+        let i = phase.index();
+        if self.at_ns[i] == UNSET {
+            self.at_ns[i] = at.0;
+            if let Some(s) = server {
+                self.server[i] = s.0;
+            }
+        }
+    }
+
+    pub fn at(&self, phase: Phase) -> Option<u64> {
+        let v = self.at_ns[phase.index()];
+        (v != UNSET).then_some(v)
+    }
+
+    /// Issued → Replied, the latency the process observed.
+    pub fn client_visible_ns(&self) -> Option<u64> {
+        Some(
+            self.at(Phase::Replied)?
+                .saturating_sub(self.at(Phase::Issued)?),
+        )
+    }
+
+    /// Replied → Completed: commitment work that ran *after* the client
+    /// already had its answer. `Some(0)` when the commitment finished
+    /// before the reply arrived (immediate commitment).
+    pub fn commitment_ns(&self) -> Option<u64> {
+        Some(
+            self.at(Phase::Completed)?
+                .saturating_sub(self.at(Phase::Replied)?),
+        )
+    }
+
+    /// Every phase reached, in order.
+    pub fn reached(&self) -> impl Iterator<Item = (Phase, u64)> + '_ {
+        Phase::ALL
+            .iter()
+            .filter_map(|&p| self.at(p).map(|t| (p, t)))
+    }
+
+    /// The latest phase reached (spans always have `Issued`).
+    pub fn last_phase(&self) -> Phase {
+        let mut last = Phase::Issued;
+        for p in Phase::ALL {
+            if self.at(p).is_some() {
+                last = p;
+            }
+        }
+        last
+    }
+
+    /// The client-visible prefix must be stamped in order, and consecutive
+    /// segment durations must sum exactly to the client-visible latency
+    /// (phase accounting). Returns a description of the first violation.
+    pub fn check_accounting(&self) -> Result<(), String> {
+        let prefix = [
+            Phase::Issued,
+            Phase::Dispatched,
+            Phase::Executed,
+            Phase::Replied,
+        ];
+        let mut prev: Option<(Phase, u64)> = None;
+        let mut segment_sum = 0u64;
+        for p in prefix {
+            let Some(t) = self.at(p) else { continue };
+            if let Some((pp, pt)) = prev {
+                if t < pt {
+                    return Err(format!(
+                        "{}: {} at {t} precedes {} at {pt}",
+                        self.op,
+                        p.name(),
+                        pp.name()
+                    ));
+                }
+                segment_sum += t - pt;
+            }
+            prev = Some((p, t));
+        }
+        if let Some(total) = self.client_visible_ns() {
+            if segment_sum != total {
+                return Err(format!(
+                    "{}: segments sum to {segment_sum} but client latency is {total}",
+                    self.op
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A structured hang diagnostic: which operation is stuck, in which phase,
+/// on which server, since when. Replaces grepping the free-text
+/// `RunStats::leftovers` strings for the stalled Cx phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StuckOp {
+    pub op: OpId,
+    /// The last lifecycle phase the operation reached.
+    pub phase: Phase,
+    /// Server last seen acting on the op (`None` = client side).
+    pub server: Option<ServerId>,
+    /// When the op entered that phase.
+    pub since: SimTime,
+}
+
+impl std::fmt::Display for StuckOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} stuck after {}", self.op, self.phase.name())?;
+        if let Some(s) = self.server {
+            write!(f, " on server {}", s.0)?;
+        }
+        write!(f, " since {}", self.since)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_types::ProcId;
+
+    fn op(seq: u64) -> OpId {
+        OpId::new(ProcId::new(0, 0), seq)
+    }
+
+    #[test]
+    fn stamps_are_first_writer_wins() {
+        let mut s = OpSpan::new(op(1), OpClass::Create, true, SimTime(100));
+        s.stamp(Phase::Dispatched, SimTime(110), None);
+        s.stamp(Phase::Dispatched, SimTime(999), None);
+        assert_eq!(s.at(Phase::Dispatched), Some(110));
+        assert_eq!(s.at(Phase::Replied), None);
+        assert_eq!(s.last_phase(), Phase::Dispatched);
+    }
+
+    #[test]
+    fn latency_split() {
+        let mut s = OpSpan::new(op(2), OpClass::Mkdir, true, SimTime(1000));
+        s.stamp(Phase::Dispatched, SimTime(1010), None);
+        s.stamp(Phase::Executed, SimTime(1200), Some(ServerId(3)));
+        s.stamp(Phase::Replied, SimTime(1500), None);
+        s.stamp(Phase::VoteSent, SimTime(5000), Some(ServerId(3)));
+        s.stamp(Phase::Completed, SimTime(9000), Some(ServerId(3)));
+        assert_eq!(s.client_visible_ns(), Some(500));
+        assert_eq!(s.commitment_ns(), Some(7500));
+        assert!(s.check_accounting().is_ok());
+        assert_eq!(s.server[Phase::Executed.index()], 3);
+    }
+
+    #[test]
+    fn accounting_rejects_disorder() {
+        let mut s = OpSpan::new(op(3), OpClass::Link, true, SimTime(1000));
+        s.at_ns[Phase::Dispatched.index()] = 900; // earlier than Issued
+        s.at_ns[Phase::Replied.index()] = 1100;
+        assert!(s.check_accounting().is_err());
+    }
+
+    #[test]
+    fn immediate_commitment_clamps_to_zero() {
+        let mut s = OpSpan::new(op(4), OpClass::Remove, true, SimTime(0));
+        s.stamp(Phase::Replied, SimTime(500), None);
+        s.at_ns[Phase::Completed.index()] = 400; // completed before reply
+        assert_eq!(s.commitment_ns(), Some(0));
+    }
+
+    #[test]
+    fn stuck_op_renders() {
+        let st = StuckOp {
+            op: op(9),
+            phase: Phase::VoteSent,
+            server: Some(ServerId(2)),
+            since: SimTime(42),
+        };
+        let text = st.to_string();
+        assert!(text.contains("vote-sent") && text.contains("server 2"));
+    }
+}

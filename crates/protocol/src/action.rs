@@ -2,6 +2,7 @@
 
 use crate::stats::ServerStats;
 use cx_mdstore::MetaStore;
+use cx_obs::{EngineGauges, ObsSink};
 use cx_types::{Payload, ProcId, ServerId, SimTime};
 use cx_wal::Wal;
 
@@ -117,6 +118,18 @@ pub trait ServerEngine: Send {
     /// diagnostics. Empty when quiesced.
     fn debug_summary(&self) -> String {
         String::new()
+    }
+
+    /// Hand the engine an observability sink. Engines that emit lifecycle
+    /// milestones the runtime cannot see (Cx stamps `Completed` when the
+    /// Complete-Record lands) keep the sink; the default discards it, and
+    /// with `ObsSink::Off` every emission is a no-op either way.
+    fn install_obs(&mut self, _sink: ObsSink) {}
+
+    /// Instantaneous engine state for the virtual-time gauges. Engines
+    /// report what they have; the default is all-zero.
+    fn obs_gauges(&self) -> EngineGauges {
+        EngineGauges::default()
     }
 }
 

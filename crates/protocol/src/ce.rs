@@ -495,4 +495,11 @@ impl ServerEngine for CeServer {
     fn stats(&self) -> &ServerStats {
         &self.stats
     }
+
+    fn obs_gauges(&self) -> cx_obs::EngineGauges {
+        cx_obs::EngineGauges {
+            active_objects: self.active.len() as u64,
+            pending_batch_ops: self.migrations.len() as u64,
+        }
+    }
 }

@@ -154,6 +154,8 @@ impl CxServer {
             Outcome::Committed => self.stats.ops_committed += 1,
             Outcome::Aborted => self.stats.ops_aborted += 1,
         }
+        self.obs
+            .op_phase(op, cx_obs::Phase::Completed, now, Some(self.id));
         self.release_op(now, op, out);
         if let Some(p) = self.pending.remove(&op) {
             self.recent_outcomes.insert(p.proc, (op, outcome));

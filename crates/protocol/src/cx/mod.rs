@@ -23,6 +23,7 @@ use crate::action::{Action, Endpoint, ServerEngine};
 use crate::stats::ServerStats;
 use crate::trigger::TriggerState;
 use cx_mdstore::{MetaStore, Undo};
+use cx_obs::{EngineGauges, ObsSink};
 use cx_sim::det_rng;
 use cx_types::FxHashMap;
 use cx_types::{
@@ -190,6 +191,9 @@ pub struct CxServer {
     pub(crate) op_pool: VecPool<OpId>,
     /// Recycled record buffers for multi-record log appends.
     pub(crate) rec_pool: VecPool<Record>,
+    /// Observability sink: stamps `Completed` when the Complete-Record
+    /// lands (a milestone only the engine sees). `Off` unless installed.
+    pub(crate) obs: ObsSink,
 }
 
 /// Database region holding the log table in the `log_in_database` mode.
@@ -240,6 +244,7 @@ impl CxServer {
             recovery_reads_pending: false,
             op_pool: VecPool::default(),
             rec_pool: VecPool::default(),
+            obs: ObsSink::Off,
         }
     }
 
@@ -464,6 +469,20 @@ impl ServerEngine for CxServer {
 
     fn is_recovering(&self) -> bool {
         self.recovering
+    }
+
+    fn install_obs(&mut self, sink: ObsSink) {
+        self.obs = sink;
+    }
+
+    fn obs_gauges(&self) -> EngineGauges {
+        EngineGauges {
+            active_objects: self.active.len() as u64,
+            pending_batch_ops: (self.lazy_queue.len()
+                + self.lazy_local.len()
+                + self.batches.values().map(|b| b.ops.len()).sum::<usize>())
+                as u64,
+        }
     }
 
     fn debug_summary(&self) -> String {

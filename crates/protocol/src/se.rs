@@ -371,4 +371,13 @@ impl ServerEngine for SeServer {
     fn stats(&self) -> &ServerStats {
         &self.stats
     }
+
+    fn obs_gauges(&self) -> cx_obs::EngineGauges {
+        cx_obs::EngineGauges {
+            // SE has no pending-op concept; in-flight IO continuations are
+            // the closest analogue of uncommitted work.
+            active_objects: 0,
+            pending_batch_ops: self.io.len() as u64,
+        }
+    }
 }

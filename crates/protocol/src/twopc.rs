@@ -592,4 +592,11 @@ impl ServerEngine for TwoPcServer {
     fn stats(&self) -> &ServerStats {
         &self.stats
     }
+
+    fn obs_gauges(&self) -> cx_obs::EngineGauges {
+        cx_obs::EngineGauges {
+            active_objects: self.active.len() as u64,
+            pending_batch_ops: self.txns.len() as u64,
+        }
+    }
 }

@@ -37,6 +37,13 @@ impl FifoResource {
         self.busy_until
     }
 
+    /// Outstanding queued work at `now` in nanoseconds: how long a new
+    /// arrival would wait before service starts (0 when idle). The
+    /// observability plane samples this as the per-server queue depth.
+    pub fn backlog_ns(&self, now: SimTime) -> u64 {
+        self.busy_until.0.saturating_sub(now.0)
+    }
+
     /// Is the resource idle at `now`?
     pub fn idle_at(&self, now: SimTime) -> bool {
         self.busy_until <= now
@@ -101,6 +108,15 @@ mod tests {
         r.reserve(SimTime(0), 50);
         assert!((r.utilization(SimTime(100)) - 0.5).abs() < 1e-12);
         assert_eq!(r.utilization(SimTime(0)), 0.0);
+    }
+
+    #[test]
+    fn backlog_tracks_outstanding_work() {
+        let mut r = FifoResource::new();
+        assert_eq!(r.backlog_ns(SimTime(0)), 0);
+        r.reserve(SimTime(0), 50);
+        assert_eq!(r.backlog_ns(SimTime(10)), 40);
+        assert_eq!(r.backlog_ns(SimTime(60)), 0);
     }
 
     #[test]

@@ -93,6 +93,8 @@ pub enum OpClass {
 }
 
 impl OpClass {
+    pub const COUNT: usize = 12;
+
     pub const ALL: [OpClass; 12] = [
         OpClass::Create,
         OpClass::Remove,
@@ -107,6 +109,11 @@ impl OpClass {
         OpClass::Readdir,
         OpClass::Access,
     ];
+
+    /// Dense index into per-class tables (`0..COUNT`, the `ALL` order).
+    pub fn index(self) -> usize {
+        self as usize
+    }
 
     pub fn name(&self) -> &'static str {
         match self {

@@ -24,11 +24,14 @@ fn main() {
             "{}: cross-server metadata diverged!",
             protocol.name()
         );
+        let lat = result.stats.latency_summary();
         println!(
-            "{:<12} replay {:>7.3} s   mean latency {:>6.2} ms   messages {:>7}   conflicts {}",
+            "{:<12} replay {:>7.3} s   latency mean {:>6.2} ms  p50 {:>6.2} ms  p99 {:>6.2} ms   messages {:>7}   conflicts {}",
             protocol.name(),
             result.stats.replay_secs(),
-            result.stats.latency.mean_ns() / 1e6,
+            lat.mean_ns / 1e6,
+            lat.p50_ns as f64 / 1e6,
+            lat.p99_ns as f64 / 1e6,
             result.stats.total_msgs(),
             result.stats.server_stats.conflicts,
         );

@@ -33,6 +33,12 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     T::from_json(&json).map_err(Error)
 }
 
+/// Parse `s` into the untyped [`Json`] tree, checking syntax without
+/// requiring a target type (serde_json's `Value` role).
+pub fn parse_value(s: &str) -> Result<Json, Error> {
+    parse(s).map_err(Error)
+}
+
 // ---------------------------------------------------------------------------
 // Writers
 // ---------------------------------------------------------------------------
