@@ -50,6 +50,28 @@ if [ "${1:-}" != "quick" ]; then
         --obs --scale 0.005 --obs-out target/obs_home2 > /dev/null
     cargo run -q --release -p cx-obs -- check target/obs_home2.report.json
 
+    # Introspection-plane smoke: replay the repro the broken-recovery demo
+    # just wrote, with lifecycle recording on and the always-on flight
+    # recorder. The replay must reproduce, the obs report must pass the
+    # phase-accounting check, and — since the repro carries failures — the
+    # flight recorder must dump a non-empty post-mortem pair.
+    step "chaos replay obs + flight-recorder post-mortem"
+    repro=$(ls target/chaos-repro-cx-*.json | head -1)
+    cargo run -q --release -p cx-chaos -- --replay "$repro" \
+        --obs-out target/chaos_replay.trace.json --flight-out target/chaos_pm
+    cargo run -q --release -p cx-obs -- check target/chaos_replay.trace.json.report.json
+    test -s target/chaos_pm.flight.jsonl
+    test -s target/chaos_pm.flight.trace.json
+
+    # Live-exposition smoke: a threaded home2 run must leave fresh .prom /
+    # .json snapshots behind (the cx-obs top input), and the registry's
+    # ops counter must match RunStats (asserted inside --live itself).
+    step "live metrics (--live, threaded runtime)"
+    cargo run -q --release -p cx-bench --bin perf_baseline -- \
+        --live --scale 0.005 --metrics-out target/cx_metrics > /dev/null
+    grep -q '^cx_ops_issued_total ' target/cx_metrics.prom
+    cargo run -q --release -p cx-obs -- top target/cx_metrics.json > /dev/null
+
     # The observability PR's throughput gate: uninstrumented home2 replay
     # must hold the BENCH_PR3.json rate (the enum sink compiles to a no-op
     # when Off). The floor is 0.70 rather than 1.0 because the recorded
@@ -61,6 +83,15 @@ if [ "${1:-}" != "quick" ]; then
     cargo run -q --release -p cx-bench --bin perf_baseline -- \
         --label pr4 --iters 5 --filter home2_replay_8s \
         --out BENCH_PR4.json --against BENCH_PR3.json --tolerance 0.70
+
+    # The introspection-plane gate: the metric registry, flight-recorder
+    # hooks, and message-edge branches all sit behind cheap None/Off
+    # checks on the DES hot path, so the uninstrumented replay rate must
+    # hold the PR4 baseline (same 0.70 floor, same rationale as above).
+    step "BENCH_PR5.json (no throughput regression vs BENCH_PR4.json)"
+    cargo run -q --release -p cx-bench --bin perf_baseline -- \
+        --label pr5 --iters 5 --filter home2_replay_8s \
+        --out BENCH_PR5.json --against BENCH_PR4.json --tolerance 0.70
 fi
 
 step "cargo test (workspace)"

@@ -20,9 +20,11 @@ struct Point {
     batched: f64,
     cx: f64,
     cx_gain_pct: f64,
-    /// Client-visible latency quantiles under Cx (p50/p99 from the
-    /// always-on histogram; mean kept for paper-parity).
+    /// Client-visible latency quantiles under Cx (p50/p90/p99/p99.9 from
+    /// the always-on histogram; mean kept for paper-parity).
     cx_latency: HistSummary,
+    /// Conflicts per cross-server op under Cx at this cluster size.
+    conflict_pct_cross: f64,
 }
 
 fn main() {
@@ -51,9 +53,13 @@ fn main() {
                 .protocol(protocol)
                 .run();
                 assert!(r.is_consistent(), "{mix:?}/{servers}/{protocol:?}");
-                (r.stats.throughput(), r.stats.latency_hist.summary())
+                (
+                    r.stats.throughput(),
+                    r.stats.latency_hist.summary(),
+                    r.stats.cross_conflict_ratio(),
+                )
             };
-            let ((se, _), (ba, _), (cx, cx_lat)) = (
+            let ((se, _, _), (ba, _, _), (cx, cx_lat, cx_confl)) = (
                 run(Protocol::Se),
                 run(Protocol::SeBatched),
                 run(Protocol::Cx),
@@ -66,6 +72,7 @@ fn main() {
                 cx,
                 cx_gain_pct: gain(se, cx),
                 cx_latency: cx_lat,
+                conflict_pct_cross: cx_confl * 100.0,
             }
         });
         println!("--- {} runs ---", mix.name());
@@ -78,7 +85,10 @@ fn main() {
                 "Cx gain",
                 "Cx lat mean",
                 "Cx p50",
+                "Cx p90",
                 "Cx p99",
+                "Cx p99.9",
+                "confl%/cross",
             ],
             &mix_points
                 .iter()
@@ -91,7 +101,10 @@ fn main() {
                         format!("+{:.0}%", p.cx_gain_pct),
                         cx_core::fmt_ns_f(p.cx_latency.mean_ns),
                         HistSummary::fmt_ns(p.cx_latency.p50_ns),
+                        HistSummary::fmt_ns(p.cx_latency.p90_ns),
                         HistSummary::fmt_ns(p.cx_latency.p99_ns),
+                        HistSummary::fmt_ns(p.cx_latency.p999_ns),
+                        format!("{:.2}%", p.conflict_pct_cross),
                     ]
                 })
                 .collect::<Vec<_>>(),

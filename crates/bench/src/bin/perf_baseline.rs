@@ -31,6 +31,12 @@
 //! trace + report + JSONL next to `--obs-out <prefix>`, and a digest
 //! check that instrumentation didn't perturb the run.
 //!
+//! `--live` runs the home2 scenario on the *threaded* runtime with the
+//! metric registry publishing live: `--metrics-out <prefix>` (default
+//! `target/cx_metrics`) gets a `.prom` (Prometheus text) and `.json`
+//! (registry snapshot) refreshed every 500 ms while the run executes —
+//! watch it with `cx-obs top <prefix>.json`.
+//!
 //! `--against other.json` (with the basket) compares this run's home2
 //! events/sec to the best rate in another report and fails below
 //! `--tolerance` (default 0.80) — the `BENCH_PR4.json` vs
@@ -38,9 +44,13 @@
 //!
 //! Usage: `perf_baseline --label after [--iters 3] [--scale 0.05]
 //!         [--filter home2] [--out path.json] [--smoke]
-//!         [--obs [--obs-out prefix]] [--against path.json]`
+//!         [--obs [--obs-out prefix]] [--live [--metrics-out prefix]]
+//!         [--against path.json]`
 
-use cx_core::{Experiment, MetaratesMix, ObsSink, Protocol, RecoveryExperiment, Workload};
+use cx_core::{
+    Experiment, LiveMetrics, MetaratesMix, MetricRegistry, ObsSink, Protocol, RecoveryExperiment,
+    ThreadedCluster, Workload,
+};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -181,6 +191,44 @@ fn obs_run(args: &cx_bench::Args) {
     );
 }
 
+/// `--live`: run the home2 scenario on the threaded runtime with live
+/// metric exposition. Client threads bump the registry as ops complete;
+/// a monitor thread refreshes `<prefix>.prom` / `<prefix>.json` every
+/// 500 ms (`cx-obs top <prefix>.json` renders the latter); engines fold
+/// their protocol series in at stop. Prints the final snapshot's top
+/// view and where the files landed.
+fn live_run(args: &cx_bench::Args) {
+    let scale = args.scale(0.02);
+    let servers: u32 = args.value("--servers").unwrap_or(8);
+    let prefix: String = args
+        .value("--metrics-out")
+        .unwrap_or_else(|| "target/cx_metrics".into());
+    let e = Experiment::new(Workload::trace("home2").scale(scale).seed(7))
+        .servers(servers)
+        .protocol(Protocol::Cx)
+        .seed(42);
+    if let Some(dir) = std::path::Path::new(&prefix).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let mut live = LiveMetrics::new(MetricRegistry::new());
+    live.out = Some(std::path::PathBuf::from(&prefix));
+    let registry = live.registry.clone();
+    let st = e.workload.stream(&e.cfg);
+    let r = ThreadedCluster::run_stream_live(e.cfg.clone(), st, ObsSink::Off, live);
+    assert!(r.violations.is_empty(), "--live: home2 run inconsistent");
+    let snap = registry.snapshot();
+    println!("{}", snap.render_top());
+    assert_eq!(
+        snap.value("cx_ops_issued_total"),
+        Some(r.stats.ops_total),
+        "--live: registry ops_issued must match RunStats"
+    );
+    println!(
+        "[live metrics: {prefix}.prom (Prometheus text) | {prefix}.json \
+         (watch with: cx-obs top {prefix}.json)]"
+    );
+}
+
 /// `--against <report.json>`: compare this run's home2 events/sec with
 /// the best home2 rate in a previous report (any label). Exits non-zero
 /// below `--tolerance` (default 0.80 — best-of-N on shared CI hardware
@@ -233,6 +281,10 @@ fn main() {
     }
     if args.flag("--obs") {
         obs_run(&args);
+        return;
+    }
+    if args.flag("--live") {
+        live_run(&args);
         return;
     }
     let label: String = args.value("--label").unwrap_or_else(|| "current".into());

@@ -8,15 +8,23 @@
 //! cx-chaos --replay repro.json --obs-out trace.json
 //!                                       # …and dump a Perfetto trace of
 //!                                       # the run around the fault
+//! cx-chaos --replay repro.json --flight-out pm
+//!                                       # post-mortem prefix: pm.flight.jsonl
+//!                                       # + pm.flight.trace.json
 //! ```
+//!
+//! Every `--replay` also feeds a crash flight recorder (a fixed-size ring
+//! of recent message edges and lifecycle events, on even without
+//! `--obs-out`); when the run crashes, wedges, fails a check, or diverges
+//! from the recording, the ring is dumped as a post-mortem artifact.
 //!
 //! Exit status: 0 = no violations (or, under `--demo-broken`, the broken
 //! variant *was* caught; or a `--replay` reproduced); 1 otherwise.
 
 use cx_chaos::{
-    explore, run_plan, run_plan_obs, ChaosScenario, CrashFault, CrashPoint, FaultPlan, Repro,
+    explore, run_plan, run_plan_flight, ChaosScenario, CrashFault, CrashPoint, FaultPlan, Repro,
 };
-use cx_cluster::ObsSink;
+use cx_cluster::{FlightRecorder, ObsSink};
 use cx_types::{Protocol, ServerId, DUR_MS};
 use cx_wal::RecordFamily;
 use std::process::ExitCode;
@@ -31,6 +39,10 @@ struct Args {
     /// `--obs-out <path>`: with `--replay`, record op lifecycles and dump
     /// a Perfetto trace to `<path>` (report JSON beside it).
     obs_out: Option<String>,
+    /// `--flight-out <prefix>`: with `--replay`, override where the crash
+    /// flight recorder dumps its post-mortem (`<prefix>.flight.jsonl` +
+    /// `<prefix>.flight.trace.json`). Defaults to `<repro>.postmortem`.
+    flight_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
         replay: None,
         out_dir: ".".to_string(),
         obs_out: None,
+        flight_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -75,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
             "--replay" => args.replay = Some(value(&mut i)?),
             "--out-dir" => args.out_dir = value(&mut i)?,
             "--obs-out" => args.obs_out = Some(value(&mut i)?),
+            "--flight-out" => args.flight_out = Some(value(&mut i)?),
             other => return Err(format!("unknown argument {other:?}")),
         }
         i += 1;
@@ -100,7 +114,7 @@ fn write_repro(dir: &str, repro: &Repro) -> String {
     path
 }
 
-fn replay(path: &str, obs_out: Option<&str>) -> ExitCode {
+fn replay(path: &str, obs_out: Option<&str>, flight_out: Option<&str>) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -121,7 +135,16 @@ fn replay(path: &str, obs_out: Option<&str>) -> ExitCode {
         Some(_) => ObsSink::recording(proto_tag(repro.scenario.protocol)),
         None => ObsSink::Off,
     };
-    let run = run_plan_obs(&repro.scenario, &repro.plan, sink.clone());
+    // The flight recorder is always on during a replay — it is the
+    // post-mortem source when the run crashes, wedges, or diverges, and
+    // feeding it (like the sink) never perturbs the schedule.
+    let flight = FlightRecorder::default();
+    let run = run_plan_flight(
+        &repro.scenario,
+        &repro.plan,
+        sink.clone(),
+        Some(flight.clone()),
+    );
     if let Some(out) = obs_out {
         let report = sink.report().expect("recording sink yields a report");
         if let Err(e) = report.validate() {
@@ -140,7 +163,35 @@ fn replay(path: &str, obs_out: Option<&str>) -> ExitCode {
     for f in &run.failures {
         println!("  {f}");
     }
-    if run.digest == repro.digest && run.failures == repro.failures {
+    let reproduced = run.digest == repro.digest && run.failures == repro.failures;
+
+    // Post-mortem triggers: a crash happened, an op wedged, an oracle or
+    // namespace check failed, or the replay diverged from the recording.
+    let f = &run.outcome.stats.faults;
+    let trigger = if f.crashes > 0 {
+        Some("crash")
+    } else if !run.outcome.stats.stuck_ops.is_empty() || run.outcome.stats.ops_stuck > 0 {
+        Some("stuck op")
+    } else if f.oracle_violations > 0 || !run.failures.is_empty() {
+        Some("failed check")
+    } else if !reproduced {
+        Some("digest mismatch")
+    } else {
+        None
+    };
+    if let Some(why) = trigger {
+        let default_prefix = format!("{path}.postmortem");
+        let prefix = flight_out.unwrap_or(&default_prefix);
+        match flight.dump_to(prefix) {
+            Ok((jsonl, trace)) => println!(
+                "flight recorder ({why}): {} events -> {trace} (load at ui.perfetto.dev), {jsonl}",
+                flight.total()
+            ),
+            Err(e) => eprintln!("flight recorder: dump failed: {e}"),
+        }
+    }
+
+    if reproduced {
         println!("reproduced: digest {} matches the recording", run.digest);
         ExitCode::SUCCESS
     } else {
@@ -238,7 +289,7 @@ fn main() -> ExitCode {
         }
     };
     if let Some(path) = &args.replay {
-        return replay(path, args.obs_out.as_deref());
+        return replay(path, args.obs_out.as_deref(), args.flight_out.as_deref());
     }
     if args.demo_broken {
         return demo_broken(&args);

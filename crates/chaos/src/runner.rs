@@ -2,7 +2,7 @@
 
 use crate::inject::PlanInjector;
 use crate::plan::FaultPlan;
-use cx_cluster::{ChaosOutcome, DesCluster, ObsSink};
+use cx_cluster::{ChaosOutcome, DesCluster, FlightRecorder, ObsSink};
 use cx_types::{ClusterConfig, Protocol, DUR_MS};
 use cx_workloads::{StreamTrace, Trace, TraceBuilder, TraceProfile};
 use serde::{Deserialize, Serialize};
@@ -83,13 +83,29 @@ pub fn run_plan(scn: &ChaosScenario, plan: &FaultPlan) -> ChaosRun {
 /// perturbs the schedule: the digest is identical to an `Off` run, which
 /// is exactly what lets an instrumented replay still claim "reproduced".
 pub fn run_plan_obs(scn: &ChaosScenario, plan: &FaultPlan, obs: ObsSink) -> ChaosRun {
+    run_plan_flight(scn, plan, obs, None)
+}
+
+/// [`run_plan_obs`] with an always-on flight recorder fed by the run —
+/// the caller keeps a clone of the ring and dumps the post-mortem when
+/// the outcome warrants one (crash, stuck op, digest or oracle failure).
+/// The recorder sits outside the simulation like the sink, so the digest
+/// contract is the same: feeding it never changes the schedule.
+pub fn run_plan_flight(
+    scn: &ChaosScenario,
+    plan: &FaultPlan,
+    obs: ObsSink,
+    flight: Option<FlightRecorder>,
+) -> ChaosRun {
     let st = scn.stream();
     let injector = PlanInjector::with_seeds(plan.clone(), &st.seeds);
-    let outcome = DesCluster::new_stream(scn.config(), st)
+    let mut cluster = DesCluster::new_stream(scn.config(), st)
         .with_obs(obs)
-        .with_injector(Box::new(injector))
-        .run_chaos();
-    finish(outcome)
+        .with_injector(Box::new(injector));
+    if let Some(fl) = flight {
+        cluster = cluster.with_flight(fl);
+    }
+    finish(cluster.run_chaos())
 }
 
 /// Same plan over the fully materialized workload — kept as the

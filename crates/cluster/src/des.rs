@@ -20,7 +20,8 @@ use crate::fault::{ClusterSnapshot, CrashCmd, FaultEvent, FaultInjector, MsgFate
 use crate::feed::OpFeed;
 use crate::stats::{AckRecord, RecoveryCycle, RunStats, TimelineSample};
 use cx_mdstore::{GlobalView, Violation};
-use cx_obs::{GaugeKind, ObsSink, Phase};
+use cx_obs::flow::MsgKind as FlowKind;
+use cx_obs::{FlightEvent, FlightRecorder, FlowNode, GaugeKind, ObsSink, Phase};
 use cx_protocol::{Action, ClientDecision, ClientOp, Endpoint, ServerEngine};
 use cx_sim::{FifoResource, Sim};
 use cx_simio::{Batch, Disk, DiskReq};
@@ -216,6 +217,11 @@ pub struct DesCluster {
     /// single-branch no-op; recording never schedules events or touches
     /// protocol state, so the golden digest is identical either way.
     obs: ObsSink,
+    /// Always-on crash flight recorder: a fixed-size ring of recent
+    /// message edges and lifecycle events, fed even when `obs` is `Off`,
+    /// so a post-mortem can be dumped after a crash, a stuck op, or a
+    /// failed oracle check. `None` (the default) costs nothing.
+    flight: Option<FlightRecorder>,
 }
 
 impl DesCluster {
@@ -313,6 +319,7 @@ impl DesCluster {
             msg_counts: [0; MsgKind::COUNT],
             scratch: Vec::with_capacity(16),
             obs: ObsSink::Off,
+            flight: None,
         }
     }
 
@@ -324,6 +331,13 @@ impl DesCluster {
             s.install_obs(sink.clone());
         }
         self.obs = sink;
+        self
+    }
+
+    /// Install a flight recorder. The caller keeps a clone (it is an
+    /// `Arc` ring) and decides when to dump: the run itself only feeds it.
+    pub fn with_flight(mut self, flight: FlightRecorder) -> Self {
+        self.flight = Some(flight);
         self
     }
 
@@ -692,6 +706,9 @@ impl DesCluster {
             self.phases[idx] = SrvPhase::Up;
             self.in_fault -= 1;
             self.stats.faults.recoveries += 1;
+            if let Some(fl) = &self.flight {
+                fl.push(now.0, FlightEvent::Recovered { server: idx as u32 });
+            }
             self.stats.recovery_cycles.push(RecoveryCycle {
                 server: ServerId(idx as u32),
                 crashed_at,
@@ -699,6 +716,7 @@ impl DesCluster {
                 recovery_started: started,
                 recovery_finished: now,
                 scanned_bytes: scanned,
+                resumed_commitments: self.servers[idx].proto_metrics().resumed_commitments,
             });
             self.oracle_check(now, ServerId(idx as u32));
         }
@@ -720,6 +738,9 @@ impl DesCluster {
             self.servers[idx].crash(now);
         }
         self.stats.faults.crashes += 1;
+        if let Some(fl) = &self.flight {
+            fl.push(now.0, FlightEvent::Crash { server: idx as u32 });
+        }
         self.disks[idx].crash();
         self.cpus[idx].reset(now);
         self.phases[idx] = SrvPhase::Down {
@@ -854,6 +875,15 @@ impl DesCluster {
                         .client_latency(fs_op.class(), p.current_cross, latency);
                 }
             }
+            if let (Some(fl), Some((op, _))) = (&self.flight, meta) {
+                fl.push(
+                    now.0,
+                    FlightEvent::Replied {
+                        op,
+                        applied: outcome == cx_types::OpOutcome::Applied,
+                    },
+                );
+            }
             self.stats.record_outcome(outcome);
             if self.record_ops {
                 if let Some((op, fs_op)) = meta {
@@ -893,6 +923,10 @@ impl DesCluster {
         p.current_meta = Some((op_id, op));
         p.issued_at = now;
         self.obs.op_issued(op_id, op.class(), p.current_cross, now);
+        let cross = p.current_cross;
+        if let Some(fl) = &self.flight {
+            fl.push(now.0, FlightEvent::Issued { op: op_id, cross });
+        }
         self.stats.ops_total += 1;
         if p.current_cross {
             self.stats.cross_ops += 1;
@@ -1033,6 +1067,31 @@ impl DesCluster {
     }
 
     fn deliver(&mut self, from: Endpoint, to: Endpoint, payload: Payload, after_ns: u64) {
+        // Causal message edge: the send site knows the delivery time, so
+        // the whole arc is recorded in one shot. Dropped messages never
+        // reach here — an edge always means a delivery (duplicates draw
+        // two arcs, which is exactly what happened).
+        if self.obs.enabled() || self.flight.is_some() {
+            let now = self.sim.now();
+            let kind: FlowKind = payload.kind().into();
+            let (fnode, tnode) = (flow_node(from), flow_node(to));
+            let recv_ns = (now + after_ns).0;
+            if self.obs.enabled() {
+                self.obs
+                    .msg_edge(primary_op(&payload), kind, fnode, tnode, now.0, recv_ns);
+            }
+            if let Some(fl) = &self.flight {
+                fl.push(
+                    now.0,
+                    FlightEvent::Msg {
+                        kind,
+                        from: fnode,
+                        to: tnode,
+                        recv_ns,
+                    },
+                );
+            }
+        }
         match to {
             Endpoint::Server(s) => self.sim.schedule(
                 after_ns,
@@ -1086,6 +1145,18 @@ impl DesCluster {
         // Structured hang diagnostics: the recorder's live-op map names the
         // exact stalled phase for every op still short of its reply.
         self.stats.stuck_ops = self.obs.stuck_report();
+        if let Some(fl) = &self.flight {
+            let now = self.sim.now();
+            for s in &self.stats.stuck_ops {
+                fl.push(
+                    now.0,
+                    FlightEvent::Stuck {
+                        op: s.op,
+                        phase: s.phase,
+                    },
+                );
+            }
+        }
         for (i, s) in self.servers.iter().enumerate() {
             if !s.is_quiesced() {
                 self.stats
@@ -1095,6 +1166,7 @@ impl DesCluster {
         }
         for s in &self.servers {
             self.stats.server_stats.merge(s.stats());
+            self.stats.proto.merge(&s.proto_metrics());
             self.stats.final_inodes += s.store().inode_count() as u64;
             self.stats.final_dentries += s.store().dentry_count() as u64;
         }
@@ -1106,6 +1178,44 @@ impl DesCluster {
     /// Access to the engines (used by the recovery experiment harness).
     pub fn servers_mut(&mut self) -> &mut Vec<Box<dyn ServerEngine>> {
         &mut self.servers
+    }
+}
+
+/// Runtime endpoint → tracer endpoint.
+fn flow_node(e: Endpoint) -> FlowNode {
+    match e {
+        Endpoint::Server(s) => FlowNode::Server(s.0),
+        Endpoint::Proc(p) => FlowNode::Client(p.client.0),
+    }
+}
+
+/// The operation a message serves, for tying its edge to a span. Batched
+/// commitment messages carry many ops; the first one stands in (the edge
+/// still draws, and `cx-obs trace` matches any member by the args field).
+fn primary_op(payload: &Payload) -> Option<OpId> {
+    match payload {
+        Payload::SubOpReq { op_id, .. }
+        | Payload::SubOpResp { op_id, .. }
+        | Payload::LCom { op_id }
+        | Payload::AllNo { op_id }
+        | Payload::Committed { op_id }
+        | Payload::OpReq { op_id, .. }
+        | Payload::OpResp { op_id, .. }
+        | Payload::VoteExec { op_id, .. }
+        | Payload::Clear { op_id, .. }
+        | Payload::ClearResp { op_id }
+        | Payload::Migrate { op_id, .. }
+        | Payload::MigrateResp { op_id, .. }
+        | Payload::MigrateBack { op_id, .. }
+        | Payload::MigrateBackAck { op_id, .. } => Some(*op_id),
+        Payload::CommitmentReq { pending, .. } => Some(*pending),
+        Payload::Vote { ops, .. } | Payload::Ack { ops } | Payload::QueryOutcome { ops } => {
+            ops.first().copied()
+        }
+        Payload::VoteResult { results } => results.first().map(|(op, _)| *op),
+        Payload::CommitDecision { commits, aborts } => {
+            commits.first().or_else(|| aborts.first()).copied()
+        }
     }
 }
 

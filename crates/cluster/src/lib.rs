@@ -17,9 +17,9 @@ pub mod feed;
 pub mod stats;
 pub mod threaded;
 
-pub use cx_obs::{ObsConfig, ObsReport, ObsSink};
+pub use cx_obs::{FlightRecorder, MetricRegistry, ObsConfig, ObsReport, ObsSink};
 pub use des::{run_stream_trace, run_trace, ChaosOutcome, CrashPlan, DesCluster, RecoveryReport};
 pub use fault::{ClusterSnapshot, CrashCmd, FaultEvent, FaultInjector, MsgFate, NoFaults};
 pub use feed::OpFeed;
 pub use stats::{AckRecord, FaultStats, LatencyStat, RecoveryCycle, RunStats, TimelineSample};
-pub use threaded::{ThreadedCluster, ThreadedRunResult};
+pub use threaded::{LiveMetrics, ThreadedCluster, ThreadedRunResult};

@@ -1,7 +1,8 @@
 //! Statistics collected from a cluster run.
 
+use cx_obs::registry::{Counter, Gauge, MetricRegistry, Series};
 use cx_obs::{LogHistogram, StuckOp};
-use cx_protocol::ServerStats;
+use cx_protocol::{ProtoMetrics, ServerStats};
 use cx_simio::DiskStats;
 use cx_types::{FsOp, MsgKind, OpId, OpOutcome, Protocol, ServerId, SimTime};
 use serde::{Deserialize, Serialize};
@@ -19,6 +20,9 @@ pub struct RecoveryCycle {
     /// When the server resumed serving requests.
     pub recovery_finished: SimTime,
     pub scanned_bytes: u64,
+    /// Half-completed commitments the §III-D scan resumed, cumulative for
+    /// the recovering engine at the moment this cycle finished.
+    pub resumed_commitments: u64,
 }
 
 impl RecoveryCycle {
@@ -173,6 +177,11 @@ pub struct RunStats {
     pub faults: FaultStats,
     /// Completed crash/recovery cycles, in completion order.
     pub recovery_cycles: Vec<RecoveryCycle>,
+
+    /// Protocol-internal introspection counters, merged across servers.
+    /// Like `faults`, excluded from [`RunStats::digest`]: the digest
+    /// renders only the named historical fields.
+    pub proto: ProtoMetrics,
 }
 
 impl RunStats {
@@ -206,6 +215,7 @@ impl RunStats {
             final_dentries: 0,
             faults: FaultStats::default(),
             recovery_cycles: Vec::new(),
+            proto: ProtoMetrics::default(),
         }
     }
 
@@ -281,14 +291,48 @@ impl RunStats {
         self.cross_latency_hist.summary()
     }
 
-    /// Measured conflict ratio: conflicting operations over all
-    /// operations (Table II's metric).
+    /// Measured conflict ratio over *all* operations (Table II's metric:
+    /// "the ratio of the concurrent operations with conflicts ... is less
+    /// than 4%" — the paper's denominator is every replayed operation).
     pub fn conflict_ratio(&self) -> f64 {
         if self.ops_total == 0 {
             0.0
         } else {
             self.server_stats.conflicts as f64 / self.ops_total as f64
         }
+    }
+
+    /// Conflict ratio over cross-server operations only — the stricter
+    /// denominator: only cross-server operations can conflict under Cx, so
+    /// this is the fraction of commitment-bearing work that hit the
+    /// blocking path.
+    pub fn cross_conflict_ratio(&self) -> f64 {
+        if self.cross_ops == 0 {
+            0.0
+        } else {
+            self.server_stats.conflicts as f64 / self.cross_ops as f64
+        }
+    }
+
+    /// Publish the run's totals into a metric registry — the bridge from
+    /// the per-run accounting to the exposition formats (`cx-obs top`,
+    /// Prometheus text). DES runs publish once at finalize; the threaded
+    /// runtime publishes the same series live.
+    pub fn publish(&self, reg: &MetricRegistry) {
+        reg.add(Counter::OpsIssued, self.ops_total);
+        reg.add(Counter::OpsApplied, self.ops_applied);
+        reg.add(Counter::OpsFailed, self.ops_failed);
+        reg.add(Counter::CrossOps, self.cross_ops);
+        reg.add(Counter::Messages, self.total_msgs());
+        reg.add(Counter::RecoveryCycles, self.recovery_cycles.len() as u64);
+        reg.gauge_max(Gauge::WalPeakValidBytes, self.peak_valid_bytes);
+        if let Some(last) = self.timeline.last() {
+            reg.set_gauge(Gauge::WalValidBytes, last.mean_bytes);
+        }
+        reg.set_gauge(Gauge::OpsInFlight, self.ops_stuck);
+        reg.observe_hist(Series::ClientLatencyNs, &self.latency_hist);
+        reg.observe_hist(Series::CommitmentLatencyNs, &self.cross_latency_hist);
+        self.proto.publish(reg);
     }
 }
 

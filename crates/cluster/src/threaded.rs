@@ -13,7 +13,10 @@ use crate::feed::OpFeed;
 use crate::stats::RunStats;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use cx_mdstore::{GlobalView, MetaStore, Violation};
-use cx_protocol::{Action, ClientDecision, ClientOp, Endpoint, ServerEngine, ServerStats};
+use cx_obs::registry::{Counter, MetricRegistry, Series};
+use cx_protocol::{
+    Action, ClientDecision, ClientOp, Endpoint, ProtoMetrics, ServerEngine, ServerStats,
+};
 use cx_sim::TimerQueue;
 use cx_types::{
     ClusterConfig, FileKind, OpId, OpOutcome, Payload, Placement, ProcId, Protocol, ServerId,
@@ -31,7 +34,7 @@ enum ServerMsg {
     Timer { token: u64 },
     Quiesce,
     Probe(Sender<bool>),
-    Stop(Sender<(MetaStore, ServerStats)>),
+    Stop(Sender<(MetaStore, ServerStats, ProtoMetrics)>),
 }
 
 enum ProcMsg {
@@ -76,6 +79,33 @@ pub struct ThreadedRunResult {
     pub wall: Duration,
 }
 
+/// Live-exposition settings for a threaded run: client threads publish
+/// into `registry` concurrently while the run executes, and — when `out`
+/// is set — a monitor thread writes `<out>.prom` (Prometheus text) and
+/// `<out>.json` (a [`cx_obs::MetricsSnapshot`], the input of `cx-obs top`)
+/// every `period`, plus once more after the final server state lands.
+pub struct LiveMetrics {
+    pub registry: MetricRegistry,
+    pub out: Option<std::path::PathBuf>,
+    pub period: Duration,
+}
+
+impl LiveMetrics {
+    pub fn new(registry: MetricRegistry) -> Self {
+        Self {
+            registry,
+            out: None,
+            period: Duration::from_millis(500),
+        }
+    }
+
+    fn write_files(registry: &MetricRegistry, out: &std::path::Path) {
+        let snap = registry.snapshot();
+        let _ = std::fs::write(out.with_extension("prom"), snap.to_prometheus_text());
+        let _ = std::fs::write(out.with_extension("json"), snap.to_json());
+    }
+}
+
 /// The multi-threaded cluster.
 pub struct ThreadedCluster;
 
@@ -105,6 +135,29 @@ impl ThreadedCluster {
         cfg: ClusterConfig,
         st: StreamTrace,
         obs: cx_obs::ObsSink,
+    ) -> ThreadedRunResult {
+        Self::run_stream_inner(cfg, st, obs, None)
+    }
+
+    /// Like [`ThreadedCluster::run_stream_obs`], additionally publishing
+    /// live metrics: clients bump the registry's atomic counters as
+    /// operations complete, engines contribute their protocol series when
+    /// they stop, and the optional monitor thread keeps the on-disk
+    /// exposition files fresh for `cx-obs top` / Prometheus scraping.
+    pub fn run_stream_live(
+        cfg: ClusterConfig,
+        st: StreamTrace,
+        obs: cx_obs::ObsSink,
+        live: LiveMetrics,
+    ) -> ThreadedRunResult {
+        Self::run_stream_inner(cfg, st, obs, Some(live))
+    }
+
+    fn run_stream_inner(
+        cfg: ClusterConfig,
+        st: StreamTrace,
+        obs: cx_obs::ObsSink,
+        live: Option<LiveMetrics>,
     ) -> ThreadedRunResult {
         let StreamTrace {
             name: _,
@@ -156,6 +209,23 @@ impl ThreadedCluster {
             server_threads.push(thread::spawn(move || server_loop(i as u32, engine, rx, r)));
         }
 
+        // Live-exposition monitor: refresh the on-disk snapshot files at
+        // the configured period until the run signals completion.
+        let live_reg = live.as_ref().map(|l| l.registry.clone());
+        let monitor_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let monitor_thread = live.as_ref().and_then(|l| {
+            let out = l.out.clone()?;
+            let reg = l.registry.clone();
+            let period = l.period;
+            let stop = Arc::clone(&monitor_stop);
+            Some(thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    LiveMetrics::write_files(&reg, &out);
+                    thread::sleep(period);
+                }
+            }))
+        });
+
         // Client threads, sharing one locked feed over the stream.
         let outcomes = Arc::new(Mutex::new(Vec::<(OpId, OpOutcome)>::new()));
         let feed = Arc::new(Mutex::new(OpFeed::new(ops, processes, total_ops_hint)));
@@ -166,8 +236,9 @@ impl ThreadedCluster {
             let outcomes = Arc::clone(&outcomes);
             let feed = Arc::clone(&feed);
             let obs = obs.clone();
+            let reg = live_reg.clone();
             client_threads.push(thread::spawn(move || {
-                client_loop(i as u32, feed, rx, r, &cfg, placement, outcomes, obs)
+                client_loop(i as u32, feed, rx, r, &cfg, placement, outcomes, obs, reg)
             }));
         }
         for t in client_threads {
@@ -199,8 +270,9 @@ impl ThreadedCluster {
         for tx in router.servers.iter() {
             let (stx, srx) = bounded(1);
             let _ = tx.send(ServerMsg::Stop(stx));
-            let (store, sstats) = srx.recv().expect("server final state");
+            let (store, sstats, proto) = srx.recv().expect("server final state");
             stats.server_stats.merge(&sstats);
+            stats.proto.merge(&proto);
             stores.push(store);
         }
         drop(router); // stops the timer thread (channel disconnect)
@@ -209,6 +281,19 @@ impl ThreadedCluster {
         for (_, outcome) in outcomes.lock().iter() {
             stats.record_outcome(*outcome);
             stats.ops_total += 1;
+        }
+        if let Some(l) = &live {
+            // Engines only report their protocol series at stop time;
+            // fold them in and refresh the exposition files once more so
+            // the final snapshot is complete.
+            stats.proto.publish(&l.registry);
+            monitor_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            if let Some(t) = monitor_thread {
+                let _ = t.join();
+            }
+            if let Some(out) = &l.out {
+                LiveMetrics::write_files(&l.registry, out);
+            }
         }
         let violations = GlobalView::merge(stores.iter()).check(&roots);
         ThreadedRunResult {
@@ -275,7 +360,11 @@ fn server_loop(
                 let _ = reply.send(engine.is_quiesced());
             }
             ServerMsg::Stop(reply) => {
-                let _ = reply.send((engine.store().clone(), *engine.stats()));
+                let _ = reply.send((
+                    engine.store().clone(),
+                    *engine.stats(),
+                    engine.proto_metrics(),
+                ));
                 return;
             }
         }
@@ -349,6 +438,7 @@ fn client_loop(
     placement: Placement,
     outcomes: Arc<Mutex<Vec<(OpId, OpOutcome)>>>,
     obs: cx_obs::ObsSink,
+    registry: Option<MetricRegistry>,
 ) {
     let proc = ProcId::new(me, 0);
     let from_me = Endpoint::Proc(proc);
@@ -404,7 +494,21 @@ fn client_loop(
         // stamps `Completed` through the same sink when the ack lands.
         let awaits = cross && cfg.protocol == Protocol::Cx;
         obs.op_replied(op_id, done, outcome, awaits);
-        obs.client_latency(op.class(), cross, done.0.saturating_sub(issued_at.0));
+        let latency = done.0.saturating_sub(issued_at.0);
+        obs.client_latency(op.class(), cross, latency);
+        if let Some(reg) = &registry {
+            // Concurrent atomic bumps from every client thread; the
+            // registry property test pins that these merge exactly.
+            reg.inc(Counter::OpsIssued);
+            reg.inc(match outcome {
+                OpOutcome::Applied => Counter::OpsApplied,
+                OpOutcome::Failed => Counter::OpsFailed,
+            });
+            if cross {
+                reg.inc(Counter::CrossOps);
+            }
+            reg.observe(Series::ClientLatencyNs, latency);
+        }
         outcomes.lock().push((op_id, outcome));
     }
 }

@@ -43,14 +43,15 @@ use serde::Serialize;
 
 pub use cx_cluster::{
     des::run_trace, run_stream_trace, AckRecord, ChaosOutcome, ClusterSnapshot, CrashCmd,
-    CrashPlan, DesCluster, FaultEvent, FaultInjector, FaultStats, LatencyStat, MsgFate,
-    RecoveryCycle, RecoveryReport, RunStats, ThreadedCluster, TimelineSample,
+    CrashPlan, DesCluster, FaultEvent, FaultInjector, FaultStats, LatencyStat, LiveMetrics,
+    MsgFate, RecoveryCycle, RecoveryReport, RunStats, ThreadedCluster, TimelineSample,
 };
 pub use cx_mdstore::Violation;
 pub use cx_obs::{
-    fmt_ns_f, HistSummary, LogHistogram, ObsConfig, ObsReport, ObsSink, Phase, StuckOp,
+    fmt_ns_f, FlightEvent, FlightRecorder, HistSummary, LogHistogram, MetricRegistry,
+    MetricsSnapshot, ObsConfig, ObsReport, ObsSink, Phase, StuckOp,
 };
-pub use cx_protocol::{ClientOp, CxServer, ServerEngine, ServerStats};
+pub use cx_protocol::{ClientOp, CxServer, ProtoMetrics, ServerEngine, ServerStats};
 pub use cx_recovery::{table5_sweep, RecoveryExperiment, RecoveryRow};
 pub use cx_types::{
     BatchTrigger, ClusterConfig, CxConfig, DiskConfig, FsOp, MsgKind, NetConfig, OpClass,

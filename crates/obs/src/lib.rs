@@ -14,13 +14,32 @@
 //! - [`report`]: the exportable snapshot and the exporters — Chrome
 //!   trace-event JSON for Perfetto, a JSONL event stream, and the text
 //!   dashboard behind `cx-obs report`.
+//!
+//! The introspection plane (PR 5) adds three more:
+//!
+//! - [`registry`]: the typed metric registry — Cx-specific counters,
+//!   gauges and histogram series with Prometheus-text and JSON
+//!   exposition, safe for concurrent publication from the threaded
+//!   runtime and consumed live by `cx-obs top`.
+//! - [`flow`]: causal message-edge tracing — every cross-server message
+//!   becomes a flow arc connecting coordinator and participant tracks in
+//!   the Perfetto trace, and feeds `cx-obs trace --op`.
+//! - [`flight`]: the crash flight recorder — an always-on ring of recent
+//!   events dumped as a post-mortem Perfetto/JSONL pair when chaos sees a
+//!   crash, a stuck op, or a digest/oracle mismatch.
 
+pub mod flight;
+pub mod flow;
 pub mod hist;
+pub mod registry;
 pub mod report;
 pub mod sink;
 pub mod span;
 
+pub use flight::{FlightEvent, FlightRecorder, TimedEvent};
+pub use flow::{FlowNode, MsgEdge, MsgKind};
 pub use hist::{fmt_ns_f, HistSummary, LogHistogram};
+pub use registry::{Counter, Gauge, MetricRegistry, MetricsSnapshot, Series};
 pub use report::{ClassRow, ObsReport, SegmentRow};
 pub use sink::{EngineGauges, GaugeKind, GaugeSample, ObsConfig, ObsSink, Recorder};
 pub use span::{OpSpan, Phase, StuckOp};

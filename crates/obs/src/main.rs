@@ -1,15 +1,21 @@
 //! `cx-obs` — inspect observability artifacts written by `--obs` runs.
 //!
 //! ```text
-//! cx-obs report <report.json>     render the text dashboard
-//! cx-obs check  <report.json>     validate phase accounting (CI smoke)
-//! cx-obs trace  <report.json>     re-export the Chrome/Perfetto trace to stdout
+//! cx-obs report <report.json>            render the text dashboard
+//! cx-obs check  <report.json>            validate phase accounting (CI smoke)
+//! cx-obs trace  <report.json>            re-export the Chrome/Perfetto trace to stdout
+//! cx-obs trace  <report.json> --op <id>  print one op's causal chain (phases + messages)
+//! cx-obs top    <metrics.json>           render the live metric-registry snapshot
 //! ```
+//!
+//! `top` reads the snapshot a threaded run writes via `--metrics-out`;
+//! pair it with `watch` for a live view:
+//! `watch -n1 'cx-obs top target/live.metrics.json'`.
 
-use cx_obs::ObsReport;
+use cx_obs::{MetricsSnapshot, ObsReport};
 use std::process::ExitCode;
 
-fn load(path: &str) -> Result<ObsReport, String> {
+fn load_report(path: &str) -> Result<ObsReport, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     ObsReport::from_json(&text)
 }
@@ -19,11 +25,30 @@ fn main() -> ExitCode {
     let (cmd, path) = match (args.first(), args.get(1)) {
         (Some(c), Some(p)) => (c.as_str(), p.as_str()),
         _ => {
-            eprintln!("usage: cx-obs <report|check|trace> <report.json>");
+            eprintln!("usage: cx-obs <report|check|trace|top> <artifact.json> [--op <id>]");
             return ExitCode::from(2);
         }
     };
-    let rep = match load(path) {
+    if cmd == "top" {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cx-obs: read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match MetricsSnapshot::from_json(&text) {
+            Ok(snap) => {
+                print!("{}", snap.render_top());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cx-obs: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let rep = match load_report(path) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("cx-obs: {e}");
@@ -38,9 +63,11 @@ fn main() -> ExitCode {
         "check" => match rep.validate() {
             Ok(()) => {
                 println!(
-                    "ok: {} spans, {} ops, phase accounting sums to client latency",
+                    "ok: {} spans, {} ops, {} message edges, \
+                     phase accounting sums to client latency",
                     rep.spans.len(),
-                    rep.ops_issued
+                    rep.ops_issued,
+                    rep.edges.len(),
                 );
                 ExitCode::SUCCESS
             }
@@ -50,11 +77,20 @@ fn main() -> ExitCode {
             }
         },
         "trace" => {
-            print!("{}", rep.to_chrome_trace());
+            // `--op <id>` switches from the full Perfetto export to the
+            // one-op causal chain.
+            let op = args
+                .iter()
+                .position(|a| a == "--op")
+                .and_then(|i| args.get(i + 1));
+            match op {
+                Some(needle) => print!("{}", rep.render_causal(needle)),
+                None => print!("{}", rep.to_chrome_trace()),
+            }
             ExitCode::SUCCESS
         }
         other => {
-            eprintln!("cx-obs: unknown command '{other}' (want report|check|trace)");
+            eprintln!("cx-obs: unknown command '{other}' (want report|check|trace|top)");
             ExitCode::from(2)
         }
     }

@@ -3,6 +3,7 @@
 //! tracing), a JSONL event stream, and the text dashboard rendered by
 //! `cx-obs report`.
 
+use crate::flow::MsgEdge;
 use crate::hist::{fmt_ns_f, HistSummary, LogHistogram};
 use crate::sink::{GaugeKind, GaugeSample, Recorder};
 use crate::span::{OpSpan, Phase, StuckOp};
@@ -47,12 +48,15 @@ pub struct ObsReport {
 
     /// The sampled span window, in issue order.
     pub spans: Vec<OpSpan>,
+    /// Causal message edges (send → delivery), rendered as flow arcs.
+    pub edges: Vec<MsgEdge>,
     /// Virtual-time gauge samples.
     pub gauges: Vec<GaugeSample>,
     /// Ops still short of their reply when the run ended.
     pub stuck: Vec<StuckOp>,
 
     pub dropped_spans: u64,
+    pub dropped_edges: u64,
 }
 
 impl ObsReport {
@@ -98,9 +102,11 @@ impl ObsReport {
             per_class,
             segments,
             spans,
+            edges: rec.edges.clone(),
             gauges: rec.gauges.clone(),
             stuck: rec.stuck.clone(),
             dropped_spans: rec.dropped_spans(),
+            dropped_edges: rec.dropped_edges(),
         }
     }
 
@@ -128,7 +134,8 @@ impl ObsReport {
     ///
     /// Layout: pid 1 = client-visible path (one track per process), pid 2
     /// = commitment path (one track per coordinator server), pid 3 =
-    /// gauges as counter tracks.
+    /// gauges as counter tracks, pid 4 = message flows (one track per
+    /// node) with `s`/`f` arcs tying sender to receiver.
     pub fn to_chrome_trace(&self) -> String {
         let us = |ns: u64| ns as f64 / 1000.0;
         let mut ev: Vec<String> = Vec::new();
@@ -207,6 +214,7 @@ impl ObsReport {
                 g.value,
             ));
         }
+        crate::flow::chrome_flow_events(&self.edges, 4, &mut ev);
         format!(
             "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n{}\n]}}\n",
             ev.join(",\n")
@@ -223,6 +231,9 @@ impl ObsReport {
         for s in &self.spans {
             push("span", serde_json::to_string(s).expect("span serializes"));
         }
+        for e in &self.edges {
+            push("edge", serde_json::to_string(e).expect("edge serializes"));
+        }
         for g in &self.gauges {
             push("gauge", serde_json::to_string(g).expect("gauge serializes"));
         }
@@ -231,6 +242,110 @@ impl ObsReport {
                 "stuck",
                 serde_json::to_string(st).expect("stuck serializes"),
             );
+        }
+        out
+    }
+
+    /// The per-op causal chain behind `cx-obs trace --op`: the op's
+    /// lifecycle stamps interleaved with every message edge recorded for
+    /// it, in time order. `needle` matches against the op's rendered id
+    /// (`op(1/0#3)`), substring semantics, so `1/0#3` works as-is.
+    pub fn render_causal(&self, needle: &str) -> String {
+        let mut out = String::new();
+        let spans: Vec<&OpSpan> = self
+            .spans
+            .iter()
+            .filter(|s| s.op.to_string().contains(needle))
+            .collect();
+        let edges: Vec<&MsgEdge> = self
+            .edges
+            .iter()
+            .filter(|e| e.op.is_some_and(|op| op.to_string().contains(needle)))
+            .collect();
+        if spans.is_empty() && edges.is_empty() {
+            return format!(
+                "no span or message edge matches \"{needle}\" \
+                 ({} sampled spans, {} edges in this report)\n",
+                self.spans.len(),
+                self.edges.len()
+            );
+        }
+        for s in &spans {
+            let outcome = match s.outcome {
+                Some(cx_types::OpOutcome::Applied) => "applied",
+                Some(cx_types::OpOutcome::Failed) => "failed",
+                None => "in-flight",
+            };
+            out.push_str(&format!(
+                "== {} · {} · {} · {outcome} ==\n",
+                s.op,
+                s.class.name(),
+                if s.cross {
+                    "cross-server"
+                } else {
+                    "single-server"
+                },
+            ));
+            // Merge phase stamps and message edges into one timeline.
+            let mut rows: Vec<(u64, String)> = s
+                .reached()
+                .map(|(p, t)| {
+                    let srv = s.server[p.index()];
+                    let at = if srv == u32::MAX {
+                        "client".to_string()
+                    } else {
+                        format!("s{srv}")
+                    };
+                    (t, format!("phase {:<13} @ {at}", p.name()))
+                })
+                .collect();
+            for e in &edges {
+                if e.op.map(|op| op == s.op).unwrap_or(false) {
+                    rows.push((
+                        e.sent_ns,
+                        format!(
+                            "msg   {:<13} {} → {} (flight {})",
+                            e.kind.name(),
+                            e.from,
+                            e.to,
+                            HistSummary::fmt_ns(e.recv_ns.saturating_sub(e.sent_ns)),
+                        ),
+                    ));
+                }
+            }
+            rows.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+            let t0 = rows.first().map(|r| r.0).unwrap_or(0);
+            for (t, line) in rows {
+                out.push_str(&format!(
+                    "  +{:<11} {line}\n",
+                    HistSummary::fmt_ns(t.saturating_sub(t0))
+                ));
+            }
+            if let Some(v) = s.client_visible_ns() {
+                out.push_str(&format!("  client-visible {}", HistSummary::fmt_ns(v)));
+                if let Some(c) = s.commitment_ns() {
+                    out.push_str(&format!(
+                        ", commitment ran {} behind",
+                        HistSummary::fmt_ns(c)
+                    ));
+                }
+                out.push('\n');
+            }
+        }
+        if spans.is_empty() {
+            out.push_str(&format!(
+                "(op outside the sampled span window; {} matching edges)\n",
+                edges.len()
+            ));
+            for e in edges {
+                out.push_str(&format!(
+                    "  @{:<12} msg {:<13} {} → {}\n",
+                    HistSummary::fmt_ns(e.sent_ns),
+                    e.kind.name(),
+                    e.from,
+                    e.to,
+                ));
+            }
         }
         out
     }
@@ -337,6 +452,13 @@ impl ObsReport {
                 self.dropped_spans
             ));
         }
+        if !self.edges.is_empty() || self.dropped_edges > 0 {
+            out.push_str(&format!(
+                "message edges: {} recorded, {} beyond the cap\n",
+                self.edges.len(),
+                self.dropped_edges
+            ));
+        }
         out
     }
 }
@@ -372,6 +494,22 @@ mod tests {
         s.client_latency(OpClass::Stat, false, 1_000);
         s.gauge(SimTime(10_000), 0, GaugeKind::ValidLogBytes, 4096);
         s.gauge(SimTime(10_000), 0, GaugeKind::ActiveObjects, 3);
+        s.msg_edge(
+            Some(op(1)),
+            crate::flow::MsgKind::Vote,
+            crate::flow::FlowNode::Server(4),
+            crate::flow::FlowNode::Server(5),
+            50_000,
+            55_000,
+        );
+        s.msg_edge(
+            Some(op(1)),
+            crate::flow::MsgKind::Ack,
+            crate::flow::FlowNode::Server(5),
+            crate::flow::FlowNode::Server(4),
+            65_000,
+            70_000,
+        );
         s
     }
 
@@ -396,6 +534,23 @@ mod tests {
         assert!(trace.contains("\"ph\":\"C\""), "counter events present");
         assert!(trace.contains("commit create"), "commitment slice present");
         assert!(trace.contains("valid_log_bytes"));
+        assert!(
+            trace.contains("\"ph\":\"s\"") && trace.contains("\"ph\":\"f\""),
+            "flow arcs present"
+        );
+    }
+
+    #[test]
+    fn causal_render_merges_phases_and_edges() {
+        let rep = recorded_sink().report().unwrap();
+        let text = rep.render_causal("2/0#1");
+        assert!(text.contains("phase vote-sent"));
+        assert!(text.contains("msg   VOTE"));
+        assert!(text.contains("msg   ACK"));
+        assert!(text.contains("commitment ran"));
+        assert!(rep
+            .render_causal("9/9#99")
+            .contains("no span or message edge"));
     }
 
     #[test]
@@ -407,7 +562,7 @@ mod tests {
             serde_json::parse_value(line).expect("each line parses");
             n += 1;
         }
-        assert_eq!(n, 4); // 2 spans + 2 gauges
+        assert_eq!(n, 6); // 2 spans + 2 edges + 2 gauges
     }
 
     #[test]

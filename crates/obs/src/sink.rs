@@ -9,6 +9,7 @@
 //! `Arc<Mutex<…>>` so the same sink type serves the single-threaded DES
 //! and the threaded runtime.
 
+use crate::flow::{FlowNode, MsgEdge, MsgKind};
 use crate::hist::LogHistogram;
 use crate::report::ObsReport;
 use crate::span::{OpSpan, Phase, StuckOp};
@@ -28,6 +29,9 @@ pub struct ObsConfig {
     /// Cap on stored gauge samples (oldest kept; the run start is the
     /// interesting window once the cap is hit).
     pub max_gauges: usize,
+    /// Cap on stored message edges (the causal flow arcs in the Perfetto
+    /// trace; oldest kept, like gauges).
+    pub max_edges: usize,
 }
 
 impl Default for ObsConfig {
@@ -36,6 +40,7 @@ impl Default for ObsConfig {
             sample_every: 1,
             max_spans: 20_000,
             max_gauges: 100_000,
+            max_edges: 50_000,
         }
     }
 }
@@ -123,6 +128,11 @@ pub struct Recorder {
 
     // -------- live tracking of all in-flight ops --------
     live: FxHashMap<OpId, LiveOp>,
+
+    // -------- causal message edges --------
+    pub edges: Vec<MsgEdge>,
+    next_edge_id: u64,
+    dropped_edges: u64,
 
     // -------- gauges & diagnostics --------
     pub gauges: Vec<GaugeSample>,
@@ -227,6 +237,31 @@ impl Recorder {
         }
     }
 
+    fn msg_edge(
+        &mut self,
+        op: Option<OpId>,
+        kind: MsgKind,
+        from: FlowNode,
+        to: FlowNode,
+        sent_ns: u64,
+        recv_ns: u64,
+    ) {
+        self.next_edge_id += 1;
+        if self.edges.len() < self.cfg.max_edges {
+            self.edges.push(MsgEdge {
+                id: self.next_edge_id,
+                op,
+                kind,
+                from,
+                to,
+                sent_ns,
+                recv_ns,
+            });
+        } else {
+            self.dropped_edges += 1;
+        }
+    }
+
     /// Structured hang diagnostics for every op still in flight: derived
     /// from the live map, so it names the exact stalled phase even for
     /// ops outside the sampled span window.
@@ -262,6 +297,10 @@ impl Recorder {
 
     pub fn dropped_spans(&self) -> u64 {
         self.dropped_spans
+    }
+
+    pub fn dropped_edges(&self) -> u64 {
+        self.dropped_edges
     }
 }
 
@@ -331,6 +370,22 @@ impl ObsSink {
     #[inline]
     pub fn client_latency(&self, class: OpClass, cross: bool, latency_ns: u64) {
         self.with(|r| r.client_latency(class, cross, latency_ns));
+    }
+
+    /// Record a cross-server message edge: `kind` sent `from → to` at
+    /// `sent_ns`, delivered at `recv_ns`. The runtime calls this at the
+    /// send site (the DES schedules the delivery time there anyway).
+    #[inline]
+    pub fn msg_edge(
+        &self,
+        op: Option<OpId>,
+        kind: MsgKind,
+        from: FlowNode,
+        to: FlowNode,
+        sent_ns: u64,
+        recv_ns: u64,
+    ) {
+        self.with(|r| r.msg_edge(op, kind, from, to, sent_ns, recv_ns));
     }
 
     /// Record a gauge observation.
@@ -419,6 +474,7 @@ mod tests {
             sample_every: 4,
             max_spans: 3,
             max_gauges: 2,
+            max_edges: 2,
         };
         let s = ObsSink::with_config("cx", cfg);
         for i in 0..40 {

@@ -1,6 +1,6 @@
 //! The sans-IO contract between engines and runtimes.
 
-use crate::stats::ServerStats;
+use crate::stats::{ProtoMetrics, ServerStats};
 use cx_mdstore::MetaStore;
 use cx_obs::{EngineGauges, ObsSink};
 use cx_types::{Payload, ProcId, ServerId, SimTime};
@@ -78,6 +78,14 @@ pub trait ServerEngine: Send {
     }
 
     fn stats(&self) -> &ServerStats;
+
+    /// The introspection plane's protocol-internal series (conflict
+    /// split, commitment mix, batch occupancy, …). Engines without the
+    /// richer accounting derive what they can from their [`ServerStats`];
+    /// the default is empty.
+    fn proto_metrics(&self) -> ProtoMetrics {
+        ProtoMetrics::default()
+    }
 
     /// True when the engine implements [`ServerEngine::crash`] and
     /// [`ServerEngine::recover`]. Fault plans only aim crash points at

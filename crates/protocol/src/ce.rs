@@ -496,6 +496,18 @@ impl ServerEngine for CeServer {
         &self.stats
     }
 
+    fn proto_metrics(&self) -> crate::stats::ProtoMetrics {
+        // CE migrates ops to one server instead of committing across two;
+        // every completed migration behaves like an immediate round.
+        crate::stats::ProtoMetrics {
+            conflicts_ordered: self.stats.conflicts,
+            immediate_commitments: self.stats.immediate_commitments,
+            aborts: self.stats.ops_aborted,
+            wal_truncations: self.wal.truncations(),
+            ..Default::default()
+        }
+    }
+
     fn obs_gauges(&self) -> cx_obs::EngineGauges {
         cx_obs::EngineGauges {
             active_objects: self.active.len() as u64,

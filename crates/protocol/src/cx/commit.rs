@@ -152,7 +152,10 @@ impl CxServer {
     fn finish_op(&mut self, now: SimTime, op: OpId, outcome: Outcome, out: &mut Vec<Action>) {
         match outcome {
             Outcome::Committed => self.stats.ops_committed += 1,
-            Outcome::Aborted => self.stats.ops_aborted += 1,
+            Outcome::Aborted => {
+                self.stats.ops_aborted += 1;
+                self.metrics.aborts += 1;
+            }
         }
         self.obs
             .op_phase(op, cx_obs::Phase::Completed, now, Some(self.id));
@@ -318,6 +321,16 @@ impl CxServer {
                 } else {
                     self.stats.lazy_batches += 1;
                 }
+                let oldest = chunk
+                    .iter()
+                    .filter_map(|op| self.pending.get(op).map(|p| p.logged_at.0))
+                    .min()
+                    .unwrap_or(now.0);
+                self.metrics.commitment_round(
+                    chunk.len() as u64,
+                    immediate,
+                    now.0.saturating_sub(oldest),
+                );
                 // The coordinator's execution order: operations queued here
                 // behind the voted ones have demonstrably not executed at
                 // this coordinator, so the participant may invalidate them
@@ -342,7 +355,6 @@ impl CxServer {
             }
             self.op_pool.put(group);
         }
-        let _ = now;
     }
 
     /// Arm the commitment re-drive timer for a batch, when enabled. The
@@ -470,6 +482,7 @@ impl CxServer {
             return;
         };
         self.stats.invalidations += 1;
+        self.metrics.conflicts_disordered += 1;
         let _ = self.wal.invalidate_result(&holder);
         if let Some(undo) = holder_pending.undo.take() {
             self.store.undo(undo);
@@ -509,7 +522,7 @@ impl CxServer {
     /// commitment that may be cyclically waiting on this very vote — vote
     /// NO. A dropped blocked request is answered with a NO response so its
     /// client resolves through the disagreement path (L-COM → ALL-NO).
-    pub(crate) fn on_vote_timer(&mut self, _now: SimTime, token: u64, out: &mut Vec<Action>) {
+    pub(crate) fn on_vote_timer(&mut self, now: SimTime, token: u64, out: &mut Vec<Action>) {
         let Some((coord, op)) = self.vote_timers.remove(&token) else {
             return;
         };
@@ -529,10 +542,16 @@ impl CxServer {
                 );
             }
         }
-        self.vote_no_for_unknown(op, coord, out);
+        self.vote_no_for_unknown(now, op, coord, out);
     }
 
-    fn vote_no_for_unknown(&mut self, op: OpId, coord: ServerId, out: &mut Vec<Action>) {
+    fn vote_no_for_unknown(
+        &mut self,
+        now: SimTime,
+        op: OpId,
+        coord: ServerId,
+        out: &mut Vec<Action>,
+    ) {
         let rec = Record::Result {
             op_id: op,
             role: Role::Participant,
@@ -560,6 +579,7 @@ impl CxServer {
                 batch: None,
                 reply_to_client: false,
                 recovered: false,
+                logged_at: now,
             },
         );
         self.deferred_votes.insert(op, coord);
@@ -881,6 +901,7 @@ impl CxServer {
             return; // already resolving / already decided
         }
         self.stats.immediate_commitments += 1;
+        self.metrics.commitment_round(1, true, 0);
         let batch_id = self.next_batch;
         self.next_batch += 1;
         let ops = self.op_vec1(op);

@@ -46,6 +46,7 @@ impl CxServer {
         if !req.counted {
             self.stats.conflicts += 1;
             self.stats.blocked_requests += 1;
+            self.metrics.conflicts_ordered += 1;
             req.counted = true;
         }
         self.blocked.entry(holder).or_default().push(req);
@@ -214,6 +215,7 @@ impl CxServer {
                 batch: None,
                 reply_to_client: false,
                 recovered: false,
+                logged_at: now,
             },
         );
 
@@ -236,7 +238,6 @@ impl CxServer {
             },
             out,
         );
-        let _ = now;
     }
 
     fn apply_with_injection(&mut self, subop: &SubOp) -> Result<cx_mdstore::Undo, CxError> {
@@ -323,6 +324,7 @@ impl CxServer {
         if let Some(waiters) = self.blocked.remove(&op) {
             for mut req in waiters {
                 req.hint_ops.push(op);
+                self.metrics.hint_resolved += 1;
                 self.handle_request(now, req, out);
             }
         }

@@ -20,7 +20,7 @@ mod exec;
 mod recovery;
 
 use crate::action::{Action, Endpoint, ServerEngine};
-use crate::stats::ServerStats;
+use crate::stats::{ProtoMetrics, ServerStats};
 use crate::trigger::TriggerState;
 use cx_mdstore::{MetaStore, Undo};
 use cx_obs::{EngineGauges, ObsSink};
@@ -58,6 +58,9 @@ pub(crate) struct PendingOp {
     /// Rebuilt from the log after a crash; rollback uses semantic
     /// inversion of the sub-op instead of a volatile undo token.
     pub recovered: bool,
+    /// When the execution was logged — the batch-age histogram measures
+    /// how long the oldest member waited for its commitment round.
+    pub logged_at: SimTime,
 }
 
 /// A sub-op request that could not run yet (conflict or full log).
@@ -169,6 +172,9 @@ pub struct CxServer {
     pub(crate) io: FxHashMap<u64, IoCont>,
     pub(crate) next_token: u64,
     pub(crate) stats: ServerStats,
+    /// Introspection-plane counters (kept out of `stats`: the golden
+    /// digests hash `ServerStats`, these must stay invisible to them).
+    pub(crate) metrics: ProtoMetrics,
     /// Crashed servers drop everything until `recover` runs.
     pub(crate) crashed: bool,
     /// Recovery in progress: new requests wait (§III-D: "the whole file
@@ -235,6 +241,7 @@ impl CxServer {
             io: FxHashMap::default(),
             next_token: 0,
             stats: ServerStats::default(),
+            metrics: ProtoMetrics::default(),
             crashed: false,
             recovering: false,
             recovery_wait: VecDeque::new(),
@@ -449,6 +456,12 @@ impl ServerEngine for CxServer {
 
     fn stats(&self) -> &ServerStats {
         &self.stats
+    }
+
+    fn proto_metrics(&self) -> ProtoMetrics {
+        let mut m = self.metrics.clone();
+        m.wal_truncations = self.wal.truncations();
+        m
     }
 
     fn supports_crash(&self) -> bool {

@@ -128,9 +128,11 @@ impl CxServer {
                     batch: None,
                     reply_to_client: false,
                     recovered: true,
+                    logged_at: now,
                 },
             );
             self.recovery_remaining.insert(op);
+            self.metrics.resumed_commitments += 1;
             if role == Role::Coordinator {
                 if verdict.is_yes() && !invalidated {
                     for obj in subop.conflict_objects().iter() {

@@ -42,7 +42,7 @@ pub use action::{Action, Endpoint, ServerEngine};
 pub use client::{ClientDecision, ClientOp};
 pub use cx::CxServer;
 pub use se::SeServer;
-pub use stats::ServerStats;
+pub use stats::{ProtoMetrics, ServerStats};
 pub use trigger::TriggerState;
 
 use cx_types::{ClusterConfig, Protocol, ServerId};

@@ -372,6 +372,17 @@ impl ServerEngine for SeServer {
         &self.stats
     }
 
+    fn proto_metrics(&self) -> crate::stats::ProtoMetrics {
+        // SE serialises cross-server work through synchronous DB writes:
+        // no commitments, no batches — only the conflict count carries over.
+        crate::stats::ProtoMetrics {
+            conflicts_ordered: self.stats.conflicts,
+            aborts: self.stats.ops_aborted,
+            wal_truncations: self.wal.as_ref().map(|w| w.truncations()).unwrap_or(0),
+            ..Default::default()
+        }
+    }
+
     fn obs_gauges(&self) -> cx_obs::EngineGauges {
         cx_obs::EngineGauges {
             // SE has no pending-op concept; in-flight IO continuations are

@@ -593,6 +593,18 @@ impl ServerEngine for TwoPcServer {
         &self.stats
     }
 
+    fn proto_metrics(&self) -> crate::stats::ProtoMetrics {
+        // 2PC commits every cross-server op in its own immediate round and
+        // never batches, so the mix is derived straight from the stats.
+        crate::stats::ProtoMetrics {
+            conflicts_ordered: self.stats.conflicts,
+            immediate_commitments: self.stats.immediate_commitments,
+            aborts: self.stats.ops_aborted,
+            wal_truncations: self.wal.truncations(),
+            ..Default::default()
+        }
+    }
+
     fn obs_gauges(&self) -> cx_obs::EngineGauges {
         cx_obs::EngineGauges {
             active_objects: self.active.len() as u64,

@@ -60,6 +60,8 @@ pub struct RecoveryRow {
     /// Protocol-only portion (scan + resumption).
     pub protocol_secs: f64,
     pub scanned_bytes: u64,
+    /// Half-completed commitments the scan found and re-drove (§III-D).
+    pub resumed_commitments: u64,
 }
 
 impl RecoveryExperiment {
@@ -115,6 +117,7 @@ impl RecoveryExperiment {
             recovery_secs: cycle.recovery_secs(),
             protocol_secs: cycle.protocol_secs(),
             scanned_bytes: cycle.scanned_bytes,
+            resumed_commitments: cycle.resumed_commitments,
         }
     }
 }

@@ -191,6 +191,9 @@ pub struct Wal {
     /// [`Wal::mark_durable`] can attribute flush completions to families
     /// without re-reading (possibly already pruned) records.
     tail_families: VecDeque<(u64, RecordFamily)>,
+    /// Crashes that actually dropped appended records (torn or volatile
+    /// tail) — the introspection plane's `cx_wal_truncations_total`.
+    truncations: u64,
 }
 
 impl Wal {
@@ -220,6 +223,11 @@ impl Wal {
 
     pub fn total_pruned_bytes(&self) -> u64 {
         self.total_pruned
+    }
+
+    /// Crashes that dropped at least one appended record.
+    pub fn truncations(&self) -> u64 {
+        self.truncations
     }
 
     /// Would appending `bytes` more exceed the log's upper limit?
@@ -413,6 +421,9 @@ impl Wal {
                 budget -= len;
                 survive_next = seq + 1;
             }
+        }
+        if survive_next < self.next_seq {
+            self.truncations += 1;
         }
         self.records.truncate_from(survive_next);
         // Promote the surviving volatile records to durable; the rest of
@@ -656,6 +667,23 @@ mod tests {
         b.crash_torn(0);
         assert_eq!(a.record_count(), b.record_count());
         assert_eq!(a.valid_bytes(), b.valid_bytes());
+    }
+
+    #[test]
+    fn truncation_counter_tracks_lossy_crashes_only() {
+        let mut wal = Wal::new(None);
+        let (s1, _) = wal.append(result(oid(1), Role::Coordinator)).unwrap();
+        wal.mark_durable(s1);
+        wal.crash();
+        assert_eq!(wal.truncations(), 0, "nothing volatile was lost");
+        wal.append(result(oid(2), Role::Coordinator)).unwrap();
+        wal.crash();
+        assert_eq!(wal.truncations(), 1, "volatile record dropped");
+        let (s3, _) = wal.append(result(oid(3), Role::Coordinator)).unwrap();
+        let (_, b4) = wal.append(result(oid(4), Role::Coordinator)).unwrap();
+        wal.mark_durable(s3);
+        wal.crash_torn(b4); // whole torn record survives — still no loss
+        assert_eq!(wal.truncations(), 1);
     }
 
     #[test]
