@@ -26,13 +26,24 @@ step "clippy (message plane: deny redundant_clone + perf lints)"
 cargo clippy -q -p cx-cluster -p cx-workloads --all-targets -- \
     -D warnings -D clippy::redundant_clone -D clippy::perf
 
+# The parallel-kernel crates ship state across partition worker threads;
+# deny the lints that catch non-Send smuggling (an Rc or a non-Send type
+# wrapped in Arc compiles fine until the one call site that crosses a
+# thread boundary appears).
+step "clippy (partition-crossing crates: deny Rc/non-Send-in-Arc)"
+cargo clippy -q -p cx-sim -p cx-cluster --all-targets -- \
+    -D warnings -D clippy::rc_mutex -D clippy::arc_with_non_send_sync
+
 if [ "${1:-}" != "quick" ]; then
     step "cargo build --release"
     cargo build --release --workspace
 
     # Fixed-seed golden-digest smoke: the pinned home2 scenario must
-    # replay to the pinned digest through both workload intakes.
-    step "perf_baseline --smoke (golden digest, both intakes)"
+    # replay to the pinned digest through both workload intakes AND
+    # through the partitioned entry point at --partitions 1; a
+    # --partitions 2 run must preserve every tie-insensitive total
+    # (asserted inside --smoke itself).
+    step "perf_baseline --smoke (golden digest + --partitions 2 cross-check)"
     cargo run -q --release -p cx-bench --bin perf_baseline -- --smoke
 
     # Fixed-seed chaos smoke: both protocol envelopes must come out clean,
@@ -92,6 +103,18 @@ if [ "${1:-}" != "quick" ]; then
     cargo run -q --release -p cx-bench --bin perf_baseline -- \
         --label pr5 --iters 5 --filter home2_replay_8s \
         --out BENCH_PR5.json --against BENCH_PR4.json --tolerance 0.70
+
+    # The parallel-kernel gate: the single-threaded replay rate must hold
+    # the PR5 baseline (the partitioned path is opt-in; --partitions 1
+    # stays bit-identical, so the only way this regresses is hot-path
+    # overhead leaking into the sequential kernel). The same invocation
+    # also measures home2 under --partitions 2, so the p2/p1 ratio — and
+    # the hardware-thread count it was measured on — lands in
+    # BENCH_PR6.json alongside the gate.
+    step "BENCH_PR6.json (no regression vs BENCH_PR5.json; --partitions 2)"
+    cargo run -q --release -p cx-bench --bin perf_baseline -- \
+        --label pr6 --iters 5 --filter home2_replay_8s --partitions 2 \
+        --out BENCH_PR6.json --against BENCH_PR5.json --tolerance 0.70
 fi
 
 step "cargo test (workspace)"

@@ -18,13 +18,21 @@
 //!    path must hold peak memory flat where the materialized path pays
 //!    for the whole op vector.
 //!
-//! Results merge into `BENCH_PR3.json` at the repo root, keyed by
-//! `--label` (e.g. `--label before` / `--label after`), so optimization
-//! PRs commit both sides of the comparison with the same binary.
+//! 5. `home2_replay_8s_p{N}` (with `--partitions N`) — the home2 replay
+//!    on the partitioned parallel kernel, measured at `p1` and `pN` on
+//!    the same streaming intake so the ratio isolates the kernel.
+//!
+//! Every entry records `peak_rss_kb` (VmHWM, reset per entry). Results
+//! merge into `BENCH_PR6.json` at the repo root, keyed by `--label`
+//! (e.g. `--label before` / `--label after`), so optimization PRs commit
+//! both sides of the comparison with the same binary. After the table, a
+//! comparison against the most recent other `BENCH_PR*.json` prints
+//! in-run, so drift is visible without waiting for the `ci.sh` gate.
 //!
 //! `--smoke` runs none of the basket: it replays the golden-digest
-//! scenario through both intakes and asserts the pinned digest, then
-//! exits — the fixed-seed CI gate (`ci.sh`).
+//! scenario through both intakes plus `--partitions 1` and asserts the
+//! pinned digest, then cross-checks `--partitions 2` run totals against
+//! the single-threaded run — the fixed-seed CI gate (`ci.sh`).
 //!
 //! `--obs` runs the observability export instead of the basket: one home2
 //! replay with lifecycle recording on, dashboard to stdout, Perfetto
@@ -82,7 +90,11 @@ struct Report {
 }
 
 /// Best-of-N wall time for one run closure returning (events, ops_total).
+/// Every entry samples peak RSS: the watermark is reset before the first
+/// iteration and read after the last, so each basket item reports its own
+/// high-water mark instead of inheriting an earlier item's.
 fn measure(name: &str, iters: u32, mut run: impl FnMut() -> (u64, u64)) -> Entry {
+    cx_bench::reset_peak_rss();
     let mut best = f64::INFINITY;
     let (mut events, mut ops_total) = (0, 0);
     for _ in 0..iters {
@@ -104,7 +116,7 @@ fn measure(name: &str, iters: u32, mut run: impl FnMut() -> (u64, u64)) -> Entry
             0.0
         },
         ops_total,
-        peak_rss_kb: None,
+        peak_rss_kb: Some(cx_bench::peak_rss_kb()).filter(|&kb| kb > 0),
     }
 }
 
@@ -137,7 +149,44 @@ fn smoke() {
         GOLDEN_HOME2_DIGEST,
         "smoke: materialized-intake digest drifted from the golden pin"
     );
-    println!("smoke ok: home2 digest {GOLDEN_HOME2_DIGEST} on both intakes");
+
+    // `--partitions 1` is contractually the plain single-threaded path.
+    let p1 = e.run_partitioned(1);
+    assert_eq!(
+        p1.stats.digest(),
+        GOLDEN_HOME2_DIGEST,
+        "smoke: --partitions 1 digest must be bit-identical to single-threaded"
+    );
+
+    // `--partitions 2`: the parallel kernel must preserve every
+    // tie-insensitive total (see DESIGN.md §8 — conflict-adjacent counters
+    // are tie-sensitive and checked with tolerance in the test suite).
+    let p2 = e.run_partitioned(2);
+    assert!(p2.is_consistent(), "smoke: partitioned run inconsistent");
+    let (a, b) = (&stats, &p2.stats);
+    assert_eq!(a.ops_total, b.ops_total, "smoke: p2 ops_total drifted");
+    assert_eq!(
+        b.ops_applied + b.ops_failed,
+        b.ops_total,
+        "smoke: p2 op accounting must close"
+    );
+    assert_eq!(a.cross_ops, b.cross_ops, "smoke: p2 cross_ops drifted");
+    assert_eq!(
+        a.latency.count, b.latency.count,
+        "smoke: p2 latency sample count drifted"
+    );
+    assert_eq!(
+        a.server_stats.subops_executed, b.server_stats.subops_executed,
+        "smoke: p2 sub-op total drifted"
+    );
+    assert_eq!(
+        a.server_stats.ops_committed, b.server_stats.ops_committed,
+        "smoke: p2 committed-op total drifted"
+    );
+    println!(
+        "smoke ok: home2 digest {GOLDEN_HOME2_DIGEST} on both intakes and \
+         --partitions 1; --partitions 2 totals cross-check clean"
+    );
 }
 
 /// `--obs`: replay the home2 scenario once with the observability plane
@@ -273,6 +322,74 @@ fn check_against(report: &Report, label: &str, baseline_path: &str, tolerance: f
     );
 }
 
+/// Print an in-run comparison of this run's entries against the most
+/// recent *other* `BENCH_PR*.json` in the report directory, so drift is
+/// visible the moment the basket finishes instead of only when the
+/// `ci.sh` gate fires. Best-effort: silently skips when no previous
+/// report exists.
+fn print_previous_comparison(entries: &[Entry], out: &str) {
+    let out_path = std::path::Path::new(out);
+    // `parent()` of a bare filename is `Some("")`, which read_dir rejects.
+    let dir = match out_path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => std::path::Path::new("."),
+    };
+    let mut candidates: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| {
+                    let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                    name.starts_with("BENCH_PR")
+                        && name.ends_with(".json")
+                        && p.file_name() != out_path.file_name()
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    // Lexicographic sort puts the highest PR number last for single-digit
+    // PRs; good enough for a human-facing drift hint.
+    candidates.sort();
+    let Some(prev_path) = candidates.pop() else {
+        return;
+    };
+    let Some(prev) = std::fs::read_to_string(&prev_path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<Report>(&s).ok())
+    else {
+        return;
+    };
+    // Per entry name, the best rate any labeled run in the previous
+    // report achieved (matches the `--against` gate's view).
+    let prev_best = |name: &str| {
+        prev.runs
+            .iter()
+            .flat_map(|r| &r.entries)
+            .filter(|e| e.name == name && e.events_per_sec > 0.0)
+            .map(|e| e.events_per_sec)
+            .fold(f64::NAN, f64::max)
+    };
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .filter(|e| e.events_per_sec > 0.0)
+        .filter_map(|e| {
+            let best = prev_best(&e.name);
+            best.is_finite().then(|| {
+                vec![
+                    e.name.clone(),
+                    format!("{:.0}", best),
+                    format!("{:.0}", e.events_per_sec),
+                    format!("{:.2}x", e.events_per_sec / best),
+                ]
+            })
+        })
+        .collect();
+    if rows.is_empty() {
+        return;
+    }
+    println!("\nvs {} (best of its runs):", prev_path.display());
+    cx_bench::print_table(&["item", "prev ev/s", "now ev/s", "ratio"], &rows);
+}
+
 fn main() {
     let args = cx_bench::Args::parse();
     if args.flag("--smoke") {
@@ -294,7 +411,7 @@ fn main() {
     let filter: Option<String> = args.value("--filter");
     let out: String = args
         .value("--out")
-        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json").into());
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.json").into());
     let wants = |name: &str| filter.as_deref().is_none_or(|f| name.contains(f));
 
     let mut entries = Vec::new();
@@ -312,6 +429,43 @@ fn main() {
             assert!(violations.is_empty(), "home2 replay must stay consistent");
             (stats.events, stats.ops_total)
         }));
+    }
+
+    // `--partitions N`: measure the partitioned (parallel) kernel against
+    // the single-threaded one on the same intake. Both sides stream the
+    // workload (generation interleaves with the replay identically), so
+    // the pN/p1 ratio isolates the kernel, not the intake.
+    if let Some(parts) = args.value::<u32>("--partitions") {
+        let e = Experiment::new(Workload::trace("home2").scale(scale))
+            .servers(8)
+            .protocol(Protocol::Cx);
+        for n in [1, parts] {
+            let name = format!("home2_replay_8s_p{n}");
+            if !wants(&name) {
+                continue;
+            }
+            entries.push(measure(&name, iters, || {
+                let r = e.run_partitioned(n);
+                assert!(r.is_consistent(), "partitioned home2 replay dirty");
+                (r.stats.events, r.stats.ops_total)
+            }));
+        }
+        let rate_of = |suffix: &str| {
+            entries
+                .iter()
+                .find(|en| en.name == format!("home2_replay_8s_p{suffix}"))
+                .map(|en| en.events_per_sec)
+        };
+        if let (Some(p1), Some(pn)) = (rate_of("1"), rate_of(&parts.to_string())) {
+            println!(
+                "home2 partitioned speedup: p{parts} {:.0} ev/s vs p1 {:.0} ev/s = {:.2}x \
+                 ({} hardware threads available)",
+                pn,
+                p1,
+                pn / p1,
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            );
+        }
     }
 
     if wants("metarates_update_8s") {
@@ -335,25 +489,19 @@ fn main() {
             .servers(8)
             .protocol(Protocol::Cx);
         if wants("lair62b_full_replay") {
-            cx_bench::reset_peak_rss();
-            let mut entry = measure("lair62b_full_replay", 1, || {
+            entries.push(measure("lair62b_full_replay", 1, || {
                 let r = e.run();
                 assert!(r.is_consistent(), "lair62b streamed replay dirty");
                 (r.stats.events, r.stats.ops_total)
-            });
-            entry.peak_rss_kb = Some(cx_bench::peak_rss_kb());
-            entries.push(entry);
+            }));
         }
         if wants("lair62b_full_replay_materialized") {
-            cx_bench::reset_peak_rss();
-            let mut entry = measure("lair62b_full_replay_materialized", 1, || {
+            entries.push(measure("lair62b_full_replay_materialized", 1, || {
                 let trace = e.workload.build(&e.cfg);
                 let (stats, violations) = cx_core::run_trace(e.cfg.clone(), &trace);
                 assert!(violations.is_empty(), "lair62b materialized replay dirty");
                 (stats.events, stats.ops_total)
-            });
-            entry.peak_rss_kb = Some(cx_bench::peak_rss_kb());
-            entries.push(entry);
+            }));
         }
     }
 
@@ -400,6 +548,8 @@ fn main() {
             })
             .collect::<Vec<_>>(),
     );
+
+    print_previous_comparison(&entries, &out);
 
     // Merge into the tracked report: replace any prior run with this label.
     let mut report: Report = std::fs::read_to_string(&out)

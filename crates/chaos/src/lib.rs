@@ -34,5 +34,6 @@ pub use inject::PlanInjector;
 pub use oracle::{check_snapshot, ModelFs};
 pub use plan::{CrashFault, CrashPoint, FaultPlan, NetAction, NetFault, Partition};
 pub use runner::{
-    run_plan, run_plan_flight, run_plan_materialized, run_plan_obs, ChaosRun, ChaosScenario, Repro,
+    run_plan, run_plan_flight, run_plan_materialized, run_plan_obs, run_plan_partitioned, ChaosRun,
+    ChaosScenario, Repro,
 };

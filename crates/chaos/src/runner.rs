@@ -108,6 +108,29 @@ pub fn run_plan_flight(
     finish(cluster.run_chaos())
 }
 
+/// [`run_plan_flight`] on the partitioned (parallel) simulator: the
+/// cluster splits over `parts` worker threads, while the plan's injector
+/// stays the single global fault authority behind one mutex
+/// (`cx_cluster::par`). `parts <= 1` is exactly [`run_plan_flight`].
+pub fn run_plan_partitioned(
+    scn: &ChaosScenario,
+    plan: &FaultPlan,
+    parts: u32,
+    obs: ObsSink,
+    flight: Option<FlightRecorder>,
+) -> ChaosRun {
+    let st = scn.stream();
+    let injector = PlanInjector::with_seeds(plan.clone(), &st.seeds);
+    finish(cx_cluster::run_chaos_partitioned(
+        scn.config(),
+        st,
+        parts,
+        Box::new(injector),
+        obs,
+        flight,
+    ))
+}
+
 /// Same plan over the fully materialized workload — kept as the
 /// regression twin proving streamed and materialized intakes replay
 /// fault schedules to byte-identical digests.

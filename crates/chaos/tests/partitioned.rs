@@ -1,0 +1,108 @@
+//! Fault injection on the partitioned (parallel) simulator.
+//!
+//! Crash points key on *per-server* WAL-append counters, and a server's
+//! event stream belongs to exactly one partition — so a crash plan must
+//! fire at the same virtual time whether the cluster runs single-threaded
+//! or split across partition workers. These tests replay the
+//! participant- and coordinator-crash regression plans under
+//! `--partitions 2` with the partial-state oracle and a flight recorder
+//! attached and pin exactly that.
+//!
+//! (Net faults with unpinned `from`/`to` count matches *globally*, which
+//! makes their firing order interleaving-dependent across partitions —
+//! crash-only plans sidestep that; see DESIGN.md §8 for the caveat.)
+
+use cx_chaos::{run_plan, run_plan_partitioned, ChaosScenario, CrashFault, CrashPoint, FaultPlan};
+use cx_cluster::{FlightRecorder, ObsSink};
+use cx_types::{Protocol, ServerId, DUR_MS};
+use cx_wal::RecordFamily;
+
+fn scenario() -> ChaosScenario {
+    ChaosScenario::new(Protocol::Cx)
+}
+
+fn crash(server: u32, family: RecordFamily, nth: u64) -> FaultPlan {
+    FaultPlan {
+        crashes: vec![CrashFault {
+            server: ServerId(server),
+            point: CrashPoint::WalAppend { family, nth },
+            torn_extra_bytes: 0,
+            detection_ns: 30 * DUR_MS,
+            reboot_ns: 15 * DUR_MS,
+        }],
+        ..FaultPlan::default()
+    }
+}
+
+/// The participant-crash regression plan under `--partitions 2`: the
+/// crash must fire on the same server at the same virtual time as the
+/// single-threaded run, recovery must complete, the oracle must stay
+/// silent, and the flight recorder must have seen traffic.
+#[test]
+fn participant_crash_fires_at_the_same_virtual_time_partitioned() {
+    let scn = scenario();
+    let plan = crash(2, RecordFamily::Result, 6);
+
+    let single = run_plan(&scn, &plan);
+    let flight = FlightRecorder::new(256);
+    let part = run_plan_partitioned(&scn, &plan, 2, ObsSink::Off, Some(flight.clone()));
+
+    assert_eq!(part.failures, Vec::<String>::new());
+    // A participant crash legitimately wedges the client ops whose
+    // messages died with it (no client-layer retransmission) — but it
+    // must wedge the *same* ops either way.
+    assert_eq!(
+        part.outcome.stats.ops_stuck, single.outcome.stats.ops_stuck,
+        "partitioning must not change which ops wedge"
+    );
+    let f = &part.outcome.stats.faults;
+    assert_eq!(f.crashes, 1, "the crash point must fire exactly once");
+    assert_eq!(f.recoveries, 1);
+    assert!(f.oracle_checks >= 1, "end-of-run oracle pass");
+
+    // Virtual-time equivalence: the per-server WAL-append counter that
+    // arms the crash is partition-local state, so the cycle must match
+    // the single-threaded one exactly — same server, same crash instant.
+    let (s, p) = (
+        &single.outcome.stats.recovery_cycles,
+        &part.outcome.stats.recovery_cycles,
+    );
+    assert_eq!(p.len(), 1);
+    assert_eq!(p[0].server, ServerId(2));
+    assert_eq!(
+        (p[0].server, p[0].crashed_at),
+        (s[0].server, s[0].crashed_at),
+        "crash must land at the single-threaded virtual time"
+    );
+
+    // The flight recorder is shared across partitions; a crash run must
+    // have fed it message edges and lifecycle events.
+    assert!(
+        !flight.events().is_empty(),
+        "flight recorder must capture the partitioned run"
+    );
+}
+
+/// Coordinator crash (Commit record #1) under `--partitions 2`, plus the
+/// fixed-(seed, N) determinism contract for fault-injected runs.
+#[test]
+fn coordinator_crash_partitioned_is_deterministic() {
+    let scn = scenario();
+    let plan = crash(0, RecordFamily::Commit, 1);
+
+    let a = run_plan_partitioned(&scn, &plan, 2, ObsSink::Off, None);
+    let b = run_plan_partitioned(&scn, &plan, 2, ObsSink::Off, None);
+    assert_eq!(
+        a.digest, b.digest,
+        "fixed-(seed, N) chaos replays must be bit-identical"
+    );
+    assert_eq!(a.failures, b.failures);
+    assert_eq!(a.failures, Vec::<String>::new());
+    assert_eq!(a.outcome.stats.faults.crashes, 1);
+    assert_eq!(a.outcome.stats.faults.recoveries, 1);
+
+    // `parts == 1` must be the plain single-threaded chaos path.
+    let p1 = run_plan_partitioned(&scn, &plan, 1, ObsSink::Off, None);
+    let direct = run_plan(&scn, &plan);
+    assert_eq!(p1.digest, direct.digest);
+}

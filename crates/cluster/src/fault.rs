@@ -78,7 +78,11 @@ pub struct ClusterSnapshot<'a> {
 
 /// The DES-side fault hook. All methods default to "no fault" so a unit
 /// implementation behaves exactly like an uninstrumented run.
-pub trait FaultInjector {
+///
+/// `Send` because partitioned runs (`crate::par`) share one injector
+/// across the partition worker threads behind a mutex — the injector is
+/// the single global fault authority either way.
+pub trait FaultInjector: Send {
     /// Called once per message send, before the network model.
     fn on_send(
         &mut self,

@@ -1,0 +1,400 @@
+//! Partitioned (parallel) DES execution.
+//!
+//! Splits one cluster simulation across P worker threads. Each partition
+//! owns a contiguous slice of the servers plus a slice of the client
+//! processes, runs its own timing-wheel kernel and virtual clock, and
+//! synchronizes with its siblings only at *window* boundaries
+//! (conservative PDES with lookahead — see `cx_sim::partition` and
+//! `DesCluster::event_loop_windowed` for the two-barrier window protocol).
+//!
+//! ## Lookahead
+//!
+//! The window width is `cfg.net.one_way_ns`: every cross-partition
+//! message is a network send, and the network model charges at least the
+//! one-way latency (`one_way + bytes/bandwidth`), so an event executed at
+//! `t < gmin + W` can only create remote work at `t + W' ≥ gmin + W` —
+//! at or beyond the next window's horizon. Partitions therefore never
+//! need to roll back, and mailbox arrivals never clamp to "now".
+//!
+//! ## Determinism
+//!
+//! For a fixed `(seed, parts)` pair a partitioned run is bit-for-bit
+//! reproducible:
+//!
+//! * node → partition placement is pure arithmetic ([`PartitionMap`]);
+//! * the shared op feed hands each process the same subsequence
+//!   regardless of pull interleaving (the `OpFeed` contract);
+//! * cross-partition mail merges in `(arrival time, source partition,
+//!   source sequence)` order — no wall-clock anywhere.
+//!
+//! `parts == 1` takes the single-threaded path unchanged and reproduces
+//! the golden digest bit-for-bit. `parts > 1` preserves every *total*
+//! (ops, conflicts, commitments, WAL records) but may order same-tick
+//! events differently than the single-threaded kernel, so the digest is
+//! stable per `(seed, parts)` rather than across partition counts.
+
+use crate::des::{ChaosOutcome, DesCluster};
+use crate::fault::{ClusterSnapshot, FaultInjector};
+use crate::feed::OpFeed;
+use crate::stats::RunStats;
+use cx_mdstore::{GlobalView, Violation};
+use cx_obs::{FlightEvent, FlightRecorder, MetricRegistry, ObsSink};
+use cx_protocol::Endpoint;
+use cx_sim::{CrossEvent, Mailbox, PartitionBarrier};
+use cx_types::{ClusterConfig, Payload};
+use cx_workloads::StreamTrace;
+use std::sync::{Arc, Mutex};
+
+/// Pure-arithmetic node → partition placement. Servers and processes are
+/// split into contiguous, near-equal ranges so partition p's servers are
+/// `server_range(p)` and `GlobalView::merge` over partitions in order
+/// visits servers in global order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionMap {
+    pub servers: u32,
+    pub procs: u32,
+    pub parts: u32,
+}
+
+impl PartitionMap {
+    pub fn new(servers: u32, procs: u32, parts: u32) -> Self {
+        assert!(parts >= 1, "need at least one partition");
+        assert!(
+            parts <= servers,
+            "more partitions ({parts}) than servers ({servers})"
+        );
+        Self {
+            servers,
+            procs,
+            parts,
+        }
+    }
+
+    /// Which partition owns server `s`.
+    pub fn server_part(&self, s: u32) -> u32 {
+        debug_assert!(s < self.servers);
+        ((s as u64 * self.parts as u64) / self.servers as u64) as u32
+    }
+
+    /// The contiguous dense server indices partition `p` owns.
+    pub fn server_range(&self, p: u32) -> std::ops::Range<usize> {
+        let lo = (p as u64 * self.servers as u64).div_ceil(self.parts as u64);
+        let hi = ((p as u64 + 1) * self.servers as u64).div_ceil(self.parts as u64);
+        lo as usize..hi as usize
+    }
+
+    /// Which partition owns client process `i`.
+    pub fn proc_part(&self, i: u32) -> u32 {
+        if self.procs == 0 {
+            return 0;
+        }
+        debug_assert!(i < self.procs);
+        (((i as u64) * self.parts as u64) / self.procs as u64).min(self.parts as u64 - 1) as u32
+    }
+}
+
+/// One cross-partition message: who sent it, who receives it, and the
+/// already-computed arrival time (network latency applied at the sender).
+pub(crate) struct NetEnvelope {
+    pub from: Endpoint,
+    pub to: Endpoint,
+    pub payload: Payload,
+}
+
+/// Everything a `DesCluster` instance needs to act as one partition of a
+/// partitioned run.
+pub(crate) struct PartCtx {
+    /// This partition's index.
+    pub me: u32,
+    pub pmap: PartitionMap,
+    /// Conservative lookahead window (ns) — the minimum cross-partition
+    /// message latency, i.e. `cfg.net.one_way_ns`.
+    pub window_ns: u64,
+    pub mailbox: Arc<Mailbox<NetEnvelope>>,
+    pub barrier: Arc<PartitionBarrier>,
+    /// Per-sender sequence for deterministic mailbox merge order.
+    pub out_seq: u64,
+    /// Reusable drain buffer (avoids a per-window allocation).
+    pub inbox: Vec<CrossEvent<NetEnvelope>>,
+}
+
+// The partition workers move `DesCluster` values across threads; keep the
+// whole runtime `Send` by construction (e.g. no `Rc`, injector is `Send`).
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<DesCluster>();
+};
+
+/// Build the P partition clusters over one shared feed/mailbox/barrier.
+fn build_partitions(
+    cfg: &ClusterConfig,
+    st: StreamTrace,
+    parts: u32,
+) -> (Vec<DesCluster>, Arc<Mutex<OpFeed>>, Arc<PartitionBarrier>) {
+    let StreamTrace {
+        name: _,
+        processes,
+        seeds,
+        roots,
+        total_ops_hint,
+        ops,
+    } = st;
+    let window_ns = cfg.net.one_way_ns;
+    assert!(window_ns > 0, "partitioned runs need a nonzero net latency");
+    let pmap = PartitionMap::new(cfg.servers, processes, parts);
+    let feed = Arc::new(Mutex::new(OpFeed::new(ops, processes, total_ops_hint)));
+    let mailbox = Arc::new(Mailbox::new(parts as usize));
+    let barrier = Arc::new(PartitionBarrier::new(parts));
+    let clusters = (0..parts)
+        .map(|me| {
+            DesCluster::build(
+                cfg.clone(),
+                processes,
+                &seeds,
+                roots.clone(),
+                Arc::clone(&feed),
+                Some(PartCtx {
+                    me,
+                    pmap,
+                    window_ns,
+                    mailbox: Arc::clone(&mailbox),
+                    barrier: Arc::clone(&barrier),
+                    out_seq: 0,
+                    inbox: Vec::new(),
+                }),
+            )
+        })
+        .collect();
+    (clusters, feed, barrier)
+}
+
+/// Run every partition on its own thread, then merge their stats in
+/// partition order (deterministic: placement is contiguous).
+fn run_and_merge(
+    cfg: &ClusterConfig,
+    clusters: &mut [DesCluster],
+    feed: &Mutex<OpFeed>,
+    barrier: &PartitionBarrier,
+) -> RunStats {
+    std::thread::scope(|s| {
+        for c in clusters.iter_mut() {
+            s.spawn(|| c.run_partition());
+        }
+    });
+    let mut stats = RunStats::new(cfg.protocol, cfg.servers, clusters[0].stats_ref().processes);
+    for c in clusters.iter() {
+        stats.absorb_partition(c.stats_ref());
+    }
+    if barrier.aborted() {
+        // The capped partitions recorded their local in-flight ops; the
+        // shared feed's remainder is global, charge it exactly once.
+        stats.ops_stuck += feed.lock().expect("op feed").remaining();
+    }
+    stats
+}
+
+/// Publish per-partition registries and fold them into the caller's —
+/// exactly the merge the exposition endpoint serves on partitioned runs.
+fn publish_partitioned(clusters: &[DesCluster], reg: &MetricRegistry) {
+    for c in clusters {
+        let part_reg = MetricRegistry::new();
+        c.stats_ref().publish(&part_reg);
+        reg.merge_from(&part_reg);
+    }
+}
+
+/// Partitioned replay of a streaming workload. `parts <= 1` runs the
+/// plain single-threaded cluster (bit-identical digest); `parts > 1`
+/// splits the cluster over `parts` worker threads.
+pub fn run_stream_partitioned(
+    cfg: ClusterConfig,
+    st: StreamTrace,
+    parts: u32,
+) -> (RunStats, Vec<Violation>) {
+    run_stream_partitioned_obs(cfg, st, parts, ObsSink::Off, None)
+}
+
+/// [`run_stream_partitioned`] with an observability sink and an optional
+/// metric registry (per-partition registries are merged into it).
+pub fn run_stream_partitioned_obs(
+    cfg: ClusterConfig,
+    st: StreamTrace,
+    parts: u32,
+    sink: ObsSink,
+    reg: Option<&MetricRegistry>,
+) -> (RunStats, Vec<Violation>) {
+    if parts <= 1 {
+        let (stats, violations) = DesCluster::new_stream(cfg, st).with_obs(sink).run();
+        if let Some(reg) = reg {
+            stats.publish(reg);
+        }
+        return (stats, violations);
+    }
+    let roots = st.roots.clone();
+    let (mut clusters, feed, barrier) = build_partitions(&cfg, st, parts);
+    if sink.enabled() {
+        clusters = clusters
+            .into_iter()
+            .map(|c| c.with_obs(sink.clone()))
+            .collect();
+    }
+    let mut stats = run_and_merge(&cfg, &mut clusters, &feed, &barrier);
+    // The sink is shared, so the stuck report is global — read it once.
+    stats.stuck_ops = sink.stuck_report();
+    if let Some(reg) = reg {
+        publish_partitioned(&clusters, reg);
+    }
+    // Partition order × contiguous server ranges = global server order.
+    let view = GlobalView::merge(clusters.iter().flat_map(|c| c.local_stores()));
+    let violations = view.check(&roots);
+    (stats, violations)
+}
+
+/// Partitioned fault-injected replay. The injector is the single global
+/// fault authority: all partitions feed it through one mutex, and crash
+/// commands execute only on the server's owner partition.
+pub fn run_chaos_partitioned(
+    cfg: ClusterConfig,
+    st: StreamTrace,
+    parts: u32,
+    injector: Box<dyn FaultInjector>,
+    sink: ObsSink,
+    flight: Option<FlightRecorder>,
+) -> ChaosOutcome {
+    if parts <= 1 {
+        let mut c = DesCluster::new_stream(cfg, st)
+            .with_injector(injector)
+            .with_obs(sink);
+        if let Some(fl) = flight {
+            c = c.with_flight(fl);
+        }
+        return c.run_chaos();
+    }
+    let roots = st.roots.clone();
+    let shared: Arc<Mutex<Box<dyn FaultInjector>>> = Arc::new(Mutex::new(injector));
+    let (mut clusters, feed, barrier) = build_partitions(&cfg, st, parts);
+    for c in clusters.iter_mut() {
+        c.install_shared_injector(Arc::clone(&shared));
+    }
+    clusters = clusters
+        .into_iter()
+        .map(|c| {
+            let mut c = c.with_obs(sink.clone());
+            if let Some(fl) = &flight {
+                c = c.with_flight(fl.clone());
+            }
+            c
+        })
+        .collect();
+    let mut stats = run_and_merge(&cfg, &mut clusters, &feed, &barrier);
+
+    // Mirror the single-threaded wedge accounting: unissued feed ops plus
+    // every partition's in-flight clients.
+    let in_flight: u64 = clusters.iter().map(|c| c.local_in_flight()).sum();
+    let stuck = feed.lock().expect("op feed").remaining() + in_flight;
+    stats.ops_stuck = stats.ops_stuck.max(stuck);
+    stats.stuck_ops = sink.stuck_report();
+    if let Some(fl) = &flight {
+        for s in &stats.stuck_ops {
+            fl.push(
+                stats.drained.0,
+                FlightEvent::Stuck {
+                    op: s.op,
+                    phase: s.phase,
+                },
+            );
+        }
+    }
+
+    let quiesced = clusters.iter().all(|c| c.local_quiesced());
+    let view = GlobalView::merge(clusters.iter().flat_map(|c| c.local_stores()));
+    let violations = if quiesced {
+        view.check(&roots)
+    } else {
+        Vec::new()
+    };
+
+    // Coordinator-side op logs: partitions recorded only their local
+    // clients' ops; merge and re-sort into global ack/issue order.
+    let mut acks = Vec::new();
+    let mut issued = Vec::new();
+    for c in clusters.iter_mut() {
+        let (a, i) = c.take_op_logs();
+        acks.extend(a);
+        issued.extend(i);
+    }
+    acks.sort_by_key(|a| (a.at, a.op));
+    issued.sort_by_key(|(op, _)| *op);
+
+    // One global oracle pass over the merged cluster (partitions skip
+    // their mid-run oracle checks — they only see local stores).
+    let oracle_report = {
+        let mut inj = shared.lock().expect("injector");
+        let snap = ClusterSnapshot {
+            stores: clusters.iter().flat_map(|c| c.local_stores()).collect(),
+            acks: &acks,
+            issued: &issued,
+        };
+        let v = inj.on_run_end(stats.drained, quiesced, snap);
+        stats.faults.oracle_checks += 1;
+        stats.faults.oracle_violations += v;
+        inj.take_report()
+    };
+
+    ChaosOutcome {
+        stats,
+        violations,
+        oracle_report,
+        quiesced,
+        acks,
+        issued,
+        view,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_contiguous_and_total() {
+        for (servers, parts) in [(8u32, 4u32), (8, 3), (5, 2), (4, 4), (7, 1)] {
+            let pm = PartitionMap::new(servers, 16, parts);
+            let mut covered = 0usize;
+            for p in 0..parts {
+                let r = pm.server_range(p);
+                assert_eq!(r.start, covered, "ranges must be contiguous");
+                for s in r.clone() {
+                    assert_eq!(pm.server_part(s as u32), p, "range/part must agree");
+                }
+                covered = r.end;
+            }
+            assert_eq!(covered, servers as usize, "every server placed");
+        }
+    }
+
+    #[test]
+    fn proc_placement_covers_all_partitions_when_possible() {
+        let pm = PartitionMap::new(8, 16, 4);
+        let mut seen = vec![0u32; 4];
+        for i in 0..16 {
+            seen[pm.proc_part(i) as usize] += 1;
+        }
+        assert_eq!(seen, vec![4, 4, 4, 4]);
+        // Monotone: contiguous proc blocks per partition.
+        for i in 1..16 {
+            assert!(pm.proc_part(i) >= pm.proc_part(i - 1));
+        }
+    }
+
+    #[test]
+    fn uneven_splits_stay_in_bounds() {
+        let pm = PartitionMap::new(8, 3, 3);
+        for s in 0..8 {
+            assert!(pm.server_part(s) < 3);
+        }
+        for i in 0..3 {
+            assert!(pm.proc_part(i) < 3);
+        }
+    }
+}

@@ -194,7 +194,10 @@ impl<E> Slab<E> {
 }
 
 /// The timing wheel proper. Invariants:
-/// - `active` holds only handles whose bucket equals `cursor`;
+/// - `active` holds only handles whose bucket is ≤ `cursor` (equal in the
+///   common case; smaller only when a bounded pop — [`Wheel::pop_before`]
+///   advanced the cursor past the limit — is followed by a schedule into
+///   the gap, which the windowed partition loop does via its mailbox);
 /// - ring slot `b & RING_MASK` holds only handles of one bucket
 ///   `b ∈ (cursor, cursor + RING_BUCKETS)` (the cursor never skips a
 ///   non-empty bucket, so a slot is fully drained before its number is
@@ -236,9 +239,11 @@ impl<E> Wheel<E> {
         let h = Handle { at, seq, idx, dst };
         self.len += 1;
         let b = bucket_of(at);
-        if b == self.cursor {
+        if b <= self.cursor {
             // Keep the drain order exact: insert behind every handle that
             // pops later (descending, so "greater" keys come first).
+            // Buckets below the cursor must also land here: their ring
+            // slot numbers would alias a future revolution.
             let pos = self.active.partition_point(|x| (x.at, x.seq) > (at, seq));
             self.active.insert(pos, h);
         } else if b < self.cursor + RING_BUCKETS as u64 {
@@ -315,6 +320,22 @@ impl<E> Wheel<E> {
             return None;
         }
         let h = self.active.pop().expect("advance refilled");
+        self.len -= 1;
+        Some((h.at, h.dst, self.slab.take(h.idx)))
+    }
+
+    /// Pop the next event only if it is strictly before `limit`. O(1) on
+    /// the hot path: at most one bucket refill per call, and the refill
+    /// is the same work `pop` would have done.
+    fn pop_before(&mut self, limit: SimTime) -> Option<(SimTime, NodeIdx, E)> {
+        if self.active.is_empty() && !self.advance() {
+            return None;
+        }
+        let h = *self.active.last().expect("advance refilled");
+        if h.at >= limit {
+            return None;
+        }
+        self.active.pop();
         self.len -= 1;
         Some((h.at, h.dst, self.slab.take(h.idx)))
     }
@@ -434,6 +455,28 @@ impl<E> Sim<E> {
             Queue::Wheel(w) => w.pop()?,
             Queue::Heap(h) => {
                 let s = h.pop()?;
+                (s.at, s.dst, s.event)
+            }
+        };
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        self.processed += 1;
+        Some((at, dst, event))
+    }
+
+    /// Pop the next event only if its timestamp is strictly before
+    /// `limit`, advancing the clock to it; `None` leaves the queue (and
+    /// the clock) untouched. This is the conservative-window primitive:
+    /// the partitioned runtime drains each partition's kernel up to the
+    /// agreed horizon without paying a `peek_time` per event.
+    pub fn pop_before(&mut self, limit: SimTime) -> Option<(SimTime, NodeIdx, E)> {
+        let (at, dst, event) = match &mut self.queue {
+            Queue::Wheel(w) => w.pop_before(limit)?,
+            Queue::Heap(h) => {
+                if h.peek().is_none_or(|s| s.at >= limit) {
+                    return None;
+                }
+                let s = h.pop().expect("peeked");
                 (s.at, s.dst, s.event)
             }
         };
@@ -630,6 +673,62 @@ mod tests {
         // must already be seq order).
         assert_eq!(popped, sorted);
         assert_eq!(sim.events_processed(), popped.len() as u64);
+    }
+
+    /// `pop_before` is a strict filter on the next event and never
+    /// advances the clock on refusal.
+    #[test]
+    fn pop_before_respects_limit() {
+        let mut sim: Sim<u32> = Sim::new();
+        sim.schedule(10, 0, 1);
+        sim.schedule(20, 0, 2);
+        sim.schedule(200_000, 0, 3); // different bucket
+        assert_eq!(sim.pop_before(SimTime(10)), None, "strict bound");
+        assert_eq!(sim.now(), SimTime::ZERO);
+        let (t, _, e) = sim.pop_before(SimTime(11)).unwrap();
+        assert_eq!((t.0, e), (10, 1));
+        assert_eq!(sim.now().0, 10);
+        let (_, _, e) = sim.pop_before(SimTime(1_000_000)).unwrap();
+        assert_eq!(e, 2);
+        let (_, _, e) = sim.pop_before(SimTime(1_000_000)).unwrap();
+        assert_eq!(e, 3);
+        assert_eq!(sim.pop_before(SimTime(u64::MAX)), None, "empty queue");
+    }
+
+    /// The windowed-partition pattern: a bounded pop advances the cursor
+    /// past the limit without popping, then an external (mailbox) arrival
+    /// lands in the gap between the limit and the cursor. Order must stay
+    /// exact — this exercises the `b <= cursor` branch of `Wheel::push`.
+    #[test]
+    fn schedule_behind_cursor_after_bounded_pop() {
+        let mut sim: Sim<u32> = Sim::new();
+        sim.schedule(100, 0, 1);
+        // Far-future event: next bucket is ~5 ms away, so a bounded pop
+        // moves the cursor well past the 200 µs window below.
+        sim.schedule(5_000_000, 0, 9);
+        let (_, _, e) = sim.pop_before(SimTime(200_000)).unwrap();
+        assert_eq!(e, 1);
+        assert_eq!(sim.pop_before(SimTime(200_000)), None);
+        // Arrivals land between the window edge and the advanced cursor.
+        sim.schedule_at(SimTime(150_000), 0, 2);
+        sim.schedule_at(SimTime(120_000), 0, 3);
+        sim.schedule_at(SimTime(150_000), 0, 4); // tie: FIFO after 2
+        let order: Vec<u32> = std::iter::from_fn(|| sim.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec![3, 2, 4, 9]);
+    }
+
+    /// Both queue backends agree on `pop_before` semantics.
+    #[test]
+    fn heap_backend_pop_before_matches() {
+        std::env::set_var("CX_SIM_QUEUE", "heap");
+        let mut sim: Sim<u32> = Sim::new();
+        std::env::remove_var("CX_SIM_QUEUE");
+        sim.schedule(10, 0, 1);
+        sim.schedule(20, 0, 2);
+        assert_eq!(sim.pop_before(SimTime(10)), None);
+        assert_eq!(sim.pop_before(SimTime(15)).map(|(_, _, e)| e), Some(1));
+        assert_eq!(sim.pop_before(SimTime(15)), None);
+        assert_eq!(sim.pop_before(SimTime(21)).map(|(_, _, e)| e), Some(2));
     }
 
     /// The timer queue shares the simulator's FIFO tie-break.

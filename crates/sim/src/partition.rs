@@ -1,0 +1,248 @@
+//! Conservative parallel-DES plumbing: the cross-partition mailbox and
+//! the synchronization barrier the partitioned cluster runtime drives.
+//!
+//! The parallel scheme is a classic conservative barrier-window design:
+//! every partition owns its own [`crate::Sim`] kernel (timing wheel +
+//! virtual clock) and the partitions advance in lockstep windows whose
+//! width equals the *lookahead* — the minimum latency any cross-partition
+//! interaction can have. In this codebase the only cross-partition edge
+//! is a network message, so the lookahead is the configured one-way
+//! network latency: a message sent at virtual time `t` arrives no earlier
+//! than `t + one_way_ns`. Each window `[H, H + W)` with `W = one_way_ns`
+//! is therefore closed under local causality: nothing sent inside the
+//! window can affect any partition before the *next* window, so
+//! partitions may process a whole window without hearing from each other.
+//!
+//! Determinism rests on two rules enforced here:
+//!
+//! 1. **Deterministic merge order.** Inbound cross-partition events are
+//!    delivered in `(arrival time, source partition, per-source sequence)`
+//!    order, independent of thread scheduling ([`Mailbox::drain`] sorts).
+//! 2. **Deterministic batch membership.** The window loop separates the
+//!    "post" phase from the "drain" phase with a barrier, so exactly the
+//!    messages of one window — never a racing prefix of the next — form a
+//!    drain batch. The scheduling sequence numbers each partition assigns
+//!    to the merged events are then reproducible, which is what makes
+//!    same-nanosecond ties replay identically for a fixed (seed, P).
+
+use cx_types::SimTime;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One message crossing a partition boundary. `src`/`seq` exist purely
+/// for the deterministic merge order; `at` is the (already latency
+/// adjusted) virtual arrival time at the destination.
+#[derive(Debug, Clone)]
+pub struct CrossEvent<M> {
+    pub at: SimTime,
+    /// Sending partition.
+    pub src: u32,
+    /// Sender-local sequence number (monotone per source partition).
+    pub seq: u64,
+    pub msg: M,
+}
+
+/// P×P mailbox: slot `(src, dst)` buffers the messages `src` posted to
+/// `dst` during the current window. Each slot has its own lock, and
+/// within a window phase a slot is only ever touched by one thread (the
+/// source posts, then — after the barrier — the destination drains), so
+/// the mutexes are uncontended; they exist to make the type `Sync`
+/// without unsafe code.
+pub struct Mailbox<M> {
+    parts: usize,
+    slots: Vec<Mutex<Vec<CrossEvent<M>>>>,
+}
+
+impl<M> Mailbox<M> {
+    pub fn new(parts: usize) -> Self {
+        assert!(parts >= 1);
+        Self {
+            parts,
+            slots: (0..parts * parts).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// Post one event from partition `src` to partition `dst`.
+    pub fn post(&self, src: u32, dst: u32, ev: CrossEvent<M>) {
+        self.slots[src as usize * self.parts + dst as usize]
+            .lock()
+            .expect("mailbox slot")
+            .push(ev);
+    }
+
+    /// Move every event addressed to `dst` into `out`, sorted by
+    /// `(arrival, source partition, source sequence)` — the deterministic
+    /// merge order. `out` is cleared first (pass a reusable buffer).
+    pub fn drain(&self, dst: u32, out: &mut Vec<CrossEvent<M>>) {
+        out.clear();
+        for src in 0..self.parts {
+            out.append(
+                &mut self.slots[src * self.parts + dst as usize]
+                    .lock()
+                    .expect("mailbox slot"),
+            );
+        }
+        out.sort_by_key(|a| (a.at, a.src, a.seq));
+    }
+}
+
+/// A reusable spin-then-yield barrier with a combined min-reduction and a
+/// sticky abort flag — the two collective operations the window loop
+/// needs (agree on the global next-event time; agree to stop early).
+///
+/// Generation-based: the aggregation slot alternates with the generation
+/// parity. Slot reuse (generation g+2) is safe because every thread must
+/// *return* from generation g's wait (which includes reading g's result)
+/// before it can arrive at generation g+1, and g+2 cannot complete until
+/// every thread passed g+1.
+pub struct PartitionBarrier {
+    parts: u32,
+    count: AtomicU32,
+    gen: AtomicU32,
+    mins: [AtomicU64; 2],
+    result: [AtomicU64; 2],
+    abort: AtomicBool,
+}
+
+impl PartitionBarrier {
+    pub fn new(parts: u32) -> Self {
+        assert!(parts >= 1);
+        Self {
+            parts,
+            count: AtomicU32::new(0),
+            gen: AtomicU32::new(0),
+            mins: [AtomicU64::new(u64::MAX), AtomicU64::new(u64::MAX)],
+            result: [AtomicU64::new(u64::MAX), AtomicU64::new(u64::MAX)],
+            abort: AtomicBool::new(false),
+        }
+    }
+
+    pub fn parts(&self) -> u32 {
+        self.parts
+    }
+
+    /// Request a collective early stop; observed by every partition at
+    /// its next [`PartitionBarrier::wait_min`]. Sticky for the lifetime
+    /// of the barrier (a run aborts exactly once).
+    pub fn set_abort(&self) {
+        self.abort.store(true, Ordering::Release);
+    }
+
+    pub fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Acquire)
+    }
+
+    /// Block until all `parts` partitions called in; returns the minimum
+    /// of every partition's `v` plus the abort flag. Use `u64::MAX` as
+    /// the identity vote ("nothing pending" / pure phase sync).
+    ///
+    /// Waiters spin briefly then yield — on an oversubscribed host (more
+    /// partitions than cores) pure spinning would deadlock-by-starvation
+    /// the partition that still has to arrive.
+    pub fn wait_min(&self, v: u64) -> (u64, bool) {
+        let gen = self.gen.load(Ordering::Acquire);
+        let slot = (gen & 1) as usize;
+        self.mins[slot].fetch_min(v, Ordering::AcqRel);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.parts {
+            // Last arriver: publish, reset the slot for generation g+2,
+            // release the waiters by bumping the generation.
+            let m = self.mins[slot].swap(u64::MAX, Ordering::AcqRel);
+            self.result[slot].store(m, Ordering::Release);
+            self.count.store(0, Ordering::Release);
+            self.gen.store(gen.wrapping_add(1), Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.gen.load(Ordering::Acquire) == gen {
+                spins = spins.wrapping_add(1);
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        (
+            self.result[slot].load(Ordering::Acquire),
+            self.abort.load(Ordering::Acquire),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mailbox_merge_order_is_deterministic() {
+        let mb: Mailbox<&'static str> = Mailbox::new(3);
+        let ev = |at: u64, src: u32, seq: u64, msg| CrossEvent {
+            at: SimTime(at),
+            src,
+            seq,
+            msg,
+        };
+        // Posted in scrambled order across sources; drain must sort by
+        // (at, src, seq).
+        mb.post(2, 0, ev(50, 2, 0, "e"));
+        mb.post(1, 0, ev(10, 1, 0, "b"));
+        mb.post(1, 0, ev(10, 1, 1, "c"));
+        mb.post(0, 0, ev(10, 0, 7, "a"));
+        mb.post(2, 0, ev(20, 2, 1, "d"));
+        let mut out = Vec::new();
+        mb.drain(0, &mut out);
+        let got: Vec<&str> = out.iter().map(|e| e.msg).collect();
+        assert_eq!(got, vec!["a", "b", "c", "d", "e"]);
+        // Slots are emptied by the drain.
+        mb.drain(0, &mut out);
+        assert!(out.is_empty());
+        // Other destinations unaffected.
+        mb.post(0, 2, ev(1, 0, 0, "z"));
+        mb.drain(2, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn barrier_min_reduction_across_threads() {
+        let b = PartitionBarrier::new(4);
+        let votes = [[7u64, 3, 9], [5, 3, u64::MAX], [6, 4, 2], [8, 3, 2]];
+        std::thread::scope(|s| {
+            let handles: Vec<_> = votes
+                .iter()
+                .map(|vs| {
+                    let b = &b;
+                    s.spawn(move || vs.iter().map(|&v| b.wait_min(v).0).collect::<Vec<_>>())
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), vec![5, 3, 2]);
+            }
+        });
+        assert!(!b.aborted());
+    }
+
+    #[test]
+    fn barrier_abort_is_sticky_and_collective() {
+        let b = PartitionBarrier::new(2);
+        std::thread::scope(|s| {
+            let t0 = s.spawn(|| {
+                b.set_abort();
+                b.wait_min(u64::MAX)
+            });
+            let t1 = s.spawn(|| b.wait_min(1));
+            assert_eq!(t0.join().unwrap(), (1, true));
+            assert_eq!(t1.join().unwrap(), (1, true));
+        });
+        assert!(b.aborted());
+    }
+
+    #[test]
+    fn single_partition_barrier_never_blocks() {
+        let b = PartitionBarrier::new(1);
+        assert_eq!(b.wait_min(42), (42, false));
+        assert_eq!(b.wait_min(u64::MAX), (u64::MAX, false));
+    }
+}
