@@ -19,11 +19,11 @@ step "clippy (hot-path crates, -D warnings)"
 cargo clippy -q \
     -p cx-types -p cx-sim -p cx-wal -p cx-mdstore \
     -p cx-protocol -p cx-cluster -p cx-bench -p cx-chaos -p cx-workloads \
-    -p cx-obs \
+    -p cx-obs -p cx-net \
     --all-targets -- -D warnings
 
 step "clippy (message plane: deny redundant_clone + perf lints)"
-cargo clippy -q -p cx-cluster -p cx-workloads --all-targets -- \
+cargo clippy -q -p cx-cluster -p cx-workloads -p cx-net --all-targets -- \
     -D warnings -D clippy::redundant_clone -D clippy::perf
 
 # The parallel-kernel crates ship state across partition worker threads;
@@ -74,6 +74,22 @@ if [ "${1:-}" != "quick" ]; then
     test -s target/chaos_pm.flight.jsonl
     test -s target/chaos_pm.flight.trace.json
 
+    # Wire-plane smoke (DESIGN.md §9): a home2 prefix on the real-socket
+    # runtime must stay clean, match the threaded runtime's
+    # tie-insensitive totals, and survive the drop-every-connection
+    # reconnect drill losslessly (asserted inside --net-smoke itself).
+    step "net smoke (loopback TCP + reconnect drill)"
+    cargo run -q --release -p cx-bench --bin perf_baseline -- --net-smoke
+
+    # Multi-process smoke: one OS process per server (cx_net_server), the
+    # coordinator connecting out over real TCP, with the live registry
+    # publishing cross-process — the .prom file must exist and carry the
+    # ops counter (its value is asserted against RunStats in-binary).
+    step "net multi-process smoke (cx_net_server x4 + live metrics)"
+    cargo run -q --release -p cx-bench --bin perf_baseline -- \
+        --multiproc --scale 0.0005 --metrics-out target/cx_net_metrics
+    grep -q '^cx_ops_issued_total ' target/cx_net_metrics.prom
+
     # Live-exposition smoke: a threaded home2 run must leave fresh .prom /
     # .json snapshots behind (the cx-obs top input), and the registry's
     # ops counter must match RunStats (asserted inside --live itself).
@@ -115,6 +131,16 @@ if [ "${1:-}" != "quick" ]; then
     cargo run -q --release -p cx-bench --bin perf_baseline -- \
         --label pr6 --iters 5 --filter home2_replay_8s --partitions 2 \
         --out BENCH_PR6.json --against BENCH_PR5.json --tolerance 0.70
+
+    # The wire-plane gate: the DES replay rate must hold the PR6 baseline
+    # (cx-net is a separate runtime; the only way it regresses the DES is
+    # hot-path overhead leaking into shared crates). The same invocation
+    # records the loopback + multi-process TCP entries — single-box
+    # wall-clock numbers, see the caveat printed with them.
+    step "BENCH_PR7.json (no regression vs BENCH_PR6.json; --net tcp)"
+    cargo run -q --release -p cx-bench --bin perf_baseline -- \
+        --label pr7 --iters 5 --filter home2 --net tcp \
+        --out BENCH_PR7.json --against BENCH_PR6.json --tolerance 0.70
 fi
 
 step "cargo test (workspace)"

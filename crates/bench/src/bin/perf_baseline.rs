@@ -22,8 +22,16 @@
 //!    on the partitioned parallel kernel, measured at `p1` and `pN` on
 //!    the same streaming intake so the ratio isolates the kernel.
 //!
+//! 6. `home2_tcp_loopback_8s` / `home2_tcp_multiproc_8s` (with `--net
+//!    tcp`) — the home2 prefix on the real-socket runtime (`cx-net`,
+//!    DESIGN.md §9), in-process loopback and one-OS-process-per-server.
+//!    Wall-clock-only (the wire plane has no simulator event counter),
+//!    and measured on ONE box: coordinator, clients, and every server
+//!    share its cores, so the numbers are wire-plane overhead, not
+//!    cluster capacity.
+//!
 //! Every entry records `peak_rss_kb` (VmHWM, reset per entry). Results
-//! merge into `BENCH_PR6.json` at the repo root, keyed by `--label`
+//! merge into `BENCH_PR7.json` at the repo root, keyed by `--label`
 //! (e.g. `--label before` / `--label after`), so optimization PRs commit
 //! both sides of the comparison with the same binary. After the table, a
 //! comparison against the most recent other `BENCH_PR*.json` prints
@@ -39,6 +47,18 @@
 //! trace + report + JSONL next to `--obs-out <prefix>`, and a digest
 //! check that instrumentation didn't perturb the run.
 //!
+//! `--net-smoke` runs the loopback-TCP CI gate instead of the basket: a
+//! small home2 prefix on the real-socket runtime must stay clean, agree
+//! with the threaded runtime's tie-insensitive totals, and survive the
+//! reconnect drill (every coordinator connection dropped mid-run)
+//! losslessly with at least one re-dial.
+//!
+//! `--multiproc` runs the home2 prefix with one OS process per server
+//! (the `cx_net_server` binary) and the coordinator connecting out over
+//! real TCP. With `--metrics-out <prefix>` the live registry publishes
+//! `.prom` / `.json` during the run — the exposition becomes an actual
+//! cross-process ops surface (`cx-obs top <prefix>.json`).
+//!
 //! `--live` runs the home2 scenario on the *threaded* runtime with the
 //! metric registry publishing live: `--metrics-out <prefix>` (default
 //! `target/cx_metrics`) gets a `.prom` (Prometheus text) and `.json`
@@ -53,12 +73,14 @@
 //! Usage: `perf_baseline --label after [--iters 3] [--scale 0.05]
 //!         [--filter home2] [--out path.json] [--smoke]
 //!         [--obs [--obs-out prefix]] [--live [--metrics-out prefix]]
-//!         [--against path.json]`
+//!         [--net tcp [--net-scale f]] [--net-smoke]
+//!         [--multiproc [--metrics-out prefix]] [--against path.json]`
 
 use cx_core::{
-    Experiment, LiveMetrics, MetaratesMix, MetricRegistry, ObsSink, Protocol, RecoveryExperiment,
-    ThreadedCluster, Workload,
+    BatchTrigger, ClusterConfig, Experiment, LiveMetrics, MetaratesMix, MetricRegistry, ObsSink,
+    Protocol, RecoveryExperiment, TcpCluster, TcpOptions, TcpRunResult, ThreadedCluster, Workload,
 };
+use cx_workloads::Trace;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -278,6 +300,198 @@ fn live_run(args: &cx_bench::Args) {
     );
 }
 
+/// Wall-clock-safe triggers for the real-socket runtime: the default
+/// batch trigger is ~10 *virtual* seconds, which a wall-clock runtime
+/// would serve as an actual ten-second stall per batch. Same idiom as
+/// the threaded runtime's tests.
+fn wall_clock(mut cfg: ClusterConfig) -> ClusterConfig {
+    cfg.cx.trigger = BatchTrigger::Timeout {
+        period_ns: 5_000_000, // 5 ms
+    };
+    cfg.cx.hint_mismatch_timeout_ns = 20_000_000;
+    cfg
+}
+
+/// The home2 prefix the net modes share, on a wall-clock-safe config.
+fn net_scenario(servers: u32, scale: f64) -> (ClusterConfig, Trace) {
+    let mut cfg = ClusterConfig::new(servers, Protocol::Cx);
+    cfg.seed = 42;
+    let cfg = wall_clock(cfg);
+    let trace = Workload::trace("home2").scale(scale).seed(7).build(&cfg);
+    (cfg, trace)
+}
+
+/// Spawn one `cx_net_server` OS process per server (the binary sits next
+/// to this one in the target dir), wait for each `LISTEN <addr>` line,
+/// drive the run as the external coordinator, then reap the children —
+/// they exit on their own after answering `Stop`.
+fn run_multiproc(cfg: &ClusterConfig, trace: &Trace, opts: TcpOptions) -> TcpRunResult {
+    let bin = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("cx_net_server")))
+        .expect("cx_net_server sits next to perf_baseline");
+    let _ = std::fs::create_dir_all("target");
+    let mut children = Vec::new();
+    let mut addrs = Vec::new();
+    for s in 0..cfg.servers {
+        let path = format!("target/cx_net_server_{s}.json");
+        let nsc = cx_bench::NetServerConfig {
+            cfg: cfg.clone(),
+            me: s,
+            seeds: trace.seeds.clone(),
+        };
+        std::fs::write(
+            &path,
+            serde_json::to_string(&nsc).expect("config serializes"),
+        )
+        .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        let mut child = std::process::Command::new(&bin)
+            .arg("--config")
+            .arg(&path)
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .unwrap_or_else(|e| panic!("spawn {}: {e}", bin.display()));
+        let mut line = String::new();
+        std::io::BufRead::read_line(
+            &mut std::io::BufReader::new(child.stdout.take().expect("stdout piped")),
+            &mut line,
+        )
+        .expect("read LISTEN line");
+        let addr = line
+            .strip_prefix("LISTEN ")
+            .unwrap_or_else(|| panic!("server {s}: expected `LISTEN <addr>`, got {line:?}"))
+            .trim()
+            .parse()
+            .expect("socket addr parses");
+        addrs.push(addr);
+        children.push(child);
+    }
+    let r = TcpCluster::run_external(cfg.clone(), trace.to_stream(), &addrs, opts);
+    for (s, mut child) in children.into_iter().enumerate() {
+        let status = child.wait().expect("wait for server process");
+        assert!(status.success(), "server process {s} exited with {status}");
+    }
+    r
+}
+
+/// `--net-smoke`: the loopback-TCP CI gate. A small home2 prefix on the
+/// real-socket runtime must (a) stay atomicity-clean, (b) finish every
+/// op, (c) agree with the threaded runtime on the tie-insensitive totals
+/// (`ops_total`, `cross_ops`, the applied+failed closure), and (d)
+/// survive the reconnect drill — every coordinator connection dropped
+/// mid-run — losslessly, with at least one re-dial.
+fn net_smoke(args: &cx_bench::Args) {
+    let scale = args.scale(0.0005);
+    let servers: u32 = args.value("--servers").unwrap_or(4);
+    let (cfg, trace) = net_scenario(servers, scale);
+
+    let tcp = TcpCluster::run(cfg.clone(), &trace);
+    assert!(tcp.violations.is_empty(), "net smoke: TCP run inconsistent");
+    assert_eq!(
+        tcp.stats.ops_total,
+        trace.ops.len() as u64,
+        "net smoke: ops lost on the wire"
+    );
+    assert_eq!(
+        tcp.stats.ops_applied + tcp.stats.ops_failed,
+        tcp.stats.ops_total,
+        "net smoke: op accounting must close"
+    );
+
+    let thr = ThreadedCluster::run(cfg.clone(), &trace);
+    assert_eq!(
+        tcp.stats.ops_total, thr.stats.ops_total,
+        "net smoke: ops_total drifted vs threaded"
+    );
+    assert_eq!(
+        tcp.stats.cross_ops, thr.stats.cross_ops,
+        "net smoke: cross_ops drifted vs threaded"
+    );
+
+    let opts = TcpOptions {
+        drop_conns_after_ops: Some(trace.ops.len() as u64 / 4),
+        ..TcpOptions::default()
+    };
+    let drill = TcpCluster::run_stream_opts(cfg, trace.to_stream(), opts);
+    assert!(
+        drill.violations.is_empty(),
+        "net smoke: reconnect run inconsistent"
+    );
+    assert!(
+        drill.reconnects >= 1,
+        "net smoke: drill must force a re-dial"
+    );
+    assert_eq!(
+        drill.stats.ops_total,
+        trace.ops.len() as u64,
+        "net smoke: reconnect lost ops"
+    );
+    println!(
+        "net smoke ok: {} ops over loopback TCP ({} server + {} client frames), \
+         totals match threaded; reconnect drill re-dialed {}x and stayed lossless",
+        tcp.stats.ops_total, tcp.stats.server_msgs, tcp.stats.client_msgs, drill.reconnects
+    );
+}
+
+/// `--multiproc`: one OS process per server (`cx_net_server`), the
+/// coordinator connecting out over real TCP — the smallest honest
+/// deployment shape. With `--metrics-out <prefix>` the live registry
+/// publishes `.prom` / `.json` while the run executes, which makes the
+/// exposition a genuine cross-process ops surface instead of a
+/// same-process convenience.
+fn multiproc_run(args: &cx_bench::Args) {
+    let scale = args.scale(0.002);
+    let servers: u32 = args.value("--servers").unwrap_or(4);
+    let (cfg, trace) = net_scenario(servers, scale);
+    let mut opts = TcpOptions::default();
+    let live_out = args.value::<String>("--metrics-out").map(|prefix| {
+        if let Some(dir) = std::path::Path::new(&prefix).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let mut live = LiveMetrics::new(MetricRegistry::new());
+        live.out = Some(std::path::PathBuf::from(&prefix));
+        let registry = live.registry.clone();
+        opts.live = Some(live);
+        (prefix, registry)
+    });
+
+    let t0 = Instant::now();
+    let r = run_multiproc(&cfg, &trace, opts);
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(r.violations.is_empty(), "--multiproc: run inconsistent");
+    assert_eq!(
+        r.stats.ops_total,
+        trace.ops.len() as u64,
+        "--multiproc: ops lost on the wire"
+    );
+    assert_eq!(
+        r.stats.ops_applied + r.stats.ops_failed,
+        r.stats.ops_total,
+        "--multiproc: op accounting must close"
+    );
+    println!(
+        "multiproc ok: {} ops across {} server processes in {wall:.2}s \
+         ({:.0} ops/s on one box), {} server + {} client frames",
+        r.stats.ops_total,
+        cfg.servers,
+        r.stats.ops_total as f64 / wall,
+        r.stats.server_msgs,
+        r.stats.client_msgs,
+    );
+    if let Some((prefix, registry)) = live_out {
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.value("cx_ops_issued_total"),
+            Some(r.stats.ops_total),
+            "--multiproc: registry ops_issued must match RunStats"
+        );
+        println!(
+            "[live metrics: {prefix}.prom (Prometheus text) | {prefix}.json \
+             (watch with: cx-obs top {prefix}.json)]"
+        );
+    }
+}
+
 /// `--against <report.json>`: compare this run's home2 events/sec with
 /// the best home2 rate in a previous report (any label). Exits non-zero
 /// below `--tolerance` (default 0.80 — best-of-N on shared CI hardware
@@ -404,6 +618,14 @@ fn main() {
         live_run(&args);
         return;
     }
+    if args.flag("--net-smoke") {
+        net_smoke(&args);
+        return;
+    }
+    if args.flag("--multiproc") {
+        multiproc_run(&args);
+        return;
+    }
     let label: String = args.value("--label").unwrap_or_else(|| "current".into());
     // At least one iteration, or best-of-N is `inf` and the JSON row is junk.
     let iters: u32 = args.value("--iters").unwrap_or(3).max(1);
@@ -411,7 +633,7 @@ fn main() {
     let filter: Option<String> = args.value("--filter");
     let out: String = args
         .value("--out")
-        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.json").into());
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR7.json").into());
     let wants = |name: &str| filter.as_deref().is_none_or(|f| name.contains(f));
 
     let mut entries = Vec::new();
@@ -503,6 +725,38 @@ fn main() {
                 (stats.events, stats.ops_total)
             }));
         }
+    }
+
+    // `--net tcp`: the home2 prefix on the real-socket runtime, loopback
+    // (server threads in this process) and multi-process (one OS process
+    // per server). Wall-clock-only entries — the wire plane has no
+    // simulator event counter — at their own default scale: synchronous
+    // clients over real sockets are orders of magnitude slower per op
+    // than the DES, and these entries measure wire-plane overhead on ONE
+    // box (every server shares this machine's cores), not cluster
+    // capacity.
+    if args.value::<String>("--net").as_deref() == Some("tcp") {
+        let net_scale = args.value("--net-scale").unwrap_or(0.002);
+        let (net_cfg, net_trace) = net_scenario(8, net_scale);
+        if wants("home2_tcp_loopback_8s") {
+            entries.push(measure("home2_tcp_loopback_8s", iters, || {
+                let r = TcpCluster::run(net_cfg.clone(), &net_trace);
+                assert!(r.violations.is_empty(), "tcp loopback replay dirty");
+                (0, r.stats.ops_total)
+            }));
+        }
+        if wants("home2_tcp_multiproc_8s") {
+            entries.push(measure("home2_tcp_multiproc_8s", 1, || {
+                let r = run_multiproc(&net_cfg, &net_trace, TcpOptions::default());
+                assert!(r.violations.is_empty(), "tcp multiproc replay dirty");
+                (0, r.stats.ops_total)
+            }));
+        }
+        println!(
+            "net entries: single-box wall-clock (all {} servers + clients share \
+             this machine); compare tcp entries to each other, not to DES rates",
+            net_cfg.servers
+        );
     }
 
     if wants("table5_recovery_160kb") {

@@ -27,6 +27,20 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Launch config for the `cx_net_server` binary: everything one server
+/// process needs to join a multi-process TCP cluster. The coordinator
+/// (`perf_baseline --multiproc` / `--net tcp`) writes one of these per
+/// server, spawns the binary with `--config <path>`, and reads the
+/// `LISTEN <addr>` line the server prints once bound.
+#[derive(Debug, Clone, Serialize, serde::Deserialize)]
+pub struct NetServerConfig {
+    pub cfg: cx_types::ClusterConfig,
+    /// Which `ServerId` this process is.
+    pub me: u32,
+    /// The workload's namespace seeds (identical on every server).
+    pub seeds: Vec<cx_workloads::SeedEntry>,
+}
+
 /// Worker count for [`par_map`]: `CX_BENCH_THREADS` if set (CI uses this to
 /// cap parallelism), otherwise the machine's available parallelism.
 pub fn bench_threads() -> usize {

@@ -112,23 +112,28 @@ pub fn run_plan_flight(
 /// cluster splits over `parts` worker threads, while the plan's injector
 /// stays the single global fault authority behind one mutex
 /// (`cx_cluster::par`). `parts <= 1` is exactly [`run_plan_flight`].
+///
+/// Errors (without running) if the plan contains a matcher whose result
+/// would be order-dependent across partition threads — see
+/// [`FaultPlan::check_partitionable`].
 pub fn run_plan_partitioned(
     scn: &ChaosScenario,
     plan: &FaultPlan,
     parts: u32,
     obs: ObsSink,
     flight: Option<FlightRecorder>,
-) -> ChaosRun {
+) -> Result<ChaosRun, String> {
+    plan.check_partitionable(parts)?;
     let st = scn.stream();
     let injector = PlanInjector::with_seeds(plan.clone(), &st.seeds);
-    finish(cx_cluster::run_chaos_partitioned(
+    Ok(finish(cx_cluster::run_chaos_partitioned(
         scn.config(),
         st,
         parts,
         Box::new(injector),
         obs,
         flight,
-    ))
+    )))
 }
 
 /// Same plan over the fully materialized workload — kept as the

@@ -8,13 +8,18 @@
 //! `--partitions 2` with the partial-state oracle and a flight recorder
 //! attached and pin exactly that.
 //!
-//! (Net faults with unpinned `from`/`to` count matches *globally*, which
-//! makes their firing order interleaving-dependent across partitions —
-//! crash-only plans sidestep that; see DESIGN.md §8 for the caveat.)
+//! (Net faults with an unpinned `from` count matches *globally*, which
+//! would make their firing order interleaving-dependent across
+//! partitions — `run_plan_partitioned` now refuses such plans with a
+//! config error instead of running them; see DESIGN.md §8 and the
+//! `global_nth_net_matchers_are_a_config_error` test below.)
 
-use cx_chaos::{run_plan, run_plan_partitioned, ChaosScenario, CrashFault, CrashPoint, FaultPlan};
+use cx_chaos::{
+    run_plan, run_plan_partitioned, ChaosScenario, CrashFault, CrashPoint, FaultPlan, NetAction,
+    NetFault,
+};
 use cx_cluster::{FlightRecorder, ObsSink};
-use cx_types::{Protocol, ServerId, DUR_MS};
+use cx_types::{MsgKind, Protocol, ServerId, DUR_MS};
 use cx_wal::RecordFamily;
 
 fn scenario() -> ChaosScenario {
@@ -45,7 +50,8 @@ fn participant_crash_fires_at_the_same_virtual_time_partitioned() {
 
     let single = run_plan(&scn, &plan);
     let flight = FlightRecorder::new(256);
-    let part = run_plan_partitioned(&scn, &plan, 2, ObsSink::Off, Some(flight.clone()));
+    let part = run_plan_partitioned(&scn, &plan, 2, ObsSink::Off, Some(flight.clone()))
+        .expect("crash-only plans partition deterministically");
 
     assert_eq!(part.failures, Vec::<String>::new());
     // A participant crash legitimately wedges the client ops whose
@@ -90,8 +96,8 @@ fn coordinator_crash_partitioned_is_deterministic() {
     let scn = scenario();
     let plan = crash(0, RecordFamily::Commit, 1);
 
-    let a = run_plan_partitioned(&scn, &plan, 2, ObsSink::Off, None);
-    let b = run_plan_partitioned(&scn, &plan, 2, ObsSink::Off, None);
+    let a = run_plan_partitioned(&scn, &plan, 2, ObsSink::Off, None).expect("crash-only");
+    let b = run_plan_partitioned(&scn, &plan, 2, ObsSink::Off, None).expect("crash-only");
     assert_eq!(
         a.digest, b.digest,
         "fixed-(seed, N) chaos replays must be bit-identical"
@@ -102,7 +108,44 @@ fn coordinator_crash_partitioned_is_deterministic() {
     assert_eq!(a.outcome.stats.faults.recoveries, 1);
 
     // `parts == 1` must be the plain single-threaded chaos path.
-    let p1 = run_plan_partitioned(&scn, &plan, 1, ObsSink::Off, None);
+    let p1 = run_plan_partitioned(&scn, &plan, 1, ObsSink::Off, None).expect("p1 is unrestricted");
     let direct = run_plan(&scn, &plan);
     assert_eq!(p1.digest, direct.digest);
+}
+
+/// The PR6 caveat, fixed properly: a net fault with an unpinned sender
+/// would count "the globally Nth match" across partition threads, so the
+/// partitioned runner must refuse it up front with a clear config error —
+/// never run it to order-dependent results. Pinning the sender (or
+/// running single-threaded) makes the same plan acceptable.
+#[test]
+fn global_nth_net_matchers_are_a_config_error() {
+    let scn = scenario();
+    let mut plan = FaultPlan {
+        net: vec![NetFault {
+            kind: MsgKind::Vote,
+            from: None,
+            to: Some(ServerId(1)),
+            nth: 3,
+            action: NetAction::Drop,
+        }],
+        ..FaultPlan::default()
+    };
+
+    let err = match run_plan_partitioned(&scn, &plan, 2, ObsSink::Off, None) {
+        Err(e) => e,
+        Ok(_) => panic!("unpinned-sender net faults must be rejected for parts > 1"),
+    };
+    assert!(
+        err.contains("from: None") && err.contains("order-dependent"),
+        "the error must name the problem: {err}"
+    );
+    // No partial run happened: the check is up-front, so the same call at
+    // parts == 1 executes normally...
+    run_plan_partitioned(&scn, &plan, 1, ObsSink::Off, None)
+        .expect("single-threaded runs are unrestricted");
+    // ...and pinning the sender makes the plan deterministic again.
+    plan.net[0].from = Some(ServerId(0));
+    run_plan_partitioned(&scn, &plan, 2, ObsSink::Off, None)
+        .expect("sender-pinned net faults count one partition's send order");
 }

@@ -1512,7 +1512,7 @@ fn flow_node(e: Endpoint) -> FlowNode {
 /// The operation a message serves, for tying its edge to a span. Batched
 /// commitment messages carry many ops; the first one stands in (the edge
 /// still draws, and `cx-obs trace` matches any member by the args field).
-fn primary_op(payload: &Payload) -> Option<OpId> {
+pub(crate) fn primary_op(payload: &Payload) -> Option<OpId> {
     match payload {
         Payload::SubOpReq { op_id, .. }
         | Payload::SubOpResp { op_id, .. }

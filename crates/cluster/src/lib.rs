@@ -10,12 +10,17 @@
 //!   metadata server, crossbeam channels as the network) exercising the
 //!   same engines under true concurrency; used by the integration tests
 //!   and the Criterion micro-benchmarks.
+//! * [`tcp`] — the same engines over real loopback TCP via `cx-net`
+//!   (length-prefixed wire frames, reconnecting connection managers,
+//!   per-peer health); runs in-process or one OS process per server,
+//!   with the DES as its oracle for the run totals.
 
 pub mod des;
 pub mod fault;
 pub mod feed;
 pub mod par;
 pub mod stats;
+pub mod tcp;
 pub mod threaded;
 
 pub use cx_obs::{FlightRecorder, MetricRegistry, ObsConfig, ObsReport, ObsSink};
@@ -26,4 +31,5 @@ pub use par::{
     run_chaos_partitioned, run_stream_partitioned, run_stream_partitioned_obs, PartitionMap,
 };
 pub use stats::{AckRecord, FaultStats, LatencyStat, RecoveryCycle, RunStats, TimelineSample};
+pub use tcp::{serve_one, TcpCluster, TcpOptions, TcpRunResult};
 pub use threaded::{LiveMetrics, ThreadedCluster, ThreadedRunResult};

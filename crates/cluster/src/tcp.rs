@@ -1,0 +1,943 @@
+//! The TCP runtime: the same sans-IO engines over real loopback sockets.
+//!
+//! Structurally a sibling of [`crate::threaded`] — one engine thread per
+//! metadata server, synchronous client threads pulling from a shared
+//! [`OpFeed`] — but every message crosses a real TCP connection through
+//! `cx-net`'s [`ConnectionManager`]: length-prefixed wire frames, per-peer
+//! writer threads with bounded (backpressuring) outbound queues, reconnect
+//! with exponential backoff, per-peer health scoring. The engines cannot
+//! tell; the DES remains the oracle for what the totals must be.
+//!
+//! Two deployment shapes share all of this code:
+//!
+//! * **in-process loopback** ([`TcpCluster::run_stream`]) — every server
+//!   node lives on its own thread in this process, with a shared
+//!   [`AddrBook`]; the integration tests and `perf_baseline --net tcp`
+//!   use this.
+//! * **multi-process** ([`TcpCluster::run_external`] + [`serve_one`]) —
+//!   one OS process per server (`cx_net_server`); the coordinator knows
+//!   only their socket addresses and gossips the peer map with a
+//!   [`Frame::Peers`] frame so servers can dial each other.
+//!
+//! Control traffic (quiesce/probe/stop) rides the same connections as
+//! protocol messages, so the threaded runtime's drain protocol works
+//! unchanged: quiesce rounds until every server reports quiesced, then a
+//! `Stop` whose `StopResp` carries the server's stats as JSON plus a
+//! binary snapshot of its [`MetaStore`] rows for the coordinator-side
+//! [`GlobalView`] atomicity check.
+
+use crate::feed::OpFeed;
+use crate::stats::RunStats;
+use crate::threaded::{seed_engine, LiveMetrics};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use cx_mdstore::{GlobalView, MetaStore, Violation};
+use cx_net::{AddrBook, ConnectionManager, Frame, HealthSnapshot, NodeId, PlaneConfig};
+use cx_obs::registry::{Counter, MetricRegistry, Series};
+use cx_obs::{FlowNode, ObsSink};
+use cx_protocol::{
+    Action, ClientDecision, ClientOp, Endpoint, ProtoMetrics, ServerEngine, ServerStats,
+};
+use cx_sim::TimerQueue;
+use cx_types::{
+    ClusterConfig, FileKind, InodeNo, MsgKind, Name, OpId, OpOutcome, Payload, Placement, ProcId,
+    Protocol, ServerId, SimTime,
+};
+use cx_workloads::{SeedEntry, StreamTrace, Trace};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Map a protocol endpoint onto the wire node that hosts it: servers are
+/// their own nodes; every client proc lives on the single client host.
+fn node_of(ep: Endpoint) -> NodeId {
+    match ep {
+        Endpoint::Server(s) => NodeId::Server(s.0),
+        Endpoint::Proc(_) => NodeId::ClientHost(0),
+    }
+}
+
+fn flow_of(ep: Endpoint) -> FlowNode {
+    match ep {
+        Endpoint::Server(s) => FlowNode::Server(s.0),
+        Endpoint::Proc(p) => FlowNode::Client(p.client.0),
+    }
+}
+
+/// Per-server report shipped inside [`Frame::StopResp`]'s `stats_json`.
+/// JSON (not wire-encoded) deliberately: it reuses the existing serde
+/// derives on [`ServerStats`]/[`ProtoMetrics`] and stays inspectable on
+/// the wire; `msgs` is the flat per-[`MsgKind`] send counter.
+#[derive(Serialize, Deserialize)]
+struct WireReport {
+    stats: ServerStats,
+    proto: ProtoMetrics,
+    msgs: Vec<u64>,
+    server_msgs: u64,
+    client_msgs: u64,
+}
+
+/// Options for a TCP run.
+pub struct TcpOptions {
+    /// Observability sink installed into every in-process engine and
+    /// client (external server processes run with their own sinks off).
+    pub obs: ObsSink,
+    /// Wire-plane tuning (backoff, queue capacity).
+    pub net: PlaneConfig,
+    /// Live metric exposition, exactly as in the threaded runtime.
+    pub live: Option<LiveMetrics>,
+    /// Reconnect drill: after this many completed client operations, drop
+    /// the coordinator's connection to every server once, mid-run. The
+    /// run must still complete losslessly (pending frames are retained
+    /// and re-sent after the backoff re-dial); `TcpRunResult::reconnects`
+    /// reports the re-dials observed.
+    pub drop_conns_after_ops: Option<u64>,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        Self {
+            obs: ObsSink::Off,
+            net: PlaneConfig::default(),
+            live: None,
+            drop_conns_after_ops: None,
+        }
+    }
+}
+
+/// Result of a TCP run: the same shape as a threaded run, plus the wire
+/// plane's operational counters.
+pub struct TcpRunResult {
+    pub stats: RunStats,
+    pub violations: Vec<Violation>,
+    pub wall: Duration,
+    /// Successful re-dials after a lost or dropped connection
+    /// (coordinator side).
+    pub reconnects: u64,
+    /// Final health snapshot per peer the coordinator talked to.
+    pub health: Vec<(NodeId, HealthSnapshot)>,
+}
+
+/// The TCP cluster runtime.
+pub struct TcpCluster;
+
+impl TcpCluster {
+    /// Run `trace` over in-process loopback TCP.
+    pub fn run(cfg: ClusterConfig, trace: &Trace) -> TcpRunResult {
+        Self::run_stream(cfg, trace.to_stream())
+    }
+
+    /// Streamed form over in-process loopback TCP.
+    pub fn run_stream(cfg: ClusterConfig, st: StreamTrace) -> TcpRunResult {
+        Self::run_stream_opts(cfg, st, TcpOptions::default())
+    }
+
+    /// In-process loopback with explicit options.
+    pub fn run_stream_opts(cfg: ClusterConfig, st: StreamTrace, opts: TcpOptions) -> TcpRunResult {
+        run_inner(cfg, st, opts, None)
+    }
+
+    /// Multi-process form: the servers are external processes (started
+    /// via [`serve_one`], typically the `cx_net_server` binary) already
+    /// listening on `addrs[i]` for `ServerId(i)`. The coordinator gossips
+    /// the full peer map to every server, then drives the identical
+    /// client/drain/stop protocol over the wire.
+    pub fn run_external(
+        cfg: ClusterConfig,
+        st: StreamTrace,
+        addrs: &[SocketAddr],
+        opts: TcpOptions,
+    ) -> TcpRunResult {
+        run_inner(cfg, st, opts, Some(addrs.to_vec()))
+    }
+}
+
+/// Serve one metadata server over TCP until the coordinator sends `Stop`:
+/// the body of the `cx_net_server` process. Binds an ephemeral loopback
+/// port, reports it through `on_listen` (the parent reads it from stdout),
+/// then runs the engine loop. Peer addresses arrive over the wire: the
+/// coordinator's `Hello` registers the client host, a `Peers` frame names
+/// the other servers.
+pub fn serve_one(
+    cfg: &ClusterConfig,
+    me: ServerId,
+    seeds: &[SeedEntry],
+    on_listen: impl FnOnce(SocketAddr),
+) -> std::io::Result<()> {
+    let book = Arc::new(AddrBook::new());
+    let (conn, inbound) =
+        ConnectionManager::start(NodeId::Server(me.0), book, PlaneConfig::default())?;
+    on_listen(conn.listen_addr());
+    server_node_loop(
+        cfg,
+        me,
+        seeds,
+        Arc::new(conn),
+        inbound,
+        Instant::now(),
+        ObsSink::Off,
+    );
+    Ok(())
+}
+
+// ---- server node ----
+
+/// Everything a server node needs to put a payload on the wire, plus its
+/// send-side message accounting (the DES counts sends the same way).
+struct ServerNetCtx {
+    conn: Arc<ConnectionManager>,
+    epoch: Instant,
+    me: ServerId,
+    msg_counts: [u64; MsgKind::COUNT],
+    server_msgs: u64,
+    client_msgs: u64,
+}
+
+impl ServerNetCtx {
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn send(&mut self, to: Endpoint, payload: Payload) {
+        self.msg_counts[payload.kind() as usize] += 1;
+        match to {
+            Endpoint::Server(_) => self.server_msgs += 1,
+            Endpoint::Proc(_) => self.client_msgs += 1,
+        }
+        let frame = Frame::Msg {
+            sent_ns: self.now().0,
+            from: Endpoint::Server(self.me),
+            to,
+            payload,
+        };
+        let _ = self.conn.send(node_of(to), frame);
+    }
+}
+
+/// Interpret engine actions. Disk completions are immediate, as in the
+/// threaded runtime (this runtime checks correctness under concurrency
+/// and real sockets, not timing); timers go into the node's local queue.
+fn process_server_actions(
+    engine: &mut dyn ServerEngine,
+    actions: Vec<Action>,
+    ctx: &mut ServerNetCtx,
+    timers: &mut TimerQueue<u64>,
+) {
+    let mut work: VecDeque<Action> = actions.into();
+    while let Some(action) = work.pop_front() {
+        match action {
+            Action::Send { to, payload } => ctx.send(to, payload),
+            Action::LogAppend { token, .. }
+            | Action::DbSyncWrite { token, .. }
+            | Action::DbWriteback { token, .. }
+            | Action::LogRead { token, .. }
+            | Action::DbRandomRead { token, .. } => {
+                let mut out = Vec::new();
+                engine.on_disk_done(ctx.now(), token, &mut out);
+                work.extend(out);
+            }
+            Action::SetTimer { token, delay_ns } => {
+                timers.push(SimTime(ctx.now().0 + delay_ns), token);
+            }
+        }
+    }
+}
+
+/// One server node's engine loop: frames in, frames out, local timers at
+/// wall-clock rate, until the coordinator's `Stop` (or the wire plane
+/// disconnects). Shared verbatim between in-process threads and external
+/// `cx_net_server` processes.
+fn server_node_loop(
+    cfg: &ClusterConfig,
+    me: ServerId,
+    seeds: &[SeedEntry],
+    conn: Arc<ConnectionManager>,
+    inbound: Receiver<(NodeId, Frame)>,
+    epoch: Instant,
+    obs: ObsSink,
+) {
+    let placement = Placement::new(cfg.servers);
+    let mut engine = cx_protocol::make_server(me, cfg);
+    engine.install_obs(obs.clone());
+    seed_engine(engine.as_mut(), &placement, seeds, me);
+
+    let mut timers: TimerQueue<u64> = TimerQueue::new();
+    let mut ctx = ServerNetCtx {
+        conn,
+        epoch,
+        me,
+        msg_counts: [0; MsgKind::COUNT],
+        server_msgs: 0,
+        client_msgs: 0,
+    };
+
+    let mut boot = Vec::new();
+    engine.on_start(ctx.now(), &mut boot);
+    process_server_actions(engine.as_mut(), boot, &mut ctx, &mut timers);
+
+    loop {
+        let timeout = timers
+            .peek_deadline()
+            .map(|d| {
+                (ctx.epoch + Duration::from_nanos(d.0)).saturating_duration_since(Instant::now())
+            })
+            .unwrap_or(Duration::from_millis(20));
+        match inbound.recv_timeout(timeout) {
+            Ok((from_node, frame)) => match frame {
+                Frame::Msg {
+                    sent_ns,
+                    from,
+                    to: _,
+                    payload,
+                } => {
+                    let now = ctx.now();
+                    obs.msg_edge(
+                        crate::des::primary_op(&payload),
+                        payload.kind().into(),
+                        flow_of(from),
+                        FlowNode::Server(me.0),
+                        sent_ns,
+                        now.0,
+                    );
+                    let mut out = Vec::new();
+                    engine.on_msg(now, from, payload, &mut out);
+                    process_server_actions(engine.as_mut(), out, &mut ctx, &mut timers);
+                }
+                Frame::Quiesce => {
+                    let mut out = Vec::new();
+                    engine.quiesce(ctx.now(), &mut out);
+                    process_server_actions(engine.as_mut(), out, &mut ctx, &mut timers);
+                }
+                Frame::Probe { token } => {
+                    let _ = ctx.conn.send(
+                        from_node,
+                        Frame::ProbeResp {
+                            token,
+                            quiesced: engine.is_quiesced(),
+                        },
+                    );
+                }
+                Frame::Stop => {
+                    let report = WireReport {
+                        stats: *engine.stats(),
+                        proto: engine.proto_metrics(),
+                        msgs: ctx.msg_counts.to_vec(),
+                        server_msgs: ctx.server_msgs,
+                        client_msgs: ctx.client_msgs,
+                    };
+                    let stats_json = serde_json::to_string(&report)
+                        .expect("server report serializes")
+                        .into_bytes();
+                    let store = engine.store();
+                    let inodes = store
+                        .inodes()
+                        .map(|(ino, inode)| {
+                            let kind = match inode.kind {
+                                FileKind::Regular => 0u8,
+                                FileKind::Directory => 1,
+                            };
+                            (ino.0, kind, inode.nlink)
+                        })
+                        .collect();
+                    let dentries = store
+                        .dentries()
+                        .map(|(&(parent, name), &child)| (parent.0, name.0, child.0))
+                        .collect();
+                    let _ = ctx.conn.send(
+                        from_node,
+                        Frame::StopResp {
+                            stats_json,
+                            inodes,
+                            dentries,
+                        },
+                    );
+                    break;
+                }
+                Frame::Peers { servers } => {
+                    for (s, addr) in servers {
+                        if NodeId::Server(s) != ctx.conn.me() {
+                            if let Ok(a) = addr.parse() {
+                                ctx.conn.book().set(NodeId::Server(s), a);
+                            }
+                        }
+                    }
+                }
+                // Hello is consumed by the manager; other control frames
+                // are coordinator-bound and never reach a server.
+                _ => {}
+            },
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        let now = ctx.now();
+        while timers.peek_deadline().is_some_and(|d| d <= now) {
+            let (_, token) = timers.pop().expect("peeked");
+            let mut out = Vec::new();
+            engine.on_timer(ctx.now(), token, &mut out);
+            process_server_actions(engine.as_mut(), out, &mut ctx, &mut timers);
+        }
+    }
+    // Orderly shutdown flushes the outbound queues, so the StopResp (and
+    // any trailing protocol messages) reach their peers.
+    ctx.conn.shutdown();
+}
+
+// ---- client host (coordinator) ----
+
+enum ProcMsg {
+    Net { from: Endpoint, payload: Payload },
+}
+
+/// The client host's sender: puts client payloads on the wire and keeps
+/// the client-side share of the per-kind message accounting.
+#[derive(Clone)]
+struct ClientNet {
+    conn: Arc<ConnectionManager>,
+    epoch: Instant,
+    counts: Arc<Mutex<[u64; MsgKind::COUNT]>>,
+    client_msgs: Arc<AtomicU64>,
+}
+
+impl ClientNet {
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn send(&self, from: Endpoint, to: Endpoint, payload: Payload) {
+        self.counts.lock()[payload.kind() as usize] += 1;
+        self.client_msgs.fetch_add(1, Ordering::Relaxed);
+        let frame = Frame::Msg {
+            sent_ns: self.now().0,
+            from,
+            to,
+            payload,
+        };
+        let _ = self.conn.send(node_of(to), frame);
+    }
+}
+
+/// Mid-run connection-drop drill (see [`TcpOptions::drop_conns_after_ops`]).
+struct DropDrill {
+    after: u64,
+    fired: AtomicBool,
+    done_ops: AtomicU64,
+    conn: Arc<ConnectionManager>,
+    servers: u32,
+}
+
+impl DropDrill {
+    fn tick(&self) {
+        let n = self.done_ops.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= self.after && !self.fired.swap(true, Ordering::Relaxed) {
+            for s in 0..self.servers {
+                self.conn.drop_connection(NodeId::Server(s));
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn client_loop(
+    me: u32,
+    feed: Arc<Mutex<OpFeed>>,
+    rx: Receiver<ProcMsg>,
+    net: ClientNet,
+    cfg: &ClusterConfig,
+    placement: Placement,
+    outcomes: Arc<Mutex<Vec<(OpId, OpOutcome, bool)>>>,
+    obs: ObsSink,
+    registry: Option<MetricRegistry>,
+    drill: Option<Arc<DropDrill>>,
+) {
+    let proc = ProcId::new(me, 0);
+    let from_me = Endpoint::Proc(proc);
+    let mut seq = 0u64;
+    loop {
+        let next = feed.lock().next_for(me);
+        let Some(op) = next else {
+            return;
+        };
+        let op_id = OpId::new(proc, seq);
+        seq += 1;
+        let plan = placement.plan(op);
+        let cross = plan.is_cross_server();
+        let issued_at = net.now();
+        obs.op_issued(op_id, op.class(), cross, issued_at);
+        let mut out = Vec::new();
+        let mut client = ClientOp::start(cfg.protocol, op_id, plan, &cfg.cx, &mut out);
+        let mut timer: Option<(Instant, u64)> = None;
+        send_client_actions(&net, from_me, out, &mut timer);
+
+        let outcome = loop {
+            let wait = timer
+                .map(|(at, _)| at.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_secs(30));
+            match rx.recv_timeout(wait) {
+                Ok(ProcMsg::Net { from, payload }) => {
+                    let mut out = Vec::new();
+                    let d = client.on_msg(net.now(), from, payload, &mut out);
+                    send_client_actions(&net, from_me, out, &mut timer);
+                    if let ClientDecision::Done(outcome) = d {
+                        break outcome;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    let Some((_, token)) = timer.take() else {
+                        panic!("client {me} timed out waiting for op {op_id} over TCP");
+                    };
+                    let mut out = Vec::new();
+                    let d = client.on_timer(net.now(), token, &mut out);
+                    send_client_actions(&net, from_me, out, &mut timer);
+                    if let ClientDecision::Done(outcome) = d {
+                        break outcome;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        let done = net.now();
+        let awaits = cross && cfg.protocol == Protocol::Cx;
+        obs.op_replied(op_id, done, outcome, awaits);
+        let latency = done.0.saturating_sub(issued_at.0);
+        obs.client_latency(op.class(), cross, latency);
+        if let Some(reg) = &registry {
+            reg.inc(Counter::OpsIssued);
+            reg.inc(match outcome {
+                OpOutcome::Applied => Counter::OpsApplied,
+                OpOutcome::Failed => Counter::OpsFailed,
+            });
+            if cross {
+                reg.inc(Counter::CrossOps);
+            }
+            reg.observe(Series::ClientLatencyNs, latency);
+        }
+        outcomes.lock().push((op_id, outcome, cross));
+        if let Some(d) = &drill {
+            d.tick();
+        }
+    }
+}
+
+fn send_client_actions(
+    net: &ClientNet,
+    from: Endpoint,
+    actions: Vec<Action>,
+    timer: &mut Option<(Instant, u64)>,
+) {
+    for action in actions {
+        match action {
+            Action::Send { to, payload } => net.send(from, to, payload),
+            Action::SetTimer { token, delay_ns } => {
+                *timer = Some((Instant::now() + Duration::from_nanos(delay_ns), token));
+            }
+            other => unreachable!("clients have no disks: {other:?}"),
+        }
+    }
+}
+
+// ---- the run ----
+
+fn run_inner(
+    cfg: ClusterConfig,
+    st: StreamTrace,
+    opts: TcpOptions,
+    external: Option<Vec<SocketAddr>>,
+) -> TcpRunResult {
+    let StreamTrace {
+        name: _,
+        processes,
+        seeds,
+        roots,
+        total_ops_hint,
+        ops,
+    } = st;
+    let start = Instant::now();
+    let epoch = start;
+    let placement = Placement::new(cfg.servers);
+
+    let book = Arc::new(AddrBook::new());
+    let (conn, inbound) =
+        ConnectionManager::start(NodeId::ClientHost(0), Arc::clone(&book), opts.net.clone())
+            .expect("bind coordinator listener");
+    let conn = Arc::new(conn);
+
+    // Server nodes: in-process threads sharing the address book, or
+    // external processes reached through the gossiped peer map.
+    let mut server_threads = Vec::new();
+    match &external {
+        None => {
+            for i in 0..cfg.servers {
+                let (sconn, sin) = ConnectionManager::start(
+                    NodeId::Server(i),
+                    Arc::clone(&book),
+                    opts.net.clone(),
+                )
+                .expect("bind server listener");
+                book.set(NodeId::Server(i), sconn.listen_addr());
+                let cfg = cfg.clone();
+                let seeds = seeds.clone();
+                let obs = opts.obs.clone();
+                server_threads.push(thread::spawn(move || {
+                    server_node_loop(&cfg, ServerId(i), &seeds, Arc::new(sconn), sin, epoch, obs)
+                }));
+            }
+        }
+        Some(addrs) => {
+            assert_eq!(
+                addrs.len(),
+                cfg.servers as usize,
+                "one external server address per configured server"
+            );
+            for (i, a) in addrs.iter().enumerate() {
+                book.set(NodeId::Server(i as u32), *a);
+            }
+            let peers: Vec<(u32, String)> = addrs
+                .iter()
+                .enumerate()
+                .map(|(i, a)| (i as u32, a.to_string()))
+                .collect();
+            for i in 0..cfg.servers {
+                let _ = conn.send(
+                    NodeId::Server(i),
+                    Frame::Peers {
+                        servers: peers.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    // Demux pump: protocol messages to their proc's channel, control
+    // replies (probe/stop) to the coordinator's control channel.
+    let mut proc_tx = Vec::new();
+    let mut proc_rx = Vec::new();
+    for _ in 0..processes {
+        let (tx, rx) = unbounded::<ProcMsg>();
+        proc_tx.push(tx);
+        proc_rx.push(rx);
+    }
+    let (ctrl_tx, ctrl_rx) = unbounded::<(NodeId, Frame)>();
+    let pump = {
+        let obs = opts.obs.clone();
+        let proc_tx: Vec<Sender<ProcMsg>> = proc_tx.clone();
+        thread::spawn(move || {
+            while let Ok((node, frame)) = inbound.recv() {
+                match frame {
+                    Frame::Msg {
+                        sent_ns,
+                        from,
+                        to: Endpoint::Proc(p),
+                        payload,
+                    } => {
+                        obs.msg_edge(
+                            crate::des::primary_op(&payload),
+                            payload.kind().into(),
+                            flow_of(from),
+                            FlowNode::Client(p.client.0),
+                            sent_ns,
+                            epoch.elapsed().as_nanos() as u64,
+                        );
+                        if let Some(tx) = proc_tx.get(p.client.0 as usize) {
+                            let _ = tx.send(ProcMsg::Net { from, payload });
+                        }
+                    }
+                    Frame::ProbeResp { .. } | Frame::StopResp { .. } => {
+                        let _ = ctrl_tx.send((node, frame));
+                    }
+                    _ => {}
+                }
+            }
+        })
+    };
+    drop(proc_tx);
+
+    // Live-exposition monitor, exactly as in the threaded runtime.
+    let live_reg = opts.live.as_ref().map(|l| l.registry.clone());
+    let monitor_stop = Arc::new(AtomicBool::new(false));
+    let monitor_thread = opts.live.as_ref().and_then(|l| {
+        let out = l.out.clone()?;
+        let reg = l.registry.clone();
+        let period = l.period;
+        let stop = Arc::clone(&monitor_stop);
+        Some(thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                LiveMetrics::write_files(&reg, &out);
+                thread::sleep(period);
+            }
+        }))
+    });
+
+    let client_counts = Arc::new(Mutex::new([0u64; MsgKind::COUNT]));
+    let client_msgs = Arc::new(AtomicU64::new(0));
+    let net = ClientNet {
+        conn: Arc::clone(&conn),
+        epoch,
+        counts: Arc::clone(&client_counts),
+        client_msgs: Arc::clone(&client_msgs),
+    };
+    let drill = opts.drop_conns_after_ops.map(|after| {
+        Arc::new(DropDrill {
+            after,
+            fired: AtomicBool::new(false),
+            done_ops: AtomicU64::new(0),
+            conn: Arc::clone(&conn),
+            servers: cfg.servers,
+        })
+    });
+
+    // Client threads, sharing one locked feed over the stream.
+    let outcomes = Arc::new(Mutex::new(Vec::<(OpId, OpOutcome, bool)>::new()));
+    let feed = Arc::new(Mutex::new(OpFeed::new(ops, processes, total_ops_hint)));
+    let mut client_threads = Vec::new();
+    for (i, rx) in proc_rx.into_iter().enumerate() {
+        let net = net.clone();
+        let cfg = cfg.clone();
+        let outcomes = Arc::clone(&outcomes);
+        let feed = Arc::clone(&feed);
+        let obs = opts.obs.clone();
+        let reg = live_reg.clone();
+        let drill = drill.clone();
+        client_threads.push(thread::spawn(move || {
+            client_loop(
+                i as u32, feed, rx, net, &cfg, placement, outcomes, obs, reg, drill,
+            )
+        }));
+    }
+    for t in client_threads {
+        t.join().expect("client thread panicked");
+    }
+
+    // Drain: quiesce rounds over the wire until every server reports
+    // quiesced (tokens tie probe replies to their round, so a straggling
+    // reply from a timed-out round cannot satisfy a later one).
+    let server_nodes: Vec<NodeId> = (0..cfg.servers).map(NodeId::Server).collect();
+    for round in 0..200u64 {
+        for &s in &server_nodes {
+            let _ = conn.send(s, Frame::Quiesce);
+        }
+        thread::sleep(Duration::from_millis(2));
+        let mut pending: HashMap<NodeId, u64> = server_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, round * 4096 + i as u64))
+            .collect();
+        for (&s, &token) in &pending {
+            let _ = conn.send(s, Frame::Probe { token });
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut all = true;
+        while !pending.is_empty() {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                all = false;
+                break;
+            }
+            match ctrl_rx.recv_timeout(left) {
+                Ok((node, Frame::ProbeResp { token, quiesced })) => {
+                    if pending.get(&node) == Some(&token) {
+                        pending.remove(&node);
+                        if !quiesced {
+                            all = false;
+                        }
+                    }
+                }
+                Ok(_) => {}
+                Err(_) => {
+                    all = false;
+                    break;
+                }
+            }
+        }
+        if all && pending.is_empty() {
+            break;
+        }
+    }
+
+    // Collect final state: Stop each server; its StopResp carries stats
+    // and the store snapshot for the global atomicity check.
+    let mut stats = RunStats::new(cfg.protocol, cfg.servers, processes);
+    let mut flat = [0u64; MsgKind::COUNT];
+    let mut stores = Vec::new();
+    for &s in &server_nodes {
+        let _ = conn.send(s, Frame::Stop);
+    }
+    let mut awaiting: HashSet<NodeId> = server_nodes.iter().copied().collect();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !awaiting.is_empty() {
+        let left = deadline.saturating_duration_since(Instant::now());
+        let (node, frame) = ctrl_rx
+            .recv_timeout(left)
+            .expect("server final state over TCP");
+        if let Frame::StopResp {
+            stats_json,
+            inodes,
+            dentries,
+        } = frame
+        {
+            if !awaiting.remove(&node) {
+                continue;
+            }
+            let text = String::from_utf8(stats_json).expect("stats json is utf-8");
+            let report: WireReport = serde_json::from_str(&text).expect("stats json parses");
+            stats.server_stats.merge(&report.stats);
+            stats.proto.merge(&report.proto);
+            for (slot, n) in flat.iter_mut().zip(report.msgs.iter()) {
+                *slot += n;
+            }
+            stats.server_msgs += report.server_msgs;
+            stats.client_msgs += report.client_msgs;
+            // Rebuild the server's namespace rows (attribute versions are
+            // not part of the snapshot; the atomicity check only reads
+            // kind/nlink and the entry table).
+            let mut store = MetaStore::new();
+            for (ino, kind, nlink) in inodes {
+                let kind = if kind == 1 {
+                    FileKind::Directory
+                } else {
+                    FileKind::Regular
+                };
+                store.seed_inode(InodeNo(ino), kind, nlink);
+            }
+            for (parent, name, child) in dentries {
+                store.seed_dentry(InodeNo(parent), Name(name), InodeNo(child));
+            }
+            stores.push(store);
+        }
+    }
+
+    for (slot, n) in flat.iter_mut().zip(client_counts.lock().iter()) {
+        *slot += n;
+    }
+    stats.client_msgs += client_msgs.load(Ordering::Relaxed);
+    for (kind, &n) in MsgKind::ALL.iter().zip(&flat) {
+        if n > 0 {
+            stats.msgs.insert(*kind, n);
+        }
+    }
+    for (_, outcome, cross) in outcomes.lock().iter() {
+        stats.record_outcome(*outcome);
+        stats.ops_total += 1;
+        if *cross {
+            stats.cross_ops += 1;
+        }
+    }
+    if let Some(l) = &opts.live {
+        stats.proto.publish(&l.registry);
+        monitor_stop.store(true, Ordering::Relaxed);
+        if let Some(t) = monitor_thread {
+            let _ = t.join();
+        }
+        if let Some(out) = &l.out {
+            LiveMetrics::write_files(&l.registry, out);
+        }
+    }
+
+    let violations = GlobalView::merge(stores.iter()).check(&roots);
+    let reconnects = conn.reconnects_total();
+    let health = conn.health_all();
+
+    conn.shutdown();
+    drop(net);
+    drop(drill);
+    drop(conn);
+    let _ = pump.join();
+    for t in server_threads {
+        let _ = t.join();
+    }
+
+    TcpRunResult {
+        stats,
+        violations,
+        wall: start.elapsed(),
+        reconnects,
+        health,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_types::BatchTrigger;
+    use cx_workloads::{TraceBuilder, TraceProfile};
+
+    fn fast_cfg(servers: u32, protocol: Protocol) -> ClusterConfig {
+        let mut cfg = ClusterConfig::new(servers, protocol);
+        // wall-clock triggers must be short in tests
+        cfg.cx.trigger = BatchTrigger::Timeout {
+            period_ns: 5_000_000, // 5 ms
+        };
+        cfg.cx.hint_mismatch_timeout_ns = 20_000_000;
+        cfg
+    }
+
+    #[test]
+    fn tcp_loopback_trace_replay_is_consistent() {
+        let trace = TraceBuilder::new(TraceProfile::by_name("CTH").unwrap())
+            .scale(0.001)
+            .build();
+        let res = TcpCluster::run(fast_cfg(4, Protocol::Cx), &trace);
+        assert_eq!(res.violations, vec![]);
+        assert_eq!(res.stats.ops_total, trace.ops.len() as u64);
+        assert!(res.stats.server_stats.ops_committed > 0);
+        assert!(res.stats.total_msgs() > 0, "messages crossed real sockets");
+    }
+
+    #[test]
+    fn tcp_reconnect_drill_completes_losslessly() {
+        let trace = TraceBuilder::new(TraceProfile::by_name("CTH").unwrap())
+            .scale(0.001)
+            .build();
+        let opts = TcpOptions {
+            drop_conns_after_ops: Some(20),
+            ..TcpOptions::default()
+        };
+        let res = TcpCluster::run_stream_opts(fast_cfg(4, Protocol::Cx), trace.to_stream(), opts);
+        assert_eq!(res.violations, vec![]);
+        assert_eq!(res.stats.ops_total, trace.ops.len() as u64);
+        assert!(
+            res.reconnects >= 1,
+            "the drill must force at least one re-dial"
+        );
+    }
+
+    #[test]
+    fn tcp_multiprocess_shape_in_threads() {
+        // The external-address path, driven by in-process `serve_one`
+        // nodes on their own threads: exercises the Peers gossip and the
+        // wire-only stats/store collection that the `cx_net_server`
+        // multi-process mode relies on.
+        let trace = TraceBuilder::new(TraceProfile::by_name("CTH").unwrap())
+            .scale(0.0005)
+            .build();
+        let cfg = fast_cfg(2, Protocol::Cx);
+        let (addr_tx, addr_rx) = unbounded();
+        let mut nodes = Vec::new();
+        for i in 0..cfg.servers {
+            let cfg = cfg.clone();
+            let seeds = trace.seeds.clone();
+            let addr_tx = addr_tx.clone();
+            nodes.push(thread::spawn(move || {
+                serve_one(&cfg, ServerId(i), &seeds, |a| {
+                    addr_tx.send((i, a)).unwrap();
+                })
+                .expect("serve_one binds");
+            }));
+        }
+        let mut addrs = vec![None; cfg.servers as usize];
+        for _ in 0..cfg.servers {
+            let (i, a) = addr_rx.recv().unwrap();
+            addrs[i as usize] = Some(a);
+        }
+        let addrs: Vec<SocketAddr> = addrs.into_iter().map(|a| a.unwrap()).collect();
+        let res = TcpCluster::run_external(cfg, trace.to_stream(), &addrs, TcpOptions::default());
+        assert_eq!(res.violations, vec![]);
+        assert_eq!(res.stats.ops_total, trace.ops.len() as u64);
+        for t in nodes {
+            t.join().unwrap();
+        }
+    }
+}

@@ -99,7 +99,7 @@ impl LiveMetrics {
         }
     }
 
-    fn write_files(registry: &MetricRegistry, out: &std::path::Path) {
+    pub(crate) fn write_files(registry: &MetricRegistry, out: &std::path::Path) {
         let snap = registry.snapshot();
         let _ = std::fs::write(out.with_extension("prom"), snap.to_prometheus_text());
         let _ = std::fs::write(out.with_extension("json"), snap.to_json());
@@ -227,7 +227,7 @@ impl ThreadedCluster {
         });
 
         // Client threads, sharing one locked feed over the stream.
-        let outcomes = Arc::new(Mutex::new(Vec::<(OpId, OpOutcome)>::new()));
+        let outcomes = Arc::new(Mutex::new(Vec::<(OpId, OpOutcome, bool)>::new()));
         let feed = Arc::new(Mutex::new(OpFeed::new(ops, processes, total_ops_hint)));
         let mut client_threads = Vec::new();
         for (i, rx) in proc_rx.into_iter().enumerate() {
@@ -278,9 +278,12 @@ impl ThreadedCluster {
         drop(router); // stops the timer thread (channel disconnect)
         let _ = timer_thread.join();
 
-        for (_, outcome) in outcomes.lock().iter() {
+        for (_, outcome, cross) in outcomes.lock().iter() {
             stats.record_outcome(*outcome);
             stats.ops_total += 1;
+            if *cross {
+                stats.cross_ops += 1;
+            }
         }
         if let Some(l) = &live {
             // Engines only report their protocol series at stop time;
@@ -304,7 +307,7 @@ impl ThreadedCluster {
     }
 }
 
-fn seed_engine(
+pub(crate) fn seed_engine(
     engine: &mut dyn ServerEngine,
     placement: &Placement,
     seeds: &[SeedEntry],
@@ -436,7 +439,7 @@ fn client_loop(
     router: Router,
     cfg: &ClusterConfig,
     placement: Placement,
-    outcomes: Arc<Mutex<Vec<(OpId, OpOutcome)>>>,
+    outcomes: Arc<Mutex<Vec<(OpId, OpOutcome, bool)>>>,
     obs: cx_obs::ObsSink,
     registry: Option<MetricRegistry>,
 ) {
@@ -509,7 +512,7 @@ fn client_loop(
             }
             reg.observe(Series::ClientLatencyNs, latency);
         }
-        outcomes.lock().push((op_id, outcome));
+        outcomes.lock().push((op_id, outcome, cross));
     }
 }
 

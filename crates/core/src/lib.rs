@@ -35,7 +35,7 @@
 //! | `cx-wal` | Result/Commit/Abort/Complete records, pruning, durability |
 //! | `cx-mdstore` | per-server metadata rows + cross-server consistency checks |
 //! | `cx-simio` | disk model: group commit, elevator merging |
-//! | `cx-cluster` | deterministic simulation + threaded runtime |
+//! | `cx-cluster` | deterministic simulation + threaded + TCP runtimes |
 //! | `cx-workloads` | the six Table II trace profiles + Metarates |
 //! | `cx-recovery` | the Table V crash/recovery experiment |
 
@@ -45,7 +45,8 @@ pub use cx_cluster::{
     des::run_trace, run_chaos_partitioned, run_stream_partitioned, run_stream_partitioned_obs,
     run_stream_trace, AckRecord, ChaosOutcome, ClusterSnapshot, CrashCmd, CrashPlan, DesCluster,
     FaultEvent, FaultInjector, FaultStats, LatencyStat, LiveMetrics, MsgFate, PartitionMap,
-    RecoveryCycle, RecoveryReport, RunStats, ThreadedCluster, TimelineSample,
+    RecoveryCycle, RecoveryReport, RunStats, TcpCluster, TcpOptions, TcpRunResult, ThreadedCluster,
+    TimelineSample,
 };
 pub use cx_mdstore::Violation;
 pub use cx_obs::{

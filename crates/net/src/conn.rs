@@ -1,0 +1,568 @@
+//! Connection management: one listener + per-peer writer threads.
+//!
+//! Topology: every node runs one [`ConnectionManager`]. Connections are
+//! simplex — a node dials out to write, and accepts to read. The first
+//! frame on every connection is a [`Frame::Hello`] naming the dialer and
+//! its own listen port, so the acceptor can attribute inbound frames and
+//! learn the dial-back address without a rendezvous service.
+//!
+//! Per peer, the manager keeps a writer thread fed by a **bounded** queue:
+//! when the peer is slow (or reconnecting), `send` blocks the caller — that
+//! is the backpressure policy, chosen over dropping because the protocol
+//! engines assume a lossless transport (loss recovery belongs to the chaos
+//! plane, not the wire). Writes go through a scratch buffer so each frame
+//! is one `write_all`; a connection is only ever closed at a frame
+//! boundary, which keeps reconnects lossless too.
+//!
+//! Reconnect: on dial/write failure the writer re-dials with exponential
+//! backoff (base doubling to a cap), re-sends its `Hello`, and retains the
+//! in-flight frame. [`ConnectionManager::drop_connection`] closes a live
+//! socket at the next frame boundary — the hook the reconnect drills use.
+
+use crate::health::{HealthSnapshot, PeerHealth};
+use crate::wire::{read_frame, write_frame, Frame};
+use crate::NodeId;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the wire plane.
+#[derive(Debug, Clone)]
+pub struct PlaneConfig {
+    /// First reconnect delay; doubles per consecutive failure.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Outbound frames buffered per peer before `send` blocks.
+    pub queue_cap: usize,
+}
+
+impl Default for PlaneConfig {
+    fn default() -> Self {
+        Self {
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_secs(1),
+            queue_cap: 1024,
+        }
+    }
+}
+
+/// Shared map of node → listen address. Pre-populated for in-process
+/// clusters; learned from `Hello` handshakes and `Peers` gossip frames in
+/// multi-process mode.
+pub struct AddrBook {
+    inner: Mutex<HashMap<NodeId, SocketAddr>>,
+}
+
+impl Default for AddrBook {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddrBook {
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+    pub fn set(&self, node: NodeId, addr: SocketAddr) {
+        self.inner.lock().insert(node, addr);
+    }
+    pub fn get(&self, node: NodeId) -> Option<SocketAddr> {
+        self.inner.lock().get(&node).copied()
+    }
+}
+
+struct Peer {
+    tx: Sender<Frame>,
+    health: Arc<PeerHealth>,
+    kill: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Serializes the forward loops of successive connections from the same
+/// peer: across a reconnect, the old connection's reader drains to EOF and
+/// releases the node's lock before the new connection's reader may forward
+/// its first frame. This preserves per-peer FIFO order into the inbound
+/// channel (the writer only ever closes at a frame boundary, so the drain
+/// is complete).
+struct ReaderOrder {
+    locks: Mutex<HashMap<NodeId, Arc<Mutex<()>>>>,
+}
+
+impl Default for ReaderOrder {
+    fn default() -> Self {
+        Self {
+            locks: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl ReaderOrder {
+    fn lock_for(&self, node: NodeId) -> Arc<Mutex<()>> {
+        Arc::clone(
+            self.locks
+                .lock()
+                .entry(node)
+                .or_insert_with(|| Arc::new(Mutex::new(()))),
+        )
+    }
+}
+
+/// One node's view of the wire: a listener (reads) plus on-demand writer
+/// threads (one per peer it has sent to).
+pub struct ConnectionManager {
+    me: NodeId,
+    listen_addr: SocketAddr,
+    book: Arc<AddrBook>,
+    cfg: PlaneConfig,
+    /// Kept so the merged inbound channel stays connected for the whole
+    /// manager lifetime, even between reader generations.
+    _inbound_tx: Sender<(NodeId, Frame)>,
+    peers: Mutex<HashMap<NodeId, Peer>>,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Mutex<Option<JoinHandle<()>>>,
+    /// Read-side sockets, retained so shutdown can unblock their readers.
+    reader_socks: Arc<Mutex<Vec<TcpStream>>>,
+    reader_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    reconnects: Arc<AtomicU64>,
+}
+
+impl ConnectionManager {
+    /// Bind a loopback listener and start accepting. Returns the manager
+    /// and the merged inbound channel: `(peer, frame)` for every frame any
+    /// peer sends us (the `Hello` handshake itself is consumed internally).
+    pub fn start(
+        me: NodeId,
+        book: Arc<AddrBook>,
+        cfg: PlaneConfig,
+    ) -> io::Result<(Self, Receiver<(NodeId, Frame)>)> {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?;
+        let listen_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let (inbound_tx, inbound_rx) = unbounded();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let reader_socks: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let reader_handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_handle = {
+            let inbound_tx = inbound_tx.clone();
+            let shutdown = Arc::clone(&shutdown);
+            let book = Arc::clone(&book);
+            let socks = Arc::clone(&reader_socks);
+            let handles = Arc::clone(&reader_handles);
+            let order = Arc::new(ReaderOrder::default());
+            thread::spawn(move || {
+                accept_loop(listener, inbound_tx, shutdown, book, socks, handles, order);
+            })
+        };
+
+        Ok((
+            Self {
+                me,
+                listen_addr,
+                book,
+                cfg,
+                _inbound_tx: inbound_tx,
+                peers: Mutex::new(HashMap::new()),
+                shutdown,
+                accept_handle: Mutex::new(Some(accept_handle)),
+                reader_socks,
+                reader_handles,
+                reconnects: Arc::new(AtomicU64::new(0)),
+            },
+            inbound_rx,
+        ))
+    }
+
+    pub fn listen_addr(&self) -> SocketAddr {
+        self.listen_addr
+    }
+
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The shared address book this manager dials through (peer-map
+    /// gossip writes learned addresses here).
+    pub fn book(&self) -> &AddrBook {
+        &self.book
+    }
+
+    /// Queue a frame for `to`. Blocks when the peer's outbound queue is
+    /// full (backpressure). Errors only if the manager is shut down.
+    pub fn send(&self, to: NodeId, frame: Frame) -> Result<(), &'static str> {
+        if self.shutdown.load(Ordering::Relaxed) {
+            return Err("connection manager is shut down");
+        }
+        let tx = {
+            let mut peers = self.peers.lock();
+            let peer = peers.entry(to).or_insert_with(|| self.spawn_writer(to));
+            peer.tx.clone()
+        };
+        // Blocking send outside the peers lock: backpressure must not
+        // serialize sends to *other* peers.
+        tx.send(frame).map_err(|_| "peer writer exited")
+    }
+
+    fn spawn_writer(&self, to: NodeId) -> Peer {
+        let (tx, rx) = bounded(self.cfg.queue_cap);
+        let health = Arc::new(PeerHealth::new());
+        let kill = Arc::new(AtomicBool::new(false));
+        let ctx = WriterCtx {
+            me: self.me,
+            to,
+            listen_port: self.listen_addr.port(),
+            book: Arc::clone(&self.book),
+            cfg: self.cfg.clone(),
+            health: Arc::clone(&health),
+            kill: Arc::clone(&kill),
+            shutdown: Arc::clone(&self.shutdown),
+            reconnects: Arc::clone(&self.reconnects),
+        };
+        let handle = thread::spawn(move || writer_loop(ctx, rx));
+        Peer {
+            tx,
+            health,
+            kill,
+            handle: Some(handle),
+        }
+    }
+
+    /// Close the live connection to `to` at the next frame boundary; the
+    /// writer re-dials with backoff. No frames are lost (the close happens
+    /// between frames and the peer reads to EOF).
+    pub fn drop_connection(&self, to: NodeId) -> bool {
+        let peers = self.peers.lock();
+        match peers.get(&to) {
+            Some(p) => {
+                p.kill.store(true, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn health(&self, to: NodeId) -> Option<HealthSnapshot> {
+        self.peers.lock().get(&to).map(|p| p.health.snapshot())
+    }
+
+    /// Health of every peer this node has written to, in node order.
+    pub fn health_all(&self) -> Vec<(NodeId, HealthSnapshot)> {
+        let peers = self.peers.lock();
+        let mut v: Vec<_> = peers
+            .iter()
+            .map(|(n, p)| (*n, p.health.snapshot()))
+            .collect();
+        v.sort_by_key(|(n, _)| *n);
+        v
+    }
+
+    /// Total successful re-dials across all peers (0 for a run where no
+    /// connection was ever lost).
+    pub fn reconnects_total(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, drain and join every writer, unblock every reader.
+    /// Queued outbound frames are flushed before writers exit (unless their
+    /// peer is unreachable).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Drop senders so writers drain their queues and exit.
+        let peers: Vec<Peer> = {
+            let mut map = self.peers.lock();
+            let keys: Vec<NodeId> = map.keys().copied().collect();
+            keys.into_iter().filter_map(|k| map.remove(&k)).collect()
+        };
+        for mut p in peers {
+            drop(p.tx);
+            if let Some(h) = p.handle.take() {
+                let _ = h.join();
+            }
+        }
+        if let Some(h) = self.accept_handle.lock().take() {
+            let _ = h.join();
+        }
+        for s in self.reader_socks.lock().drain(..) {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        let handles: Vec<JoinHandle<()>> = self.reader_handles.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+struct WriterCtx {
+    me: NodeId,
+    to: NodeId,
+    listen_port: u16,
+    book: Arc<AddrBook>,
+    cfg: PlaneConfig,
+    health: Arc<PeerHealth>,
+    kill: Arc<AtomicBool>,
+    shutdown: Arc<AtomicBool>,
+    reconnects: Arc<AtomicU64>,
+}
+
+fn writer_loop(ctx: WriterCtx, rx: Receiver<Frame>) {
+    let mut conn: Option<TcpStream> = None;
+    let mut ever_connected = false;
+    let mut scratch = Vec::with_capacity(256);
+    let mut pending: Option<Frame> = None;
+    loop {
+        if ctx.kill.swap(false, Ordering::Relaxed) {
+            // Orderly close at a frame boundary; everything written so far
+            // is flushed by the OS on close.
+            conn = None;
+        }
+        let frame = match pending.take() {
+            Some(f) => f,
+            None => match rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(f) => f,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                // All senders dropped *and* the queue is drained: done.
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+            },
+        };
+        // Ensure a live connection, backing off between failed dials.
+        let mut backoff = ctx.cfg.backoff_base;
+        while conn.is_none() {
+            if ctx.shutdown.load(Ordering::Relaxed) && ctx.health.consecutive() > 0 {
+                // Peer unreachable during shutdown: drop the queue.
+                return;
+            }
+            match dial(&ctx, &mut scratch) {
+                Ok(s) => {
+                    if ever_connected {
+                        ctx.health.note_reconnect();
+                        ctx.reconnects.fetch_add(1, Ordering::Relaxed);
+                    }
+                    ever_connected = true;
+                    conn = Some(s);
+                }
+                Err(_) => {
+                    ctx.health.note_failure();
+                    thread::sleep(backoff);
+                    backoff = (backoff * 2).min(ctx.cfg.backoff_max);
+                }
+            }
+        }
+        let stream = conn.as_mut().expect("connection established above");
+        let t0 = Instant::now();
+        match write_frame(stream, &frame, &mut scratch) {
+            Ok(()) => ctx.health.note_send(t0.elapsed()),
+            Err(_) => {
+                ctx.health.note_failure();
+                conn = None;
+                pending = Some(frame); // retry on the next connection
+            }
+        }
+    }
+}
+
+fn dial(ctx: &WriterCtx, scratch: &mut Vec<u8>) -> io::Result<TcpStream> {
+    let addr = ctx
+        .book
+        .get(ctx.to)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "peer address unknown"))?;
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    write_frame(
+        &mut stream,
+        &Frame::Hello {
+            node: ctx.me,
+            listen_port: ctx.listen_port,
+        },
+        scratch,
+    )?;
+    Ok(stream)
+}
+
+impl PeerHealth {
+    fn consecutive(&self) -> u64 {
+        self.snapshot().consecutive_failures
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn accept_loop(
+    listener: TcpListener,
+    inbound_tx: Sender<(NodeId, Frame)>,
+    shutdown: Arc<AtomicBool>,
+    book: Arc<AddrBook>,
+    socks: Arc<Mutex<Vec<TcpStream>>>,
+    handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    order: Arc<ReaderOrder>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, peer_addr)) => {
+                let _ = stream.set_nodelay(true);
+                if let Ok(clone) = stream.try_clone() {
+                    socks.lock().push(clone);
+                }
+                let tx = inbound_tx.clone();
+                let book = Arc::clone(&book);
+                let order = Arc::clone(&order);
+                let h = thread::spawn(move || reader_loop(stream, peer_addr.ip(), tx, book, order));
+                handles.lock().push(h);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                if shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+fn reader_loop(
+    mut stream: TcpStream,
+    peer_ip: IpAddr,
+    inbound: Sender<(NodeId, Frame)>,
+    book: Arc<AddrBook>,
+    order: Arc<ReaderOrder>,
+) {
+    // Strict handshake: the first frame must identify the dialer.
+    let from = match read_frame(&mut stream) {
+        Ok(Some(Frame::Hello { node, listen_port })) => {
+            if listen_port != 0 {
+                book.set(node, SocketAddr::new(peer_ip, listen_port));
+            }
+            node
+        }
+        _ => return, // anonymous or garbage connection: refuse
+    };
+    // FIFO across reconnects: wait until the previous connection from this
+    // node (if any) has drained to EOF.
+    let node_lock = order.lock_for(from);
+    let _guard = node_lock.lock();
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(frame)) => {
+                if inbound.send((from, frame)).is_err() {
+                    return; // node is shutting down
+                }
+            }
+            Ok(None) => return, // clean close at a frame boundary
+            Err(_) => return,   // reset / malformed; writer side re-dials
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_nodes_exchange_frames_over_loopback() {
+        let book = Arc::new(AddrBook::new());
+        let (a, _rx_a) =
+            ConnectionManager::start(NodeId::Server(0), Arc::clone(&book), PlaneConfig::default())
+                .unwrap();
+        let (b, rx_b) =
+            ConnectionManager::start(NodeId::Server(1), Arc::clone(&book), PlaneConfig::default())
+                .unwrap();
+        book.set(NodeId::Server(0), a.listen_addr());
+        book.set(NodeId::Server(1), b.listen_addr());
+
+        for t in 0..100u64 {
+            a.send(NodeId::Server(1), Frame::Probe { token: t })
+                .unwrap();
+        }
+        for t in 0..100u64 {
+            let (from, f) = rx_b.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(from, NodeId::Server(0));
+            assert_eq!(f, Frame::Probe { token: t }, "in-order delivery");
+        }
+        let h = a.health(NodeId::Server(1)).unwrap();
+        assert_eq!(h.sends, 100);
+        assert!(h.score > 0.5);
+        assert_eq!(a.reconnects_total(), 0);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn dropped_connection_reconnects_without_frame_loss() {
+        let book = Arc::new(AddrBook::new());
+        let cfg = PlaneConfig {
+            backoff_base: Duration::from_millis(1),
+            ..PlaneConfig::default()
+        };
+        let (a, _rx_a) =
+            ConnectionManager::start(NodeId::Server(0), Arc::clone(&book), cfg.clone()).unwrap();
+        let (b, rx_b) =
+            ConnectionManager::start(NodeId::Server(1), Arc::clone(&book), cfg).unwrap();
+        book.set(NodeId::Server(1), b.listen_addr());
+
+        // Phase 1: deliver a batch, and wait for it so the writer is
+        // provably idle when the connection is dropped.
+        for t in 0..200u64 {
+            a.send(NodeId::Server(1), Frame::Probe { token: t })
+                .unwrap();
+        }
+        for t in 0..200u64 {
+            let (_, f) = rx_b.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(f, Frame::Probe { token: t });
+        }
+        // Phase 2: drop the live socket, keep sending. The writer closes at
+        // the next frame boundary and must re-dial to deliver the rest.
+        assert!(a.drop_connection(NodeId::Server(1)));
+        for t in 200..500u64 {
+            a.send(NodeId::Server(1), Frame::Probe { token: t })
+                .unwrap();
+        }
+        for t in 200..500u64 {
+            let (_, f) = rx_b.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(f, Frame::Probe { token: t }, "no loss across reconnect");
+        }
+        assert!(
+            a.reconnects_total() >= 1,
+            "the dropped connection must have been re-dialed"
+        );
+        assert!(a.health(NodeId::Server(1)).unwrap().reconnects >= 1);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn dial_to_unknown_peer_backs_off_until_address_appears() {
+        let book = Arc::new(AddrBook::new());
+        let cfg = PlaneConfig {
+            backoff_base: Duration::from_millis(1),
+            ..PlaneConfig::default()
+        };
+        let (a, _rx_a) =
+            ConnectionManager::start(NodeId::Server(0), Arc::clone(&book), cfg.clone()).unwrap();
+        // Send before the peer address is known: the writer retries.
+        a.send(NodeId::Server(1), Frame::Probe { token: 7 })
+            .unwrap();
+        thread::sleep(Duration::from_millis(10));
+        assert!(a.health(NodeId::Server(1)).unwrap().consecutive_failures > 0);
+
+        let (b, rx_b) =
+            ConnectionManager::start(NodeId::Server(1), Arc::clone(&book), cfg).unwrap();
+        book.set(NodeId::Server(1), b.listen_addr());
+        let (_, f) = rx_b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(f, Frame::Probe { token: 7 });
+        a.shutdown();
+        b.shutdown();
+    }
+}

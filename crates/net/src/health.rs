@@ -1,0 +1,158 @@
+//! Per-peer health scoring.
+//!
+//! Every peer writer keeps a [`PeerHealth`] updated from the send path:
+//! successful writes feed a latency EWMA and reset the consecutive-failure
+//! streak; failed dials/writes extend it. The combined [`score`] folds both
+//! signals into `(0, 1]` — 1.0 is a healthy low-latency peer, each
+//! consecutive failure halves the score, and sustained latency above the
+//! 1 ms loopback target decays it smoothly.
+//!
+//! [`score`]: PeerHealth::score
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Latency at which the latency factor reaches 0.5 (loopback sends are
+/// typically tens of microseconds, so a healthy peer stays near 1.0).
+const TARGET_LATENCY_NS: u64 = 1_000_000;
+
+/// EWMA weight for new samples: `ewma += (sample - ewma) / 5` (α = 0.2).
+const EWMA_DIV: u64 = 5;
+
+/// Shared, lock-free health record for one peer. Writers update it from the
+/// send path; any thread may snapshot it.
+#[derive(Debug, Default)]
+pub struct PeerHealth {
+    sends: AtomicU64,
+    failures: AtomicU64,
+    consecutive_failures: AtomicU64,
+    reconnects: AtomicU64,
+    ewma_ns: AtomicU64,
+}
+
+/// Point-in-time copy of a peer's health counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthSnapshot {
+    pub sends: u64,
+    pub failures: u64,
+    pub consecutive_failures: u64,
+    pub reconnects: u64,
+    /// Exponentially-weighted moving average of send (write) latency.
+    pub ewma_ns: u64,
+    /// Combined health in `(0, 1]`; see module docs.
+    pub score: f64,
+}
+
+impl PeerHealth {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a successful frame write and its wall latency.
+    pub fn note_send(&self, latency: Duration) {
+        let sample = latency.as_nanos().min(u64::MAX as u128) as u64;
+        // Single-writer EWMA: the peer's writer thread is the only caller,
+        // so a read-modify-write without CAS is race-free.
+        let old = self.ewma_ns.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            sample
+        } else if sample >= old {
+            old + (sample - old) / EWMA_DIV
+        } else {
+            old - (old - sample) / EWMA_DIV
+        };
+        self.ewma_ns.store(new, Ordering::Relaxed);
+        self.sends.fetch_add(1, Ordering::Relaxed);
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+    }
+
+    /// Record a failed dial or write.
+    pub fn note_failure(&self) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        self.consecutive_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a successful re-dial after the connection was lost or dropped.
+    pub fn note_reconnect(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Combined health in `(0, 1]`: `2^-consecutive_failures` (saturating)
+    /// times a latency factor `target / (target + ewma)`.
+    pub fn score(&self) -> f64 {
+        let streak = self.consecutive_failures.load(Ordering::Relaxed).min(32);
+        let failure_factor = 0.5f64.powi(streak as i32);
+        let ewma = self.ewma_ns.load(Ordering::Relaxed);
+        let latency_factor = TARGET_LATENCY_NS as f64 / (TARGET_LATENCY_NS + ewma) as f64;
+        failure_factor * latency_factor
+    }
+
+    pub fn snapshot(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            sends: self.sends.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            consecutive_failures: self.consecutive_failures.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            ewma_ns: self.ewma_ns.load(Ordering::Relaxed),
+            score: self.score(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_peer_scores_one() {
+        let h = PeerHealth::new();
+        assert_eq!(h.score(), 1.0);
+        let s = h.snapshot();
+        assert_eq!(s.sends, 0);
+        assert_eq!(s.reconnects, 0);
+    }
+
+    #[test]
+    fn failures_halve_the_score_and_success_resets() {
+        let h = PeerHealth::new();
+        h.note_failure();
+        assert!(h.score() <= 0.5);
+        h.note_failure();
+        assert!(h.score() <= 0.25);
+        h.note_send(Duration::from_micros(10));
+        assert!(h.score() > 0.9, "success resets the streak");
+    }
+
+    #[test]
+    fn latency_ewma_converges_and_decays_score() {
+        let h = PeerHealth::new();
+        for _ in 0..64 {
+            h.note_send(Duration::from_millis(10));
+        }
+        let s = h.snapshot();
+        assert!(
+            s.ewma_ns > 8_000_000,
+            "ewma {} should approach 10ms",
+            s.ewma_ns
+        );
+        assert!(s.score < 0.2, "10ms loopback latency is unhealthy");
+        for _ in 0..256 {
+            h.note_send(Duration::from_micros(20));
+        }
+        assert!(h.snapshot().score > 0.5, "ewma recovers after fast sends");
+    }
+
+    #[test]
+    fn score_saturates_instead_of_underflowing() {
+        let h = PeerHealth::new();
+        for _ in 0..100 {
+            h.note_failure();
+        }
+        let s = h.score();
+        assert!(s > 0.0 && s < 1e-9);
+    }
+}

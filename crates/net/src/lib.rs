@@ -1,0 +1,50 @@
+//! `cx-net` — the TCP wire plane (ROADMAP item 2).
+//!
+//! Three layers, mirroring the classic wire/connection/peer-registry split:
+//!
+//! * [`wire`] — a length-prefixed binary codec for every protocol
+//!   [`cx_types::Payload`] kind plus the runtime control frames
+//!   (handshake, peer gossip, quiesce/probe/stop). Totally defensive:
+//!   arbitrary bytes decode to typed [`wire::WireError`]s, never panics.
+//! * [`conn`] — a [`conn::ConnectionManager`] per node: one listener, one
+//!   writer thread + bounded outbound queue per peer (backpressure by
+//!   blocking the sender), reconnect with exponential backoff, and an
+//!   inbound channel merging every accepted connection.
+//! * [`health`] — per-peer [`health::PeerHealth`] scoring: consecutive
+//!   failures, reconnect counts, and a send-latency EWMA folded into a
+//!   single score in `(0, 1]`.
+//!
+//! The crate knows nothing about engines or clusters: `cx-cluster`'s
+//! `TcpCluster` runtime composes these pieces into a runnable cluster
+//! (in-process loopback or one OS process per server) and keeps the DES as
+//! its oracle.
+
+pub mod conn;
+pub mod health;
+pub mod wire;
+
+pub use conn::{AddrBook, ConnectionManager, PlaneConfig};
+pub use health::{HealthSnapshot, PeerHealth};
+pub use wire::{
+    decode_frame, encode_frame, encode_to_vec, read_frame, write_frame, Frame, WireError,
+    MAX_FRAME_LEN, WIRE_VERSION,
+};
+
+/// A node on the wire: a metadata server or a client host (a process that
+/// runs many client procs and speaks for all of them). Distinct from the
+/// protocol-level [`cx_protocol::Endpoint`]: endpoints are routed *onto*
+/// nodes (every `Endpoint::Proc` lives on a client host).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NodeId {
+    Server(u32),
+    ClientHost(u32),
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeId::Server(s) => write!(f, "srv{s}"),
+            NodeId::ClientHost(c) => write!(f, "cli{c}"),
+        }
+    }
+}

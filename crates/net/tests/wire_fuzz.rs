@@ -1,0 +1,122 @@
+//! Decoder fuzz: arbitrary bytes never panic the wire decoder (ISSUE 7
+//! satellite 2). Three generators stress different failure surfaces:
+//!
+//! 1. pure random bytes — mostly hit version/tag checks;
+//! 2. truncations of valid frames — every prefix must fail `Truncated`
+//!    (or decode to the same frame once complete);
+//! 3. single-byte corruptions of valid frames — must either decode to
+//!    *some* frame (bit flips in value fields are legal payloads) or
+//!    return a typed error, never panic or over-allocate.
+
+use cx_net::wire::{decode_frame, encode_to_vec, Frame, WireError, MAX_FRAME_LEN};
+use cx_protocol::Endpoint;
+use cx_types::{Hint, OpId, Payload, ProcId, ServerId, Verdict};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+fn sample_frame(rng: &mut SmallRng) -> Frame {
+    let op_id = OpId::new(
+        ProcId::new(rng.gen_range(0u32..100), rng.gen_range(0u32..100)),
+        rng.next_u64(),
+    );
+    match rng.gen_range(0u32..5) {
+        0 => Frame::Msg {
+            sent_ns: rng.next_u64(),
+            from: Endpoint::Server(ServerId(0)),
+            to: Endpoint::Proc(ProcId::new(1, 2)),
+            payload: Payload::SubOpResp {
+                op_id,
+                verdict: Verdict::Yes,
+                hint: Hint(vec![op_id]),
+            },
+        },
+        1 => Frame::Msg {
+            sent_ns: rng.next_u64(),
+            from: Endpoint::Server(ServerId(1)),
+            to: Endpoint::Server(ServerId(2)),
+            payload: Payload::Vote {
+                ops: (0..rng.gen_range(0u64..6))
+                    .map(|s| OpId::new(ProcId::new(0, 0), s))
+                    .collect(),
+                order_after: vec![],
+            },
+        },
+        2 => Frame::Peers {
+            servers: vec![(0, "127.0.0.1:9000".into())],
+        },
+        3 => Frame::ProbeResp {
+            token: rng.next_u64(),
+            quiesced: true,
+        },
+        _ => Frame::StopResp {
+            stats_json: b"{}".to_vec(),
+            inodes: vec![(rng.next_u64(), 1, 2)],
+            dentries: vec![(1, rng.next_u64(), 3)],
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(500))]
+
+    #[test]
+    /// Pure random bytes: decode returns, never panics, and any `Ok` must
+    /// have consumed within bounds.
+    fn random_bytes_never_panic(seed in any::<u64>(), len in 0usize..256) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect();
+        if let Ok((_, used)) = decode_frame(&bytes) {
+            prop_assert!(used <= bytes.len());
+        }
+    }
+
+    #[test]
+    /// Every strict prefix of a valid frame fails with a typed error
+    /// (almost always `Truncated`; a cut inside the length prefix also
+    /// reads as truncated).
+    fn truncations_yield_typed_errors(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let bytes = encode_to_vec(&sample_frame(&mut rng));
+        for cut in 0..bytes.len() {
+            match decode_frame(&bytes[..cut]) {
+                Err(WireError::Truncated) => {}
+                Err(e) => prop_assert!(false, "cut at {cut}: unexpected error {e:?}"),
+                Ok(_) => prop_assert!(false, "cut at {cut}: decoded from a strict prefix"),
+            }
+        }
+    }
+
+    #[test]
+    /// Single-byte corruption anywhere in a valid frame either decodes (a
+    /// value-field flip is a different but legal frame) or yields a typed
+    /// error; it never panics and never allocates beyond the input size.
+    fn corrupted_frames_never_panic(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let bytes = encode_to_vec(&sample_frame(&mut rng));
+        for at in 0..bytes.len() {
+            let mut evil = bytes.clone();
+            evil[at] ^= 1 << rng.gen_range(0u32..8);
+            if let Ok((_, used)) = decode_frame(&evil) {
+                prop_assert!(used <= evil.len());
+            }
+        }
+    }
+
+    #[test]
+    /// Hostile length prefixes: any announced length beyond the cap is
+    /// rejected before allocation; lengths within the cap but beyond the
+    /// buffer read as truncated.
+    fn hostile_length_prefixes(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut bytes = encode_to_vec(&Frame::Quiesce);
+        let huge = rng.gen_range((MAX_FRAME_LEN as u64 + 1)..u32::MAX as u64 + 1) as u32;
+        bytes[..4].copy_from_slice(&huge.to_le_bytes());
+        prop_assert_eq!(decode_frame(&bytes), Err(WireError::Oversized(huge)));
+
+        let mut bytes = encode_to_vec(&Frame::Quiesce);
+        let big_but_capped = rng.gen_range(1000u32..MAX_FRAME_LEN);
+        bytes[..4].copy_from_slice(&big_but_capped.to_le_bytes());
+        prop_assert_eq!(decode_frame(&bytes), Err(WireError::Truncated));
+    }
+}

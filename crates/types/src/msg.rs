@@ -280,6 +280,38 @@ impl Payload {
         }
     }
 
+    /// Stable wire tag for the TCP codec (`cx-net`): declaration order of
+    /// the `Payload` variants, 0..=19. Unlike [`Payload::kind`], this is a
+    /// bijection — `CommitDecision` and `VoteExec` keep their own tags so
+    /// the decoder can reconstruct the exact variant.
+    pub fn wire_tag(&self) -> u8 {
+        match self {
+            Payload::SubOpReq { .. } => 0,
+            Payload::SubOpResp { .. } => 1,
+            Payload::LCom { .. } => 2,
+            Payload::AllNo { .. } => 3,
+            Payload::Committed { .. } => 4,
+            Payload::Vote { .. } => 5,
+            Payload::VoteResult { .. } => 6,
+            Payload::CommitDecision { .. } => 7,
+            Payload::Ack { .. } => 8,
+            Payload::CommitmentReq { .. } => 9,
+            Payload::QueryOutcome { .. } => 10,
+            Payload::OpReq { .. } => 11,
+            Payload::OpResp { .. } => 12,
+            Payload::VoteExec { .. } => 13,
+            Payload::Clear { .. } => 14,
+            Payload::ClearResp { .. } => 15,
+            Payload::Migrate { .. } => 16,
+            Payload::MigrateResp { .. } => 17,
+            Payload::MigrateBack { .. } => 18,
+            Payload::MigrateBackAck { .. } => 19,
+        }
+    }
+
+    /// Number of distinct wire tags (= number of `Payload` variants).
+    pub const WIRE_TAG_COUNT: u8 = 20;
+
     /// Approximate wire size in bytes (header + payload), used by the
     /// network model for transfer-time accounting.
     pub fn size_bytes(&self) -> u32 {
@@ -388,6 +420,92 @@ mod tests {
     fn all_payloads_have_nonzero_size() {
         let p = Payload::LCom { op_id: oid(1) };
         assert!(p.size_bytes() >= 64);
+    }
+
+    #[test]
+    fn wire_tags_are_dense_and_distinct() {
+        // One representative per variant, in declaration order.
+        let subop = SubOp::TouchInode {
+            ino: crate::ids::InodeNo(1),
+        };
+        let all: Vec<Payload> = vec![
+            Payload::SubOpReq {
+                op_id: oid(1),
+                subop,
+                role: Role::Coordinator,
+                peer: None,
+                colocated: None,
+            },
+            Payload::SubOpResp {
+                op_id: oid(1),
+                verdict: Verdict::Yes,
+                hint: Hint::null(),
+            },
+            Payload::LCom { op_id: oid(1) },
+            Payload::AllNo { op_id: oid(1) },
+            Payload::Committed { op_id: oid(1) },
+            Payload::Vote {
+                ops: vec![],
+                order_after: vec![],
+            },
+            Payload::VoteResult { results: vec![] },
+            Payload::CommitDecision {
+                commits: vec![],
+                aborts: vec![],
+            },
+            Payload::Ack { ops: vec![] },
+            Payload::CommitmentReq {
+                pending: oid(1),
+                sweep: false,
+            },
+            Payload::QueryOutcome { ops: vec![] },
+            Payload::OpReq {
+                op_id: oid(1),
+                plan: OpPlan {
+                    op: crate::op::FsOp::Stat {
+                        ino: crate::ids::InodeNo(1),
+                    },
+                    coordinator: ServerId(0),
+                    coord_subop: subop,
+                    participant: None,
+                    colocated: None,
+                },
+            },
+            Payload::OpResp {
+                op_id: oid(1),
+                outcome: crate::op::OpOutcome::Applied,
+            },
+            Payload::VoteExec {
+                op_id: oid(1),
+                subop,
+            },
+            Payload::Clear {
+                op_id: oid(1),
+                subop,
+            },
+            Payload::ClearResp { op_id: oid(1) },
+            Payload::Migrate {
+                op_id: oid(1),
+                objs: vec![],
+            },
+            Payload::MigrateResp {
+                op_id: oid(1),
+                objs: vec![],
+            },
+            Payload::MigrateBack {
+                op_id: oid(1),
+                objs: vec![],
+                install: None,
+            },
+            Payload::MigrateBackAck {
+                op_id: oid(1),
+                verdict: Verdict::Yes,
+            },
+        ];
+        assert_eq!(all.len(), Payload::WIRE_TAG_COUNT as usize);
+        for (i, p) in all.iter().enumerate() {
+            assert_eq!(p.wire_tag() as usize, i, "{p:?} has wrong wire tag");
+        }
     }
 
     #[test]

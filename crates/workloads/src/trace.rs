@@ -17,7 +17,9 @@ pub const ROOT: InodeNo = InodeNo(1);
 pub const SHARED_DIR: InodeNo = InodeNo(2);
 
 /// Pre-existing namespace content to seed into the servers before replay.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Serializable so a multi-process TCP run can ship the seed list to
+/// server processes in their launch config (`cx_net_server`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum SeedEntry {
     Dir {
         ino: InodeNo,
