@@ -141,6 +141,19 @@ if [ "${1:-}" != "quick" ]; then
     cargo run -q --release -p cx-bench --bin perf_baseline -- \
         --label pr7 --iters 5 --filter home2 --net tcp \
         --out BENCH_PR7.json --against BENCH_PR6.json --tolerance 0.70
+
+    # The wire-throughput gate: scoped corking, client shepherds, and the
+    # single-shepherd direct inbound path must hold their speedup. The
+    # pinned floor is ~2/3 of the recorded BENCH_PR8.json loopback rate
+    # (45k ops/s on the 1-hardware-thread reference box, 2.6x the PR7
+    # wire plane) so machine noise doesn't flake the gate while a return
+    # to the pre-coalescing ~17k ops/s rate fails it loudly. The same
+    # invocation re-checks the DES replay rate against the PR7 baseline.
+    step "BENCH_PR8.json (pinned wire floor + no regression vs BENCH_PR7.json)"
+    cargo run -q --release -p cx-bench --bin perf_baseline -- \
+        --label pr8 --iters 5 --filter home2 --net tcp \
+        --out BENCH_PR8.json --against BENCH_PR7.json --tolerance 0.70 \
+        --net-floor 30000
 fi
 
 step "cargo test (workspace)"

@@ -30,8 +30,10 @@
 //!    share its cores, so the numbers are wire-plane overhead, not
 //!    cluster capacity.
 //!
-//! Every entry records `peak_rss_kb` (VmHWM, reset per entry). Results
-//! merge into `BENCH_PR7.json` at the repo root, keyed by `--label`
+//! Every entry records `peak_rss_kb` (VmHWM, reset per entry); wall-clock
+//! entries that complete client ops (the net modes) record `ops_per_sec`
+//! instead of a zero event rate. Results
+//! merge into `BENCH_PR8.json` at the repo root, keyed by `--label`
 //! (e.g. `--label before` / `--label after`), so optimization PRs commit
 //! both sides of the comparison with the same binary. After the table, a
 //! comparison against the most recent other `BENCH_PR*.json` prints
@@ -73,7 +75,8 @@
 //! Usage: `perf_baseline --label after [--iters 3] [--scale 0.05]
 //!         [--filter home2] [--out path.json] [--smoke]
 //!         [--obs [--obs-out prefix]] [--live [--metrics-out prefix]]
-//!         [--net tcp [--net-scale f]] [--net-smoke]
+//!         [--net tcp [--net-scale f] [--net-floor ops_per_sec]]
+//!         [--net-smoke]
 //!         [--multiproc [--metrics-out prefix]] [--against path.json]`
 
 use cx_core::{
@@ -84,26 +87,123 @@ use cx_workloads::Trace;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-/// One basket item's measurement. `events == 0` means the item is
-/// wall-clock-only (the recovery run has no meaningful event rate);
-/// `peak_rss_kb` is `None` for items that don't track memory (an
-/// `Option` so reports written before the column existed still parse).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// One basket item's measurement. DES entries report `events` /
+/// `events_per_sec`; wall-clock entries (the net modes, recovery) have no
+/// simulator event counter and report `ops_per_sec` instead — the old
+/// schema wrote a misleading `events: 0 / events_per_sec: 0.0` for them.
+/// Serialization is hand-rolled (the workspace serde shim has no
+/// `skip_serializing_if`): zero event counts and absent op rates are
+/// *omitted*, and reads default every optional field, so reports from
+/// either schema generation still parse for `--against`.
+#[derive(Debug, Clone)]
 struct Entry {
     name: String,
     wall_secs: f64,
     events: u64,
     events_per_sec: f64,
     ops_total: u64,
+    /// Completed client operations per second, for entries whose unit of
+    /// work is an op rather than a simulator event.
+    ops_per_sec: Option<f64>,
     peak_rss_kb: Option<u64>,
 }
 
+impl Serialize for Entry {
+    fn to_json(&self) -> serde::Json {
+        let mut o: Vec<(String, serde::Json)> = vec![
+            ("name".into(), self.name.to_json()),
+            ("wall_secs".into(), self.wall_secs.to_json()),
+        ];
+        if self.events > 0 {
+            o.push(("events".into(), self.events.to_json()));
+            o.push(("events_per_sec".into(), self.events_per_sec.to_json()));
+        }
+        o.push(("ops_total".into(), self.ops_total.to_json()));
+        if let Some(r) = self.ops_per_sec {
+            o.push(("ops_per_sec".into(), r.to_json()));
+        }
+        if let Some(kb) = self.peak_rss_kb {
+            o.push(("peak_rss_kb".into(), kb.to_json()));
+        }
+        serde::Json::Object(o)
+    }
+}
+
+impl Deserialize for Entry {
+    fn from_json(v: &serde::Json) -> Result<Self, String> {
+        let serde::Json::Object(o) = v else {
+            return Err("expected object for Entry".into());
+        };
+        let get = |k: &str| o.iter().find(|kv| kv.0 == k).map(|kv| &kv.1);
+        let req = |k: &str| get(k).ok_or_else(|| format!("missing field `{k}` in Entry"));
+        Ok(Entry {
+            name: Deserialize::from_json(req("name")?)?,
+            wall_secs: Deserialize::from_json(req("wall_secs")?)?,
+            events: match get("events") {
+                Some(v) => Deserialize::from_json(v)?,
+                None => 0,
+            },
+            events_per_sec: match get("events_per_sec") {
+                Some(v) => Deserialize::from_json(v)?,
+                None => 0.0,
+            },
+            ops_total: Deserialize::from_json(req("ops_total")?)?,
+            ops_per_sec: match get("ops_per_sec") {
+                Some(v) => Deserialize::from_json(v)?,
+                None => None,
+            },
+            peak_rss_kb: match get("peak_rss_kb") {
+                Some(v) => Deserialize::from_json(v)?,
+                None => None,
+            },
+        })
+    }
+}
+
 /// All measurements taken under one `--label`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct LabeledRun {
     label: String,
     iters: u32,
+    /// Hardware threads available when the run was taken. Honest-labeling
+    /// context for the wall-clock rates: numbers from a 1-thread box are
+    /// not comparable to multi-core runs of the same basket. Absent in
+    /// reports written before this field existed.
+    hw_threads: Option<u32>,
     entries: Vec<Entry>,
+}
+
+impl Serialize for LabeledRun {
+    fn to_json(&self) -> serde::Json {
+        let mut o: Vec<(String, serde::Json)> = vec![
+            ("label".into(), self.label.to_json()),
+            ("iters".into(), self.iters.to_json()),
+        ];
+        if let Some(t) = self.hw_threads {
+            o.push(("hw_threads".into(), t.to_json()));
+        }
+        o.push(("entries".into(), self.entries.to_json()));
+        serde::Json::Object(o)
+    }
+}
+
+impl Deserialize for LabeledRun {
+    fn from_json(v: &serde::Json) -> Result<Self, String> {
+        let serde::Json::Object(o) = v else {
+            return Err("expected object for LabeledRun".into());
+        };
+        let get = |k: &str| o.iter().find(|kv| kv.0 == k).map(|kv| &kv.1);
+        let req = |k: &str| get(k).ok_or_else(|| format!("missing field `{k}` in LabeledRun"));
+        Ok(LabeledRun {
+            label: Deserialize::from_json(req("label")?)?,
+            iters: Deserialize::from_json(req("iters")?)?,
+            hw_threads: match get("hw_threads") {
+                Some(v) => Some(Deserialize::from_json(v)?),
+                None => None,
+            },
+            entries: Deserialize::from_json(req("entries")?)?,
+        })
+    }
 }
 
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -138,6 +238,9 @@ fn measure(name: &str, iters: u32, mut run: impl FnMut() -> (u64, u64)) -> Entry
             0.0
         },
         ops_total,
+        // Wall-clock entries that complete client ops rate those instead
+        // of pretending to an event rate of zero.
+        ops_per_sec: (events == 0 && ops_total > 0 && best > 0.0).then(|| ops_total as f64 / best),
         peak_rss_kb: Some(cx_bench::peak_rss_kb()).filter(|&kb| kb > 0),
     }
 }
@@ -633,7 +736,7 @@ fn main() {
     let filter: Option<String> = args.value("--filter");
     let out: String = args
         .value("--out")
-        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR7.json").into());
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR8.json").into());
     let wants = |name: &str| filter.as_deref().is_none_or(|f| name.contains(f));
 
     let mut entries = Vec::new();
@@ -738,12 +841,43 @@ fn main() {
     if args.value::<String>("--net").as_deref() == Some("tcp") {
         let net_scale = args.value("--net-scale").unwrap_or(0.002);
         let (net_cfg, net_trace) = net_scenario(8, net_scale);
+        // Wire-tuning sweep knobs (the EXPERIMENTS.md NetTuning table is
+        // produced with these): override the default cork deadline/size.
+        let cork_ns: Option<u64> = args.value("--cork-ns");
+        let cork_bytes: Option<usize> = args.value("--cork-bytes");
+        let client_threads: Option<usize> = args.value("--client-threads");
+        let net_opts = move || {
+            let mut o = TcpOptions::default();
+            if let Some(ns) = cork_ns {
+                o.net.tuning.cork_deadline_ns = ns;
+            }
+            if let Some(b) = cork_bytes {
+                o.net.tuning.cork_bytes = b;
+            }
+            if let Some(t) = client_threads {
+                o.client_threads = t;
+            }
+            o
+        };
         if wants("home2_tcp_loopback_8s") {
+            let wire = std::cell::Cell::new(cx_core::WireTotals::default());
             entries.push(measure("home2_tcp_loopback_8s", iters, || {
-                let r = TcpCluster::run(net_cfg.clone(), &net_trace);
+                let r =
+                    TcpCluster::run_stream_opts(net_cfg.clone(), net_trace.to_stream(), net_opts());
                 assert!(r.violations.is_empty(), "tcp loopback replay dirty");
+                wire.set(r.wire);
                 (0, r.stats.ops_total)
             }));
+            let w = wire.get();
+            if w.flushes > 0 {
+                println!(
+                    "loopback wire: {} frames in {} flushes ({:.1} frames/flush), {} bytes",
+                    w.frames,
+                    w.flushes,
+                    w.frames as f64 / w.flushes as f64,
+                    w.bytes
+                );
+            }
         }
         if wants("home2_tcp_multiproc_8s") {
             entries.push(measure("home2_tcp_multiproc_8s", 1, || {
@@ -783,6 +917,7 @@ fn main() {
             "events",
             "events/s",
             "ops",
+            "ops/s",
             "peak RSS KiB",
         ],
         &entries
@@ -794,6 +929,10 @@ fn main() {
                     e.events.to_string(),
                     format!("{:.0}", e.events_per_sec),
                     e.ops_total.to_string(),
+                    match e.ops_per_sec {
+                        Some(r) => format!("{r:.0}"),
+                        None => "-".into(),
+                    },
                     match e.peak_rss_kb {
                         Some(kb) => kb.to_string(),
                         None => "-".into(),
@@ -814,6 +953,9 @@ fn main() {
     report.runs.push(LabeledRun {
         label: label.clone(),
         iters,
+        hw_threads: std::thread::available_parallelism()
+            .ok()
+            .map(|n| n.get() as u32),
         entries,
     });
 
@@ -864,5 +1006,23 @@ fn main() {
     if let Some(baseline_path) = args.value::<String>("--against") {
         let tolerance: f64 = args.value("--tolerance").unwrap_or(0.80);
         check_against(&report, &label, &baseline_path, tolerance);
+    }
+
+    // `--net-floor <ops/s>`: hard throughput gate on the loopback TCP
+    // entry — the wire plane must beat a pinned ops/s on this box.
+    if let Some(floor) = args.value::<f64>("--net-floor") {
+        let cur = report
+            .runs
+            .iter()
+            .find(|r| r.label == label)
+            .and_then(|r| r.entries.iter().find(|e| e.name == "home2_tcp_loopback_8s"))
+            .and_then(|e| e.ops_per_sec)
+            .unwrap_or(0.0);
+        println!("net floor: home2_tcp_loopback_8s {cur:.0} ops/s vs floor {floor:.0}");
+        assert!(
+            cur >= floor,
+            "wire-plane throughput regression: {cur:.0} ops/s is below the \
+             {floor:.0} ops/s floor (single-box loopback)"
+        );
     }
 }

@@ -23,6 +23,7 @@ pub mod stats;
 pub mod tcp;
 pub mod threaded;
 
+pub use cx_net::WireTotals;
 pub use cx_obs::{FlightRecorder, MetricRegistry, ObsConfig, ObsReport, ObsSink};
 pub use des::{run_stream_trace, run_trace, ChaosOutcome, CrashPlan, DesCluster, RecoveryReport};
 pub use fault::{ClusterSnapshot, CrashCmd, FaultEvent, FaultInjector, MsgFate, NoFaults};

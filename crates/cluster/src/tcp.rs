@@ -31,8 +31,8 @@ use crate::stats::RunStats;
 use crate::threaded::{seed_engine, LiveMetrics};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use cx_mdstore::{GlobalView, MetaStore, Violation};
-use cx_net::{AddrBook, ConnectionManager, Frame, HealthSnapshot, NodeId, PlaneConfig};
-use cx_obs::registry::{Counter, MetricRegistry, Series};
+use cx_net::{AddrBook, ConnectionManager, Frame, HealthSnapshot, NodeId, PlaneConfig, WireTotals};
+use cx_obs::registry::{Counter, Gauge, MetricRegistry, Series};
 use cx_obs::{FlowNode, ObsSink};
 use cx_protocol::{
     Action, ClientDecision, ClientOp, Endpoint, ProtoMetrics, ServerEngine, ServerStats,
@@ -40,7 +40,7 @@ use cx_protocol::{
 use cx_sim::TimerQueue;
 use cx_types::{
     ClusterConfig, FileKind, InodeNo, MsgKind, Name, OpId, OpOutcome, Payload, Placement, ProcId,
-    Protocol, ServerId, SimTime,
+    Protocol, ServerId, SimTime, VecPool,
 };
 use cx_workloads::{SeedEntry, StreamTrace, Trace};
 use parking_lot::Mutex;
@@ -86,7 +86,8 @@ pub struct TcpOptions {
     /// Observability sink installed into every in-process engine and
     /// client (external server processes run with their own sinks off).
     pub obs: ObsSink,
-    /// Wire-plane tuning (backoff, queue capacity).
+    /// Wire-plane tuning (backoff plus the [`cx_types::NetTuning`]
+    /// coalescing/corking/queue knobs).
     pub net: PlaneConfig,
     /// Live metric exposition, exactly as in the threaded runtime.
     pub live: Option<LiveMetrics>,
@@ -96,6 +97,14 @@ pub struct TcpOptions {
     /// and re-sent after the backoff re-dial); `TcpRunResult::reconnects`
     /// reports the re-dials observed.
     pub drop_conns_after_ops: Option<u64>,
+    /// OS threads hosting the logical clients (`0` = auto). Each logical
+    /// client stays strictly synchronous — one op in flight, per-client
+    /// FIFO — but several clients share one *shepherd* thread, so a
+    /// single wakeup drains a batch of replies and refills a batch of
+    /// requests back-to-back into the wire queue. On a box with few
+    /// hardware threads this is the difference between one futex wake
+    /// per reply and one per batch.
+    pub client_threads: usize,
 }
 
 impl Default for TcpOptions {
@@ -105,6 +114,7 @@ impl Default for TcpOptions {
             net: PlaneConfig::default(),
             live: None,
             drop_conns_after_ops: None,
+            client_threads: 0,
         }
     }
 }
@@ -120,6 +130,10 @@ pub struct TcpRunResult {
     pub reconnects: u64,
     /// Final health snapshot per peer the coordinator talked to.
     pub health: Vec<(NodeId, HealthSnapshot)>,
+    /// Frames/bytes/flushes summed across every in-process connection
+    /// manager (coordinator + loopback servers); external `cx_net_server`
+    /// processes keep their counters to themselves.
+    pub wire: WireTotals,
 }
 
 /// The TCP cluster runtime.
@@ -247,16 +261,124 @@ fn process_server_actions(
     }
 }
 
-/// One server node's engine loop: frames in, frames out, local timers at
-/// wall-clock rate, until the coordinator's `Stop` (or the wire plane
-/// disconnects). Shared verbatim between in-process threads and external
-/// `cx_net_server` processes.
+/// Handle one inbound frame on a server node. Returns `true` when the
+/// frame was the coordinator's `Stop` (the `StopResp` has been sent and
+/// the engine loop must exit).
+fn handle_server_frame(
+    engine: &mut dyn ServerEngine,
+    ctx: &mut ServerNetCtx,
+    timers: &mut TimerQueue<u64>,
+    obs: &ObsSink,
+    me: ServerId,
+    from_node: NodeId,
+    frame: Frame,
+) -> bool {
+    match frame {
+        Frame::Msg {
+            sent_ns,
+            from,
+            to: _,
+            payload,
+        } => {
+            let now = ctx.now();
+            obs.msg_edge(
+                crate::des::primary_op(&payload),
+                payload.kind().into(),
+                flow_of(from),
+                FlowNode::Server(me.0),
+                sent_ns,
+                now.0,
+            );
+            let mut out = Vec::new();
+            engine.on_msg(now, from, payload, &mut out);
+            process_server_actions(engine, out, ctx, timers);
+        }
+        Frame::Quiesce => {
+            let mut out = Vec::new();
+            engine.quiesce(ctx.now(), &mut out);
+            process_server_actions(engine, out, ctx, timers);
+        }
+        Frame::Probe { token } => {
+            let _ = ctx.conn.send(
+                from_node,
+                Frame::ProbeResp {
+                    token,
+                    quiesced: engine.is_quiesced(),
+                },
+            );
+        }
+        Frame::Stop => {
+            let report = WireReport {
+                stats: *engine.stats(),
+                proto: engine.proto_metrics(),
+                msgs: ctx.msg_counts.to_vec(),
+                server_msgs: ctx.server_msgs,
+                client_msgs: ctx.client_msgs,
+            };
+            let stats_json = serde_json::to_string(&report)
+                .expect("server report serializes")
+                .into_bytes();
+            let store = engine.store();
+            let inodes = store
+                .inodes()
+                .map(|(ino, inode)| {
+                    let kind = match inode.kind {
+                        FileKind::Regular => 0u8,
+                        FileKind::Directory => 1,
+                    };
+                    (ino.0, kind, inode.nlink)
+                })
+                .collect();
+            let dentries = store
+                .dentries()
+                .map(|(&(parent, name), &child)| (parent.0, name.0, child.0))
+                .collect();
+            let _ = ctx.conn.send(
+                from_node,
+                Frame::StopResp {
+                    stats_json,
+                    inodes,
+                    dentries,
+                },
+            );
+            return true;
+        }
+        Frame::Peers { servers } => {
+            for (s, addr) in servers {
+                if NodeId::Server(s) != ctx.conn.me() {
+                    if let Ok(a) = addr.parse() {
+                        ctx.conn.book().set(NodeId::Server(s), a);
+                    }
+                }
+            }
+        }
+        // Hello is consumed by the manager; other control frames
+        // are coordinator-bound and never reach a server.
+        _ => {}
+    }
+    false
+}
+
+/// Batches of inbound batches a server node processes per wakeup before it
+/// re-checks its timer queue: enough to amortize the channel wakeup under
+/// load, small enough to keep wall-clock timer latency bounded.
+const SERVER_DRAIN_BATCHES: usize = 512;
+
+/// One server node's engine loop: frame batches in, frames out, local
+/// timers at wall-clock rate, until the coordinator's `Stop` (or the wire
+/// plane disconnects). Shared verbatim between in-process threads and
+/// external `cx_net_server` processes.
+///
+/// The inbound channel carries whole `Vec<Frame>` batches (one per reader
+/// `read`), and each wakeup greedily drains up to [`SERVER_DRAIN_BATCHES`]
+/// more with `try_recv`, so a busy server pays one channel wakeup and one
+/// timer check per *batch of batches*, not per frame.
 fn server_node_loop(
     cfg: &ClusterConfig,
     me: ServerId,
     seeds: &[SeedEntry],
     conn: Arc<ConnectionManager>,
-    inbound: Receiver<(NodeId, Frame)>,
+    inbound: Receiver<(NodeId, Vec<Frame>)>,
     epoch: Instant,
     obs: ObsSink,
 ) {
@@ -279,99 +401,46 @@ fn server_node_loop(
     engine.on_start(ctx.now(), &mut boot);
     process_server_actions(engine.as_mut(), boot, &mut ctx, &mut timers);
 
-    loop {
+    let mut stop = false;
+    while !stop {
         let timeout = timers
             .peek_deadline()
             .map(|d| {
                 (ctx.epoch + Duration::from_nanos(d.0)).saturating_duration_since(Instant::now())
             })
             .unwrap_or(Duration::from_millis(20));
-        match inbound.recv_timeout(timeout) {
-            Ok((from_node, frame)) => match frame {
-                Frame::Msg {
-                    sent_ns,
-                    from,
-                    to: _,
-                    payload,
-                } => {
-                    let now = ctx.now();
-                    obs.msg_edge(
-                        crate::des::primary_op(&payload),
-                        payload.kind().into(),
-                        flow_of(from),
-                        FlowNode::Server(me.0),
-                        sent_ns,
-                        now.0,
-                    );
-                    let mut out = Vec::new();
-                    engine.on_msg(now, from, payload, &mut out);
-                    process_server_actions(engine.as_mut(), out, &mut ctx, &mut timers);
-                }
-                Frame::Quiesce => {
-                    let mut out = Vec::new();
-                    engine.quiesce(ctx.now(), &mut out);
-                    process_server_actions(engine.as_mut(), out, &mut ctx, &mut timers);
-                }
-                Frame::Probe { token } => {
-                    let _ = ctx.conn.send(
-                        from_node,
-                        Frame::ProbeResp {
-                            token,
-                            quiesced: engine.is_quiesced(),
-                        },
-                    );
-                }
-                Frame::Stop => {
-                    let report = WireReport {
-                        stats: *engine.stats(),
-                        proto: engine.proto_metrics(),
-                        msgs: ctx.msg_counts.to_vec(),
-                        server_msgs: ctx.server_msgs,
-                        client_msgs: ctx.client_msgs,
-                    };
-                    let stats_json = serde_json::to_string(&report)
-                        .expect("server report serializes")
-                        .into_bytes();
-                    let store = engine.store();
-                    let inodes = store
-                        .inodes()
-                        .map(|(ino, inode)| {
-                            let kind = match inode.kind {
-                                FileKind::Regular => 0u8,
-                                FileKind::Directory => 1,
-                            };
-                            (ino.0, kind, inode.nlink)
-                        })
-                        .collect();
-                    let dentries = store
-                        .dentries()
-                        .map(|(&(parent, name), &child)| (parent.0, name.0, child.0))
-                        .collect();
-                    let _ = ctx.conn.send(
-                        from_node,
-                        Frame::StopResp {
-                            stats_json,
-                            inodes,
-                            dentries,
-                        },
-                    );
+        let mut next = match inbound.recv_timeout(timeout) {
+            Ok(batch) => Some(batch),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        // One cork scope per wakeup: every frame this burst provokes
+        // (replies, cross-server ops, ack fan-out) coalesces into one
+        // write per peer when the guard drops below.
+        let conn = Arc::clone(&ctx.conn);
+        let cork = conn.cork_scope();
+        let mut drained = 0;
+        while let Some((from_node, mut frames)) = next.take() {
+            for frame in frames.drain(..) {
+                if handle_server_frame(
+                    engine.as_mut(),
+                    &mut ctx,
+                    &mut timers,
+                    &obs,
+                    me,
+                    from_node,
+                    frame,
+                ) {
+                    stop = true;
                     break;
                 }
-                Frame::Peers { servers } => {
-                    for (s, addr) in servers {
-                        if NodeId::Server(s) != ctx.conn.me() {
-                            if let Ok(a) = addr.parse() {
-                                ctx.conn.book().set(NodeId::Server(s), a);
-                            }
-                        }
-                    }
-                }
-                // Hello is consumed by the manager; other control frames
-                // are coordinator-bound and never reach a server.
-                _ => {}
-            },
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
+            }
+            ctx.conn.recycle_batch(frames);
+            drained += 1;
+            if stop || drained >= SERVER_DRAIN_BATCHES {
+                break;
+            }
+            next = inbound.try_recv().ok();
         }
         let now = ctx.now();
         while timers.peek_deadline().is_some_and(|d| d <= now) {
@@ -380,6 +449,7 @@ fn server_node_loop(
             engine.on_timer(ctx.now(), token, &mut out);
             process_server_actions(engine.as_mut(), out, &mut ctx, &mut timers);
         }
+        drop(cork);
     }
     // Orderly shutdown flushes the outbound queues, so the StopResp (and
     // any trailing protocol messages) reach their peers.
@@ -389,7 +459,13 @@ fn server_node_loop(
 // ---- client host (coordinator) ----
 
 enum ProcMsg {
-    Net { from: Endpoint, payload: Payload },
+    Net {
+        /// Logical client the frame addressed (`Endpoint::Proc`): the
+        /// shepherd thread hosting several clients demuxes on it.
+        client: u32,
+        from: Endpoint,
+        payload: Payload,
+    },
 }
 
 /// The client host's sender: puts client payloads on the wire and keeps
@@ -440,11 +516,77 @@ impl DropDrill {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn client_loop(
+/// One hosted logical client on a shepherd thread: its identity, its op
+/// sequence counter, and its in-flight op (at most one — logical clients
+/// stay strictly synchronous, exactly as when each had its own thread).
+struct ClientSlot {
     me: u32,
+    proc: ProcId,
+    seq: u64,
+    active: Option<InFlightOp>,
+    feed_done: bool,
+}
+
+struct InFlightOp {
+    op_id: OpId,
+    class: cx_types::OpClass,
+    cross: bool,
+    issued_at: SimTime,
+    client: ClientOp,
+    timer: Option<(Instant, u64)>,
+}
+
+/// Environment shared by every slot a shepherd hosts.
+struct ShepherdCtx<'a> {
+    net: &'a ClientNet,
+    cfg: &'a ClusterConfig,
+    placement: Placement,
+    outcomes: &'a Mutex<Vec<(OpId, OpOutcome, bool)>>,
+    obs: &'a ObsSink,
+    registry: Option<&'a MetricRegistry>,
+    drill: Option<&'a Arc<DropDrill>>,
+}
+
+/// Where a shepherd's replies come from.
+enum ShepherdRx {
+    /// A per-shepherd channel fed by the demux pump (several shepherds).
+    Demuxed(Receiver<ProcMsg>),
+    /// The connection manager's raw inbound, consumed directly (single
+    /// shepherd): the pump hop — one futex wake plus one channel transfer
+    /// per reply batch — disappears; the shepherd demuxes inline and
+    /// forwards control frames itself. The receiver is handed back on
+    /// exit so the coordinator can run the drain/stop protocol over it.
+    Direct {
+        inbound: Receiver<(NodeId, Vec<Frame>)>,
+        ctrl_tx: Sender<(NodeId, Frame)>,
+        pool: Arc<Mutex<VecPool<Frame>>>,
+        epoch: Instant,
+    },
+}
+
+enum ShepherdWake {
+    Replies,
+    Timeout,
+    Disconnected,
+}
+
+/// Drive a set of logical clients off one OS thread. Each wakeup drains
+/// every queued reply (one `recv` then greedy `try_recv`), then refills
+/// every idle slot with its next op — so request frames from several
+/// clients enter the wire queue back-to-back and coalesce into shared
+/// flushes, and a batch of replies costs one futex wake instead of one
+/// per client. Per-client semantics are identical to the one-thread-per-
+/// client shape: a slot never has more than one op in flight, and its op
+/// order is its feed order.
+///
+/// Returns the raw inbound receiver when running in [`ShepherdRx::Direct`]
+/// mode, so the caller can keep consuming control frames afterwards.
+#[allow(clippy::too_many_arguments)]
+fn shepherd_loop(
+    clients: Vec<u32>,
     feed: Arc<Mutex<OpFeed>>,
-    rx: Receiver<ProcMsg>,
+    rx: ShepherdRx,
+    shepherds: usize,
     net: ClientNet,
     cfg: &ClusterConfig,
     placement: Placement,
@@ -452,73 +594,267 @@ fn client_loop(
     obs: ObsSink,
     registry: Option<MetricRegistry>,
     drill: Option<Arc<DropDrill>>,
-) {
-    let proc = ProcId::new(me, 0);
-    let from_me = Endpoint::Proc(proc);
-    let mut seq = 0u64;
+) -> Option<Receiver<(NodeId, Vec<Frame>)>> {
+    let ctx = ShepherdCtx {
+        net: &net,
+        cfg,
+        placement,
+        outcomes: &outcomes,
+        obs: &obs,
+        registry: registry.as_ref(),
+        drill: drill.as_ref(),
+    };
+    let mut slots: Vec<ClientSlot> = clients
+        .iter()
+        .map(|&me| ClientSlot {
+            me,
+            proc: ProcId::new(me, 0),
+            seq: 0,
+            active: None,
+            feed_done: false,
+        })
+        .collect();
     loop {
-        let next = feed.lock().next_for(me);
-        let Some(op) = next else {
-            return;
-        };
-        let op_id = OpId::new(proc, seq);
-        seq += 1;
-        let plan = placement.plan(op);
-        let cross = plan.is_cross_server();
-        let issued_at = net.now();
-        obs.op_issued(op_id, op.class(), cross, issued_at);
-        let mut out = Vec::new();
-        let mut client = ClientOp::start(cfg.protocol, op_id, plan, &cfg.cx, &mut out);
-        let mut timer: Option<(Instant, u64)> = None;
-        send_client_actions(&net, from_me, out, &mut timer);
+        // Refill every idle slot: one feed lock for the whole sweep, then
+        // issue outside it (sends can block on wire-queue backpressure),
+        // so the requests land back-to-back in the wire queue.
+        let mut refill: Vec<(usize, cx_types::FsOp)> = Vec::new();
+        {
+            let mut f = feed.lock();
+            for (i, slot) in slots.iter_mut().enumerate() {
+                if slot.active.is_none() && !slot.feed_done {
+                    match f.next_for(slot.me) {
+                        Some(op) => refill.push((i, op)),
+                        None => slot.feed_done = true,
+                    }
+                }
+            }
+        }
+        if !refill.is_empty() {
+            // The whole refill sweep is one cork scope: requests from
+            // every hosted client aimed at the same server share a flush.
+            let _cork = net.conn.cork_scope();
+            for (i, op) in refill {
+                slot_issue(&ctx, &mut slots[i], op);
+            }
+        }
+        if slots.iter().all(|s| s.active.is_none() && s.feed_done) {
+            break;
+        }
 
-        let outcome = loop {
-            let wait = timer
-                .map(|(at, _)| at.saturating_duration_since(Instant::now()))
-                .unwrap_or(Duration::from_secs(30));
-            match rx.recv_timeout(wait) {
-                Ok(ProcMsg::Net { from, payload }) => {
-                    let mut out = Vec::new();
-                    let d = client.on_msg(net.now(), from, payload, &mut out);
-                    send_client_actions(&net, from_me, out, &mut timer);
-                    if let ClientDecision::Done(outcome) = d {
-                        break outcome;
+        // Sleep until the earliest pending client timer (or a liveness
+        // backstop), then drain every reply that has queued up.
+        let wait = slots
+            .iter()
+            .filter_map(|s| s.active.as_ref()?.timer.map(|(at, _)| at))
+            .min()
+            .map(|at| at.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_secs(30));
+        let wake = match &rx {
+            ShepherdRx::Demuxed(ch) => match ch.recv_timeout(wait) {
+                Ok(msg) => {
+                    // Cork the reply burst too: protocol follow-ups (e.g.
+                    // Cx cross-server second phases) issued while draining
+                    // share flushes the same way the refill sweep does.
+                    let _cork = net.conn.cork_scope();
+                    shepherd_deliver(&ctx, &mut slots, shepherds, msg);
+                    while let Ok(msg) = ch.try_recv() {
+                        shepherd_deliver(&ctx, &mut slots, shepherds, msg);
                     }
+                    ShepherdWake::Replies
                 }
-                Err(RecvTimeoutError::Timeout) => {
-                    let Some((_, token)) = timer.take() else {
-                        panic!("client {me} timed out waiting for op {op_id} over TCP");
-                    };
-                    let mut out = Vec::new();
-                    let d = client.on_timer(net.now(), token, &mut out);
-                    send_client_actions(&net, from_me, out, &mut timer);
-                    if let ClientDecision::Done(outcome) = d {
-                        break outcome;
+                Err(RecvTimeoutError::Timeout) => ShepherdWake::Timeout,
+                Err(RecvTimeoutError::Disconnected) => ShepherdWake::Disconnected,
+            },
+            ShepherdRx::Direct {
+                inbound,
+                ctrl_tx,
+                pool,
+                epoch,
+            } => match inbound.recv_timeout(wait) {
+                Ok((node, frames)) => {
+                    let _cork = net.conn.cork_scope();
+                    shepherd_deliver_raw(&ctx, &mut slots, node, frames, ctrl_tx, pool, *epoch);
+                    while let Ok((node, frames)) = inbound.try_recv() {
+                        shepherd_deliver_raw(&ctx, &mut slots, node, frames, ctrl_tx, pool, *epoch);
                     }
+                    ShepherdWake::Replies
                 }
-                Err(RecvTimeoutError::Disconnected) => return,
-            }
+                Err(RecvTimeoutError::Timeout) => ShepherdWake::Timeout,
+                Err(RecvTimeoutError::Disconnected) => ShepherdWake::Disconnected,
+            },
         };
-        let done = net.now();
-        let awaits = cross && cfg.protocol == Protocol::Cx;
-        obs.op_replied(op_id, done, outcome, awaits);
-        let latency = done.0.saturating_sub(issued_at.0);
-        obs.client_latency(op.class(), cross, latency);
-        if let Some(reg) = &registry {
-            reg.inc(Counter::OpsIssued);
-            reg.inc(match outcome {
-                OpOutcome::Applied => Counter::OpsApplied,
-                OpOutcome::Failed => Counter::OpsFailed,
-            });
-            if cross {
-                reg.inc(Counter::CrossOps);
+        match wake {
+            ShepherdWake::Replies => {}
+            ShepherdWake::Timeout => {
+                let now = Instant::now();
+                let mut fired = false;
+                for slot in &mut slots {
+                    let Some(active) = &mut slot.active else {
+                        continue;
+                    };
+                    let Some((at, token)) = active.timer else {
+                        continue;
+                    };
+                    if at > now {
+                        continue;
+                    }
+                    fired = true;
+                    active.timer = None;
+                    let mut out = Vec::new();
+                    let d = active.client.on_timer(net.now(), token, &mut out);
+                    let from_me = Endpoint::Proc(slot.proc);
+                    send_client_actions(&net, from_me, out, &mut active.timer);
+                    if let ClientDecision::Done(outcome) = d {
+                        slot_finish(&ctx, slot, outcome);
+                    }
+                }
+                if !fired && wait >= Duration::from_secs(30) {
+                    let stuck: Vec<OpId> = slots
+                        .iter()
+                        .filter_map(|s| Some(s.active.as_ref()?.op_id))
+                        .collect();
+                    panic!("clients timed out waiting for ops {stuck:?} over TCP");
+                }
             }
-            reg.observe(Series::ClientLatencyNs, latency);
+            ShepherdWake::Disconnected => break,
         }
-        outcomes.lock().push((op_id, outcome, cross));
-        if let Some(d) = &drill {
-            d.tick();
+    }
+    match rx {
+        ShepherdRx::Demuxed(_) => None,
+        ShepherdRx::Direct { inbound, .. } => Some(inbound),
+    }
+}
+
+/// Direct-mode demux: what the pump does per batch, done inline on the
+/// shepherd thread. Protocol messages step their client's machine; control
+/// responses are forwarded to the coordinator's control channel; the spent
+/// batch vec goes back to the reader pool.
+fn shepherd_deliver_raw(
+    ctx: &ShepherdCtx<'_>,
+    slots: &mut [ClientSlot],
+    node: NodeId,
+    mut frames: Vec<Frame>,
+    ctrl_tx: &Sender<(NodeId, Frame)>,
+    pool: &Arc<Mutex<VecPool<Frame>>>,
+    epoch: Instant,
+) {
+    for frame in frames.drain(..) {
+        match frame {
+            Frame::Msg {
+                sent_ns,
+                from,
+                to: Endpoint::Proc(p),
+                payload,
+            } => {
+                ctx.obs.msg_edge(
+                    crate::des::primary_op(&payload),
+                    payload.kind().into(),
+                    flow_of(from),
+                    FlowNode::Client(p.client.0),
+                    sent_ns,
+                    epoch.elapsed().as_nanos() as u64,
+                );
+                shepherd_deliver(
+                    ctx,
+                    slots,
+                    1,
+                    ProcMsg::Net {
+                        client: p.client.0,
+                        from,
+                        payload,
+                    },
+                );
+            }
+            Frame::ProbeResp { .. } | Frame::StopResp { .. } => {
+                let _ = ctrl_tx.send((node, frame));
+            }
+            _ => {}
         }
+    }
+    pool.lock().put(frames);
+}
+
+/// Start `op` on an idle slot: plan it, record issue-side observability,
+/// and put the opening request(s) on the wire.
+fn slot_issue(ctx: &ShepherdCtx<'_>, slot: &mut ClientSlot, op: cx_types::FsOp) {
+    let op_id = OpId::new(slot.proc, slot.seq);
+    slot.seq += 1;
+    let plan = ctx.placement.plan(op);
+    let cross = plan.is_cross_server();
+    let issued_at = ctx.net.now();
+    ctx.obs.op_issued(op_id, op.class(), cross, issued_at);
+    let mut out = Vec::new();
+    let client = ClientOp::start(ctx.cfg.protocol, op_id, plan, &ctx.cfg.cx, &mut out);
+    let mut timer = None;
+    send_client_actions(ctx.net, Endpoint::Proc(slot.proc), out, &mut timer);
+    slot.active = Some(InFlightOp {
+        op_id,
+        class: op.class(),
+        cross,
+        issued_at,
+        client,
+        timer,
+    });
+}
+
+/// Route one inbound payload to the slot hosting its client and step that
+/// client's protocol machine.
+fn shepherd_deliver(
+    ctx: &ShepherdCtx<'_>,
+    slots: &mut [ClientSlot],
+    shepherds: usize,
+    msg: ProcMsg,
+) {
+    let ProcMsg::Net {
+        client,
+        from,
+        payload,
+    } = msg;
+    // Round-robin placement: client `c` lives on shepherd `c % shepherds`
+    // at local slot `c / shepherds`.
+    let Some(slot) = slots.get_mut(client as usize / shepherds) else {
+        return;
+    };
+    debug_assert_eq!(slot.me, client);
+    let Some(active) = &mut slot.active else {
+        return; // late duplicate from an op that already completed
+    };
+    let mut out = Vec::new();
+    let d = active.client.on_msg(ctx.net.now(), from, payload, &mut out);
+    let from_me = Endpoint::Proc(slot.proc);
+    send_client_actions(ctx.net, from_me, out, &mut active.timer);
+    if let ClientDecision::Done(outcome) = d {
+        slot_finish(ctx, slot, outcome);
+    }
+}
+
+/// Completion-side accounting for a finished op, identical to the former
+/// per-thread client loop; the slot goes idle and is refilled on the next
+/// shepherd sweep.
+fn slot_finish(ctx: &ShepherdCtx<'_>, slot: &mut ClientSlot, outcome: OpOutcome) {
+    let active = slot.active.take().expect("finishing an in-flight op");
+    let done = ctx.net.now();
+    let awaits = active.cross && ctx.cfg.protocol == Protocol::Cx;
+    ctx.obs.op_replied(active.op_id, done, outcome, awaits);
+    let latency = done.0.saturating_sub(active.issued_at.0);
+    ctx.obs.client_latency(active.class, active.cross, latency);
+    if let Some(reg) = ctx.registry {
+        reg.inc(Counter::OpsIssued);
+        reg.inc(match outcome {
+            OpOutcome::Applied => Counter::OpsApplied,
+            OpOutcome::Failed => Counter::OpsFailed,
+        });
+        if active.cross {
+            reg.inc(Counter::CrossOps);
+        }
+        reg.observe(Series::ClientLatencyNs, latency);
+    }
+    ctx.outcomes
+        .lock()
+        .push((active.op_id, outcome, active.cross));
+    if let Some(d) = ctx.drill {
+        d.tick();
     }
 }
 
@@ -537,6 +873,61 @@ fn send_client_actions(
             other => unreachable!("clients have no disks: {other:?}"),
         }
     }
+}
+
+/// Spawn the inbound demux pump: protocol messages to their client's
+/// shepherd channel, control replies (probe/stop) to the coordinator's
+/// control channel. The pump takes drained batch vectors back through the
+/// pool handle rather than an `Arc<ConnectionManager>`: holding the
+/// manager here would keep its inbound sender alive and the pump would
+/// never see the channel disconnect.
+fn spawn_pump(
+    inbound: Receiver<(NodeId, Vec<Frame>)>,
+    obs: ObsSink,
+    proc_tx: Vec<Sender<ProcMsg>>,
+    ctrl_tx: Sender<(NodeId, Frame)>,
+    pool: Arc<Mutex<VecPool<Frame>>>,
+    epoch: Instant,
+    shepherds: usize,
+) -> thread::JoinHandle<()> {
+    thread::Builder::new()
+        .name("cx-pump".into())
+        .spawn(move || {
+            while let Ok((node, mut frames)) = inbound.recv() {
+                for frame in frames.drain(..) {
+                    match frame {
+                        Frame::Msg {
+                            sent_ns,
+                            from,
+                            to: Endpoint::Proc(p),
+                            payload,
+                        } => {
+                            obs.msg_edge(
+                                crate::des::primary_op(&payload),
+                                payload.kind().into(),
+                                flow_of(from),
+                                FlowNode::Client(p.client.0),
+                                sent_ns,
+                                epoch.elapsed().as_nanos() as u64,
+                            );
+                            if let Some(tx) = proc_tx.get(p.client.0 as usize % shepherds) {
+                                let _ = tx.send(ProcMsg::Net {
+                                    client: p.client.0,
+                                    from,
+                                    payload,
+                                });
+                            }
+                        }
+                        Frame::ProbeResp { .. } | Frame::StopResp { .. } => {
+                            let _ = ctrl_tx.send((node, frame));
+                        }
+                        _ => {}
+                    }
+                }
+                pool.lock().put(frames);
+            }
+        })
+        .expect("spawn inbound pump")
 }
 
 // ---- the run ----
@@ -566,10 +957,17 @@ fn run_inner(
     let conn = Arc::new(conn);
 
     // Server nodes: in-process threads sharing the address book, or
-    // external processes reached through the gossiped peer map.
+    // external processes reached through the gossiped peer map. Every
+    // in-process manager is also tracked for cluster-wide wire-throughput
+    // aggregation (external processes keep their counters to themselves).
     let mut server_threads = Vec::new();
+    let mut wire_conns: Vec<Arc<ConnectionManager>> = vec![Arc::clone(&conn)];
     match &external {
         None => {
+            // Bind every manager before spawning any engine thread, so
+            // the boot-time `prime` sweep each server runs finds every
+            // peer's address already in the shared book.
+            let mut bound = Vec::new();
             for i in 0..cfg.servers {
                 let (sconn, sin) = ConnectionManager::start(
                     NodeId::Server(i),
@@ -578,12 +976,22 @@ fn run_inner(
                 )
                 .expect("bind server listener");
                 book.set(NodeId::Server(i), sconn.listen_addr());
+                let sconn = Arc::new(sconn);
+                wire_conns.push(Arc::clone(&sconn));
+                bound.push((i, sconn, sin));
+            }
+            for (i, sconn, sin) in bound {
                 let cfg = cfg.clone();
                 let seeds = seeds.clone();
                 let obs = opts.obs.clone();
-                server_threads.push(thread::spawn(move || {
-                    server_node_loop(&cfg, ServerId(i), &seeds, Arc::new(sconn), sin, epoch, obs)
-                }));
+                server_threads.push(
+                    thread::Builder::new()
+                        .name(format!("cx-srv{i}"))
+                        .spawn(move || {
+                            server_node_loop(&cfg, ServerId(i), &seeds, sconn, sin, epoch, obs)
+                        })
+                        .expect("spawn server loop"),
+                );
             }
         }
         Some(addrs) => {
@@ -611,64 +1019,105 @@ fn run_inner(
         }
     }
 
-    // Demux pump: protocol messages to their proc's channel, control
-    // replies (probe/stop) to the coordinator's control channel.
-    let mut proc_tx = Vec::new();
-    let mut proc_rx = Vec::new();
-    for _ in 0..processes {
-        let (tx, rx) = unbounded::<ProcMsg>();
-        proc_tx.push(tx);
-        proc_rx.push(rx);
-    }
-    let (ctrl_tx, ctrl_rx) = unbounded::<(NodeId, Frame)>();
-    let pump = {
-        let obs = opts.obs.clone();
-        let proc_tx: Vec<Sender<ProcMsg>> = proc_tx.clone();
-        thread::spawn(move || {
-            while let Ok((node, frame)) = inbound.recv() {
-                match frame {
-                    Frame::Msg {
-                        sent_ns,
-                        from,
-                        to: Endpoint::Proc(p),
-                        payload,
-                    } => {
-                        obs.msg_edge(
-                            crate::des::primary_op(&payload),
-                            payload.kind().into(),
-                            flow_of(from),
-                            FlowNode::Client(p.client.0),
-                            sent_ns,
-                            epoch.elapsed().as_nanos() as u64,
-                        );
-                        if let Some(tx) = proc_tx.get(p.client.0 as usize) {
-                            let _ = tx.send(ProcMsg::Net { from, payload });
-                        }
-                    }
-                    Frame::ProbeResp { .. } | Frame::StopResp { .. } => {
-                        let _ = ctrl_tx.send((node, frame));
-                    }
-                    _ => {}
-                }
-            }
-        })
+    // Client shepherds: `client_threads` OS threads host the `processes`
+    // logical clients round-robin (client `c` on shepherd `c % shepherds`).
+    // Auto (0) picks enough shepherds for reply-batching to pay without
+    // starving wide multi-core boxes of client-side parallelism.
+    let shepherds = match opts.client_threads {
+        0 => {
+            let cores = thread::available_parallelism().map_or(1, |n| n.get());
+            cores.clamp(1, processes.max(1) as usize)
+        }
+        n => n.clamp(1, processes.max(1) as usize),
     };
-    drop(proc_tx);
 
-    // Live-exposition monitor, exactly as in the threaded runtime.
+    // Demux pump: protocol messages to their client's shepherd channel,
+    // control replies (probe/stop) to the coordinator's control channel.
+    // With a single shepherd the pump hop is skipped during the ops phase
+    // entirely: the shepherd consumes the manager's raw inbound directly
+    // (one futex wake fewer per reply batch) and hands the receiver back
+    // when its clients finish, at which point the pump spawns to carry
+    // the drain/stop control traffic to `ctrl_rx`.
+    let (ctrl_tx, ctrl_rx) = unbounded::<(NodeId, Frame)>();
+    let (pump, feeds): (Option<thread::JoinHandle<()>>, Vec<ShepherdRx>) = if shepherds == 1 {
+        (
+            None,
+            vec![ShepherdRx::Direct {
+                inbound,
+                ctrl_tx: ctrl_tx.clone(),
+                pool: conn.batch_pool_handle(),
+                epoch,
+            }],
+        )
+    } else {
+        let mut proc_tx = Vec::new();
+        let mut feeds = Vec::new();
+        for _ in 0..shepherds {
+            let (tx, rx) = unbounded::<ProcMsg>();
+            proc_tx.push(tx);
+            feeds.push(ShepherdRx::Demuxed(rx));
+        }
+        let pump = spawn_pump(
+            inbound,
+            opts.obs.clone(),
+            proc_tx,
+            ctrl_tx.clone(),
+            conn.batch_pool_handle(),
+            epoch,
+            shepherds,
+        );
+        (Some(pump), feeds)
+    };
+
+    // Live-exposition monitor: the threaded runtime's periodic snapshot
+    // writer, plus the wire-throughput gauges — per-period deltas of the
+    // aggregated frame/byte/flush totals across every in-process manager.
     let live_reg = opts.live.as_ref().map(|l| l.registry.clone());
     let monitor_stop = Arc::new(AtomicBool::new(false));
+    let sum_wire = |conns: &[Arc<ConnectionManager>]| {
+        let mut tot = WireTotals::default();
+        for c in conns {
+            tot.add(c.wire_totals());
+        }
+        tot
+    };
     let monitor_thread = opts.live.as_ref().and_then(|l| {
         let out = l.out.clone()?;
         let reg = l.registry.clone();
         let period = l.period;
         let stop = Arc::clone(&monitor_stop);
-        Some(thread::spawn(move || {
-            while !stop.load(Ordering::Relaxed) {
-                LiveMetrics::write_files(&reg, &out);
-                thread::sleep(period);
-            }
-        }))
+        let wire = wire_conns.clone();
+        Some(
+            thread::Builder::new()
+                .name("cx-mon".into())
+                .spawn(move || {
+                    let mut prev = WireTotals::default();
+                    let mut last = Instant::now();
+                    while !stop.load(Ordering::Relaxed) {
+                        let mut tot = WireTotals::default();
+                        for c in &wire {
+                            tot.add(c.wire_totals());
+                        }
+                        let now = Instant::now();
+                        let dt = now.duration_since(last).as_secs_f64();
+                        if dt > 0.0 {
+                            let rate =
+                                |cur: u64, old: u64| ((cur - old) as f64 / dt).round() as u64;
+                            reg.set_gauge(Gauge::WireFramesPerSec, rate(tot.frames, prev.frames));
+                            reg.set_gauge(Gauge::WireBytesPerSec, rate(tot.bytes, prev.bytes));
+                            reg.set_gauge(
+                                Gauge::WireFlushesPerSec,
+                                rate(tot.flushes, prev.flushes),
+                            );
+                        }
+                        prev = tot;
+                        last = now;
+                        LiveMetrics::write_files(&reg, &out);
+                        thread::sleep(period);
+                    }
+                })
+                .expect("spawn live monitor"),
+        )
     });
 
     let client_counts = Arc::new(Mutex::new([0u64; MsgKind::COUNT]));
@@ -689,11 +1138,12 @@ fn run_inner(
         })
     });
 
-    // Client threads, sharing one locked feed over the stream.
+    // Shepherd threads, sharing one locked feed over the stream.
     let outcomes = Arc::new(Mutex::new(Vec::<(OpId, OpOutcome, bool)>::new()));
     let feed = Arc::new(Mutex::new(OpFeed::new(ops, processes, total_ops_hint)));
     let mut client_threads = Vec::new();
-    for (i, rx) in proc_rx.into_iter().enumerate() {
+    for (i, rx) in feeds.into_iter().enumerate() {
+        let clients: Vec<u32> = (i as u32..processes).step_by(shepherds).collect();
         let net = net.clone();
         let cfg = cfg.clone();
         let outcomes = Arc::clone(&outcomes);
@@ -701,16 +1151,41 @@ fn run_inner(
         let obs = opts.obs.clone();
         let reg = live_reg.clone();
         let drill = drill.clone();
-        client_threads.push(thread::spawn(move || {
-            client_loop(
-                i as u32, feed, rx, net, &cfg, placement, outcomes, obs, reg, drill,
-            )
-        }));
+        client_threads.push(
+            thread::Builder::new()
+                .name(format!("cx-cli{i}"))
+                .spawn(move || {
+                    shepherd_loop(
+                        clients, feed, rx, shepherds, net, &cfg, placement, outcomes, obs, reg,
+                        drill,
+                    )
+                })
+                .expect("spawn client shepherd"),
+        );
     }
+    let mut leftover_inbound = None;
     for t in client_threads {
-        t.join().expect("client thread panicked");
+        if let Some(rx) = t.join().expect("client thread panicked") {
+            leftover_inbound = Some(rx);
+        }
     }
 
+    // Direct mode hands the inbound back once the last op completes; the
+    // pump starts now so the drain/stop exchanges below still reach
+    // `ctrl_rx` (no protocol traffic remains — an empty shepherd-channel
+    // list is fine).
+    let pump = match pump {
+        Some(h) => h,
+        None => spawn_pump(
+            leftover_inbound.expect("single shepherd hands back the inbound receiver"),
+            opts.obs.clone(),
+            Vec::new(),
+            ctrl_tx,
+            conn.batch_pool_handle(),
+            epoch,
+            1,
+        ),
+    };
     // Drain: quiesce rounds over the wire until every server reports
     // quiesced (tokens tie probe replies to their round, so a straggling
     // reply from a timed-out round cannot satisfy a later one).
@@ -719,7 +1194,7 @@ fn run_inner(
         for &s in &server_nodes {
             let _ = conn.send(s, Frame::Quiesce);
         }
-        thread::sleep(Duration::from_millis(2));
+        thread::sleep(Duration::from_micros(200));
         let mut pending: HashMap<NodeId, u64> = server_nodes
             .iter()
             .enumerate()
@@ -831,6 +1306,18 @@ fn run_inner(
         if let Some(t) = monitor_thread {
             let _ = t.join();
         }
+        // Final exposition carries whole-run average wire rates (the
+        // per-period gauge from the monitor would be a stale last sample).
+        let wall = start.elapsed().as_secs_f64();
+        if wall > 0.0 {
+            let tot = sum_wire(&wire_conns);
+            let avg = |n: u64| (n as f64 / wall).round() as u64;
+            l.registry
+                .set_gauge(Gauge::WireFramesPerSec, avg(tot.frames));
+            l.registry.set_gauge(Gauge::WireBytesPerSec, avg(tot.bytes));
+            l.registry
+                .set_gauge(Gauge::WireFlushesPerSec, avg(tot.flushes));
+        }
         if let Some(out) = &l.out {
             LiveMetrics::write_files(&l.registry, out);
         }
@@ -839,10 +1326,14 @@ fn run_inner(
     let violations = GlobalView::merge(stores.iter()).check(&roots);
     let reconnects = conn.reconnects_total();
     let health = conn.health_all();
+    let wire = sum_wire(&wire_conns);
 
     conn.shutdown();
     drop(net);
     drop(drill);
+    // Every manager handle must go before the pump can observe the
+    // inbound channel disconnect.
+    drop(wire_conns);
     drop(conn);
     let _ = pump.join();
     for t in server_threads {
@@ -855,6 +1346,7 @@ fn run_inner(
         wall: start.elapsed(),
         reconnects,
         health,
+        wire,
     }
 }
 

@@ -12,7 +12,8 @@
 
 use cx_cluster::des::run_trace;
 use cx_cluster::{RunStats, TcpCluster, TcpOptions, ThreadedCluster};
-use cx_types::{BatchTrigger, ClusterConfig, Protocol};
+use cx_net::PlaneConfig;
+use cx_types::{BatchTrigger, ClusterConfig, NetTuning, Protocol};
 use cx_workloads::{Trace, TraceBuilder, TraceProfile};
 
 fn fast_cfg(servers: u32, protocol: Protocol) -> ClusterConfig {
@@ -120,4 +121,48 @@ fn tcp_reconnect_mid_run_keeps_equivalence() {
     assert_eq!(tcp.violations, vec![]);
     assert!(tcp.reconnects >= 1, "the drill must force a re-dial");
     assert_tie_insensitive_match(&tcp.stats, &thr.stats, "Cx reconnect vs threaded");
+}
+
+#[test]
+fn tcp_reconnect_under_aggressive_corking_stays_lossless() {
+    // ISSUE 8: kill connections while writers are mid-coalesced-batch.
+    // Aggressive corking (huge size threshold, a deadline several times
+    // the message latency) maximizes the window where frames sit encoded
+    // but unflushed; the drop drill then severs every coordinator
+    // connection mid-run. The retained-batch re-encode on the next
+    // connection generation must keep the run lossless and per-peer FIFO:
+    // totals close exactly and match the threaded oracle.
+    let trace = home2_prefix();
+    let opts = TcpOptions {
+        drop_conns_after_ops: Some(trace.ops.len() as u64 / 4),
+        net: PlaneConfig {
+            backoff_base: std::time::Duration::from_millis(1),
+            tuning: NetTuning {
+                cork_bytes: 1 << 20,
+                cork_deadline_ns: 2_000_000, // 2 ms of corked exposure
+                ..NetTuning::default()
+            },
+            ..PlaneConfig::default()
+        },
+        ..TcpOptions::default()
+    };
+    let tcp = TcpCluster::run_stream_opts(fast_cfg(4, Protocol::Cx), trace.to_stream(), opts);
+    let thr = ThreadedCluster::run(fast_cfg(4, Protocol::Cx), &trace);
+    assert_eq!(tcp.violations, vec![], "corked reconnect: atomicity");
+    assert!(tcp.reconnects >= 1, "the corked drill must force a re-dial");
+    assert_eq!(
+        tcp.stats.ops_total,
+        trace.ops.len() as u64,
+        "corked reconnect: every op completed (no coalesced frame lost)"
+    );
+    assert_tie_insensitive_match(&tcp.stats, &thr.stats, "Cx corked reconnect vs threaded");
+    // Corking must have actually coalesced: across the coordinator's
+    // peers, strictly fewer flushes than frames.
+    let (frames, flushes) = tcp.health.iter().fold((0u64, 0u64), |(f, fl), (_, h)| {
+        (f + h.sends, fl + h.flushes)
+    });
+    assert!(
+        flushes < frames,
+        "corking produced no coalescing: {flushes} flushes for {frames} frames"
+    );
 }

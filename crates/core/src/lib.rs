@@ -46,7 +46,7 @@ pub use cx_cluster::{
     run_stream_trace, AckRecord, ChaosOutcome, ClusterSnapshot, CrashCmd, CrashPlan, DesCluster,
     FaultEvent, FaultInjector, FaultStats, LatencyStat, LiveMetrics, MsgFate, PartitionMap,
     RecoveryCycle, RecoveryReport, RunStats, TcpCluster, TcpOptions, TcpRunResult, ThreadedCluster,
-    TimelineSample,
+    TimelineSample, WireTotals,
 };
 pub use cx_mdstore::Violation;
 pub use cx_obs::{

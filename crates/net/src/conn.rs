@@ -6,31 +6,63 @@
 //! its own listen port, so the acceptor can attribute inbound frames and
 //! learn the dial-back address without a rendezvous service.
 //!
-//! Per peer, the manager keeps a writer thread fed by a **bounded** queue:
-//! when the peer is slow (or reconnecting), `send` blocks the caller — that
-//! is the backpressure policy, chosen over dropping because the protocol
-//! engines assume a lossless transport (loss recovery belongs to the chaos
-//! plane, not the wire). Writes go through a scratch buffer so each frame
-//! is one `write_all`; a connection is only ever closed at a frame
-//! boundary, which keeps reconnects lossless too.
+//! Per peer, the manager keeps a **bounded** outbound queue: when the peer
+//! is slow (or reconnecting), `send` blocks the caller — that is the
+//! backpressure policy, chosen over dropping because the protocol engines
+//! assume a lossless transport (loss recovery belongs to the chaos plane,
+//! not the wire).
 //!
-//! Reconnect: on dial/write failure the writer re-dials with exponential
-//! backoff (base doubling to a cap), re-sends its `Hello`, and retains the
-//! in-flight frame. [`ConnectionManager::drop_connection`] closes a live
-//! socket at the next frame boundary — the hook the reconnect drills use.
+//! **Coalescing by lock combining**: after enqueuing, a sender tries the
+//! peer's flush lock; whoever holds it drains the *entire* queue per
+//! round, encodes every pending frame back-to-back into one reusable
+//! scratch buffer, and issues a single `write_all` — one syscall per
+//! *batch*, not per frame — looping until the queue is empty. Under load
+//! the current holder keeps absorbing frames that arrive mid-write
+//! (backlog combining: the busier the wire, the larger the batches), while
+//! an idle peer's lone frame is flushed by its own sender immediately, at
+//! no handoff or wakeup cost. `cork_bytes` caps the encoded bytes per
+//! write ([`cx_types::NetTuning`]). A per-peer writer *daemon* thread
+//! backstops the inline path: it owns reconnect backoff, drains frames a
+//! stalled connection left behind, and — when it is the flusher for a
+//! growing backlog — may hold the cork for up to `cork_deadline_ns` to
+//! gather stragglers. A connection is only ever closed at a **flush**
+//! boundary — which is always a frame boundary — and the frames of a
+//! coalesced-but-unflushed batch are retained (their encoding intact) for
+//! the next connection generation, so reconnects stay lossless and
+//! per-peer FIFO.
+//!
+//! The read side mirrors it: each reader fills a large reusable
+//! [`FrameBuffer`], decodes *every* complete frame per `read`, and forwards
+//! them as one `Vec<Frame>` batch through the merged inbound channel — one
+//! channel wakeup per batch. Batch vectors come from a shared
+//! [`VecPool`]; consumers hand drained batches back via
+//! [`ConnectionManager::recycle_batch`], so the steady state allocates
+//! nothing on either path.
+//!
+//! Reconnect: on dial/write failure the frames stay queued and the writer
+//! daemon re-dials with exponential backoff (base doubling to a cap),
+//! re-sends its `Hello`, and flushes the retained batch.
+//! [`ConnectionManager::drop_connection`] closes a live socket at the next
+//! flush boundary — the hook the reconnect drills use.
 
 use crate::health::{HealthSnapshot, PeerHealth};
-use crate::wire::{read_frame, write_frame, Frame};
+use crate::wire::{encode_frame, write_frame, Frame, FrameBuffer};
 use crate::NodeId;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use cx_types::{NetTuning, VecPool};
 use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::io;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Write};
 use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard, PoisonError, TryLockError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Lock a `std` mutex parking_lot-style: a panicked holder releases.
+fn plock<T>(m: &StdMutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Tuning knobs for the wire plane.
 #[derive(Debug, Clone)]
@@ -39,8 +71,9 @@ pub struct PlaneConfig {
     pub backoff_base: Duration,
     /// Backoff ceiling.
     pub backoff_max: Duration,
-    /// Outbound frames buffered per peer before `send` blocks.
-    pub queue_cap: usize,
+    /// Coalescing/corking/queue knobs (shared vocabulary with the rest of
+    /// the workspace via `cx-types`).
+    pub tuning: NetTuning,
 }
 
 impl Default for PlaneConfig {
@@ -48,7 +81,7 @@ impl Default for PlaneConfig {
         Self {
             backoff_base: Duration::from_millis(10),
             backoff_max: Duration::from_secs(1),
-            queue_cap: 1024,
+            tuning: NetTuning::default(),
         }
     }
 }
@@ -80,39 +113,193 @@ impl AddrBook {
     }
 }
 
-struct Peer {
-    tx: Sender<Frame>,
+/// Pending outbound frames for one peer. Guarded by [`PeerShared::queue`];
+/// `room` wakes senders blocked on a full queue, `daemon` wakes the writer
+/// daemon when an inline flush stalls (dead connection) or at shutdown.
+struct PeerQueue {
+    q: VecDeque<Frame>,
+    shutdown: bool,
+    /// When a flush session corks (defers its write), the instant the cork
+    /// pops. Written under the queue lock before the daemon is notified,
+    /// so the wakeup cannot be lost; the daemon `take`s it and performs
+    /// the timed flush.
+    cork_until: Option<Instant>,
+}
+
+/// Connection + unflushed-batch state for one peer — the flush lock.
+/// Invariants:
+///
+/// * `batch` holds every frame drained from the queue but not yet
+///   confirmed written; `scratch` holds exactly the concatenated encoding
+///   of `batch` at all times (a failed `write_all` leaves both intact, so
+///   the next connection generation resends the identical bytes).
+/// * A flush writes all of `scratch` in one `write_all`; only a fully
+///   successful flush clears `batch`+`scratch` — lossless across
+///   generations.
+/// * The connection is closed (kill/drop/write error) only between
+///   flushes, so the peer's reader always drains to EOF at a frame
+///   boundary.
+struct FlushState {
+    conn: Option<TcpStream>,
+    ever_connected: bool,
+    batch: VecDeque<Frame>,
+    scratch: Vec<u8>,
+    hello_scratch: Vec<u8>,
+    /// Inline flushers skip dialing before this instant; the daemon owns
+    /// the exponential part of the backoff.
+    next_dial_at: Option<Instant>,
+    /// When the last successful flush completed — the cork clock: a batch
+    /// arriving within `cork_deadline_ns` of it is part of a busy stream
+    /// and may be held for company.
+    last_flush_at: Option<Instant>,
+}
+
+/// Everything the inline flush path and the writer daemon share.
+struct PeerShared {
+    me: NodeId,
+    to: NodeId,
+    listen_port: u16,
+    book: Arc<AddrBook>,
+    cfg: PlaneConfig,
+    queue: StdMutex<PeerQueue>,
+    room: Condvar,
+    daemon: Condvar,
+    flush: StdMutex<FlushState>,
+    kill: AtomicBool,
     health: Arc<PeerHealth>,
-    kill: Arc<AtomicBool>,
+    shutdown: Arc<AtomicBool>,
+    reconnects: Arc<AtomicU64>,
+    wire: Arc<WireCounters>,
+}
+
+struct Peer {
+    shared: Arc<PeerShared>,
     handle: Option<JoinHandle<()>>,
 }
 
+/// How a flush session ended.
+#[derive(PartialEq)]
+enum SessionEnd {
+    /// Queue and batch both empty at the moment of release.
+    Done,
+    /// Work remains but the connection is down (or the inline round cap
+    /// was hit) — the writer daemon must take over.
+    Stalled,
+    /// The gathered batch was deliberately held back (adaptive cork): the
+    /// previous flush was less than `cork_deadline_ns` ago and the batch
+    /// is still under `cork_bytes`. `PeerQueue::cork_until` was set and
+    /// the daemon notified; it flushes when the cork pops.
+    Corked,
+}
+
+/// Aggregate send-side wire counters across every peer of one manager —
+/// the raw material for frames/s, bytes/s, flushes/s rates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireTotals {
+    /// Frames written (sum of all peers' flushed batch sizes).
+    pub frames: u64,
+    /// Encoded bytes written.
+    pub bytes: u64,
+    /// `write_all` calls (coalesced batches).
+    pub flushes: u64,
+}
+
+impl WireTotals {
+    /// Fold another node's totals in (cluster-wide aggregation).
+    pub fn add(&mut self, other: WireTotals) {
+        self.frames += other.frames;
+        self.bytes += other.bytes;
+        self.flushes += other.flushes;
+    }
+}
+
+/// Manager-level send counters, bumped by writers at each flush. Kept
+/// separate from the per-peer [`PeerHealth`] map so totals survive peer
+/// teardown: `shutdown()` drains the peers map, and a run's final
+/// aggregation must still see everything the node ever wrote.
+#[derive(Debug, Default)]
+struct WireCounters {
+    frames: AtomicU64,
+    bytes: AtomicU64,
+    flushes: AtomicU64,
+}
+
+impl WireCounters {
+    fn note_flush(&self, frames: u64, bytes: u64) {
+        self.frames.fetch_add(frames, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn totals(&self) -> WireTotals {
+        WireTotals {
+            frames: self.frames.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One-shot completion flag a reader signals when its connection has
+/// drained to EOF (or died) — the link in a per-node reader chain.
+struct DoneEvent {
+    done: StdMutex<bool>,
+    cv: Condvar,
+}
+
+impl DoneEvent {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            done: StdMutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+    fn signal(&self) {
+        *plock(&self.done) = true;
+        self.cv.notify_all();
+    }
+    fn wait(&self) {
+        let mut g = plock(&self.done);
+        while !*g {
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
 /// Serializes the forward loops of successive connections from the same
-/// peer: across a reconnect, the old connection's reader drains to EOF and
-/// releases the node's lock before the new connection's reader may forward
-/// its first frame. This preserves per-peer FIFO order into the inbound
-/// channel (the writer only ever closes at a frame boundary, so the drain
-/// is complete).
+/// peer: across a reconnect, the old connection's reader drains to EOF
+/// before the new connection's reader may forward its first batch,
+/// preserving per-peer FIFO into the inbound channel.
+///
+/// Registration happens in the **accept loop**, in accept order — which is
+/// connection order, because a dialer closes generation *k* before dialing
+/// generation *k+1*. A per-node mutex grabbed by the reader threads
+/// themselves would not be enough: thread scheduling can run generation
+/// *k+1*'s reader before generation *k*'s ever acquires the lock (readily
+/// observable on one hardware thread once reconnects turn over faster than
+/// thread spawn latency). The explicit done-event chain makes hand-off
+/// order a property of the accept sequence, not the scheduler.
 struct ReaderOrder {
-    locks: Mutex<HashMap<NodeId, Arc<Mutex<()>>>>,
+    /// Per node: the done-event of the most recently registered reader.
+    tails: Mutex<HashMap<NodeId, Arc<DoneEvent>>>,
 }
 
 impl Default for ReaderOrder {
     fn default() -> Self {
         Self {
-            locks: Mutex::new(HashMap::new()),
+            tails: Mutex::new(HashMap::new()),
         }
     }
 }
 
 impl ReaderOrder {
-    fn lock_for(&self, node: NodeId) -> Arc<Mutex<()>> {
-        Arc::clone(
-            self.locks
-                .lock()
-                .entry(node)
-                .or_insert_with(|| Arc::new(Mutex::new(()))),
-        )
+    /// Chain a new connection from `node` behind its predecessor. Returns
+    /// the event to wait on before forwarding (if any) and the event this
+    /// reader must signal when its connection drains.
+    fn register(&self, node: NodeId) -> (Option<Arc<DoneEvent>>, Arc<DoneEvent>) {
+        let mine = DoneEvent::new();
+        let prev = self.tails.lock().insert(node, Arc::clone(&mine));
+        (prev, mine)
     }
 }
 
@@ -125,7 +312,7 @@ pub struct ConnectionManager {
     cfg: PlaneConfig,
     /// Kept so the merged inbound channel stays connected for the whole
     /// manager lifetime, even between reader generations.
-    _inbound_tx: Sender<(NodeId, Frame)>,
+    _inbound_tx: Sender<(NodeId, Vec<Frame>)>,
     peers: Mutex<HashMap<NodeId, Peer>>,
     shutdown: Arc<AtomicBool>,
     accept_handle: Mutex<Option<JoinHandle<()>>>,
@@ -133,17 +320,44 @@ pub struct ConnectionManager {
     reader_socks: Arc<Mutex<Vec<TcpStream>>>,
     reader_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
     reconnects: Arc<AtomicU64>,
+    /// Freelist for inbound batch vectors: readers draw, consumers return
+    /// via [`ConnectionManager::recycle_batch`].
+    batch_pool: Arc<Mutex<VecPool<Frame>>>,
+    /// Send-side totals across all peers, past and present.
+    wire: Arc<WireCounters>,
+    /// Live [`CorkGuard`] count: while non-zero, `send` only enqueues and
+    /// the guard's drop flushes every dirty peer once.
+    cork_depth: AtomicUsize,
 }
+
+/// Scoped sender-side cork (see [`ConnectionManager::cork_scope`]).
+/// Dropping the last live guard flushes every peer with queued frames.
+pub struct CorkGuard<'a> {
+    mgr: &'a ConnectionManager,
+}
+
+impl Drop for CorkGuard<'_> {
+    fn drop(&mut self) {
+        if self.mgr.cork_depth.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.mgr.flush_all();
+        }
+    }
+}
+
+/// The merged inbound stream a manager returns from [`ConnectionManager::start`]:
+/// one `(sender, frames)` batch per reader `read`, in per-peer FIFO order.
+pub type InboundBatches = Receiver<(NodeId, Vec<Frame>)>;
 
 impl ConnectionManager {
     /// Bind a loopback listener and start accepting. Returns the manager
-    /// and the merged inbound channel: `(peer, frame)` for every frame any
-    /// peer sends us (the `Hello` handshake itself is consumed internally).
+    /// and the merged inbound channel: `(peer, frames)` batches — every
+    /// frame any peer sends us, in per-peer FIFO order, possibly many per
+    /// delivery (the `Hello` handshake itself is consumed internally).
     pub fn start(
         me: NodeId,
         book: Arc<AddrBook>,
         cfg: PlaneConfig,
-    ) -> io::Result<(Self, Receiver<(NodeId, Frame)>)> {
+    ) -> io::Result<(Self, InboundBatches)> {
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?;
         let listen_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -151,6 +365,7 @@ impl ConnectionManager {
         let shutdown = Arc::new(AtomicBool::new(false));
         let reader_socks: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
         let reader_handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let batch_pool: Arc<Mutex<VecPool<Frame>>> = Arc::new(Mutex::new(VecPool::default()));
 
         let accept_handle = {
             let inbound_tx = inbound_tx.clone();
@@ -159,9 +374,16 @@ impl ConnectionManager {
             let socks = Arc::clone(&reader_socks);
             let handles = Arc::clone(&reader_handles);
             let order = Arc::new(ReaderOrder::default());
-            thread::spawn(move || {
-                accept_loop(listener, inbound_tx, shutdown, book, socks, handles, order);
-            })
+            let pool = Arc::clone(&batch_pool);
+            let read_buf = cfg.tuning.read_buf_bytes;
+            thread::Builder::new()
+                .name("cx-accept".into())
+                .spawn(move || {
+                    accept_loop(
+                        listener, inbound_tx, shutdown, book, socks, handles, order, pool, read_buf,
+                    );
+                })
+                .expect("spawn accept thread")
         };
 
         Ok((
@@ -177,6 +399,9 @@ impl ConnectionManager {
                 reader_socks,
                 reader_handles,
                 reconnects: Arc::new(AtomicU64::new(0)),
+                batch_pool,
+                wire: Arc::new(WireCounters::default()),
+                cork_depth: AtomicUsize::new(0),
             },
             inbound_rx,
         ))
@@ -198,52 +423,188 @@ impl ConnectionManager {
 
     /// Queue a frame for `to`. Blocks when the peer's outbound queue is
     /// full (backpressure). Errors only if the manager is shut down.
+    ///
+    /// The sender then opportunistically becomes the peer's flusher: if
+    /// the flush lock is free it drains the queue and writes inline (no
+    /// thread handoff); if another thread holds it, that holder is
+    /// guaranteed to pick this frame up — the `try_lock` happens inside
+    /// the queue critical section, and a holder only releases the lock
+    /// after observing an empty queue *under that same lock*.
     pub fn send(&self, to: NodeId, frame: Frame) -> Result<(), &'static str> {
         if self.shutdown.load(Ordering::Relaxed) {
             return Err("connection manager is shut down");
         }
-        let tx = {
+        let shared = {
             let mut peers = self.peers.lock();
             let peer = peers.entry(to).or_insert_with(|| self.spawn_writer(to));
-            peer.tx.clone()
+            Arc::clone(&peer.shared)
         };
-        // Blocking send outside the peers lock: backpressure must not
-        // serialize sends to *other* peers.
-        tx.send(frame).map_err(|_| "peer writer exited")
+        let cap = self.cfg.tuning.queue_cap.max(1);
+        let flush = {
+            let mut q = plock(&shared.queue);
+            while q.q.len() >= cap && !q.shutdown {
+                q = shared.room.wait(q).unwrap_or_else(PoisonError::into_inner);
+            }
+            if q.shutdown {
+                return Err("connection manager is shut down");
+            }
+            q.q.push_back(frame);
+            // Under a scoped cork the frame just queues: the guard's drop
+            // flushes every dirty peer once, coalescing the whole burst
+            // into one write per peer. A queue at capacity overrides the
+            // cork — someone must drain it or later senders block forever.
+            if self.cork_depth.load(Ordering::SeqCst) > 0 && q.q.len() < cap {
+                None
+            } else {
+                match shared.flush.try_lock() {
+                    Ok(st) => Some(st),
+                    Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+                    // The current holder will observe this frame (see above).
+                    Err(TryLockError::WouldBlock) => None,
+                }
+            }
+        };
+        if let Some(st) = flush {
+            // Inline sessions are round-capped so a protocol thread can't
+            // be conscripted as the peer's writer forever under sustained
+            // load; past the cap the daemon takes over.
+            if flush_session(&shared, st, 64, true) == SessionEnd::Stalled {
+                shared.daemon.notify_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Eagerly establish the connection to `to` (spawn its writer, dial,
+    /// send the `Hello`) without queueing a frame, so the first real send
+    /// doesn't pay the connect + handshake on the critical path. A dial
+    /// failure is not an error: the normal lazy dial-with-backoff path
+    /// simply runs when the first frame goes out.
+    pub fn prime(&self, to: NodeId) {
+        if self.shutdown.load(Ordering::Relaxed) || to == self.me {
+            return;
+        }
+        let shared = {
+            let mut peers = self.peers.lock();
+            let peer = peers.entry(to).or_insert_with(|| self.spawn_writer(to));
+            Arc::clone(&peer.shared)
+        };
+        let mut st = plock(&shared.flush);
+        if st.conn.is_none() && st.next_dial_at.is_none() {
+            let _ = dial(&shared, &mut st);
+        }
+    }
+
+    /// Scoped sender-side cork: while any guard from this call is alive,
+    /// [`Self::send`] only enqueues — no inline flush, no daemon wake.
+    /// When the last guard drops, every peer with queued frames is
+    /// flushed once. For callers that already hold a batch of work (an
+    /// engine loop draining one inbound wakeup, a client shepherd
+    /// refilling its slots): all the frames that work provokes coalesce
+    /// into one write per peer, with zero added latency — the cork lasts
+    /// exactly as long as the processing it covers, never a timer.
+    ///
+    /// Guards may nest and overlap across threads (the flush happens when
+    /// the count returns to zero). Losslessness is unaffected: a corked
+    /// frame is in its peer queue, and the shutdown path and the writer
+    /// daemon's periodic sweep flush queued frames regardless of corking.
+    pub fn cork_scope(&self) -> CorkGuard<'_> {
+        self.cork_depth.fetch_add(1, Ordering::SeqCst);
+        CorkGuard { mgr: self }
+    }
+
+    /// Flush every peer with queued frames (the tail of a cork scope).
+    fn flush_all(&self) {
+        let shareds: Vec<Arc<PeerShared>> = {
+            let peers = self.peers.lock();
+            peers.values().map(|p| Arc::clone(&p.shared)).collect()
+        };
+        for shared in shareds {
+            let flush = {
+                let q = plock(&shared.queue);
+                if q.q.is_empty() {
+                    continue;
+                }
+                match shared.flush.try_lock() {
+                    Ok(st) => Some(st),
+                    Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+                    // The holder drains the queue before releasing.
+                    Err(TryLockError::WouldBlock) => None,
+                }
+            };
+            if let Some(st) = flush {
+                if flush_session(&shared, st, 64, true) == SessionEnd::Stalled {
+                    shared.daemon.notify_all();
+                }
+            }
+        }
+    }
+
+    /// Hand a drained inbound batch back to the reader freelist, keeping
+    /// its capacity. Optional — dropping the vector is merely an
+    /// allocation, not an error.
+    pub fn recycle_batch(&self, batch: Vec<Frame>) {
+        self.batch_pool.lock().put(batch);
+    }
+
+    /// A handle to the same freelist for consumers that must not keep the
+    /// manager itself alive (e.g. a pump thread whose exit condition is
+    /// the manager being dropped).
+    pub fn batch_pool_handle(&self) -> Arc<Mutex<VecPool<Frame>>> {
+        Arc::clone(&self.batch_pool)
     }
 
     fn spawn_writer(&self, to: NodeId) -> Peer {
-        let (tx, rx) = bounded(self.cfg.queue_cap);
-        let health = Arc::new(PeerHealth::new());
-        let kill = Arc::new(AtomicBool::new(false));
-        let ctx = WriterCtx {
+        let cork_bytes = self.cfg.tuning.cork_bytes.max(1);
+        let shared = Arc::new(PeerShared {
             me: self.me,
             to,
             listen_port: self.listen_addr.port(),
             book: Arc::clone(&self.book),
             cfg: self.cfg.clone(),
-            health: Arc::clone(&health),
-            kill: Arc::clone(&kill),
+            queue: StdMutex::new(PeerQueue {
+                q: VecDeque::new(),
+                shutdown: false,
+                cork_until: None,
+            }),
+            room: Condvar::new(),
+            daemon: Condvar::new(),
+            flush: StdMutex::new(FlushState {
+                conn: None,
+                ever_connected: false,
+                batch: VecDeque::new(),
+                scratch: Vec::with_capacity(cork_bytes.clamp(256, 1 << 20)),
+                hello_scratch: Vec::with_capacity(64),
+                next_dial_at: None,
+                last_flush_at: None,
+            }),
+            kill: AtomicBool::new(false),
+            health: Arc::new(PeerHealth::new()),
             shutdown: Arc::clone(&self.shutdown),
             reconnects: Arc::clone(&self.reconnects),
-        };
-        let handle = thread::spawn(move || writer_loop(ctx, rx));
+            wire: Arc::clone(&self.wire),
+        });
+        let daemon_shared = Arc::clone(&shared);
+        let handle = thread::Builder::new()
+            .name("cx-wd".into())
+            .spawn(move || writer_daemon(daemon_shared))
+            .expect("spawn writer daemon");
         Peer {
-            tx,
-            health,
-            kill,
+            shared,
             handle: Some(handle),
         }
     }
 
-    /// Close the live connection to `to` at the next frame boundary; the
-    /// writer re-dials with backoff. No frames are lost (the close happens
-    /// between frames and the peer reads to EOF).
+    /// Close the live connection to `to` at the next flush boundary; the
+    /// writer re-dials with backoff. No frames are lost: the close happens
+    /// between flushes (a frame boundary), the peer reads to EOF, and any
+    /// coalesced-but-unflushed batch is re-encoded onto the next
+    /// connection generation.
     pub fn drop_connection(&self, to: NodeId) -> bool {
         let peers = self.peers.lock();
         match peers.get(&to) {
             Some(p) => {
-                p.kill.store(true, Ordering::Relaxed);
+                p.shared.kill.store(true, Ordering::Relaxed);
                 true
             }
             None => false,
@@ -251,7 +612,10 @@ impl ConnectionManager {
     }
 
     pub fn health(&self, to: NodeId) -> Option<HealthSnapshot> {
-        self.peers.lock().get(&to).map(|p| p.health.snapshot())
+        self.peers
+            .lock()
+            .get(&to)
+            .map(|p| p.shared.health.snapshot())
     }
 
     /// Health of every peer this node has written to, in node order.
@@ -259,10 +623,18 @@ impl ConnectionManager {
         let peers = self.peers.lock();
         let mut v: Vec<_> = peers
             .iter()
-            .map(|(n, p)| (*n, p.health.snapshot()))
+            .map(|(n, p)| (*n, p.shared.health.snapshot()))
             .collect();
         v.sort_by_key(|(n, _)| *n);
         v
+    }
+
+    /// Aggregate frames/bytes/flushes this node ever wrote, across every
+    /// peer past and present — the numerators for the wire-throughput
+    /// rates the metrics plane exposes. Unlike [`Self::health_all`], the
+    /// totals survive `shutdown()` draining the peers map.
+    pub fn wire_totals(&self) -> WireTotals {
+        self.wire.totals()
     }
 
     /// Total successful re-dials across all peers (0 for a run where no
@@ -271,22 +643,31 @@ impl ConnectionManager {
         self.reconnects.load(Ordering::Relaxed)
     }
 
-    /// Stop accepting, drain and join every writer, unblock every reader.
-    /// Queued outbound frames are flushed before writers exit (unless their
-    /// peer is unreachable).
+    /// Stop accepting, flush and join every writer daemon, unblock every
+    /// reader. Queued outbound frames are flushed before daemons exit
+    /// (unless their peer is unreachable).
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        // Drop senders so writers drain their queues and exit.
         let peers: Vec<Peer> = {
             let mut map = self.peers.lock();
             let keys: Vec<NodeId> = map.keys().copied().collect();
             keys.into_iter().filter_map(|k| map.remove(&k)).collect()
         };
+        for p in &peers {
+            let mut q = plock(&p.shared.queue);
+            q.shutdown = true;
+            p.shared.room.notify_all();
+            p.shared.daemon.notify_all();
+        }
         for mut p in peers {
-            drop(p.tx);
             if let Some(h) = p.handle.take() {
                 let _ = h.join();
             }
+        }
+        // Unblock a handshake read on the accept thread before joining it,
+        // then shut down again for connections accepted in between.
+        for s in self.reader_socks.lock().drain(..) {
+            let _ = s.shutdown(std::net::Shutdown::Both);
         }
         if let Some(h) = self.accept_handle.lock().take() {
             let _ = h.join();
@@ -301,90 +682,222 @@ impl ConnectionManager {
     }
 }
 
-struct WriterCtx {
-    me: NodeId,
-    to: NodeId,
-    listen_port: u16,
-    book: Arc<AddrBook>,
-    cfg: PlaneConfig,
-    health: Arc<PeerHealth>,
-    kill: Arc<AtomicBool>,
-    shutdown: Arc<AtomicBool>,
-    reconnects: Arc<AtomicU64>,
+impl Drop for ConnectionManager {
+    /// A dropped manager must not leak its accept/reader/daemon threads —
+    /// server runtimes drop managers when their node loop exits without
+    /// always calling [`Self::shutdown`] explicitly. Idempotent.
+    fn drop(&mut self) {
+        self.shutdown();
+    }
 }
 
-fn writer_loop(ctx: WriterCtx, rx: Receiver<Frame>) {
-    let mut conn: Option<TcpStream> = None;
-    let mut ever_connected = false;
-    let mut scratch = Vec::with_capacity(256);
-    let mut pending: Option<Frame> = None;
+/// Drain-encode-write until the queue is empty or the connection stalls.
+/// Called with the peer's flush lock held; consumes the guard and releases
+/// it *inside* a queue critical section after observing the queue empty
+/// (the handshake that makes `send`'s failed `try_lock` safe).
+///
+/// `max_rounds` bounds how long an inline caller can be conscripted as the
+/// peer's writer; the daemon passes a large cap and backstops the rest.
+/// `pace_dials` makes a session respect [`FlushState::next_dial_at`] — set
+/// for inline senders so they never spin on a dead peer; the daemon
+/// ignores it because its own exponential backoff is the pacer.
+fn flush_session(
+    shared: &PeerShared,
+    mut st: MutexGuard<'_, FlushState>,
+    max_rounds: u32,
+    pace_dials: bool,
+) -> SessionEnd {
+    let cork_bytes = shared.cfg.tuning.cork_bytes.max(1);
+    let cork_deadline = Duration::from_nanos(shared.cfg.tuning.cork_deadline_ns);
+    let mut rounds = 0u32;
     loop {
-        if ctx.kill.swap(false, Ordering::Relaxed) {
-            // Orderly close at a frame boundary; everything written so far
-            // is flushed by the OS on close.
-            conn = None;
-        }
-        let frame = match pending.take() {
-            Some(f) => f,
-            None => match rx.recv_timeout(Duration::from_millis(20)) {
-                Ok(f) => f,
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
-                // All senders dropped *and* the queue is drained: done.
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
-            },
-        };
-        // Ensure a live connection, backing off between failed dials.
-        let mut backoff = ctx.cfg.backoff_base;
-        while conn.is_none() {
-            if ctx.shutdown.load(Ordering::Relaxed) && ctx.health.consecutive() > 0 {
-                // Peer unreachable during shutdown: drop the queue.
-                return;
+        // Gather: move queued frames into the held batch, encoding each
+        // into the scratch buffer back-to-back, up to the cork threshold.
+        let shutting;
+        {
+            let mut q = plock(&shared.queue);
+            let mut took = false;
+            while st.scratch.len() < cork_bytes {
+                let Some(f) = q.q.pop_front() else { break };
+                encode_frame(&f, &mut st.scratch);
+                st.batch.push_back(f);
+                took = true;
             }
-            match dial(&ctx, &mut scratch) {
-                Ok(s) => {
-                    if ever_connected {
-                        ctx.health.note_reconnect();
-                        ctx.reconnects.fetch_add(1, Ordering::Relaxed);
+            if took {
+                shared.room.notify_all();
+            }
+            if st.batch.is_empty() {
+                // Nothing held and nothing queued: release the flush lock
+                // while still holding the queue lock, so any sender whose
+                // try_lock failed has either already enqueued (we'd see the
+                // frame) or will acquire the flush lock itself.
+                drop(st);
+                return SessionEnd::Done;
+            }
+            shutting = q.shutdown;
+        }
+        // Adaptive cork: inside a busy stream (last flush under the
+        // deadline ago), a sub-threshold batch is held for company and the
+        // daemon flushes it when the cork pops. A first frame after idle
+        // — or a full batch, or any batch during shutdown — goes out now.
+        if !cork_deadline.is_zero() && !shutting && !shared.shutdown.load(Ordering::Relaxed) {
+            if let Some(last) = st.last_flush_at {
+                let until = last + cork_deadline;
+                if st.scratch.len() < cork_bytes && Instant::now() < until {
+                    let mut q = plock(&shared.queue);
+                    q.cork_until = Some(until);
+                    shared.daemon.notify_all();
+                    return SessionEnd::Corked;
+                }
+            }
+        }
+        rounds += 1;
+        if rounds > max_rounds {
+            return SessionEnd::Stalled;
+        }
+        // A kill (reconnect drill) closes the old connection at this flush
+        // boundary; the held batch rides the next generation.
+        if shared.kill.swap(false, Ordering::Relaxed) {
+            st.conn = None;
+        }
+        if st.conn.is_none() {
+            if pace_dials {
+                if let Some(at) = st.next_dial_at {
+                    if Instant::now() < at {
+                        // Recently failed dial: leave redial pacing to the
+                        // daemon instead of burning sender time.
+                        return SessionEnd::Stalled;
                     }
-                    ever_connected = true;
-                    conn = Some(s);
                 }
+            }
+            match dial(shared, &mut st) {
+                Ok(()) => {}
                 Err(_) => {
-                    ctx.health.note_failure();
-                    thread::sleep(backoff);
-                    backoff = (backoff * 2).min(ctx.cfg.backoff_max);
+                    shared.health.note_failure();
+                    st.next_dial_at = Some(Instant::now() + shared.cfg.backoff_base);
+                    return SessionEnd::Stalled;
                 }
             }
         }
+        // Single write for the whole batch. Disjoint borrows: the stream
+        // and the scratch buffer live in the same struct.
+        let FlushState {
+            conn,
+            scratch,
+            batch,
+            last_flush_at,
+            ..
+        } = &mut *st;
         let stream = conn.as_mut().expect("connection established above");
         let t0 = Instant::now();
-        match write_frame(stream, &frame, &mut scratch) {
-            Ok(()) => ctx.health.note_send(t0.elapsed()),
+        match stream.write_all(scratch) {
+            Ok(()) => {
+                shared
+                    .health
+                    .note_flush(batch.len() as u64, scratch.len() as u64, t0.elapsed());
+                shared
+                    .wire
+                    .note_flush(batch.len() as u64, scratch.len() as u64);
+                batch.clear();
+                scratch.clear();
+                *last_flush_at = Some(Instant::now());
+            }
             Err(_) => {
-                ctx.health.note_failure();
-                conn = None;
-                pending = Some(frame); // retry on the next connection
+                // Batch and scratch stay intact: the next generation
+                // resends the identical bytes.
+                shared.health.note_failure();
+                *conn = None;
+                st.next_dial_at = Some(Instant::now() + shared.cfg.backoff_base);
+                return SessionEnd::Stalled;
             }
         }
     }
 }
 
-fn dial(ctx: &WriterCtx, scratch: &mut Vec<u8>) -> io::Result<TcpStream> {
-    let addr = ctx
+/// Connect to the peer and send the `Hello` handshake. On success the
+/// stream is stored in `st.conn` and the dial throttle is cleared.
+fn dial(shared: &PeerShared, st: &mut FlushState) -> io::Result<()> {
+    let addr = shared
         .book
-        .get(ctx.to)
+        .get(shared.to)
         .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "peer address unknown"))?;
     let mut stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
     write_frame(
         &mut stream,
         &Frame::Hello {
-            node: ctx.me,
-            listen_port: ctx.listen_port,
+            node: shared.me,
+            listen_port: shared.listen_port,
         },
-        scratch,
+        &mut st.hello_scratch,
     )?;
-    Ok(stream)
+    if st.ever_connected {
+        shared.health.note_reconnect();
+        shared.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+    st.ever_connected = true;
+    st.next_dial_at = None;
+    st.conn = Some(stream);
+    Ok(())
+}
+
+/// The per-peer backstop thread. Inline senders do the fast-path flushing;
+/// the daemon handles everything that must not block a protocol thread:
+/// exponential reconnect backoff, frames a stalled session left behind,
+/// the timed flush of a corked batch, and the final drain at shutdown.
+fn writer_daemon(shared: Arc<PeerShared>) {
+    let mut backoff = shared.cfg.backoff_base;
+    loop {
+        let cork_at = {
+            let mut q = plock(&shared.queue);
+            while q.q.is_empty() && !q.shutdown && q.cork_until.is_none() {
+                let (guard, timeout) = shared
+                    .daemon
+                    .wait_timeout(q, Duration::from_millis(20))
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+                // The periodic poll backstops anything whose notification
+                // raced the wait (a stalled inline session's leftovers).
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            q.cork_until.take()
+        };
+        if let Some(at) = cork_at {
+            // A corked batch is pending: wait out the deadline, then the
+            // session below re-evaluates the (now expired) cork and
+            // flushes. The flush lock is free while we sleep, so frames
+            // keep accumulating into the batch — that is the point.
+            let now = Instant::now();
+            if at > now && !shared.shutdown.load(Ordering::Relaxed) {
+                thread::sleep(at - now);
+            }
+        }
+        let st = plock(&shared.flush);
+        let end = flush_session(&shared, st, u32::MAX, false);
+        let shut = shared.shutdown.load(Ordering::Relaxed);
+        match end {
+            SessionEnd::Done => {
+                backoff = shared.cfg.backoff_base;
+                if shut {
+                    return;
+                }
+            }
+            SessionEnd::Corked => {
+                // Re-corked (a fresh flush happened between the cork and
+                // our wake): loop around and honor the new deadline.
+            }
+            SessionEnd::Stalled => {
+                if shut && shared.health.consecutive() > 0 {
+                    // Peer unreachable during shutdown: drop the queue.
+                    return;
+                }
+                thread::sleep(backoff);
+                backoff = (backoff * 2).min(shared.cfg.backoff_max);
+            }
+        }
+    }
 }
 
 impl PeerHealth {
@@ -396,24 +909,40 @@ impl PeerHealth {
 #[allow(clippy::too_many_arguments)]
 fn accept_loop(
     listener: TcpListener,
-    inbound_tx: Sender<(NodeId, Frame)>,
+    inbound_tx: Sender<(NodeId, Vec<Frame>)>,
     shutdown: Arc<AtomicBool>,
     book: Arc<AddrBook>,
     socks: Arc<Mutex<Vec<TcpStream>>>,
     handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
     order: Arc<ReaderOrder>,
+    pool: Arc<Mutex<VecPool<Frame>>>,
+    read_buf_bytes: usize,
 ) {
     loop {
         match listener.accept() {
-            Ok((stream, peer_addr)) => {
+            Ok((mut stream, peer_addr)) => {
                 let _ = stream.set_nodelay(true);
+                // The listener is non-blocking; handshake reads must not be.
+                let _ = stream.set_nonblocking(false);
                 if let Ok(clone) = stream.try_clone() {
                     socks.lock().push(clone);
                 }
+                // The handshake runs *here*, in accept order, so readers
+                // can be chained per node before any of them forwards —
+                // see [`ReaderOrder`]. A dialer writes its `Hello` inside
+                // `dial()`, so this read completes promptly.
+                let mut fb = FrameBuffer::with_capacity(read_buf_bytes.max(4096));
+                let Some(from) = read_hello(&mut stream, &mut fb, &book, peer_addr.ip(), &shutdown)
+                else {
+                    continue; // anonymous, garbage, or timed-out connection
+                };
+                let (prev, done) = order.register(from);
                 let tx = inbound_tx.clone();
-                let book = Arc::clone(&book);
-                let order = Arc::clone(&order);
-                let h = thread::spawn(move || reader_loop(stream, peer_addr.ip(), tx, book, order));
+                let pool = Arc::clone(&pool);
+                let h = thread::Builder::new()
+                    .name("cx-read".into())
+                    .spawn(move || reader_loop(stream, from, fb, prev, done, tx, pool))
+                    .expect("spawn reader thread");
                 handles.lock().push(h);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -432,36 +961,90 @@ fn accept_loop(
     }
 }
 
+/// Strict handshake: the first frame must identify the dialer. Runs on the
+/// accept thread under a short read timeout so one silent connection
+/// cannot stall accepts (or shutdown) indefinitely.
+fn read_hello(
+    stream: &mut TcpStream,
+    fb: &mut FrameBuffer,
+    book: &AddrBook,
+    peer_ip: IpAddr,
+    shutdown: &AtomicBool,
+) -> Option<NodeId> {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let node = loop {
+        match fb.next_frame() {
+            Ok(Some(Frame::Hello { node, listen_port })) => {
+                if listen_port != 0 {
+                    book.set(node, SocketAddr::new(peer_ip, listen_port));
+                }
+                break node;
+            }
+            Ok(Some(_)) | Err(_) => return None,
+            Ok(None) => match fb.fill_from(stream, 4096) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if shutdown.load(Ordering::Relaxed) || Instant::now() >= deadline {
+                        return None;
+                    }
+                }
+                Err(_) => return None,
+            },
+        }
+    };
+    let _ = stream.set_read_timeout(None);
+    Some(node)
+}
+
+/// The batching reader: one reusable [`FrameBuffer`], every complete frame
+/// per `read` decoded and forwarded as a single batch. Frames that rode in
+/// on the same `read` as the `Hello` are forwarded only after the previous
+/// connection from this node has fully drained, so batching cannot reorder
+/// across reconnects.
 fn reader_loop(
     mut stream: TcpStream,
-    peer_ip: IpAddr,
-    inbound: Sender<(NodeId, Frame)>,
-    book: Arc<AddrBook>,
-    order: Arc<ReaderOrder>,
+    from: NodeId,
+    mut fb: FrameBuffer,
+    prev: Option<Arc<DoneEvent>>,
+    done: Arc<DoneEvent>,
+    inbound: Sender<(NodeId, Vec<Frame>)>,
+    pool: Arc<Mutex<VecPool<Frame>>>,
 ) {
-    // Strict handshake: the first frame must identify the dialer.
-    let from = match read_frame(&mut stream) {
-        Ok(Some(Frame::Hello { node, listen_port })) => {
-            if listen_port != 0 {
-                book.set(node, SocketAddr::new(peer_ip, listen_port));
-            }
-            node
+    // Whatever path exits this reader, its successor must unblock —
+    // including panics and the shutdown cascade (sockets are shut down
+    // oldest-first, so chains drain head to tail).
+    struct SignalOnDrop(Arc<DoneEvent>);
+    impl Drop for SignalOnDrop {
+        fn drop(&mut self) {
+            self.0.signal();
         }
-        _ => return, // anonymous or garbage connection: refuse
-    };
-    // FIFO across reconnects: wait until the previous connection from this
-    // node (if any) has drained to EOF.
-    let node_lock = order.lock_for(from);
-    let _guard = node_lock.lock();
+    }
+    let _done = SignalOnDrop(done);
+    if let Some(p) = prev {
+        p.wait();
+    }
     loop {
-        match read_frame(&mut stream) {
-            Ok(Some(frame)) => {
-                if inbound.send((from, frame)).is_err() {
-                    return; // node is shutting down
-                }
-            }
-            Ok(None) => return, // clean close at a frame boundary
-            Err(_) => return,   // reset / malformed; writer side re-dials
+        let mut batch = pool.lock().get();
+        // Everything already buffered (including frames coalesced behind
+        // the Hello) decodes before the next read blocks.
+        let clean = fb.drain_frames(&mut batch).is_ok();
+        if batch.is_empty() {
+            pool.lock().put(batch);
+        } else if inbound.send((from, batch)).is_err() {
+            return; // node is shutting down
+        }
+        if !clean {
+            return; // malformed mid-stream; writer side re-dials
+        }
+        match fb.fill_from(&mut stream, 4096) {
+            Ok(0) => return, // clean close at a frame boundary
+            Ok(_) => {}
+            Err(_) => return, // reset; writer side re-dials
         }
     }
 }
@@ -469,6 +1052,19 @@ fn reader_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Collect the next `n` frames from a batched inbound channel,
+    /// tagging each with its sender.
+    fn recv_n(rx: &Receiver<(NodeId, Vec<Frame>)>, n: usize) -> Vec<(NodeId, Frame)> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let (from, frames) = rx.recv_timeout(Duration::from_secs(5)).expect("inbound");
+            assert!(!frames.is_empty(), "empty batches are never forwarded");
+            out.extend(frames.into_iter().map(|f| (from, f)));
+        }
+        assert_eq!(out.len(), n, "over-delivery");
+        out
+    }
 
     #[test]
     fn two_nodes_exchange_frames_over_loopback() {
@@ -486,14 +1082,51 @@ mod tests {
             a.send(NodeId::Server(1), Frame::Probe { token: t })
                 .unwrap();
         }
-        for t in 0..100u64 {
-            let (from, f) = rx_b.recv_timeout(Duration::from_secs(5)).unwrap();
+        for (t, (from, f)) in recv_n(&rx_b, 100).into_iter().enumerate() {
             assert_eq!(from, NodeId::Server(0));
-            assert_eq!(f, Frame::Probe { token: t }, "in-order delivery");
+            assert_eq!(f, Frame::Probe { token: t as u64 }, "in-order delivery");
         }
         let h = a.health(NodeId::Server(1)).unwrap();
         assert_eq!(h.sends, 100);
+        assert!(
+            h.flushes <= h.sends,
+            "coalescing can only merge frames into fewer flushes"
+        );
+        assert!(h.bytes > 0);
         assert!(h.score > 0.5);
+        assert_eq!(a.reconnects_total(), 0);
+        let t = a.wire_totals();
+        assert_eq!(t.frames, 100);
+        assert_eq!(t.flushes, h.flushes);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn prime_dials_eagerly_so_send_skips_the_connect() {
+        let book = Arc::new(AddrBook::new());
+        let (a, _rx_a) =
+            ConnectionManager::start(NodeId::Server(0), Arc::clone(&book), PlaneConfig::default())
+                .unwrap();
+        let (b, rx_b) =
+            ConnectionManager::start(NodeId::Server(1), Arc::clone(&book), PlaneConfig::default())
+                .unwrap();
+        book.set(NodeId::Server(0), a.listen_addr());
+        book.set(NodeId::Server(1), b.listen_addr());
+
+        // Priming an unknown peer is a harmless no-op on the dial path.
+        a.prime(NodeId::Server(9));
+
+        a.prime(NodeId::Server(1));
+        // Poison the address book: `prime` dials synchronously, so the
+        // send below rides the already-established session. Had prime
+        // been lazy, the send would dial the dead address and stall.
+        book.set(NodeId::Server(1), "127.0.0.1:1".parse().unwrap());
+        a.send(NodeId::Server(1), Frame::Probe { token: 9 })
+            .unwrap();
+        let (from, f) = recv_n(&rx_b, 1).pop().unwrap();
+        assert_eq!(from, NodeId::Server(0));
+        assert_eq!(f, Frame::Probe { token: 9 });
         assert_eq!(a.reconnects_total(), 0);
         a.shutdown();
         b.shutdown();
@@ -518,19 +1151,18 @@ mod tests {
             a.send(NodeId::Server(1), Frame::Probe { token: t })
                 .unwrap();
         }
-        for t in 0..200u64 {
-            let (_, f) = rx_b.recv_timeout(Duration::from_secs(5)).unwrap();
-            assert_eq!(f, Frame::Probe { token: t });
+        for (t, (_, f)) in recv_n(&rx_b, 200).into_iter().enumerate() {
+            assert_eq!(f, Frame::Probe { token: t as u64 });
         }
         // Phase 2: drop the live socket, keep sending. The writer closes at
-        // the next frame boundary and must re-dial to deliver the rest.
+        // the next flush boundary and must re-dial to deliver the rest.
         assert!(a.drop_connection(NodeId::Server(1)));
         for t in 200..500u64 {
             a.send(NodeId::Server(1), Frame::Probe { token: t })
                 .unwrap();
         }
-        for t in 200..500u64 {
-            let (_, f) = rx_b.recv_timeout(Duration::from_secs(5)).unwrap();
+        for (i, (_, f)) in recv_n(&rx_b, 300).into_iter().enumerate() {
+            let t = 200 + i as u64;
             assert_eq!(f, Frame::Probe { token: t }, "no loss across reconnect");
         }
         assert!(
@@ -538,6 +1170,47 @@ mod tests {
             "the dropped connection must have been re-dialed"
         );
         assert!(a.health(NodeId::Server(1)).unwrap().reconnects >= 1);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn kill_mid_corked_batch_stays_lossless_and_fifo() {
+        // Aggressive corking (large threshold, long deadline) so frames
+        // pile up coalesced-but-unflushed, with connection kills landing
+        // mid-stream: every frame must still arrive exactly once, in
+        // order, across generations.
+        let book = Arc::new(AddrBook::new());
+        let cfg = PlaneConfig {
+            backoff_base: Duration::from_millis(1),
+            tuning: NetTuning {
+                cork_bytes: 1 << 20,
+                cork_deadline_ns: 2_000_000, // 2 ms: kills land mid-cork
+                ..NetTuning::default()
+            },
+            ..PlaneConfig::default()
+        };
+        let (a, _rx_a) =
+            ConnectionManager::start(NodeId::Server(0), Arc::clone(&book), cfg.clone()).unwrap();
+        let (b, rx_b) =
+            ConnectionManager::start(NodeId::Server(1), Arc::clone(&book), cfg).unwrap();
+        book.set(NodeId::Server(1), b.listen_addr());
+
+        const N: u64 = 2_000;
+        for t in 0..N {
+            a.send(NodeId::Server(1), Frame::Probe { token: t })
+                .unwrap();
+            if t % 256 == 128 {
+                a.drop_connection(NodeId::Server(1));
+            }
+        }
+        for (t, (_, f)) in recv_n(&rx_b, N as usize).into_iter().enumerate() {
+            assert_eq!(
+                f,
+                Frame::Probe { token: t as u64 },
+                "lossless FIFO across kills under corking"
+            );
+        }
         a.shutdown();
         b.shutdown();
     }
@@ -560,8 +1233,100 @@ mod tests {
         let (b, rx_b) =
             ConnectionManager::start(NodeId::Server(1), Arc::clone(&book), cfg).unwrap();
         book.set(NodeId::Server(1), b.listen_addr());
-        let (_, f) = rx_b.recv_timeout(Duration::from_secs(5)).unwrap();
+        let (_, f) = recv_n(&rx_b, 1).pop().unwrap();
         assert_eq!(f, Frame::Probe { token: 7 });
+        a.shutdown();
+        b.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod perf_probe {
+    use super::*;
+
+    /// Not a correctness test: measures the manager-stack round trip
+    /// (send -> reader thread -> inbound channel -> recv) for a lone
+    /// frame. Run with --ignored --release to probe.
+    #[test]
+    #[ignore]
+    fn ping_pong_round_trip() {
+        let book = Arc::new(AddrBook::new());
+        let (a, rx_a) =
+            ConnectionManager::start(NodeId::Server(0), Arc::clone(&book), PlaneConfig::default())
+                .unwrap();
+        let (b, rx_b) =
+            ConnectionManager::start(NodeId::Server(1), Arc::clone(&book), PlaneConfig::default())
+                .unwrap();
+        book.set(NodeId::Server(0), a.listen_addr());
+        book.set(NodeId::Server(1), b.listen_addr());
+        // Warm both directions.
+        a.send(NodeId::Server(1), Frame::Probe { token: 0 })
+            .unwrap();
+        rx_b.recv_timeout(Duration::from_secs(1)).unwrap();
+        b.send(NodeId::Server(0), Frame::Probe { token: 0 })
+            .unwrap();
+        rx_a.recv_timeout(Duration::from_secs(1)).unwrap();
+        const N: u64 = 20_000;
+        let t0 = Instant::now();
+        for t in 1..=N {
+            a.send(NodeId::Server(1), Frame::Probe { token: t })
+                .unwrap();
+            let (_, fs) = rx_b.recv_timeout(Duration::from_secs(5)).unwrap();
+            b.recycle_batch(fs);
+            b.send(NodeId::Server(0), Frame::Probe { token: t })
+                .unwrap();
+            let (_, fs) = rx_a.recv_timeout(Duration::from_secs(5)).unwrap();
+            a.recycle_batch(fs);
+        }
+        let el = t0.elapsed();
+        eprintln!(
+            "manager RT: {:.1} us/round ({} rounds in {:?})",
+            el.as_secs_f64() * 1e6 / N as f64,
+            N,
+            el
+        );
+        a.shutdown();
+        b.shutdown();
+    }
+
+    /// Saturated one-way throughput: how cheap does the stack get when
+    /// nothing parks? Run with --ignored --release to probe.
+    #[test]
+    #[ignore]
+    fn firehose_one_way() {
+        let book = Arc::new(AddrBook::new());
+        let (a, _rx_a) =
+            ConnectionManager::start(NodeId::Server(0), Arc::clone(&book), PlaneConfig::default())
+                .unwrap();
+        let (b, rx_b) =
+            ConnectionManager::start(NodeId::Server(1), Arc::clone(&book), PlaneConfig::default())
+                .unwrap();
+        book.set(NodeId::Server(1), b.listen_addr());
+        const N: u64 = 200_000;
+        let t0 = Instant::now();
+        let h = thread::spawn(move || {
+            let mut got = 0u64;
+            while got < N {
+                let (_, fs) = rx_b.recv_timeout(Duration::from_secs(10)).unwrap();
+                got += fs.len() as u64;
+                b.recycle_batch(fs);
+            }
+            b
+        });
+        for t in 0..N {
+            a.send(NodeId::Server(1), Frame::Probe { token: t })
+                .unwrap();
+        }
+        let b = h.join().unwrap();
+        let el = t0.elapsed();
+        let w = a.wire_totals();
+        eprintln!(
+            "firehose: {:.2} us/frame one-way ({} frames, {:.1} frames/flush, {:?})",
+            el.as_secs_f64() * 1e6 / N as f64,
+            N,
+            w.frames as f64 / w.flushes.max(1) as f64,
+            el
+        );
         a.shutdown();
         b.shutdown();
     }

@@ -1,19 +1,29 @@
-//! Per-peer health scoring.
+//! Per-peer health scoring and wire throughput counters.
 //!
-//! Every peer writer keeps a [`PeerHealth`] updated from the send path:
-//! successful writes feed a latency EWMA and reset the consecutive-failure
-//! streak; failed dials/writes extend it. The combined [`score`] folds both
-//! signals into `(0, 1]` — 1.0 is a healthy low-latency peer, each
-//! consecutive failure halves the score, and sustained latency above the
-//! 1 ms loopback target decays it smoothly.
+//! Every peer writer keeps a [`PeerHealth`] updated from the send path.
+//! The unit of accounting is a **flush** — one `write_all` of a coalesced
+//! batch — not a frame: successful flushes feed a latency EWMA and reset
+//! the consecutive-failure streak, and carry the frame/byte counts of the
+//! batch they wrote, so coalescing (many frames per syscall) neither
+//! inflates the sample count nor skews the latency distribution the score
+//! is built from. Failed dials/writes extend the streak. The combined
+//! [`score`] folds both signals into `(0, 1]` — 1.0 is a healthy
+//! low-latency peer, each consecutive failure halves the score, and
+//! sustained flush latency above the 1 ms loopback target decays it
+//! smoothly.
+//!
+//! The `frames` / `bytes` / `flushes` counters are also the raw material
+//! for the wire-throughput rates (frames/s, bytes/s, flushes/s) surfaced
+//! by the `--live` metrics plane and `cx-obs top`.
 //!
 //! [`score`]: PeerHealth::score
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Latency at which the latency factor reaches 0.5 (loopback sends are
-/// typically tens of microseconds, so a healthy peer stays near 1.0).
+/// Flush latency at which the latency factor reaches 0.5 (loopback
+/// flushes are typically tens of microseconds, so a healthy peer stays
+/// near 1.0).
 const TARGET_LATENCY_NS: u64 = 1_000_000;
 
 /// EWMA weight for new samples: `ewma += (sample - ewma) / 5` (α = 0.2).
@@ -23,7 +33,9 @@ const EWMA_DIV: u64 = 5;
 /// send path; any thread may snapshot it.
 #[derive(Debug, Default)]
 pub struct PeerHealth {
-    sends: AtomicU64,
+    frames: AtomicU64,
+    bytes: AtomicU64,
+    flushes: AtomicU64,
     failures: AtomicU64,
     consecutive_failures: AtomicU64,
     reconnects: AtomicU64,
@@ -33,11 +45,16 @@ pub struct PeerHealth {
 /// Point-in-time copy of a peer's health counters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HealthSnapshot {
+    /// Frames successfully written (every frame of every flushed batch).
     pub sends: u64,
+    /// Encoded bytes successfully written.
+    pub bytes: u64,
+    /// `write_all` calls that succeeded (batches, not frames).
+    pub flushes: u64,
     pub failures: u64,
     pub consecutive_failures: u64,
     pub reconnects: u64,
-    /// Exponentially-weighted moving average of send (write) latency.
+    /// Exponentially-weighted moving average of flush (write) latency.
     pub ewma_ns: u64,
     /// Combined health in `(0, 1]`; see module docs.
     pub score: f64,
@@ -48,8 +65,11 @@ impl PeerHealth {
         Self::default()
     }
 
-    /// Record a successful frame write and its wall latency.
-    pub fn note_send(&self, latency: Duration) {
+    /// Record one successful flush: a single `write_all` that carried
+    /// `frames` coalesced frames totalling `bytes` encoded bytes, taking
+    /// `latency` of wall time. The EWMA samples per *flush*, so a
+    /// 64-frame batch contributes one latency sample, not 64.
+    pub fn note_flush(&self, frames: u64, bytes: u64, latency: Duration) {
         let sample = latency.as_nanos().min(u64::MAX as u128) as u64;
         // Single-writer EWMA: the peer's writer thread is the only caller,
         // so a read-modify-write without CAS is race-free.
@@ -62,7 +82,9 @@ impl PeerHealth {
             old - (old - sample) / EWMA_DIV
         };
         self.ewma_ns.store(new, Ordering::Relaxed);
-        self.sends.fetch_add(1, Ordering::Relaxed);
+        self.frames.fetch_add(frames, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.flushes.fetch_add(1, Ordering::Relaxed);
         self.consecutive_failures.store(0, Ordering::Relaxed);
     }
 
@@ -93,7 +115,9 @@ impl PeerHealth {
 
     pub fn snapshot(&self) -> HealthSnapshot {
         HealthSnapshot {
-            sends: self.sends.load(Ordering::Relaxed),
+            sends: self.frames.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
             consecutive_failures: self.consecutive_failures.load(Ordering::Relaxed),
             reconnects: self.reconnects.load(Ordering::Relaxed),
@@ -113,6 +137,8 @@ mod tests {
         assert_eq!(h.score(), 1.0);
         let s = h.snapshot();
         assert_eq!(s.sends, 0);
+        assert_eq!(s.flushes, 0);
+        assert_eq!(s.bytes, 0);
         assert_eq!(s.reconnects, 0);
     }
 
@@ -123,7 +149,7 @@ mod tests {
         assert!(h.score() <= 0.5);
         h.note_failure();
         assert!(h.score() <= 0.25);
-        h.note_send(Duration::from_micros(10));
+        h.note_flush(1, 32, Duration::from_micros(10));
         assert!(h.score() > 0.9, "success resets the streak");
     }
 
@@ -131,7 +157,7 @@ mod tests {
     fn latency_ewma_converges_and_decays_score() {
         let h = PeerHealth::new();
         for _ in 0..64 {
-            h.note_send(Duration::from_millis(10));
+            h.note_flush(1, 64, Duration::from_millis(10));
         }
         let s = h.snapshot();
         assert!(
@@ -141,9 +167,25 @@ mod tests {
         );
         assert!(s.score < 0.2, "10ms loopback latency is unhealthy");
         for _ in 0..256 {
-            h.note_send(Duration::from_micros(20));
+            h.note_flush(1, 64, Duration::from_micros(20));
         }
         assert!(h.snapshot().score > 0.5, "ewma recovers after fast sends");
+    }
+
+    #[test]
+    fn coalesced_flushes_count_frames_and_bytes_but_sample_once() {
+        let h = PeerHealth::new();
+        // One 64-frame batch: one flush, one EWMA sample, 64 frames.
+        h.note_flush(64, 4096, Duration::from_micros(50));
+        let s = h.snapshot();
+        assert_eq!(s.sends, 64);
+        assert_eq!(s.bytes, 4096);
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.ewma_ns, 50_000, "first sample seeds the ewma directly");
+        // A second batch moves the EWMA by one α-step, not 64.
+        h.note_flush(64, 4096, Duration::from_micros(100));
+        assert_eq!(h.snapshot().flushes, 2);
+        assert_eq!(h.snapshot().ewma_ns, 60_000, "one sample per flush");
     }
 
     #[test]

@@ -4,15 +4,21 @@
 //!
 //! * [`wire`] — a length-prefixed binary codec for every protocol
 //!   [`cx_types::Payload`] kind plus the runtime control frames
-//!   (handshake, peer gossip, quiesce/probe/stop). Totally defensive:
-//!   arbitrary bytes decode to typed [`wire::WireError`]s, never panics.
+//!   (handshake, peer gossip, quiesce/probe/stop), and an incremental
+//!   [`wire::FrameBuffer`] that decodes many coalesced frames per `read`.
+//!   Totally defensive: arbitrary bytes decode to typed
+//!   [`wire::WireError`]s, never panics.
 //! * [`conn`] — a [`conn::ConnectionManager`] per node: one listener, one
 //!   writer thread + bounded outbound queue per peer (backpressure by
-//!   blocking the sender), reconnect with exponential backoff, and an
-//!   inbound channel merging every accepted connection.
+//!   blocking the sender). Writers coalesce their whole queue into a
+//!   single `write_all` per wakeup with adaptive corking
+//!   ([`cx_types::NetTuning`]); readers forward `Vec<Frame>` batches drawn
+//!   from a recycled pool. Reconnect with exponential backoff stays
+//!   lossless and per-peer FIFO across connection generations.
 //! * [`health`] — per-peer [`health::PeerHealth`] scoring: consecutive
-//!   failures, reconnect counts, and a send-latency EWMA folded into a
-//!   single score in `(0, 1]`.
+//!   failures, reconnect counts, and a per-flush latency EWMA folded into
+//!   a single score in `(0, 1]`, plus the frame/byte/flush counters behind
+//!   the wire-throughput rates.
 //!
 //! The crate knows nothing about engines or clusters: `cx-cluster`'s
 //! `TcpCluster` runtime composes these pieces into a runnable cluster
@@ -23,11 +29,11 @@ pub mod conn;
 pub mod health;
 pub mod wire;
 
-pub use conn::{AddrBook, ConnectionManager, PlaneConfig};
+pub use conn::{AddrBook, ConnectionManager, CorkGuard, PlaneConfig, WireTotals};
 pub use health::{HealthSnapshot, PeerHealth};
 pub use wire::{
-    decode_frame, encode_frame, encode_to_vec, read_frame, write_frame, Frame, WireError,
-    MAX_FRAME_LEN, WIRE_VERSION,
+    decode_frame, encode_frame, encode_to_vec, read_frame, write_frame, Frame, FrameBuffer,
+    WireError, MAX_FRAME_LEN, WIRE_VERSION,
 };
 
 /// A node on the wire: a metadata server or a client host (a process that

@@ -1077,6 +1077,118 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame, scratch: &mut Vec<u8>) ->
     w.write_all(scratch)
 }
 
+/// Incremental decoder over a reusable buffer: bytes go in at arbitrary
+/// boundaries (whatever each `read` returned), complete frames come out.
+/// A coalesced stream split anywhere — even mid-length-prefix — decodes to
+/// the identical frame sequence as frame-at-a-time decoding, because the
+/// buffer only ever commits a frame once all of its announced bytes are
+/// present.
+///
+/// The buffer is reused across fills: consumed bytes are compacted to the
+/// front before each refill, so the steady state allocates nothing (the
+/// buffer grows only when a single frame exceeds the current capacity).
+#[derive(Debug)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Offset of the first unconsumed byte in `buf`.
+    start: usize,
+}
+
+impl Default for FrameBuffer {
+    fn default() -> Self {
+        Self::with_capacity(64 << 10)
+    }
+}
+
+impl FrameBuffer {
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap.max(8)),
+            start: 0,
+        }
+    }
+
+    /// Unconsumed bytes currently buffered (a partial frame tail, usually).
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Drop already-consumed bytes, moving any partial tail to the front.
+    fn compact(&mut self) {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Append bytes at an arbitrary split point (test/fuzz entry; the
+    /// socket path uses [`FrameBuffer::fill_from`]).
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// One `read` from a blocking stream into the buffer tail. Returns the
+    /// byte count (`0` = clean EOF). The read window is the buffer's spare
+    /// capacity, grown to at least `min_window` so a large frame can always
+    /// make progress.
+    pub fn fill_from<R: Read>(&mut self, r: &mut R, min_window: usize) -> io::Result<usize> {
+        self.compact();
+        let len = self.buf.len();
+        let window = (self.buf.capacity() - len).max(min_window.max(1));
+        self.buf.resize(len + window, 0);
+        loop {
+            match r.read(&mut self.buf[len..]) {
+                Ok(n) => {
+                    self.buf.truncate(len + n);
+                    return Ok(n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.buf.truncate(len);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Decode the next complete frame, if one is fully buffered.
+    /// `Ok(None)` means more bytes are needed; malformed bytes surface as
+    /// the same typed [`WireError`]s as [`decode_frame`]. The length
+    /// prefix is checked here rather than delegated, so a `Truncated`
+    /// from *inside* a fully-present body (an announced length that lies
+    /// about its fields) is reported as the error it is instead of
+    /// waiting forever for bytes that cannot help.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes checked"));
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::Oversized(len));
+        }
+        if avail.len() < 4 + len as usize {
+            return Ok(None);
+        }
+        let (frame, used) = decode_frame(avail)?;
+        self.start += used;
+        Ok(Some(frame))
+    }
+
+    /// Decode every complete frame currently buffered into `out`.
+    /// Returns the number of frames appended; stops (with the typed error)
+    /// at the first malformed frame.
+    pub fn drain_frames(&mut self, out: &mut Vec<Frame>) -> Result<usize, WireError> {
+        let mut n = 0;
+        while let Some(f) = self.next_frame()? {
+            out.push(f);
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,8 +7,14 @@
 //! 3. single-byte corruptions of valid frames — must either decode to
 //!    *some* frame (bit flips in value fields are legal payloads) or
 //!    return a typed error, never panic or over-allocate.
+//!
+//! ISSUE 8 extends the surface to *coalesced* inputs: the same hostility
+//! applied to multi-frame streams fed chunk-wise through the incremental
+//! [`FrameBuffer`] the batching reader uses.
 
-use cx_net::wire::{decode_frame, encode_to_vec, Frame, WireError, MAX_FRAME_LEN};
+use cx_net::wire::{
+    decode_frame, encode_frame, encode_to_vec, Frame, FrameBuffer, WireError, MAX_FRAME_LEN,
+};
 use cx_protocol::Endpoint;
 use cx_types::{Hint, OpId, Payload, ProcId, ServerId, Verdict};
 use proptest::prelude::*;
@@ -118,5 +124,64 @@ proptest! {
         let big_but_capped = rng.gen_range(1000u32..MAX_FRAME_LEN);
         bytes[..4].copy_from_slice(&big_but_capped.to_le_bytes());
         prop_assert_eq!(decode_frame(&bytes), Err(WireError::Truncated));
+    }
+
+    #[test]
+    /// Random bytes fed chunk-wise through the incremental buffer: the
+    /// drain either keeps waiting for more input or returns a typed error;
+    /// it never panics, and an oversized announced length is rejected
+    /// without buffering the body.
+    fn coalesced_random_bytes_never_panic(seed in any::<u64>(), len in 0usize..512) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect();
+        let mut fb = FrameBuffer::with_capacity(64);
+        let mut out = Vec::new();
+        let mut pos = 0;
+        while pos < bytes.len() {
+            let chunk = 1 + rng.gen_range(0usize..bytes.len() - pos);
+            fb.extend(&bytes[pos..pos + chunk]);
+            pos += chunk;
+            if fb.drain_frames(&mut out).is_err() {
+                break; // malformed mid-stream: reader resets, as conn.rs does
+            }
+        }
+    }
+
+    #[test]
+    /// A single-byte corruption inside a coalesced multi-frame stream:
+    /// frames before the corruption still decode, and the stream as a
+    /// whole either decodes (value-field flip) or dies with a typed error
+    /// at the corrupted frame — never a panic, never a reordering.
+    fn coalesced_corruption_fails_cleanly(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let frames = [
+            Frame::Probe { token: rng.next_u64() },
+            sample_frame(&mut rng),
+            Frame::Probe { token: rng.next_u64() },
+        ];
+        let mut bytes = Vec::new();
+        let mut ends = Vec::new();
+        for f in &frames {
+            encode_frame(f, &mut bytes);
+            ends.push(bytes.len());
+        }
+        let at = rng.gen_range(0usize..bytes.len());
+        bytes[at] ^= 1 << rng.gen_range(0u32..8);
+
+        let mut fb = FrameBuffer::with_capacity(64);
+        fb.extend(&bytes);
+        let mut out = Vec::new();
+        let res = fb.drain_frames(&mut out);
+        // Frames wholly before the corrupted one are untouched by the flip
+        // and must have decoded as themselves.
+        let intact = ends.iter().filter(|&&e| e <= at).count();
+        prop_assert!(out.len() >= intact.min(frames.len()),
+            "decoded {} frames, corruption at {at} leaves {intact} intact", out.len());
+        for (a, b) in out.iter().take(intact).zip(&frames) {
+            prop_assert_eq!(a, b);
+        }
+        if res.is_ok() && out.len() == frames.len() && fb.pending() == 0 {
+            // Value-field flip: a different but fully legal stream — fine.
+        }
     }
 }

@@ -111,14 +111,20 @@ pub enum Gauge {
     WalValidBytes,
     WalPeakValidBytes,
     OpsInFlight,
+    WireFramesPerSec,
+    WireBytesPerSec,
+    WireFlushesPerSec,
 }
 
 impl Gauge {
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 6;
     pub const ALL: [Gauge; Gauge::COUNT] = [
         Gauge::WalValidBytes,
         Gauge::WalPeakValidBytes,
         Gauge::OpsInFlight,
+        Gauge::WireFramesPerSec,
+        Gauge::WireBytesPerSec,
+        Gauge::WireFlushesPerSec,
     ];
 
     pub fn index(self) -> usize {
@@ -130,6 +136,9 @@ impl Gauge {
             Gauge::WalValidBytes => "cx_wal_valid_bytes",
             Gauge::WalPeakValidBytes => "cx_wal_peak_valid_bytes",
             Gauge::OpsInFlight => "cx_ops_in_flight",
+            Gauge::WireFramesPerSec => "cx_wire_frames_per_sec",
+            Gauge::WireBytesPerSec => "cx_wire_bytes_per_sec",
+            Gauge::WireFlushesPerSec => "cx_wire_flushes_per_sec",
         }
     }
 
@@ -138,6 +147,11 @@ impl Gauge {
             Gauge::WalValidBytes => "Unpruned log bytes (last sample)",
             Gauge::WalPeakValidBytes => "Peak unpruned log bytes on any server",
             Gauge::OpsInFlight => "Issued operations not yet replied",
+            Gauge::WireFramesPerSec => "Wire frames written per second (all peers, last period)",
+            Gauge::WireBytesPerSec => "Encoded wire bytes written per second (last period)",
+            Gauge::WireFlushesPerSec => {
+                "Coalesced write_all flushes per second (frames/flushes = batch size)"
+            }
         }
     }
 }
@@ -435,6 +449,20 @@ impl MetricsSnapshot {
             v("cx_resumed_commitments_total"),
         ));
         out.push_str(&format!("messages   {}\n", v("cx_messages_total")));
+        let wire_frames = v("cx_wire_frames_per_sec");
+        let wire_flushes = v("cx_wire_flushes_per_sec");
+        if wire_frames > 0 || wire_flushes > 0 {
+            out.push_str(&format!(
+                "wire       {wire_frames} frames/s  {} B/s  {wire_flushes} flushes/s \
+                 (coalescing {:.1} frames/flush)\n",
+                v("cx_wire_bytes_per_sec"),
+                if wire_flushes == 0 {
+                    0.0
+                } else {
+                    wire_frames as f64 / wire_flushes as f64
+                },
+            ));
+        }
         for s in &self.series {
             if s.summary.count == 0 {
                 continue;
@@ -535,6 +563,20 @@ mod tests {
         let top = back.render_top();
         assert!(top.contains("conflicts 5"));
         assert!(top.contains("cx_commitment_batch_size"));
+    }
+
+    #[test]
+    fn wire_gauges_render_in_top() {
+        let reg = MetricRegistry::new();
+        // No wire traffic → no wire line (DES runs never set these).
+        assert!(!reg.snapshot().render_top().contains("frames/s"));
+        reg.set_gauge(Gauge::WireFramesPerSec, 1000);
+        reg.set_gauge(Gauge::WireBytesPerSec, 64_000);
+        reg.set_gauge(Gauge::WireFlushesPerSec, 100);
+        let top = reg.snapshot().render_top();
+        assert!(top.contains("1000 frames/s"));
+        assert!(top.contains("64000 B/s"));
+        assert!(top.contains("coalescing 10.0 frames/flush"));
     }
 
     #[test]

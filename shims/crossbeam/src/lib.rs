@@ -7,7 +7,7 @@ pub mod channel {
     use std::sync::mpsc;
     use std::time::Duration;
 
-    pub use std::sync::mpsc::{RecvError, RecvTimeoutError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, TryRecvError};
 
     pub struct SendError<T>(pub T);
 
