@@ -84,11 +84,22 @@ if [ "${1:-}" != "quick" ]; then
     # Multi-process smoke: one OS process per server (cx_net_server), the
     # coordinator connecting out over real TCP, with the live registry
     # publishing cross-process — the .prom file must exist and carry the
-    # ops counter (its value is asserted against RunStats in-binary).
-    step "net multi-process smoke (cx_net_server x4 + live metrics)"
+    # ops counter (its value is asserted against RunStats in-binary) —
+    # and wall-clock tracing on: every process stamps phases on its own
+    # clock, shards ship back in StopResp, and the coordinator stitches
+    # them with probe-measured offsets (≥99% span completeness asserted
+    # in-binary). The stitched report must pass cx-obs check, the net
+    # table must render, and cx-obs top must merge the coordinator's
+    # snapshot with the per-server ones.
+    step "net multi-process smoke (cx_net_server x4 + live metrics + stitched trace)"
     cargo run -q --release -p cx-bench --bin perf_baseline -- \
-        --multiproc --scale 0.0005 --metrics-out target/cx_net_metrics
+        --multiproc --scale 0.0005 --metrics-out target/cx_net_metrics \
+        --obs-out target/cx_net_obs
     grep -q '^cx_ops_issued_total ' target/cx_net_metrics.prom
+    cargo run -q --release -p cx-obs -- check target/cx_net_obs.report.json
+    cargo run -q --release -p cx-obs -- net target/cx_net_obs.net.json > /dev/null
+    cargo run -q --release -p cx-obs -- top target/cx_net_metrics.json \
+        target/cx_net_metrics_srv*.json > /dev/null
 
     # Live-exposition smoke: a threaded home2 run must leave fresh .prom /
     # .json snapshots behind (the cx-obs top input), and the registry's
@@ -153,6 +164,18 @@ if [ "${1:-}" != "quick" ]; then
     cargo run -q --release -p cx-bench --bin perf_baseline -- \
         --label pr8 --iters 5 --filter home2 --net tcp \
         --out BENCH_PR8.json --against BENCH_PR7.json --tolerance 0.70 \
+        --net-floor 30000
+
+    # The telemetry-overhead gate: the loopback TCP entry re-runs with the
+    # full wall-clock tracing plane on (recording sink on every engine +
+    # flush-span capture in the wire queues) and must hold 95% of the same
+    # 30k ops/s floor — the tracing plane has to be cheap enough to leave
+    # on in production. The uninstrumented entry still holds the full
+    # floor, and the DES rate still holds the PR8 baseline.
+    step "BENCH_PR9.json (span-on within 5% of the wire floor)"
+    cargo run -q --release -p cx-bench --bin perf_baseline -- \
+        --label pr9 --iters 5 --filter home2 --net tcp \
+        --out BENCH_PR9.json --against BENCH_PR8.json --tolerance 0.70 \
         --net-floor 30000
 fi
 

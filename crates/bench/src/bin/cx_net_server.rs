@@ -22,7 +22,15 @@ fn main() {
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
     let nsc: NetServerConfig =
         serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {path}: {e:?}"));
-    cx_cluster::serve_one(&nsc.cfg, ServerId(nsc.me), &nsc.seeds, |addr| {
+    let opts = cx_cluster::ServeOptions {
+        obs: nsc.obs,
+        net: cx_net::PlaneConfig {
+            record_flush_spans: nsc.obs,
+            ..cx_net::PlaneConfig::default()
+        },
+        metrics_out: nsc.metrics_out.clone().map(Into::into),
+    };
+    cx_cluster::serve_one_opts(&nsc.cfg, ServerId(nsc.me), &nsc.seeds, opts, |addr| {
         // The coordinator blocks on this line; stdout is block-buffered
         // when piped, so flush explicitly.
         println!("LISTEN {addr}");

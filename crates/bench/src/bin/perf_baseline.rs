@@ -28,7 +28,10 @@
 //!    Wall-clock-only (the wire plane has no simulator event counter),
 //!    and measured on ONE box: coordinator, clients, and every server
 //!    share its cores, so the numbers are wire-plane overhead, not
-//!    cluster capacity.
+//!    cluster capacity. `home2_tcp_loopback_8s_obs` is the same loopback
+//!    entry with full wall-clock tracing on (recording sink + flush-span
+//!    capture); `--net-floor` holds it within 5% of the uninstrumented
+//!    floor.
 //!
 //! Every entry records `peak_rss_kb` (VmHWM, reset per entry); wall-clock
 //! entries that complete client ops (the net modes) record `ops_per_sec`
@@ -58,8 +61,14 @@
 //! `--multiproc` runs the home2 prefix with one OS process per server
 //! (the `cx_net_server` binary) and the coordinator connecting out over
 //! real TCP. With `--metrics-out <prefix>` the live registry publishes
-//! `.prom` / `.json` during the run — the exposition becomes an actual
-//! cross-process ops surface (`cx-obs top <prefix>.json`).
+//! `.prom` / `.json` during the run, and each server process writes
+//! `<prefix>_srv<N>.json` at exit — merge the lot with `cx-obs top
+//! <prefix>.json <prefix>_srv*.json`. With `--obs-out <prefix>` every
+//! process stamps op phases on its own wall clock (shard-mode sinks on
+//! the servers), the coordinator stitches the shards with probe-measured
+//! clock offsets, and `<prefix>.report.json` / `.trace.json` (Perfetto)
+//! / `.net.json` (`cx-obs net`) land next to it; ≥99% of ops must come
+//! back with a server-side Executed stamp.
 //!
 //! `--live` runs the home2 scenario on the *threaded* runtime with the
 //! metric registry publishing live: `--metrics-out <prefix>` (default
@@ -77,11 +86,13 @@
 //!         [--obs [--obs-out prefix]] [--live [--metrics-out prefix]]
 //!         [--net tcp [--net-scale f] [--net-floor ops_per_sec]]
 //!         [--net-smoke]
-//!         [--multiproc [--metrics-out prefix]] [--against path.json]`
+//!         [--multiproc [--metrics-out prefix] [--obs-out prefix]]
+//!         [--against path.json]`
 
 use cx_core::{
     BatchTrigger, ClusterConfig, Experiment, LiveMetrics, MetaratesMix, MetricRegistry, ObsSink,
-    Protocol, RecoveryExperiment, TcpCluster, TcpOptions, TcpRunResult, ThreadedCluster, Workload,
+    Phase, Protocol, RecoveryExperiment, TcpCluster, TcpOptions, TcpRunResult, ThreadedCluster,
+    Workload,
 };
 use cx_workloads::Trace;
 use serde::{Deserialize, Serialize};
@@ -428,7 +439,13 @@ fn net_scenario(servers: u32, scale: f64) -> (ClusterConfig, Trace) {
 /// to this one in the target dir), wait for each `LISTEN <addr>` line,
 /// drive the run as the external coordinator, then reap the children —
 /// they exit on their own after answering `Stop`.
-fn run_multiproc(cfg: &ClusterConfig, trace: &Trace, opts: TcpOptions) -> TcpRunResult {
+fn run_multiproc(
+    cfg: &ClusterConfig,
+    trace: &Trace,
+    opts: TcpOptions,
+    server_obs: bool,
+    server_metrics: Option<&str>,
+) -> TcpRunResult {
     let bin = std::env::current_exe()
         .ok()
         .and_then(|p| p.parent().map(|d| d.join("cx_net_server")))
@@ -442,6 +459,8 @@ fn run_multiproc(cfg: &ClusterConfig, trace: &Trace, opts: TcpOptions) -> TcpRun
             cfg: cfg.clone(),
             me: s,
             seeds: trace.seeds.clone(),
+            obs: server_obs,
+            metrics_out: server_metrics.map(|p| format!("{p}_srv{s}")),
         };
         std::fs::write(
             &path,
@@ -557,9 +576,24 @@ fn multiproc_run(args: &cx_bench::Args) {
         opts.live = Some(live);
         (prefix, registry)
     });
+    // `--obs-out <prefix>`: wall-clock tracing across every process. The
+    // coordinator records; each server runs a shard-mode sink and ships
+    // its stamps back in `StopResp` for offset-corrected stitching.
+    let obs_prefix: Option<String> = args.value("--obs-out");
+    let sink = ObsSink::recording("cx");
+    if obs_prefix.is_some() {
+        opts.obs = sink.clone();
+        opts.net.record_flush_spans = true;
+    }
 
     let t0 = Instant::now();
-    let r = run_multiproc(&cfg, &trace, opts);
+    let r = run_multiproc(
+        &cfg,
+        &trace,
+        opts,
+        obs_prefix.is_some(),
+        live_out.as_ref().map(|(p, _)| p.as_str()),
+    );
     let wall = t0.elapsed().as_secs_f64();
     assert!(r.violations.is_empty(), "--multiproc: run inconsistent");
     assert_eq!(
@@ -590,7 +624,49 @@ fn multiproc_run(args: &cx_bench::Args) {
         );
         println!(
             "[live metrics: {prefix}.prom (Prometheus text) | {prefix}.json \
-             (watch with: cx-obs top {prefix}.json)]"
+             (merge all processes with: cx-obs top {prefix}.json {prefix}_srv*.json)]"
+        );
+    }
+    if let Some(prefix) = obs_prefix {
+        if let Some(dir) = std::path::Path::new(&prefix).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let mut report = sink.report().expect("recording sink yields a report");
+        report.flushes = r.telem.flush_spans.clone();
+        report
+            .validate()
+            .expect("--multiproc --obs-out: phase accounting must hold on stitched spans");
+        let stitched = report
+            .spans
+            .iter()
+            .filter(|s| s.at(Phase::Executed).is_some())
+            .count();
+        assert!(
+            stitched * 100 >= report.spans.len() * 99,
+            "--multiproc --obs-out: only {stitched}/{} spans stitched a server-side \
+             Executed stamp",
+            report.spans.len()
+        );
+        std::fs::write(format!("{prefix}.report.json"), report.to_json())
+            .expect("write multiproc obs report");
+        std::fs::write(format!("{prefix}.trace.json"), report.to_chrome_trace())
+            .expect("write multiproc obs trace");
+        std::fs::write(format!("{prefix}.net.json"), r.net.to_json())
+            .expect("write multiproc net table");
+        println!(
+            "stitched {stitched}/{} spans across {} server processes \
+             (offsets: {})",
+            report.spans.len(),
+            cfg.servers,
+            r.health
+                .iter()
+                .map(|(n, h)| format!("{n} {:+}ns", h.clock_offset_ns))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        println!(
+            "[obs: {prefix}.report.json | {prefix}.trace.json (load at ui.perfetto.dev) \
+             | {prefix}.net.json (render with: cx-obs net {prefix}.net.json)]"
         );
     }
 }
@@ -879,9 +955,24 @@ fn main() {
                 );
             }
         }
+        if wants("home2_tcp_loopback_8s_obs") {
+            // The same loopback entry with the full tracing plane on —
+            // recording sink on every engine, flush-span capture in the
+            // wire queues. `--net-floor` holds this within 5% of the
+            // uninstrumented floor: tracing must be cheap enough to leave
+            // on.
+            entries.push(measure("home2_tcp_loopback_8s_obs", iters, || {
+                let mut o = net_opts();
+                o.obs = ObsSink::recording("cx");
+                o.net.record_flush_spans = true;
+                let r = TcpCluster::run_stream_opts(net_cfg.clone(), net_trace.to_stream(), o);
+                assert!(r.violations.is_empty(), "tcp loopback obs replay dirty");
+                (0, r.stats.ops_total)
+            }));
+        }
         if wants("home2_tcp_multiproc_8s") {
             entries.push(measure("home2_tcp_multiproc_8s", 1, || {
-                let r = run_multiproc(&net_cfg, &net_trace, TcpOptions::default());
+                let r = run_multiproc(&net_cfg, &net_trace, TcpOptions::default(), false, None);
                 assert!(r.violations.is_empty(), "tcp multiproc replay dirty");
                 (0, r.stats.ops_total)
             }));
@@ -1009,20 +1100,36 @@ fn main() {
     }
 
     // `--net-floor <ops/s>`: hard throughput gate on the loopback TCP
-    // entry — the wire plane must beat a pinned ops/s on this box.
+    // entry — the wire plane must beat a pinned ops/s on this box. The
+    // instrumented entry, when present, gets 95% of the same floor: the
+    // telemetry-overhead gate.
     if let Some(floor) = args.value::<f64>("--net-floor") {
-        let cur = report
-            .runs
-            .iter()
-            .find(|r| r.label == label)
-            .and_then(|r| r.entries.iter().find(|e| e.name == "home2_tcp_loopback_8s"))
-            .and_then(|e| e.ops_per_sec)
-            .unwrap_or(0.0);
+        let entry_rate = |name: &str| {
+            report
+                .runs
+                .iter()
+                .find(|r| r.label == label)
+                .and_then(|r| r.entries.iter().find(|e| e.name == name))
+                .and_then(|e| e.ops_per_sec)
+        };
+        let cur = entry_rate("home2_tcp_loopback_8s").unwrap_or(0.0);
         println!("net floor: home2_tcp_loopback_8s {cur:.0} ops/s vs floor {floor:.0}");
         assert!(
             cur >= floor,
             "wire-plane throughput regression: {cur:.0} ops/s is below the \
              {floor:.0} ops/s floor (single-box loopback)"
         );
+        if let Some(obs_rate) = entry_rate("home2_tcp_loopback_8s_obs") {
+            let obs_floor = floor * 0.95;
+            println!(
+                "net floor: home2_tcp_loopback_8s_obs {obs_rate:.0} ops/s vs floor \
+                 {obs_floor:.0} (spans + flush telemetry on)"
+            );
+            assert!(
+                obs_rate >= obs_floor,
+                "telemetry overhead regression: {obs_rate:.0} ops/s with tracing on \
+                 is below {obs_floor:.0} (95% of the {floor:.0} floor)"
+            );
+        }
     }
 }

@@ -39,6 +39,13 @@ pub struct NetServerConfig {
     pub me: u32,
     /// The workload's namespace seeds (identical on every server).
     pub seeds: Vec<cx_workloads::SeedEntry>,
+    /// Run a shard-mode observability sink in this process: stamp op
+    /// phases on the local wall clock, record wire flush spans, and ship
+    /// everything back in the `StopResp` for offset-corrected stitching.
+    pub obs: bool,
+    /// Write this process's metric snapshot (`<path>.json` / `<path>.prom`)
+    /// once at exit, for `cx-obs top` merging across processes.
+    pub metrics_out: Option<String>,
 }
 
 /// Worker count for [`par_map`]: `CX_BENCH_THREADS` if set (CI uses this to

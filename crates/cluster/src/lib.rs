@@ -32,5 +32,5 @@ pub use par::{
     run_chaos_partitioned, run_stream_partitioned, run_stream_partitioned_obs, PartitionMap,
 };
 pub use stats::{AckRecord, FaultStats, LatencyStat, RecoveryCycle, RunStats, TimelineSample};
-pub use tcp::{serve_one, TcpCluster, TcpOptions, TcpRunResult};
+pub use tcp::{serve_one, serve_one_opts, ServeOptions, TcpCluster, TcpOptions, TcpRunResult};
 pub use threaded::{LiveMetrics, ThreadedCluster, ThreadedRunResult};

@@ -31,9 +31,12 @@ use crate::stats::RunStats;
 use crate::threaded::{seed_engine, LiveMetrics};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use cx_mdstore::{GlobalView, MetaStore, Violation};
-use cx_net::{AddrBook, ConnectionManager, Frame, HealthSnapshot, NodeId, PlaneConfig, WireTotals};
+use cx_net::{
+    AddrBook, ClockSync, ConnectionManager, Frame, HealthSnapshot, NodeId, PlaneConfig,
+    WireTelemetry, WireTotals,
+};
 use cx_obs::registry::{Counter, Gauge, MetricRegistry, Series};
-use cx_obs::{FlowNode, ObsSink};
+use cx_obs::{FlowNode, MsgEdge, NetPeerRow, NetTable, ObsConfig, ObsSink, OpSpan, Phase};
 use cx_protocol::{
     Action, ClientDecision, ClientOp, Endpoint, ProtoMetrics, ServerEngine, ServerStats,
 };
@@ -79,6 +82,20 @@ struct WireReport {
     msgs: Vec<u64>,
     server_msgs: u64,
     client_msgs: u64,
+    /// Wall-clock span shard + message edges from a shard-mode obs sink
+    /// (external `cx_net_server` processes only — loopback nodes stamp
+    /// straight into the coordinator's shared sink and ship nothing).
+    /// Stamps are on the child's epoch clock; the coordinator corrects
+    /// them by the probe-estimated offset before merging.
+    spans: Vec<OpSpan>,
+    edges: Vec<MsgEdge>,
+    /// This node's wire-plane telemetry: flush/queue/stall histograms and
+    /// (when enabled) the per-flush span log.
+    telem: WireTelemetry,
+    /// Per-peer health rows (`(peer label, snapshot)`) — the node's
+    /// contribution to the cluster-wide `cx-obs net` table; the
+    /// coordinator fills in the `on` column from the responding node.
+    peers: Vec<(String, HealthSnapshot)>,
 }
 
 /// Options for a TCP run.
@@ -134,6 +151,15 @@ pub struct TcpRunResult {
     /// manager (coordinator + loopback servers); external `cx_net_server`
     /// processes keep their counters to themselves.
     pub wire: WireTotals,
+    /// Cluster-wide wall-clock wire telemetry: the coordinator's own
+    /// histograms merged with every server's `StopResp`-shipped ones
+    /// (loopback and external alike), flush-span stamps offset-corrected
+    /// onto the coordinator's clock. Attach `telem.flush_spans` to an
+    /// [`cx_obs::ObsReport`]'s `flushes` to get the Perfetto wire tracks.
+    pub telem: WireTelemetry,
+    /// Every node's view of every peer it talked to — rendered by
+    /// `cx-obs net`.
+    pub net: NetTable,
 }
 
 /// The TCP cluster runtime.
@@ -182,20 +208,80 @@ pub fn serve_one(
     seeds: &[SeedEntry],
     on_listen: impl FnOnce(SocketAddr),
 ) -> std::io::Result<()> {
+    serve_one_opts(cfg, me, seeds, ServeOptions::default(), on_listen)
+}
+
+/// Options for a hosted server-node process ([`serve_one_opts`]).
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Record a wall-clock span shard (phases stamped on this process's
+    /// clock, spans created on first stamp) plus message edges, and ship
+    /// both in the `StopResp` report for the coordinator to stitch into
+    /// end-to-end spans.
+    pub obs: bool,
+    /// Wire-plane tuning, including `record_flush_spans`.
+    pub net: PlaneConfig,
+    /// Write this process's metric snapshot (`<path>.json` / `<path>.prom`)
+    /// once at exit; `cx-obs top a.json b.json …` merges it with the
+    /// coordinator's.
+    pub metrics_out: Option<std::path::PathBuf>,
+}
+
+/// [`serve_one`] with explicit wire/observability options — the
+/// `cx_net_server --config` body once the config asks for telemetry.
+pub fn serve_one_opts(
+    cfg: &ClusterConfig,
+    me: ServerId,
+    seeds: &[SeedEntry],
+    opts: ServeOptions,
+    on_listen: impl FnOnce(SocketAddr),
+) -> std::io::Result<()> {
+    // One epoch for both the connection manager (probe timestamps, flush
+    // spans) and the engine loop (phase stamps): every wall-clock stamp
+    // this process emits is nanoseconds since this instant, so a single
+    // probe-estimated offset corrects them all.
+    let epoch = Instant::now();
     let book = Arc::new(AddrBook::new());
     let (conn, inbound) =
-        ConnectionManager::start(NodeId::Server(me.0), book, PlaneConfig::default())?;
+        ConnectionManager::start_with_epoch(NodeId::Server(me.0), book, opts.net.clone(), epoch)?;
     on_listen(conn.listen_addr());
+    let conn = Arc::new(conn);
+    let obs = if opts.obs {
+        ObsSink::with_config(
+            format!("{:?}", cfg.protocol).to_lowercase(),
+            ObsConfig {
+                shard_mode: true,
+                ..ObsConfig::default()
+            },
+        )
+    } else {
+        ObsSink::Off
+    };
     server_node_loop(
         cfg,
         me,
         seeds,
-        Arc::new(conn),
+        Arc::clone(&conn),
         inbound,
-        Instant::now(),
-        ObsSink::Off,
+        epoch,
+        obs,
+        opts.obs,
     );
+    if let Some(out) = &opts.metrics_out {
+        let reg = MetricRegistry::new();
+        observe_wire_series(&reg, &conn.telemetry());
+        LiveMetrics::write_files(&reg, out);
+    }
     Ok(())
+}
+
+/// Fold one node's wire histograms into a registry's wire series.
+fn observe_wire_series(reg: &MetricRegistry, t: &WireTelemetry) {
+    reg.observe_hist(Series::WireQueueDepth, &t.queue_depth);
+    reg.observe_hist(Series::WireFlushFrames, &t.flush_frames);
+    reg.observe_hist(Series::WireFlushLatencyNs, &t.flush_latency_ns);
+    reg.observe_hist(Series::WireCorkScopeNs, &t.cork_scope_ns);
+    reg.observe_hist(Series::WireStallNs, &t.stall_ns);
 }
 
 // ---- server node ----
@@ -209,6 +295,12 @@ struct ServerNetCtx {
     msg_counts: [u64; MsgKind::COUNT],
     server_msgs: u64,
     client_msgs: u64,
+    /// The node's obs sink, for send-side lifecycle stamps (the wall-clock
+    /// mirror of the DES's `obs_on_send`).
+    obs: ObsSink,
+    /// True when `obs` is a shard-mode sink private to this process: the
+    /// `Stop` report then carries the span shard home to the coordinator.
+    shard_obs: bool,
 }
 
 impl ServerNetCtx {
@@ -217,6 +309,9 @@ impl ServerNetCtx {
     }
 
     fn send(&mut self, to: Endpoint, payload: Payload) {
+        if self.obs.enabled() {
+            obs_on_send(&self.obs, Endpoint::Server(self.me), &payload, self.now());
+        }
         self.msg_counts[payload.kind() as usize] += 1;
         match to {
             Endpoint::Server(_) => self.server_msgs += 1,
@@ -229,6 +324,55 @@ impl ServerNetCtx {
             payload,
         };
         let _ = self.conn.send(node_of(to), frame);
+    }
+}
+
+/// Stamp lifecycle milestones from the send path: the payload kind names
+/// the Cx phase the sender just entered. The wall-clock mirror of the
+/// DES's `obs_on_send` — same phase mapping, `now` in nanoseconds since
+/// the sender's epoch instead of virtual time. Stamping is
+/// first-writer-wins, so retransmissions never move a milestone.
+fn obs_on_send(obs: &ObsSink, from: Endpoint, payload: &Payload, now: SimTime) {
+    let srv = match from {
+        Endpoint::Server(s) => Some(s),
+        Endpoint::Proc(_) => None,
+    };
+    match payload {
+        // Client-visible path.
+        Payload::SubOpReq { op_id, .. } | Payload::OpReq { op_id, .. } => {
+            obs.op_phase(*op_id, Phase::Dispatched, now, None);
+        }
+        Payload::SubOpResp { op_id, .. } | Payload::OpResp { op_id, .. } => {
+            obs.op_phase(*op_id, Phase::Executed, now, srv);
+        }
+        // Commitment path: batched Cx messages carry many ops; 2PC's
+        // VoteExec and CE's migration round-trip are their (pre-reply)
+        // analogues, so the same milestones work for every protocol.
+        Payload::Vote { ops, .. } => {
+            for &op in ops {
+                obs.op_phase(op, Phase::VoteSent, now, srv);
+            }
+        }
+        Payload::VoteExec { op_id, .. } | Payload::Migrate { op_id, .. } => {
+            obs.op_phase(*op_id, Phase::VoteSent, now, srv);
+        }
+        Payload::CommitDecision { commits, aborts } => {
+            for &op in commits.iter().chain(aborts) {
+                obs.op_phase(op, Phase::DecisionSent, now, srv);
+            }
+        }
+        Payload::MigrateBack { op_id, .. } => {
+            obs.op_phase(*op_id, Phase::DecisionSent, now, srv);
+        }
+        Payload::Ack { ops } => {
+            for &op in ops {
+                obs.op_phase(op, Phase::Acked, now, srv);
+            }
+        }
+        Payload::MigrateBackAck { op_id, .. } => {
+            obs.op_phase(*op_id, Phase::Acked, now, srv);
+        }
+        _ => {}
     }
 }
 
@@ -298,22 +442,44 @@ fn handle_server_frame(
             engine.quiesce(ctx.now(), &mut out);
             process_server_actions(engine, out, ctx, timers);
         }
-        Frame::Probe { token } => {
+        Frame::Probe { token, t0_ns } => {
+            // Echo the prober's clock back and stamp ours: together with
+            // the prober's receive time this is a full NTP-style exchange
+            // ([`cx_net::ClockSync`]). Our stamp shares the epoch of every
+            // span phase this process records, so the estimated offset
+            // corrects them all.
             let _ = ctx.conn.send(
                 from_node,
                 Frame::ProbeResp {
                     token,
                     quiesced: engine.is_quiesced(),
+                    echo_t0_ns: t0_ns,
+                    remote_ns: ctx.now().0,
                 },
             );
         }
         Frame::Stop => {
+            let (spans, edges) = if ctx.shard_obs {
+                obs.export_shard()
+            } else {
+                (Vec::new(), Vec::new())
+            };
+            let peers = ctx
+                .conn
+                .health_all()
+                .into_iter()
+                .map(|(node, h)| (format!("{node}"), h))
+                .collect();
             let report = WireReport {
                 stats: *engine.stats(),
                 proto: engine.proto_metrics(),
                 msgs: ctx.msg_counts.to_vec(),
                 server_msgs: ctx.server_msgs,
                 client_msgs: ctx.client_msgs,
+                spans,
+                edges,
+                telem: ctx.conn.telemetry(),
+                peers,
             };
             let stats_json = serde_json::to_string(&report)
                 .expect("server report serializes")
@@ -373,6 +539,7 @@ const SERVER_DRAIN_BATCHES: usize = 512;
 /// `read`), and each wakeup greedily drains up to [`SERVER_DRAIN_BATCHES`]
 /// more with `try_recv`, so a busy server pays one channel wakeup and one
 /// timer check per *batch of batches*, not per frame.
+#[allow(clippy::too_many_arguments)]
 fn server_node_loop(
     cfg: &ClusterConfig,
     me: ServerId,
@@ -381,6 +548,7 @@ fn server_node_loop(
     inbound: Receiver<(NodeId, Vec<Frame>)>,
     epoch: Instant,
     obs: ObsSink,
+    shard_obs: bool,
 ) {
     let placement = Placement::new(cfg.servers);
     let mut engine = cx_protocol::make_server(me, cfg);
@@ -395,6 +563,8 @@ fn server_node_loop(
         msg_counts: [0; MsgKind::COUNT],
         server_msgs: 0,
         client_msgs: 0,
+        obs: obs.clone(),
+        shard_obs,
     };
 
     let mut boot = Vec::new();
@@ -476,6 +646,7 @@ struct ClientNet {
     epoch: Instant,
     counts: Arc<Mutex<[u64; MsgKind::COUNT]>>,
     client_msgs: Arc<AtomicU64>,
+    obs: ObsSink,
 }
 
 impl ClientNet {
@@ -484,6 +655,9 @@ impl ClientNet {
     }
 
     fn send(&self, from: Endpoint, to: Endpoint, payload: Payload) {
+        if self.obs.enabled() {
+            obs_on_send(&self.obs, from, &payload, self.now());
+        }
         self.counts.lock()[payload.kind() as usize] += 1;
         self.client_msgs.fetch_add(1, Ordering::Relaxed);
         let frame = Frame::Msg {
@@ -951,9 +1125,17 @@ fn run_inner(
     let placement = Placement::new(cfg.servers);
 
     let book = Arc::new(AddrBook::new());
-    let (conn, inbound) =
-        ConnectionManager::start(NodeId::ClientHost(0), Arc::clone(&book), opts.net.clone())
-            .expect("bind coordinator listener");
+    // Every in-process manager shares the run's epoch, so loopback stamps
+    // (frame sent_ns, flush spans, probe timestamps) live on one clock and
+    // need no offset correction; external processes have their own epochs
+    // and get probe-estimated offsets instead.
+    let (conn, inbound) = ConnectionManager::start_with_epoch(
+        NodeId::ClientHost(0),
+        Arc::clone(&book),
+        opts.net.clone(),
+        epoch,
+    )
+    .expect("bind coordinator listener");
     let conn = Arc::new(conn);
 
     // Server nodes: in-process threads sharing the address book, or
@@ -969,10 +1151,11 @@ fn run_inner(
             // peer's address already in the shared book.
             let mut bound = Vec::new();
             for i in 0..cfg.servers {
-                let (sconn, sin) = ConnectionManager::start(
+                let (sconn, sin) = ConnectionManager::start_with_epoch(
                     NodeId::Server(i),
                     Arc::clone(&book),
                     opts.net.clone(),
+                    epoch,
                 )
                 .expect("bind server listener");
                 book.set(NodeId::Server(i), sconn.listen_addr());
@@ -988,7 +1171,16 @@ fn run_inner(
                     thread::Builder::new()
                         .name(format!("cx-srv{i}"))
                         .spawn(move || {
-                            server_node_loop(&cfg, ServerId(i), &seeds, sconn, sin, epoch, obs)
+                            server_node_loop(
+                                &cfg,
+                                ServerId(i),
+                                &seeds,
+                                sconn,
+                                sin,
+                                epoch,
+                                obs,
+                                false,
+                            )
                         })
                         .expect("spawn server loop"),
                 );
@@ -1087,12 +1279,19 @@ fn run_inner(
         let period = l.period;
         let stop = Arc::clone(&monitor_stop);
         let wire = wire_conns.clone();
+        let obs = opts.obs.clone();
+        let wall_epoch = epoch;
         Some(
             thread::Builder::new()
                 .name("cx-mon".into())
                 .spawn(move || {
+                    /// An op still shy of `Replied` after this much wall
+                    /// time earns a watchdog line (the shepherds' own
+                    /// panic backstop fires at 30 s).
+                    const STUCK_WARN_NS: u64 = 5_000_000_000;
                     let mut prev = WireTotals::default();
                     let mut last = Instant::now();
+                    let mut warned: HashSet<OpId> = HashSet::new();
                     while !stop.load(Ordering::Relaxed) {
                         let mut tot = WireTotals::default();
                         for c in &wire {
@@ -1112,6 +1311,21 @@ fn run_inner(
                         }
                         prev = tot;
                         last = now;
+                        // Wall-clock stuck-op watchdog: the obs live map
+                        // names every op still in flight and the phase it
+                        // stalled in; long-stalled ops get one line each,
+                        // with wall seconds since their last milestone.
+                        if obs.enabled() {
+                            let stuck = obs.stuck_report();
+                            reg.set_gauge(Gauge::OpsInFlight, stuck.len() as u64);
+                            let now_ns = wall_epoch.elapsed().as_nanos() as u64;
+                            for s in &stuck {
+                                let age = now_ns.saturating_sub(s.since.0);
+                                if age > STUCK_WARN_NS && warned.insert(s.op) {
+                                    eprintln!("[cx-mon] {s} ({:.1}s wall)", age as f64 / 1e9);
+                                }
+                            }
+                        }
                         LiveMetrics::write_files(&reg, &out);
                         thread::sleep(period);
                     }
@@ -1127,6 +1341,7 @@ fn run_inner(
         epoch,
         counts: Arc::clone(&client_counts),
         client_msgs: Arc::clone(&client_msgs),
+        obs: opts.obs.clone(),
     };
     let drill = opts.drop_conns_after_ops.map(|after| {
         Arc::new(DropDrill {
@@ -1190,6 +1405,12 @@ fn run_inner(
     // quiesced (tokens tie probe replies to their round, so a straggling
     // reply from a timed-out round cannot satisfy a later one).
     let server_nodes: Vec<NodeId> = (0..cfg.servers).map(NodeId::Server).collect();
+    // Every probe round trip doubles as an NTP-style clock-offset sample
+    // (`t0` at send, the server's echoed stamp, `t3` at receipt): the
+    // min-RTT estimate per server later pulls that process's span shard
+    // and flush-span stamps onto the coordinator's clock. Loopback servers
+    // share our epoch, so their measured offsets are ~0 — harmless.
+    let mut clock_sync: HashMap<NodeId, ClockSync> = HashMap::new();
     for round in 0..200u64 {
         for &s in &server_nodes {
             let _ = conn.send(s, Frame::Quiesce);
@@ -1201,7 +1422,13 @@ fn run_inner(
             .map(|(i, &s)| (s, round * 4096 + i as u64))
             .collect();
         for (&s, &token) in &pending {
-            let _ = conn.send(s, Frame::Probe { token });
+            let _ = conn.send(
+                s,
+                Frame::Probe {
+                    token,
+                    t0_ns: conn.now_ns(),
+                },
+            );
         }
         let deadline = Instant::now() + Duration::from_secs(5);
         let mut all = true;
@@ -1212,7 +1439,21 @@ fn run_inner(
                 break;
             }
             match ctrl_rx.recv_timeout(left) {
-                Ok((node, Frame::ProbeResp { token, quiesced })) => {
+                Ok((
+                    node,
+                    Frame::ProbeResp {
+                        token,
+                        quiesced,
+                        echo_t0_ns,
+                        remote_ns,
+                    },
+                )) => {
+                    let t3 = conn.now_ns();
+                    let (rtt, offset) = clock_sync
+                        .entry(node)
+                        .or_default()
+                        .sample(echo_t0_ns, remote_ns, t3);
+                    conn.note_rtt(node, rtt, offset);
                     if pending.get(&node) == Some(&token) {
                         pending.remove(&node);
                         if !quiesced {
@@ -1232,11 +1473,14 @@ fn run_inner(
         }
     }
 
-    // Collect final state: Stop each server; its StopResp carries stats
-    // and the store snapshot for the global atomicity check.
+    // Collect final state: Stop each server; its StopResp carries stats,
+    // the store snapshot for the global atomicity check, and the node's
+    // wall-clock telemetry (span shard, wire histograms, per-peer rows).
     let mut stats = RunStats::new(cfg.protocol, cfg.servers, processes);
     let mut flat = [0u64; MsgKind::COUNT];
     let mut stores = Vec::new();
+    let mut telem = conn.telemetry();
+    let mut net_rows: Vec<NetPeerRow> = Vec::new();
     for &s in &server_nodes {
         let _ = conn.send(s, Frame::Stop);
     }
@@ -1265,6 +1509,21 @@ fn run_inner(
             }
             stats.server_msgs += report.server_msgs;
             stats.client_msgs += report.client_msgs;
+            // Stitch the node's wall-clock telemetry onto our timeline:
+            // the quiesce probes' min-RTT estimate says how far its clock
+            // (= process epoch) sits from ours.
+            let offset = clock_sync
+                .get(&node)
+                .and_then(|s| s.estimate())
+                .map_or(0, |e| e.offset_ns);
+            if !report.spans.is_empty() || !report.edges.is_empty() {
+                opts.obs.absorb_shard(&report.spans, &report.edges, offset);
+            }
+            telem.merge(&report.telem, offset);
+            let on = format!("{node}");
+            for (peer, h) in &report.peers {
+                net_rows.push(peer_row(&on, peer, h));
+            }
             // Rebuild the server's namespace rows (attribute versions are
             // not part of the snapshot; the atomicity check only reads
             // kind/nlink and the entry table).
@@ -1300,8 +1559,17 @@ fn run_inner(
             stats.cross_ops += 1;
         }
     }
+    // Refresh the hang diagnostics now the run is over: anything still shy
+    // of `Replied` here is genuinely stuck (the watchdog's mid-run
+    // snapshots were transient and are overwritten by this read).
+    stats.stuck_ops = opts.obs.stuck_report();
+    stats.ops_stuck = stats.ops_stuck.max(stats.stuck_ops.len() as u64);
     if let Some(l) = &opts.live {
         stats.proto.publish(&l.registry);
+        // The merged wire histograms land once, at the end: the series
+        // carry per-flush samples from every node, which no periodic
+        // monitor delta could reconstruct.
+        observe_wire_series(&l.registry, &telem);
         monitor_stop.store(true, Ordering::Relaxed);
         if let Some(t) = monitor_thread {
             let _ = t.join();
@@ -1327,6 +1595,10 @@ fn run_inner(
     let reconnects = conn.reconnects_total();
     let health = conn.health_all();
     let wire = sum_wire(&wire_conns);
+    let on = format!("{}", conn.me());
+    for (peer, h) in &health {
+        net_rows.push(peer_row(&on, &format!("{peer}"), h));
+    }
 
     conn.shutdown();
     drop(net);
@@ -1347,6 +1619,29 @@ fn run_inner(
         reconnects,
         health,
         wire,
+        telem,
+        net: NetTable { rows: net_rows },
+    }
+}
+
+/// Flatten one observer→peer [`HealthSnapshot`] into its net-table row.
+fn peer_row(on: &str, peer: &str, h: &HealthSnapshot) -> NetPeerRow {
+    NetPeerRow {
+        on: on.into(),
+        peer: peer.into(),
+        frames: h.sends,
+        bytes: h.bytes,
+        flushes: h.flushes,
+        send_failures: h.failures,
+        reconnects: h.reconnects,
+        ewma_flush_ns: h.ewma_ns,
+        score: h.score,
+        rtt_p50_ns: h.rtt_p50_ns,
+        rtt_p99_ns: h.rtt_p99_ns,
+        rtt_min_ns: h.rtt_min_ns,
+        rtt_samples: h.rtt_samples,
+        clock_offset_ns: h.clock_offset_ns,
+        queue_peak: h.queue_peak,
     }
 }
 
@@ -1397,6 +1692,68 @@ mod tests {
     }
 
     #[test]
+    fn tcp_loopback_spans_are_complete_and_monotone() {
+        // Wall-clock span coverage on the loopback plane: every op the
+        // trace issued must come back with a merged span whose stamps are
+        // monotone along the phase order and which reached `Completed`
+        // (the protocol ack). The flush telemetry and the net table ride
+        // on the same run.
+        let trace = TraceBuilder::new(TraceProfile::by_name("CTH").unwrap())
+            .scale(0.001)
+            .build();
+        let sink = ObsSink::recording("cx");
+        let opts = TcpOptions {
+            obs: sink.clone(),
+            net: PlaneConfig {
+                record_flush_spans: true,
+                ..PlaneConfig::default()
+            },
+            ..TcpOptions::default()
+        };
+        let res = TcpCluster::run_stream_opts(fast_cfg(3, Protocol::Cx), trace.to_stream(), opts);
+        assert_eq!(res.violations, vec![]);
+        let rep = sink.report().expect("recording sink yields a report");
+        assert_eq!(rep.spans.len(), trace.ops.len());
+        // Local ops finish at `Replied`; only cross ops go through the
+        // decoupled commitment and earn a `Completed` stamp.
+        let replied = rep
+            .spans
+            .iter()
+            .filter(|s| s.at(Phase::Replied).is_some())
+            .count();
+        assert!(
+            replied * 100 >= rep.spans.len() * 99,
+            "{replied}/{} spans reached Replied",
+            rep.spans.len()
+        );
+        let cross = rep.spans.iter().filter(|s| s.cross).count();
+        let committed = rep
+            .spans
+            .iter()
+            .filter(|s| s.cross && s.at(Phase::Completed).is_some())
+            .count();
+        assert!(
+            cross > 0 && committed * 100 >= cross * 99,
+            "{committed}/{cross} cross spans reached Completed"
+        );
+        // `check_accounting` enforces the client-visible prefix (Issued ≤
+        // Dispatched ≤ Executed ≤ Replied, segments summing to the client
+        // latency). The commitment phases run concurrently with the reply
+        // and are deliberately not ordered against it.
+        for s in &rep.spans {
+            if let Err(e) = s.check_accounting() {
+                panic!("span accounting: {e}");
+            }
+        }
+        assert!(
+            !res.telem.flush_spans.is_empty(),
+            "wire flush spans recorded"
+        );
+        assert!(!res.net.rows.is_empty(), "net table populated");
+        assert!(res.net.rows.iter().all(|r| r.frames > 0));
+    }
+
+    #[test]
     fn tcp_multiprocess_shape_in_threads() {
         // The external-address path, driven by in-process `serve_one`
         // nodes on their own threads: exercises the Peers gossip and the
@@ -1431,5 +1788,93 @@ mod tests {
         for t in nodes {
             t.join().unwrap();
         }
+    }
+
+    #[test]
+    fn tcp_multiprocess_spans_stitch_across_nodes() {
+        // The full cross-process tracing story in miniature: server nodes
+        // run with their own epochs and shard-mode sinks, ship their span
+        // shards in `StopResp`, and the coordinator stitches them into its
+        // recording sink with the probe-measured clock offsets. Every op
+        // must come out with a server-stamped `Executed` milestone that
+        // lands between the coordinator-stamped `Issued` and `Replied`.
+        let trace = TraceBuilder::new(TraceProfile::by_name("CTH").unwrap())
+            .scale(0.0005)
+            .build();
+        let cfg = fast_cfg(2, Protocol::Cx);
+        let (addr_tx, addr_rx) = unbounded();
+        let mut nodes = Vec::new();
+        for i in 0..cfg.servers {
+            let cfg = cfg.clone();
+            let seeds = trace.seeds.clone();
+            let addr_tx = addr_tx.clone();
+            nodes.push(thread::spawn(move || {
+                let sopts = ServeOptions {
+                    obs: true,
+                    net: PlaneConfig {
+                        record_flush_spans: true,
+                        ..PlaneConfig::default()
+                    },
+                    metrics_out: None,
+                };
+                serve_one_opts(&cfg, ServerId(i), &seeds, sopts, |a| {
+                    addr_tx.send((i, a)).unwrap();
+                })
+                .expect("serve_one binds");
+            }));
+        }
+        let mut addrs = vec![None; cfg.servers as usize];
+        for _ in 0..cfg.servers {
+            let (i, a) = addr_rx.recv().unwrap();
+            addrs[i as usize] = Some(a);
+        }
+        let addrs: Vec<SocketAddr> = addrs.into_iter().map(|a| a.unwrap()).collect();
+        let sink = ObsSink::recording("cx");
+        let opts = TcpOptions {
+            obs: sink.clone(),
+            ..TcpOptions::default()
+        };
+        let res = TcpCluster::run_external(cfg, trace.to_stream(), &addrs, opts);
+        assert_eq!(res.violations, vec![]);
+        for t in nodes {
+            t.join().unwrap();
+        }
+        let rep = sink.report().expect("recording sink yields a report");
+        assert_eq!(rep.spans.len(), trace.ops.len());
+        // Merge completeness: ≥99% of spans must come back with a
+        // server-stamped Executed milestone absorbed from a shard.
+        let stitched = rep
+            .spans
+            .iter()
+            .filter(|s| {
+                s.at(Phase::Executed).is_some() && s.server[Phase::Executed.index()] != u32::MAX
+            })
+            .count();
+        assert!(
+            stitched * 100 >= rep.spans.len() * 99,
+            "{stitched}/{} spans carry a server-stamped Executed",
+            rep.spans.len()
+        );
+        // Stitching sanity: the offset estimate is only good to ±rtt/2,
+        // but the absorb clamp pins every shard stamp inside its causal
+        // interval — at or after the preceding coordinator stamp, at or
+        // before the following one — so the sandwich is unconditional.
+        for s in &rep.spans {
+            let (Some(issued), Some(exec), Some(replied)) = (
+                s.at(Phase::Issued),
+                s.at(Phase::Executed),
+                s.at(Phase::Replied),
+            ) else {
+                continue;
+            };
+            assert!(
+                issued <= exec && exec <= replied,
+                "op {:?}: stitched Executed ({exec}) outside [{issued}, {replied}]",
+                s.op
+            );
+        }
+        // The stitched view also carries the servers' wire telemetry and
+        // their per-peer health rows.
+        assert!(res.net.rows.iter().any(|r| r.on.starts_with("srv")));
     }
 }

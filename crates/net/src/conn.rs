@@ -49,8 +49,10 @@ use crate::health::{HealthSnapshot, PeerHealth};
 use crate::wire::{encode_frame, write_frame, Frame, FrameBuffer};
 use crate::NodeId;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use cx_obs::{FlushSpan, LogHistogram};
 use cx_types::{NetTuning, VecPool};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Write};
 use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
@@ -74,6 +76,10 @@ pub struct PlaneConfig {
     /// Coalescing/corking/queue knobs (shared vocabulary with the rest of
     /// the workspace via `cx-types`).
     pub tuning: NetTuning,
+    /// Keep a per-flush [`FlushSpan`] log for the Perfetto trace (bounded;
+    /// see [`FLUSH_SPAN_CAP`]). The telemetry histograms are always on —
+    /// only the span log, whose memory grows with the run, is gated.
+    pub record_flush_spans: bool,
 }
 
 impl Default for PlaneConfig {
@@ -82,6 +88,7 @@ impl Default for PlaneConfig {
             backoff_base: Duration::from_millis(10),
             backoff_max: Duration::from_secs(1),
             tuning: NetTuning::default(),
+            record_flush_spans: false,
         }
     }
 }
@@ -170,6 +177,7 @@ struct PeerShared {
     shutdown: Arc<AtomicBool>,
     reconnects: Arc<AtomicU64>,
     wire: Arc<WireCounters>,
+    telem: Arc<TelemetryState>,
 }
 
 struct Peer {
@@ -237,6 +245,124 @@ impl WireCounters {
             bytes: self.bytes.load(Ordering::Relaxed),
             flushes: self.flushes.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// Upper bound on retained [`FlushSpan`]s per manager (~40 B each). Past
+/// it flushes still count in the histograms; only the trace log saturates,
+/// with the overflow tallied in [`WireTelemetry::spans_dropped`].
+pub const FLUSH_SPAN_CAP: usize = 1 << 16;
+
+/// Live wall-clock telemetry shared by every peer of one manager: the
+/// flush/queue/stall histograms (always on — one `Mutex`ed record per
+/// *flush*, not per frame) and the optional per-flush span log. All stamps
+/// are nanoseconds since the manager's `epoch`, so one process's spans are
+/// directly comparable and cross-process ones differ by a probe-estimated
+/// offset ([`crate::ClockSync`]).
+struct TelemetryState {
+    epoch: Instant,
+    record_spans: bool,
+    queue_depth: Mutex<LogHistogram>,
+    flush_frames: Mutex<LogHistogram>,
+    flush_latency_ns: Mutex<LogHistogram>,
+    cork_scope_ns: Mutex<LogHistogram>,
+    stall_ns: Mutex<LogHistogram>,
+    spans: Mutex<Vec<FlushSpan>>,
+    spans_dropped: AtomicU64,
+}
+
+impl TelemetryState {
+    fn new(epoch: Instant, record_spans: bool) -> Self {
+        Self {
+            epoch,
+            record_spans,
+            queue_depth: Mutex::new(LogHistogram::default()),
+            flush_frames: Mutex::new(LogHistogram::default()),
+            flush_latency_ns: Mutex::new(LogHistogram::default()),
+            cork_scope_ns: Mutex::new(LogHistogram::default()),
+            stall_ns: Mutex::new(LogHistogram::default()),
+            spans: Mutex::new(Vec::new()),
+            spans_dropped: AtomicU64::new(0),
+        }
+    }
+
+    fn note_queue_depth(&self, depth: u64) {
+        self.queue_depth.lock().record(depth);
+    }
+
+    fn note_flush(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        t0: Instant,
+        dur: Duration,
+        frames: u64,
+        bytes: u64,
+    ) {
+        self.flush_frames.lock().record(frames);
+        self.flush_latency_ns.lock().record(dur.as_nanos() as u64);
+        if self.record_spans {
+            let mut spans = self.spans.lock();
+            if spans.len() < FLUSH_SPAN_CAP {
+                spans.push(FlushSpan {
+                    from: from.flow(),
+                    to: to.flow(),
+                    start_ns: t0.saturating_duration_since(self.epoch).as_nanos() as u64,
+                    dur_ns: dur.as_nanos() as u64,
+                    frames: frames.min(u32::MAX as u64) as u32,
+                    bytes: bytes.min(u32::MAX as u64) as u32,
+                });
+            } else {
+                self.spans_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn note_stall(&self, dur: Duration) {
+        self.stall_ns.lock().record(dur.as_nanos() as u64);
+    }
+
+    fn note_cork_scope(&self, dur: Duration) {
+        self.cork_scope_ns.lock().record(dur.as_nanos() as u64);
+    }
+}
+
+/// A point-in-time copy of one manager's wall-clock wire telemetry — what
+/// [`ConnectionManager::telemetry`] returns and `StopResp` ships from
+/// child processes. Histograms merge losslessly ([`LogHistogram::merge`]);
+/// flush-span stamps are on the recording process's epoch clock and need
+/// offset correction before cross-process comparison.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WireTelemetry {
+    pub queue_depth: LogHistogram,
+    pub flush_frames: LogHistogram,
+    pub flush_latency_ns: LogHistogram,
+    pub cork_scope_ns: LogHistogram,
+    pub stall_ns: LogHistogram,
+    pub flush_spans: Vec<FlushSpan>,
+    /// Flushes whose spans were discarded at [`FLUSH_SPAN_CAP`].
+    pub spans_dropped: u64,
+}
+
+impl WireTelemetry {
+    /// Fold another node's telemetry in. `offset_ns` is that node's clock
+    /// offset (its clock minus ours, from [`crate::ClockSync`]): its
+    /// flush-span stamps are pulled onto our clock before appending, so
+    /// the merged span log shares one timeline. Histograms merge
+    /// losslessly; offsets do not apply to them (durations and depths are
+    /// clock-free).
+    pub fn merge(&mut self, other: &WireTelemetry, offset_ns: i64) {
+        self.queue_depth.merge(&other.queue_depth);
+        self.flush_frames.merge(&other.flush_frames);
+        self.flush_latency_ns.merge(&other.flush_latency_ns);
+        self.cork_scope_ns.merge(&other.cork_scope_ns);
+        self.stall_ns.merge(&other.stall_ns);
+        self.spans_dropped += other.spans_dropped;
+        self.flush_spans.extend(other.flush_spans.iter().map(|f| {
+            let mut f = *f;
+            f.start_ns = crate::clock::correct_ns(f.start_ns, offset_ns);
+            f
+        }));
     }
 }
 
@@ -328,17 +454,23 @@ pub struct ConnectionManager {
     /// Live [`CorkGuard`] count: while non-zero, `send` only enqueues and
     /// the guard's drop flushes every dirty peer once.
     cork_depth: AtomicUsize,
+    /// Wall-clock flush/queue/stall telemetry, shared with every peer.
+    telem: Arc<TelemetryState>,
 }
 
 /// Scoped sender-side cork (see [`ConnectionManager::cork_scope`]).
 /// Dropping the last live guard flushes every peer with queued frames.
 pub struct CorkGuard<'a> {
     mgr: &'a ConnectionManager,
+    start: Instant,
 }
 
 impl Drop for CorkGuard<'_> {
     fn drop(&mut self) {
         if self.mgr.cork_depth.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Only the guard that actually pops the cork measures the
+            // scope: nested guards are part of the same held window.
+            self.mgr.telem.note_cork_scope(self.start.elapsed());
             self.mgr.flush_all();
         }
     }
@@ -358,6 +490,21 @@ impl ConnectionManager {
         book: Arc<AddrBook>,
         cfg: PlaneConfig,
     ) -> io::Result<(Self, InboundBatches)> {
+        Self::start_with_epoch(me, book, cfg, Instant::now())
+    }
+
+    /// [`Self::start`] with an explicit telemetry epoch: all wall-clock
+    /// stamps (flush spans, probe timestamps via [`Self::now_ns`]) are
+    /// nanoseconds since `epoch`. Loopback clusters pass one shared epoch
+    /// so every node's stamps are directly comparable; separate processes
+    /// pass their own start instant and reconcile via probe-estimated
+    /// clock offsets.
+    pub fn start_with_epoch(
+        me: NodeId,
+        book: Arc<AddrBook>,
+        cfg: PlaneConfig,
+        epoch: Instant,
+    ) -> io::Result<(Self, InboundBatches)> {
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?;
         let listen_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -366,6 +513,7 @@ impl ConnectionManager {
         let reader_socks: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
         let reader_handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let batch_pool: Arc<Mutex<VecPool<Frame>>> = Arc::new(Mutex::new(VecPool::default()));
+        let cfg_record_spans = cfg.record_flush_spans;
 
         let accept_handle = {
             let inbound_tx = inbound_tx.clone();
@@ -402,6 +550,7 @@ impl ConnectionManager {
                 batch_pool,
                 wire: Arc::new(WireCounters::default()),
                 cork_depth: AtomicUsize::new(0),
+                telem: Arc::new(TelemetryState::new(epoch, cfg_record_spans)),
             },
             inbound_rx,
         ))
@@ -440,15 +589,24 @@ impl ConnectionManager {
             Arc::clone(&peer.shared)
         };
         let cap = self.cfg.tuning.queue_cap.max(1);
+        let mut stalled: Option<Duration> = None;
         let flush = {
             let mut q = plock(&shared.queue);
+            // Time only real backpressure stalls: the common uncontended
+            // send never reads the clock.
+            let mut waited: Option<Instant> = None;
             while q.q.len() >= cap && !q.shutdown {
+                waited.get_or_insert_with(Instant::now);
                 q = shared.room.wait(q).unwrap_or_else(PoisonError::into_inner);
+            }
+            if let Some(w) = waited {
+                stalled = Some(w.elapsed());
             }
             if q.shutdown {
                 return Err("connection manager is shut down");
             }
             q.q.push_back(frame);
+            shared.health.note_queue_depth(q.q.len() as u64);
             // Under a scoped cork the frame just queues: the guard's drop
             // flushes every dirty peer once, coalescing the whole burst
             // into one write per peer. A queue at capacity overrides the
@@ -464,6 +622,9 @@ impl ConnectionManager {
                 }
             }
         };
+        if let Some(d) = stalled {
+            shared.telem.note_stall(d);
+        }
         if let Some(st) = flush {
             // Inline sessions are round-capped so a protocol thread can't
             // be conscripted as the peer's writer forever under sustained
@@ -510,7 +671,10 @@ impl ConnectionManager {
     /// daemon's periodic sweep flush queued frames regardless of corking.
     pub fn cork_scope(&self) -> CorkGuard<'_> {
         self.cork_depth.fetch_add(1, Ordering::SeqCst);
-        CorkGuard { mgr: self }
+        CorkGuard {
+            mgr: self,
+            start: Instant::now(),
+        }
     }
 
     /// Flush every peer with queued frames (the tail of a cork scope).
@@ -583,6 +747,7 @@ impl ConnectionManager {
             shutdown: Arc::clone(&self.shutdown),
             reconnects: Arc::clone(&self.reconnects),
             wire: Arc::clone(&self.wire),
+            telem: Arc::clone(&self.telem),
         });
         let daemon_shared = Arc::clone(&shared);
         let handle = thread::Builder::new()
@@ -641,6 +806,42 @@ impl ConnectionManager {
     /// connection was ever lost).
     pub fn reconnects_total(&self) -> u64 {
         self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds since this manager's telemetry epoch — the wall clock
+    /// every flush span and probe timestamp is stamped on.
+    pub fn now_ns(&self) -> u64 {
+        self.telem.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// A point-in-time copy of the wall-clock wire telemetry: the
+    /// flush/queue/stall histograms plus the flush-span log (when
+    /// [`PlaneConfig::record_flush_spans`] is set). Spans accumulated so
+    /// far are *cloned*, not drained — calling twice is idempotent.
+    pub fn telemetry(&self) -> WireTelemetry {
+        WireTelemetry {
+            queue_depth: self.telem.queue_depth.lock().clone(),
+            flush_frames: self.telem.flush_frames.lock().clone(),
+            flush_latency_ns: self.telem.flush_latency_ns.lock().clone(),
+            cork_scope_ns: self.telem.cork_scope_ns.lock().clone(),
+            stall_ns: self.telem.stall_ns.lock().clone(),
+            flush_spans: self.telem.spans.lock().clone(),
+            spans_dropped: self.telem.spans_dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Feed one probe RTT/offset sample into `to`'s health tracking (the
+    /// quiesce loop samples these; the estimator itself lives with the
+    /// caller as [`crate::ClockSync`]).
+    pub fn note_rtt(&self, to: NodeId, rtt_ns: u64, offset_ns: i64) {
+        if let Some(h) = self
+            .peers
+            .lock()
+            .get(&to)
+            .map(|p| Arc::clone(&p.shared.health))
+        {
+            h.note_rtt(rtt_ns, offset_ns);
+        }
     }
 
     /// Stop accepting, flush and join every writer daemon, unblock every
@@ -714,8 +915,10 @@ fn flush_session(
         // Gather: move queued frames into the held batch, encoding each
         // into the scratch buffer back-to-back, up to the cork threshold.
         let shutting;
+        let gathered_depth: u64;
         {
             let mut q = plock(&shared.queue);
+            gathered_depth = q.q.len() as u64;
             let mut took = false;
             while st.scratch.len() < cork_bytes {
                 let Some(f) = q.q.pop_front() else { break };
@@ -735,6 +938,11 @@ fn flush_session(
                 return SessionEnd::Done;
             }
             shutting = q.shutdown;
+        }
+        // Sample the pre-gather backlog (outside the queue lock; zero
+        // depths are the terminating empty checks, not signal).
+        if gathered_depth > 0 {
+            shared.telem.note_queue_depth(gathered_depth);
         }
         // Adaptive cork: inside a busy stream (last flush under the
         // deadline ago), a sub-threshold batch is held for company and the
@@ -792,12 +1000,13 @@ fn flush_session(
         let t0 = Instant::now();
         match stream.write_all(scratch) {
             Ok(()) => {
+                let dur = t0.elapsed();
+                let (frames, bytes) = (batch.len() as u64, scratch.len() as u64);
+                shared.health.note_flush(frames, bytes, dur);
+                shared.wire.note_flush(frames, bytes);
                 shared
-                    .health
-                    .note_flush(batch.len() as u64, scratch.len() as u64, t0.elapsed());
-                shared
-                    .wire
-                    .note_flush(batch.len() as u64, scratch.len() as u64);
+                    .telem
+                    .note_flush(shared.me, shared.to, t0, dur, frames, bytes);
                 batch.clear();
                 scratch.clear();
                 *last_flush_at = Some(Instant::now());
@@ -1049,6 +1258,13 @@ fn reader_loop(
     }
 }
 
+/// Test shorthand: the payload of a frame is irrelevant to the transport
+/// tests, so they all ship probes with a zero send timestamp.
+#[cfg(test)]
+fn probe(token: u64) -> Frame {
+    Frame::Probe { token, t0_ns: 0 }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1079,12 +1295,11 @@ mod tests {
         book.set(NodeId::Server(1), b.listen_addr());
 
         for t in 0..100u64 {
-            a.send(NodeId::Server(1), Frame::Probe { token: t })
-                .unwrap();
+            a.send(NodeId::Server(1), probe(t)).unwrap();
         }
         for (t, (from, f)) in recv_n(&rx_b, 100).into_iter().enumerate() {
             assert_eq!(from, NodeId::Server(0));
-            assert_eq!(f, Frame::Probe { token: t as u64 }, "in-order delivery");
+            assert_eq!(f, probe(t as u64), "in-order delivery");
         }
         let h = a.health(NodeId::Server(1)).unwrap();
         assert_eq!(h.sends, 100);
@@ -1098,6 +1313,61 @@ mod tests {
         let t = a.wire_totals();
         assert_eq!(t.frames, 100);
         assert_eq!(t.flushes, h.flushes);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn telemetry_histograms_and_flush_spans_populate() {
+        let book = Arc::new(AddrBook::new());
+        let cfg = PlaneConfig {
+            record_flush_spans: true,
+            ..PlaneConfig::default()
+        };
+        let epoch = Instant::now();
+        let (a, _rx_a) = ConnectionManager::start_with_epoch(
+            NodeId::Server(0),
+            Arc::clone(&book),
+            cfg.clone(),
+            epoch,
+        )
+        .unwrap();
+        let (b, rx_b) = ConnectionManager::start_with_epoch(
+            NodeId::ClientHost(1),
+            Arc::clone(&book),
+            cfg,
+            epoch,
+        )
+        .unwrap();
+        book.set(NodeId::Server(0), a.listen_addr());
+        book.set(NodeId::ClientHost(1), b.listen_addr());
+
+        {
+            let _cork = a.cork_scope();
+            for t in 0..50u64 {
+                a.send(NodeId::ClientHost(1), probe(t)).unwrap();
+            }
+        }
+        recv_n(&rx_b, 50);
+        let telem = a.telemetry();
+        let flushes = a.wire_totals().flushes;
+        assert_eq!(telem.flush_frames.summary().count, flushes);
+        assert_eq!(telem.flush_latency_ns.summary().count, flushes);
+        assert_eq!(telem.flush_spans.len() as u64, flushes);
+        assert_eq!(telem.spans_dropped, 0);
+        // The corked burst gathered a visible backlog in one flush.
+        assert!(telem.queue_depth.summary().max_ns >= 2);
+        assert_eq!(telem.cork_scope_ns.summary().count, 1);
+        let total_frames: u64 = telem.flush_spans.iter().map(|s| s.frames as u64).sum();
+        assert_eq!(total_frames, 50);
+        for s in &telem.flush_spans {
+            assert_eq!(s.from, cx_obs::FlowNode::Server(0));
+            assert_eq!(s.to, cx_obs::FlowNode::Client(1));
+        }
+        // telemetry() clones rather than drains.
+        assert_eq!(a.telemetry().flush_spans.len() as u64, flushes);
+        // b never sent: nothing recorded on its side.
+        assert!(b.telemetry().flush_spans.is_empty());
         a.shutdown();
         b.shutdown();
     }
@@ -1122,11 +1392,10 @@ mod tests {
         // send below rides the already-established session. Had prime
         // been lazy, the send would dial the dead address and stall.
         book.set(NodeId::Server(1), "127.0.0.1:1".parse().unwrap());
-        a.send(NodeId::Server(1), Frame::Probe { token: 9 })
-            .unwrap();
+        a.send(NodeId::Server(1), probe(9)).unwrap();
         let (from, f) = recv_n(&rx_b, 1).pop().unwrap();
         assert_eq!(from, NodeId::Server(0));
-        assert_eq!(f, Frame::Probe { token: 9 });
+        assert_eq!(f, probe(9));
         assert_eq!(a.reconnects_total(), 0);
         a.shutdown();
         b.shutdown();
@@ -1148,22 +1417,20 @@ mod tests {
         // Phase 1: deliver a batch, and wait for it so the writer is
         // provably idle when the connection is dropped.
         for t in 0..200u64 {
-            a.send(NodeId::Server(1), Frame::Probe { token: t })
-                .unwrap();
+            a.send(NodeId::Server(1), probe(t)).unwrap();
         }
         for (t, (_, f)) in recv_n(&rx_b, 200).into_iter().enumerate() {
-            assert_eq!(f, Frame::Probe { token: t as u64 });
+            assert_eq!(f, probe(t as u64));
         }
         // Phase 2: drop the live socket, keep sending. The writer closes at
         // the next flush boundary and must re-dial to deliver the rest.
         assert!(a.drop_connection(NodeId::Server(1)));
         for t in 200..500u64 {
-            a.send(NodeId::Server(1), Frame::Probe { token: t })
-                .unwrap();
+            a.send(NodeId::Server(1), probe(t)).unwrap();
         }
         for (i, (_, f)) in recv_n(&rx_b, 300).into_iter().enumerate() {
             let t = 200 + i as u64;
-            assert_eq!(f, Frame::Probe { token: t }, "no loss across reconnect");
+            assert_eq!(f, probe(t), "no loss across reconnect");
         }
         assert!(
             a.reconnects_total() >= 1,
@@ -1198,8 +1465,7 @@ mod tests {
 
         const N: u64 = 2_000;
         for t in 0..N {
-            a.send(NodeId::Server(1), Frame::Probe { token: t })
-                .unwrap();
+            a.send(NodeId::Server(1), probe(t)).unwrap();
             if t % 256 == 128 {
                 a.drop_connection(NodeId::Server(1));
             }
@@ -1207,7 +1473,7 @@ mod tests {
         for (t, (_, f)) in recv_n(&rx_b, N as usize).into_iter().enumerate() {
             assert_eq!(
                 f,
-                Frame::Probe { token: t as u64 },
+                probe(t as u64),
                 "lossless FIFO across kills under corking"
             );
         }
@@ -1225,8 +1491,7 @@ mod tests {
         let (a, _rx_a) =
             ConnectionManager::start(NodeId::Server(0), Arc::clone(&book), cfg.clone()).unwrap();
         // Send before the peer address is known: the writer retries.
-        a.send(NodeId::Server(1), Frame::Probe { token: 7 })
-            .unwrap();
+        a.send(NodeId::Server(1), probe(7)).unwrap();
         thread::sleep(Duration::from_millis(10));
         assert!(a.health(NodeId::Server(1)).unwrap().consecutive_failures > 0);
 
@@ -1234,7 +1499,7 @@ mod tests {
             ConnectionManager::start(NodeId::Server(1), Arc::clone(&book), cfg).unwrap();
         book.set(NodeId::Server(1), b.listen_addr());
         let (_, f) = recv_n(&rx_b, 1).pop().unwrap();
-        assert_eq!(f, Frame::Probe { token: 7 });
+        assert_eq!(f, probe(7));
         a.shutdown();
         b.shutdown();
     }
@@ -1260,21 +1525,17 @@ mod perf_probe {
         book.set(NodeId::Server(0), a.listen_addr());
         book.set(NodeId::Server(1), b.listen_addr());
         // Warm both directions.
-        a.send(NodeId::Server(1), Frame::Probe { token: 0 })
-            .unwrap();
+        a.send(NodeId::Server(1), probe(0)).unwrap();
         rx_b.recv_timeout(Duration::from_secs(1)).unwrap();
-        b.send(NodeId::Server(0), Frame::Probe { token: 0 })
-            .unwrap();
+        b.send(NodeId::Server(0), probe(0)).unwrap();
         rx_a.recv_timeout(Duration::from_secs(1)).unwrap();
         const N: u64 = 20_000;
         let t0 = Instant::now();
         for t in 1..=N {
-            a.send(NodeId::Server(1), Frame::Probe { token: t })
-                .unwrap();
+            a.send(NodeId::Server(1), probe(t)).unwrap();
             let (_, fs) = rx_b.recv_timeout(Duration::from_secs(5)).unwrap();
             b.recycle_batch(fs);
-            b.send(NodeId::Server(0), Frame::Probe { token: t })
-                .unwrap();
+            b.send(NodeId::Server(0), probe(t)).unwrap();
             let (_, fs) = rx_a.recv_timeout(Duration::from_secs(5)).unwrap();
             a.recycle_batch(fs);
         }
@@ -1314,8 +1575,7 @@ mod perf_probe {
             b
         });
         for t in 0..N {
-            a.send(NodeId::Server(1), Frame::Probe { token: t })
-                .unwrap();
+            a.send(NodeId::Server(1), probe(t)).unwrap();
         }
         let b = h.join().unwrap();
         let el = t0.elapsed();

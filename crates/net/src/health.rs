@@ -18,7 +18,9 @@
 //!
 //! [`score`]: PeerHealth::score
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Flush latency at which the latency factor reaches 0.5 (loopback
@@ -29,8 +31,14 @@ const TARGET_LATENCY_NS: u64 = 1_000_000;
 /// EWMA weight for new samples: `ewma += (sample - ewma) / 5` (α = 0.2).
 const EWMA_DIV: u64 = 5;
 
+/// RTT sample ring capacity: enough for every quiesce-round probe of a
+/// long run while bounding the percentile sort at snapshot time.
+const RTT_RING: usize = 512;
+
 /// Shared, lock-free health record for one peer. Writers update it from the
-/// send path; any thread may snapshot it.
+/// send path; any thread may snapshot it. (The RTT ring is the one mutexed
+/// field — it is written only by the probe path, a few samples per quiesce
+/// round, never by the flush hot path.)
 #[derive(Debug, Default)]
 pub struct PeerHealth {
     frames: AtomicU64,
@@ -40,10 +48,22 @@ pub struct PeerHealth {
     consecutive_failures: AtomicU64,
     reconnects: AtomicU64,
     ewma_ns: AtomicU64,
+    /// Probe round-trip samples (ns), ring-buffered for p50/p99.
+    rtt: Mutex<Vec<u64>>,
+    rtt_samples: AtomicU64,
+    /// Smallest RTT observed (0 = no sample yet) — the sample whose offset
+    /// estimate carries the tightest error bound (± rtt/2).
+    rtt_min_ns: AtomicU64,
+    /// Clock offset (peer minus us, ns) estimated at the min-RTT sample.
+    clock_offset_ns: AtomicI64,
+    /// Deepest outbound queue observed at a flush gather.
+    queue_peak: AtomicU64,
 }
 
-/// Point-in-time copy of a peer's health counters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Point-in-time copy of a peer's health counters. Serializable so child
+/// server processes can ship their rows in `StopResp` for the
+/// cluster-wide per-peer net table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct HealthSnapshot {
     /// Frames successfully written (every frame of every flushed batch).
     pub sends: u64,
@@ -58,6 +78,17 @@ pub struct HealthSnapshot {
     pub ewma_ns: u64,
     /// Combined health in `(0, 1]`; see module docs.
     pub score: f64,
+    /// Probe RTT percentiles (0 until the first probe sample lands).
+    pub rtt_p50_ns: u64,
+    pub rtt_p99_ns: u64,
+    /// Smallest probe RTT seen (0 = never probed).
+    pub rtt_min_ns: u64,
+    pub rtt_samples: u64,
+    /// Estimated clock offset (peer clock minus ours, ns) at min RTT;
+    /// error bound is ± `rtt_min_ns / 2`.
+    pub clock_offset_ns: i64,
+    /// Deepest outbound queue a flush ever gathered from.
+    pub queue_peak: u64,
 }
 
 impl PeerHealth {
@@ -99,6 +130,40 @@ impl PeerHealth {
         self.reconnects.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one probe round trip and its offset estimate. The min-RTT
+    /// sample wins the offset slot: the shorter the round trip, the
+    /// tighter the `± rtt/2` bound on `offset = t1 - (t0 + t3)/2`.
+    pub fn note_rtt(&self, rtt_ns: u64, offset_ns: i64) {
+        let n = self.rtt_samples.fetch_add(1, Ordering::Relaxed) as usize;
+        {
+            let mut ring = self.rtt.lock();
+            if ring.len() < RTT_RING {
+                ring.push(rtt_ns);
+            } else {
+                ring[n % RTT_RING] = rtt_ns;
+            }
+        }
+        let min = self.rtt_min_ns.load(Ordering::Relaxed);
+        if min == 0 || rtt_ns < min {
+            self.rtt_min_ns.store(rtt_ns, Ordering::Relaxed);
+            self.clock_offset_ns.store(offset_ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Record the outbound queue depth a flush gathered from (peak wins).
+    pub fn note_queue_depth(&self, depth: u64) {
+        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// The current min-RTT clock-offset estimate, if any probe landed:
+    /// `(offset_ns, rtt_min_ns)`.
+    pub fn clock_offset(&self) -> Option<(i64, u64)> {
+        match self.rtt_min_ns.load(Ordering::Relaxed) {
+            0 => None,
+            rtt => Some((self.clock_offset_ns.load(Ordering::Relaxed), rtt)),
+        }
+    }
+
     pub fn reconnects(&self) -> u64 {
         self.reconnects.load(Ordering::Relaxed)
     }
@@ -114,6 +179,19 @@ impl PeerHealth {
     }
 
     pub fn snapshot(&self) -> HealthSnapshot {
+        // Percentiles over the (unordered) ring; snapshotting is a cold
+        // path, so the sort of ≤512 samples is fine.
+        let (p50, p99) = {
+            let ring = self.rtt.lock();
+            if ring.is_empty() {
+                (0, 0)
+            } else {
+                let mut sorted = ring.clone();
+                sorted.sort_unstable();
+                let at = |q: f64| sorted[((sorted.len() - 1) as f64 * q) as usize];
+                (at(0.50), at(0.99))
+            }
+        };
         HealthSnapshot {
             sends: self.frames.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
@@ -123,6 +201,12 @@ impl PeerHealth {
             reconnects: self.reconnects.load(Ordering::Relaxed),
             ewma_ns: self.ewma_ns.load(Ordering::Relaxed),
             score: self.score(),
+            rtt_p50_ns: p50,
+            rtt_p99_ns: p99,
+            rtt_min_ns: self.rtt_min_ns.load(Ordering::Relaxed),
+            rtt_samples: self.rtt_samples.load(Ordering::Relaxed),
+            clock_offset_ns: self.clock_offset_ns.load(Ordering::Relaxed),
+            queue_peak: self.queue_peak.load(Ordering::Relaxed),
         }
     }
 }
@@ -186,6 +270,30 @@ mod tests {
         h.note_flush(64, 4096, Duration::from_micros(100));
         assert_eq!(h.snapshot().flushes, 2);
         assert_eq!(h.snapshot().ewma_ns, 60_000, "one sample per flush");
+    }
+
+    #[test]
+    fn rtt_ring_tracks_min_offset_and_percentiles() {
+        let h = PeerHealth::new();
+        assert_eq!(h.clock_offset(), None);
+        // 100 slow samples with a noisy offset, one fast sample with the
+        // true offset: min-RTT must pin the fast sample's estimate.
+        for i in 0..100u64 {
+            h.note_rtt(200_000 + i, 9_999);
+        }
+        h.note_rtt(50_000, -1_234);
+        let s = h.snapshot();
+        assert_eq!(s.rtt_min_ns, 50_000);
+        assert_eq!(s.clock_offset_ns, -1_234);
+        assert_eq!(s.rtt_samples, 101);
+        assert!(s.rtt_p50_ns >= 50_000 && s.rtt_p50_ns <= 200_100);
+        assert!(s.rtt_p99_ns >= s.rtt_p50_ns);
+        assert_eq!(h.clock_offset(), Some((-1_234, 50_000)));
+        // Queue-depth peak is monotone.
+        h.note_queue_depth(3);
+        h.note_queue_depth(17);
+        h.note_queue_depth(5);
+        assert_eq!(h.snapshot().queue_peak, 17);
     }
 
     #[test]

@@ -25,11 +25,13 @@
 //! (in-process loopback or one OS process per server) and keeps the DES as
 //! its oracle.
 
+pub mod clock;
 pub mod conn;
 pub mod health;
 pub mod wire;
 
-pub use conn::{AddrBook, ConnectionManager, CorkGuard, PlaneConfig, WireTotals};
+pub use clock::{correct_ns, ClockSync, OffsetEstimate};
+pub use conn::{AddrBook, ConnectionManager, CorkGuard, PlaneConfig, WireTelemetry, WireTotals};
 pub use health::{HealthSnapshot, PeerHealth};
 pub use wire::{
     decode_frame, encode_frame, encode_to_vec, read_frame, write_frame, Frame, FrameBuffer,
@@ -44,6 +46,17 @@ pub use wire::{
 pub enum NodeId {
     Server(u32),
     ClientHost(u32),
+}
+
+impl NodeId {
+    /// The observability-plane mirror of this node — the track identity
+    /// used by flow arcs and flush spans in the Perfetto trace.
+    pub fn flow(self) -> cx_obs::FlowNode {
+        match self {
+            NodeId::Server(s) => cx_obs::FlowNode::Server(s),
+            NodeId::ClientHost(c) => cx_obs::FlowNode::Client(c),
+        }
+    }
 }
 
 impl std::fmt::Display for NodeId {

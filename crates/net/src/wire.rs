@@ -59,26 +59,27 @@ pub enum Frame {
     },
     /// First frame on every connection: who is dialing, and on which port
     /// the dialer's own listener accepts dial-backs.
-    Hello {
-        node: NodeId,
-        listen_port: u16,
-    },
+    Hello { node: NodeId, listen_port: u16 },
     /// Coordinator → server gossip: the listen addresses of every server,
     /// so multi-process servers can dial each other without a rendezvous
     /// service.
-    Peers {
-        servers: Vec<(u32, String)>,
-    },
+    Peers { servers: Vec<(u32, String)> },
     /// Coordinator asks a server to flush batched commitments (the threaded
     /// runtime's drain protocol, over the wire).
     Quiesce,
     /// Coordinator asks: are you quiesced? Token echoes back in the reply.
-    Probe {
-        token: u64,
-    },
+    /// `t0_ns` is the sender's clock at send time (nanoseconds since its
+    /// run epoch); its echo in [`Frame::ProbeResp`] turns every quiesce
+    /// probe into an NTP-style RTT/clock-offset sample for free.
+    Probe { token: u64, t0_ns: u64 },
     ProbeResp {
         token: u64,
         quiesced: bool,
+        /// The probe's `t0_ns`, echoed verbatim (the prober's own clock).
+        echo_t0_ns: u64,
+        /// The responder's clock when it built the reply — the `t1` of the
+        /// offset estimate `t1 - (t0 + t3) / 2`.
+        remote_ns: u64,
     },
     /// Coordinator asks the server to stop and ship its final state.
     Stop,
@@ -518,14 +519,22 @@ pub fn encode_frame(frame: &Frame, buf: &mut Vec<u8>) {
             }
         }
         Frame::Quiesce => e.u8(TAG_QUIESCE),
-        Frame::Probe { token } => {
+        Frame::Probe { token, t0_ns } => {
             e.u8(TAG_PROBE);
             e.u64(*token);
+            e.u64(*t0_ns);
         }
-        Frame::ProbeResp { token, quiesced } => {
+        Frame::ProbeResp {
+            token,
+            quiesced,
+            echo_t0_ns,
+            remote_ns,
+        } => {
             e.u8(TAG_PROBE_RESP);
             e.u64(*token);
             e.bool(*quiesced);
+            e.u64(*echo_t0_ns);
+            e.u64(*remote_ns);
         }
         Frame::Stop => e.u8(TAG_STOP),
         Frame::StopResp {
@@ -977,10 +986,15 @@ fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
             Frame::Peers { servers }
         }
         TAG_QUIESCE => Frame::Quiesce,
-        TAG_PROBE => Frame::Probe { token: c.u64()? },
+        TAG_PROBE => Frame::Probe {
+            token: c.u64()?,
+            t0_ns: c.u64()?,
+        },
         TAG_PROBE_RESP => Frame::ProbeResp {
             token: c.u64()?,
             quiesced: c.bool()?,
+            echo_t0_ns: c.u64()?,
+            remote_ns: c.u64()?,
         },
         TAG_STOP => Frame::Stop,
         TAG_STOP_RESP => {
@@ -1214,10 +1228,15 @@ mod tests {
             servers: vec![(0, "127.0.0.1:4000".into()), (1, "127.0.0.1:4001".into())],
         });
         roundtrip(Frame::Quiesce);
-        roundtrip(Frame::Probe { token: 42 });
+        roundtrip(Frame::Probe {
+            token: 42,
+            t0_ns: 123_456_789,
+        });
         roundtrip(Frame::ProbeResp {
             token: 42,
             quiesced: true,
+            echo_t0_ns: 123_456_789,
+            remote_ns: 987_654_321,
         });
         roundtrip(Frame::Stop);
         roundtrip(Frame::StopResp {
@@ -1258,7 +1277,7 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_rejected() {
-        let mut bytes = encode_to_vec(&Frame::Probe { token: 1 });
+        let mut bytes = encode_to_vec(&Frame::Probe { token: 1, t0_ns: 0 });
         // Grow the body by one byte and patch the prefix accordingly.
         bytes.push(0xAB);
         let len = (bytes.len() - 4) as u32;
@@ -1287,7 +1306,7 @@ mod tests {
 
     #[test]
     fn stream_read_frame_handles_clean_close_and_mid_frame_eof() {
-        let bytes = encode_to_vec(&Frame::Probe { token: 9 });
+        let bytes = encode_to_vec(&Frame::Probe { token: 9, t0_ns: 0 });
         // Clean close: empty stream.
         let mut empty: &[u8] = &[];
         assert!(read_frame(&mut empty).unwrap().is_none());
@@ -1295,7 +1314,7 @@ mod tests {
         let mut whole: &[u8] = &bytes;
         assert_eq!(
             read_frame(&mut whole).unwrap(),
-            Some(Frame::Probe { token: 9 })
+            Some(Frame::Probe { token: 9, t0_ns: 0 })
         );
         assert!(read_frame(&mut whole).unwrap().is_none());
         // Truncated mid-frame.

@@ -46,6 +46,7 @@ fn sample_frame(rng: &mut SmallRng) -> Frame {
         },
         3 => Frame::Probe {
             token: rng.next_u64(),
+            t0_ns: rng.next_u64(),
         },
         4 => Frame::Quiesce,
         _ => Frame::StopResp {

@@ -54,6 +54,8 @@ fn sample_frame(rng: &mut SmallRng) -> Frame {
         3 => Frame::ProbeResp {
             token: rng.next_u64(),
             quiesced: true,
+            echo_t0_ns: rng.next_u64(),
+            remote_ns: rng.next_u64(),
         },
         _ => Frame::StopResp {
             stats_json: b"{}".to_vec(),
@@ -155,9 +157,9 @@ proptest! {
     fn coalesced_corruption_fails_cleanly(seed in any::<u64>()) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let frames = [
-            Frame::Probe { token: rng.next_u64() },
+            Frame::Probe { token: rng.next_u64(), t0_ns: 0 },
             sample_frame(&mut rng),
-            Frame::Probe { token: rng.next_u64() },
+            Frame::Probe { token: rng.next_u64(), t0_ns: 0 },
         ];
         let mut bytes = Vec::new();
         let mut ends = Vec::new();

@@ -294,10 +294,15 @@ proptest! {
                 .collect(),
         });
         assert_roundtrip(&Frame::Quiesce);
-        assert_roundtrip(&Frame::Probe { token: rng.next_u64() });
+        assert_roundtrip(&Frame::Probe {
+            token: rng.next_u64(),
+            t0_ns: rng.next_u64(),
+        });
         assert_roundtrip(&Frame::ProbeResp {
             token: rng.next_u64(),
             quiesced: rng.gen_bool(0.5),
+            echo_t0_ns: rng.next_u64(),
+            remote_ns: rng.next_u64(),
         });
         assert_roundtrip(&Frame::Stop);
         let ni = rng.gen_range(0usize..16);

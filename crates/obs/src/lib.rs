@@ -27,10 +27,17 @@
 //! - [`flight`]: the crash flight recorder — an always-on ring of recent
 //!   events dumped as a post-mortem Perfetto/JSONL pair when chaos sees a
 //!   crash, a stuck op, or a digest/oracle mismatch.
+//!
+//! The wall-clock wire plane (PR 9) adds:
+//!
+//! - [`net`]: per-flush spans for the Perfetto trace and the per-peer
+//!   table (wire totals, RTT percentiles, clock offsets) behind
+//!   `cx-obs net`.
 
 pub mod flight;
 pub mod flow;
 pub mod hist;
+pub mod net;
 pub mod registry;
 pub mod report;
 pub mod sink;
@@ -39,6 +46,7 @@ pub mod span;
 pub use flight::{FlightEvent, FlightRecorder, TimedEvent};
 pub use flow::{FlowNode, MsgEdge, MsgKind};
 pub use hist::{fmt_ns_f, HistSummary, LogHistogram};
+pub use net::{chrome_flush_events, FlushSpan, NetPeerRow, NetTable};
 pub use registry::{Counter, Gauge, MetricRegistry, MetricsSnapshot, Series};
 pub use report::{ClassRow, ObsReport, SegmentRow};
 pub use sink::{EngineGauges, GaugeKind, GaugeSample, ObsConfig, ObsSink, Recorder};

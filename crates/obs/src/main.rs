@@ -5,14 +5,18 @@
 //! cx-obs check  <report.json>            validate phase accounting (CI smoke)
 //! cx-obs trace  <report.json>            re-export the Chrome/Perfetto trace to stdout
 //! cx-obs trace  <report.json> --op <id>  print one op's causal chain (phases + messages)
-//! cx-obs top    <metrics.json>           render the live metric-registry snapshot
+//! cx-obs top    <metrics.json>…          render metric-registry snapshots (merged)
+//! cx-obs net    <run.net.json>           render the per-peer wire table
 //! ```
 //!
 //! `top` reads the snapshot a threaded run writes via `--metrics-out`;
 //! pair it with `watch` for a live view:
-//! `watch -n1 'cx-obs top target/live.metrics.json'`.
+//! `watch -n1 'cx-obs top target/live.metrics.json'`. A multiproc TCP run
+//! writes one snapshot per process — pass them all and `top` merges them
+//! (counters add; histogram quantiles merge conservatively from their
+//! summaries).
 
-use cx_obs::{MetricsSnapshot, ObsReport};
+use cx_obs::{MetricsSnapshot, NetTable, ObsReport};
 use std::process::ExitCode;
 
 fn load_report(path: &str) -> Result<ObsReport, String> {
@@ -20,16 +24,43 @@ fn load_report(path: &str) -> Result<ObsReport, String> {
     ObsReport::from_json(&text)
 }
 
+/// Read every snapshot path and fold them into one (see
+/// [`MetricsSnapshot::merge`]).
+fn load_merged_snapshots(paths: &[String]) -> Result<MetricsSnapshot, String> {
+    let mut merged: Option<MetricsSnapshot> = None;
+    for path in paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let snap = MetricsSnapshot::from_json(&text)?;
+        match &mut merged {
+            Some(m) => m.merge(&snap),
+            None => merged = Some(snap),
+        }
+    }
+    merged.ok_or_else(|| "no snapshot files given".into())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, path) = match (args.first(), args.get(1)) {
         (Some(c), Some(p)) => (c.as_str(), p.as_str()),
         _ => {
-            eprintln!("usage: cx-obs <report|check|trace|top> <artifact.json> [--op <id>]");
+            eprintln!("usage: cx-obs <report|check|trace|top|net> <artifact.json>… [--op <id>]");
             return ExitCode::from(2);
         }
     };
     if cmd == "top" {
+        return match load_merged_snapshots(&args[1..]) {
+            Ok(snap) => {
+                print!("{}", snap.render_top());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cx-obs: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if cmd == "net" {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {
@@ -37,9 +68,9 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        return match MetricsSnapshot::from_json(&text) {
-            Ok(snap) => {
-                print!("{}", snap.render_top());
+        return match NetTable::from_json(&text) {
+            Ok(table) => {
+                print!("{}", table.render());
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -63,11 +94,12 @@ fn main() -> ExitCode {
         "check" => match rep.validate() {
             Ok(()) => {
                 println!(
-                    "ok: {} spans, {} ops, {} message edges, \
+                    "ok: {} spans, {} ops, {} message edges, {} wire flushes, \
                      phase accounting sums to client latency",
                     rep.spans.len(),
                     rep.ops_issued,
                     rep.edges.len(),
+                    rep.flushes.len(),
                 );
                 ExitCode::SUCCESS
             }
@@ -90,7 +122,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         other => {
-            eprintln!("cx-obs: unknown command '{other}' (want report|check|trace|top)");
+            eprintln!("cx-obs: unknown command '{other}' (want report|check|trace|top|net)");
             ExitCode::from(2)
         }
     }

@@ -164,15 +164,25 @@ pub enum Series {
     BatchAgeNs,
     ClientLatencyNs,
     CommitmentLatencyNs,
+    WireQueueDepth,
+    WireFlushFrames,
+    WireFlushLatencyNs,
+    WireCorkScopeNs,
+    WireStallNs,
 }
 
 impl Series {
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 9;
     pub const ALL: [Series; Series::COUNT] = [
         Series::BatchSize,
         Series::BatchAgeNs,
         Series::ClientLatencyNs,
         Series::CommitmentLatencyNs,
+        Series::WireQueueDepth,
+        Series::WireFlushFrames,
+        Series::WireFlushLatencyNs,
+        Series::WireCorkScopeNs,
+        Series::WireStallNs,
     ];
 
     pub fn index(self) -> usize {
@@ -185,6 +195,11 @@ impl Series {
             Series::BatchAgeNs => "cx_commitment_batch_age_ns",
             Series::ClientLatencyNs => "cx_client_latency_ns",
             Series::CommitmentLatencyNs => "cx_commitment_latency_ns",
+            Series::WireQueueDepth => "cx_wire_queue_depth",
+            Series::WireFlushFrames => "cx_wire_flush_frames",
+            Series::WireFlushLatencyNs => "cx_wire_flush_latency_ns",
+            Series::WireCorkScopeNs => "cx_wire_cork_scope_ns",
+            Series::WireStallNs => "cx_wire_stall_ns",
         }
     }
 
@@ -194,6 +209,11 @@ impl Series {
             Series::BatchAgeNs => "Age of the oldest op when its batch launched",
             Series::ClientLatencyNs => "Client-visible latency (issued to replied)",
             Series::CommitmentLatencyNs => "Commitment latency behind the reply",
+            Series::WireQueueDepth => "Outbound frames queued per peer at each flush gather",
+            Series::WireFlushFrames => "Frames coalesced into each write_all",
+            Series::WireFlushLatencyNs => "Wall time of each coalesced write_all",
+            Series::WireCorkScopeNs => "Duration of each scoped sender-side cork",
+            Series::WireStallNs => "Sender wall time blocked on a full peer queue",
         }
     }
 }
@@ -357,6 +377,59 @@ impl MetricsSnapshot {
             .chain(&self.gauges)
             .find(|r| r.name == name)
             .map(|r| r.value)
+    }
+
+    /// Fold another process's snapshot into this one (multiproc `cx-obs
+    /// top`). Counters add by name; gauges add for `_per_sec` rates and
+    /// take the max otherwise (depths/occupancies from different
+    /// processes don't sum meaningfully). Series rows only carry their
+    /// fixed-quantile summaries, so the merge is **approximate**: counts
+    /// add, means combine count-weighted, and each quantile takes the
+    /// max across inputs (an upper bound — tail-conservative). Rows
+    /// present in only one input are kept as-is.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for or in &other.counters {
+            match self.counters.iter_mut().find(|r| r.name == or.name) {
+                Some(r) => r.value += or.value,
+                None => self.counters.push(or.clone()),
+            }
+        }
+        for or in &other.gauges {
+            match self.gauges.iter_mut().find(|r| r.name == or.name) {
+                Some(r) => {
+                    if r.name.contains("_per_sec") {
+                        r.value += or.value;
+                    } else {
+                        r.value = r.value.max(or.value);
+                    }
+                }
+                None => self.gauges.push(or.clone()),
+            }
+        }
+        for os in &other.series {
+            match self.series.iter_mut().find(|s| s.name == os.name) {
+                Some(s) => {
+                    let (a, b) = (&mut s.summary, &os.summary);
+                    let total = a.count + b.count;
+                    if total > 0 {
+                        a.mean_ns = (a.mean_ns * a.count as f64 + b.mean_ns * b.count as f64)
+                            / total as f64;
+                    }
+                    a.count = total;
+                    a.min_ns = if a.min_ns == 0 || (b.min_ns > 0 && b.min_ns < a.min_ns) {
+                        b.min_ns
+                    } else {
+                        a.min_ns
+                    };
+                    a.p50_ns = a.p50_ns.max(b.p50_ns);
+                    a.p90_ns = a.p90_ns.max(b.p90_ns);
+                    a.p99_ns = a.p99_ns.max(b.p99_ns);
+                    a.p999_ns = a.p999_ns.max(b.p999_ns);
+                    a.max_ns = a.max_ns.max(b.max_ns);
+                }
+                None => self.series.push(os.clone()),
+            }
+        }
     }
 
     /// Prometheus text exposition (version 0.0.4): counters and gauges as
@@ -577,6 +650,34 @@ mod tests {
         assert!(top.contains("1000 frames/s"));
         assert!(top.contains("64000 B/s"));
         assert!(top.contains("coalescing 10.0 frames/flush"));
+    }
+
+    #[test]
+    fn snapshot_merge_is_approximate_but_conservative() {
+        let a = MetricRegistry::new();
+        let b = MetricRegistry::new();
+        a.add(Counter::OpsIssued, 3);
+        b.add(Counter::OpsIssued, 4);
+        a.set_gauge(Gauge::WireFramesPerSec, 100);
+        b.set_gauge(Gauge::WireFramesPerSec, 50);
+        a.gauge_max(Gauge::OpsInFlight, 10);
+        b.gauge_max(Gauge::OpsInFlight, 7);
+        a.observe(Series::WireFlushLatencyNs, 1_000);
+        a.observe(Series::WireFlushLatencyNs, 3_000);
+        b.observe(Series::WireFlushLatencyNs, 2_000);
+        let mut sa = a.snapshot();
+        let sb = b.snapshot();
+        sa.merge(&sb);
+        assert_eq!(sa.value("cx_ops_issued_total"), Some(7));
+        // Rates add, depths take the max.
+        assert_eq!(sa.value("cx_wire_frames_per_sec"), Some(150));
+        assert_eq!(sa.value("cx_ops_in_flight"), Some(10));
+        let s = &sa.series[Series::WireFlushLatencyNs.index()].summary;
+        assert_eq!(s.count, 3);
+        assert!(s.max_ns >= 3_000);
+        assert!(s.min_ns <= 1_100, "min takes the smaller nonzero side");
+        // Quantile merge is max-of-inputs: never under-reports the tail.
+        assert!(s.p99_ns >= 2_000);
     }
 
     #[test]

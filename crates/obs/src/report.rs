@@ -5,6 +5,7 @@
 
 use crate::flow::MsgEdge;
 use crate::hist::{fmt_ns_f, HistSummary, LogHistogram};
+use crate::net::FlushSpan;
 use crate::sink::{GaugeKind, GaugeSample, Recorder};
 use crate::span::{OpSpan, Phase, StuckOp};
 use serde::{Deserialize, Serialize};
@@ -50,6 +51,11 @@ pub struct ObsReport {
     pub spans: Vec<OpSpan>,
     /// Causal message edges (send → delivery), rendered as flow arcs.
     pub edges: Vec<MsgEdge>,
+    /// Wall-clock wire flushes (TCP runs with flush-span recording on;
+    /// empty under the DES). The runtime attaches these after
+    /// [`ObsReport::from_recorder`] — the recorder itself never sees the
+    /// wire plane.
+    pub flushes: Vec<FlushSpan>,
     /// Virtual-time gauge samples.
     pub gauges: Vec<GaugeSample>,
     /// Ops still short of their reply when the run ended.
@@ -103,6 +109,7 @@ impl ObsReport {
             segments,
             spans,
             edges: rec.edges.clone(),
+            flushes: Vec::new(),
             gauges: rec.gauges.clone(),
             stuck: rec.stuck.clone(),
             dropped_spans: rec.dropped_spans(),
@@ -135,7 +142,8 @@ impl ObsReport {
     /// Layout: pid 1 = client-visible path (one track per process), pid 2
     /// = commitment path (one track per coordinator server), pid 3 =
     /// gauges as counter tracks, pid 4 = message flows (one track per
-    /// node) with `s`/`f` arcs tying sender to receiver.
+    /// node) with `s`/`f` arcs tying sender to receiver, pid 5 = wire
+    /// flushes (one track per sending node; TCP runs only).
     pub fn to_chrome_trace(&self) -> String {
         let us = |ns: u64| ns as f64 / 1000.0;
         let mut ev: Vec<String> = Vec::new();
@@ -215,6 +223,7 @@ impl ObsReport {
             ));
         }
         crate::flow::chrome_flow_events(&self.edges, 4, &mut ev);
+        crate::net::chrome_flush_events(&self.flushes, 5, &mut ev);
         format!(
             "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n{}\n]}}\n",
             ev.join(",\n")
@@ -459,6 +468,14 @@ impl ObsReport {
                 self.dropped_edges
             ));
         }
+        if !self.flushes.is_empty() {
+            let frames: u64 = self.flushes.iter().map(|f| f.frames as u64).sum();
+            out.push_str(&format!(
+                "wire flushes: {} spans covering {} frames\n",
+                self.flushes.len(),
+                frames
+            ));
+        }
         out
     }
 }
@@ -527,7 +544,15 @@ mod tests {
 
     #[test]
     fn chrome_trace_is_valid_json_with_slices() {
-        let rep = recorded_sink().report().unwrap();
+        let mut rep = recorded_sink().report().unwrap();
+        rep.flushes.push(crate::net::FlushSpan {
+            from: crate::flow::FlowNode::Server(4),
+            to: crate::flow::FlowNode::Server(5),
+            start_ns: 50_000,
+            dur_ns: 3_000,
+            frames: 8,
+            bytes: 512,
+        });
         let trace = rep.to_chrome_trace();
         serde_json::parse_value(&trace).expect("chrome trace must parse as JSON");
         assert!(trace.contains("\"ph\":\"X\""), "complete events present");
@@ -538,6 +563,8 @@ mod tests {
             trace.contains("\"ph\":\"s\"") && trace.contains("\"ph\":\"f\""),
             "flow arcs present"
         );
+        assert!(trace.contains("wire flushes"), "flush track present");
+        assert!(trace.contains("flush → s5"));
     }
 
     #[test]

@@ -32,6 +32,12 @@ pub struct ObsConfig {
     /// Cap on stored message edges (the causal flow arcs in the Perfetto
     /// trace; oldest kept, like gauges).
     pub max_edges: usize,
+    /// Shard mode: this recorder lives in a child process that never sees
+    /// `op_issued` (the client runs elsewhere), so a phase stamp for an
+    /// unknown op *creates* its span — a partial span shard the
+    /// coordinator later merges with [`Recorder::absorb_shard`]. Off for
+    /// the coordinator itself, where an unknown op means "not sampled".
+    pub shard_mode: bool,
 }
 
 impl Default for ObsConfig {
@@ -41,6 +47,7 @@ impl Default for ObsConfig {
             max_spans: 20_000,
             max_gauges: 100_000,
             max_edges: 50_000,
+            shard_mode: false,
         }
     }
 }
@@ -195,6 +202,15 @@ impl Recorder {
         }
         if let Some(span) = self.spans.get_mut(&op) {
             span.stamp(phase, at, server);
+        } else if self.cfg.shard_mode && self.spans.len() < self.cfg.max_spans {
+            // Child-process shard: first stamp creates the span. Class
+            // and cross are placeholders — the coordinator's own span
+            // carries the real ones; only the stamps travel.
+            let mut span = OpSpan::new(op, OpClass::Create, false, SimTime(0));
+            span.at_ns[Phase::Issued.index()] = crate::span::UNSET;
+            span.stamp(phase, at, server);
+            self.spans.insert(op, span);
+            self.span_order.push(op);
         }
     }
 
@@ -288,6 +304,78 @@ impl Recorder {
             .iter()
             .filter_map(|op| self.spans.get(op).copied())
             .collect()
+    }
+
+    /// Merge a child process's span shard (see [`ObsConfig::shard_mode`])
+    /// into this coordinator recorder. `offset_ns` is the shard process's
+    /// clock-offset estimate (its clock minus ours, from the wire plane's
+    /// probe RTT sampler): every shard stamp is pulled onto our clock, then
+    /// clamped so corrected stamps stay monotone along the phase order —
+    /// offset error up to ± RTT/2 must never produce a span that fails
+    /// [`OpSpan::check_accounting`]. Coordinator-recorded stamps always
+    /// win (first-writer-wins via [`OpSpan::stamp`]); ops the coordinator
+    /// never saw issued are skipped entirely unless they are still in its
+    /// live map (commitment accounting for unsampled ops).
+    pub fn absorb_shard(&mut self, shard: &[OpSpan], offset_ns: i64) {
+        let correct = |ns: u64| (ns as i128 - offset_ns as i128).clamp(0, u64::MAX as i128) as u64;
+        for s in shard {
+            if !self.spans.contains_key(&s.op) && !self.live.contains_key(&s.op) {
+                continue;
+            }
+            // Coordinator stamps are causal ground truth for the shard's:
+            // a server-side milestone happened after every coordinator
+            // stamp that precedes it in phase order and before every one
+            // that follows (the message carrying it was still in flight).
+            // `cap[i]` is the earliest coordinator stamp at a phase ≥ i,
+            // so a corrected shard stamp — good only to ±rtt/2 — gets
+            // pinned inside its causal interval, not just clamped from
+            // below.
+            let mut cap = [u64::MAX; Phase::COUNT];
+            if let Some(sp) = self.spans.get(&s.op) {
+                let mut next = u64::MAX;
+                for ph in Phase::ALL.iter().rev() {
+                    if let Some(t) = sp.at(*ph) {
+                        next = next.min(t);
+                    }
+                    cap[ph.index()] = next;
+                }
+            }
+            // `prev` tracks the latest stamp seen walking the phases in
+            // order — existing coordinator stamps and corrected shard
+            // stamps alike — so each new stamp is clamped monotone.
+            let mut prev = 0u64;
+            for ph in Phase::ALL {
+                if let Some(t) = self.spans.get(&s.op).and_then(|sp| sp.at(ph)) {
+                    prev = prev.max(t);
+                    continue;
+                }
+                let Some(raw) = s.at(ph) else { continue };
+                let at = correct(raw).max(prev).min(cap[ph.index()].max(prev));
+                let server = (s.server[ph.index()] != crate::span::NO_SERVER)
+                    .then(|| ServerId(s.server[ph.index()]));
+                self.phase(s.op, ph, SimTime(at), server);
+                prev = at;
+            }
+        }
+    }
+
+    /// Merge a child process's message edges, offset-corrected like
+    /// [`Self::absorb_shard`] (flight times are cross-clock one-way spans
+    /// — exactly what the offset estimate exists for). Edges get fresh
+    /// ids so flow arcs from different shards never collide.
+    pub fn absorb_edges(&mut self, edges: &[MsgEdge], offset_ns: i64) {
+        let correct = |ns: u64| (ns as i128 - offset_ns as i128).clamp(0, u64::MAX as i128) as u64;
+        for e in edges {
+            let sent = correct(e.sent_ns);
+            self.msg_edge(
+                e.op,
+                e.kind,
+                e.from,
+                e.to,
+                sent,
+                correct(e.recv_ns).max(sent),
+            );
+        }
     }
 
     /// Snapshot everything into the exportable report.
@@ -416,6 +504,27 @@ impl ObsSink {
             ObsSink::On(rec) => rec.lock().expect("obs recorder poisoned").stuck_report(),
         }
     }
+
+    /// Pull this (shard-mode) recorder's spans and message edges for
+    /// shipping to the coordinator. Cloned, not drained.
+    pub fn export_shard(&self) -> (Vec<OpSpan>, Vec<MsgEdge>) {
+        match self {
+            ObsSink::Off => (Vec::new(), Vec::new()),
+            ObsSink::On(rec) => {
+                let r = rec.lock().expect("obs recorder poisoned");
+                (r.spans(), r.edges.clone())
+            }
+        }
+    }
+
+    /// Merge a child process's shard with its estimated clock offset (its
+    /// clock minus ours). See [`Recorder::absorb_shard`].
+    pub fn absorb_shard(&self, spans: &[OpSpan], edges: &[MsgEdge], offset_ns: i64) {
+        self.with(|r| {
+            r.absorb_shard(spans, offset_ns);
+            r.absorb_edges(edges, offset_ns);
+        });
+    }
 }
 
 #[cfg(test)]
@@ -469,12 +578,125 @@ mod tests {
     }
 
     #[test]
+    fn shard_merge_stitches_cross_process_spans_with_offset_correction() {
+        // Coordinator (client-side process): sees issue, dispatch, reply.
+        let coord = ObsSink::recording("cx");
+        coord.op_issued(op(1), OpClass::Mkdir, true, SimTime(1_000_000));
+        coord.op_phase(op(1), Phase::Dispatched, SimTime(1_100_000), None);
+        coord.op_replied(op(1), SimTime(2_000_000), OpOutcome::Applied, true);
+        coord.client_latency(OpClass::Mkdir, true, 1_000_000);
+
+        // Server child: shard-mode recorder on a clock 5 ms ahead.
+        let shard_cfg = ObsConfig {
+            shard_mode: true,
+            ..ObsConfig::default()
+        };
+        let child = ObsSink::with_config("cx", shard_cfg);
+        let skew = 5_000_000i64;
+        let at = |ours: u64| SimTime((ours as i64 + skew) as u64);
+        child.op_phase(op(1), Phase::Executed, at(1_500_000), Some(ServerId(2)));
+        child.op_phase(op(1), Phase::VoteSent, at(2_500_000), Some(ServerId(2)));
+        child.op_phase(op(1), Phase::Completed, at(4_000_000), Some(ServerId(2)));
+        // An op the coordinator never issued (another client's) is skipped.
+        child.op_phase(op(99), Phase::Executed, at(1_000), Some(ServerId(2)));
+        child.msg_edge(
+            Some(op(1)),
+            MsgKind::Vote,
+            FlowNode::Server(2),
+            FlowNode::Server(3),
+            at(2_500_000).0,
+            at(2_600_000).0,
+        );
+
+        let (spans, edges) = child.export_shard();
+        assert_eq!(spans.len(), 2);
+        coord.absorb_shard(&spans, &edges, skew);
+
+        let rep = coord.report().unwrap();
+        assert_eq!(rep.spans.len(), 1, "foreign op not adopted");
+        let s = &rep.spans[0];
+        assert_eq!(s.at(Phase::Executed), Some(1_500_000), "offset corrected");
+        assert_eq!(s.at(Phase::Completed), Some(4_000_000));
+        assert_eq!(s.server[Phase::Executed.index()], 2);
+        // Coordinator stamps won over anything the shard could say.
+        assert_eq!(s.at(Phase::Replied), Some(2_000_000));
+        assert!(s.check_accounting().is_ok());
+        // Completed closed the live op and fed the commitment histogram.
+        assert_eq!(rep.commitment.count, 1);
+        assert_eq!(rep.commitment.max, 2_000_000);
+        assert!(coord.stuck_report().is_empty());
+        // The edge arrived offset-corrected with a fresh id.
+        assert_eq!(rep.edges.len(), 1);
+        assert_eq!(rep.edges[0].sent_ns, 2_500_000);
+        assert_eq!(rep.edges[0].recv_ns, 2_600_000);
+    }
+
+    #[test]
+    fn shard_merge_offset_error_keeps_stamps_monotone() {
+        let coord = ObsSink::recording("cx");
+        coord.op_issued(op(5), OpClass::Link, true, SimTime(1_000_000));
+        coord.op_replied(op(5), SimTime(3_000_000), OpOutcome::Applied, true);
+        // A badly overestimated offset would pull the shard's Executed
+        // stamp *before* Dispatched/Issued; the merge clamps instead.
+        let shard_cfg = ObsConfig {
+            shard_mode: true,
+            ..ObsConfig::default()
+        };
+        let child = ObsSink::with_config("cx", shard_cfg);
+        child.op_phase(op(5), Phase::Executed, SimTime(1_100_000), None);
+        child.op_phase(op(5), Phase::Completed, SimTime(1_200_000), None);
+        let (spans, edges) = child.export_shard();
+        // Claimed offset 2 ms: corrected Executed would be *negative*
+        // relative to Replied ordering… clamp keeps phases monotone.
+        coord.absorb_shard(&spans, &edges, 2_000_000);
+        let rep = coord.report().unwrap();
+        let s = &rep.spans[0];
+        assert!(s.check_accounting().is_ok());
+        let mut prev = 0;
+        for (_, t) in s.reached() {
+            assert!(t >= prev, "monotone corrected stamps");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn shard_merge_caps_stamps_at_later_coordinator_stamps() {
+        let coord = ObsSink::recording("cx");
+        coord.op_issued(op(6), OpClass::Link, true, SimTime(1_000_000));
+        coord.op_phase(op(6), Phase::Dispatched, SimTime(1_100_000), None);
+        coord.op_replied(op(6), SimTime(2_000_000), OpOutcome::Applied, true);
+        let shard_cfg = ObsConfig {
+            shard_mode: true,
+            ..ObsConfig::default()
+        };
+        let child = ObsSink::with_config("cx", shard_cfg);
+        child.op_phase(
+            op(6),
+            Phase::Executed,
+            SimTime(1_500_000),
+            Some(ServerId(1)),
+        );
+        let (spans, edges) = child.export_shard();
+        // A badly *underestimated* offset (claimed −1 ms) would push the
+        // corrected Executed to 2.5 ms — past the coordinator's Replied.
+        // The reply carrying it proves it happened first, so the merge
+        // pins it at the Replied stamp.
+        coord.absorb_shard(&spans, &edges, -1_000_000);
+        let rep = coord.report().unwrap();
+        let s = &rep.spans[0];
+        assert_eq!(s.at(Phase::Executed), Some(2_000_000), "capped at Replied");
+        assert_eq!(s.server[Phase::Executed.index()], 1);
+        assert!(s.check_accounting().is_ok());
+    }
+
+    #[test]
     fn sampling_caps_span_memory_but_not_histograms() {
         let cfg = ObsConfig {
             sample_every: 4,
             max_spans: 3,
             max_gauges: 2,
             max_edges: 2,
+            shard_mode: false,
         };
         let s = ObsSink::with_config("cx", cfg);
         for i in 0..40 {

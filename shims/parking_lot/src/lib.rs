@@ -23,6 +23,23 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    /// Like parking_lot: prints the value when uncontended, a
+    /// `<locked>` placeholder otherwise (never blocks).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0.try_lock() {
+            Ok(g) => f.debug_tuple("Mutex").field(&&*g).finish(),
+            Err(_) => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::Mutex;
