@@ -61,6 +61,18 @@ if [ "${1:-}" != "quick" ]; then
         --obs --scale 0.005 --obs-out target/obs_home2 > /dev/null
     cargo run -q --release -p cx-obs -- check target/obs_home2.report.json
 
+    # Doctor smoke (DESIGN.md §11): the blame engine must decompose the
+    # home2 report with exact per-op segment sums (cx-obs doctor re-derives
+    # every op's blame and fails loudly on a broken sum), and a deliberately
+    # injected 5 ms participant stall must be convicted — prime suspect
+    # "execute", largest hop shift on the slowed server (asserted inside
+    # --doctor-demo itself, then re-checked through the CLI diff).
+    step "doctor smoke (blame segment sums + slow-participant conviction)"
+    cargo run -q --release -p cx-obs -- doctor target/obs_home2.report.json > /dev/null
+    cargo run -q --release -p cx-chaos -- --doctor-demo --out-dir target
+    cargo run -q --release -p cx-obs -- doctor target/doctor_slow.report.json \
+        --against target/doctor_base.report.json | grep -q '^prime suspect: execute$'
+
     # Introspection-plane smoke: replay the repro the broken-recovery demo
     # just wrote, with lifecycle recording on and the always-on flight
     # recorder. The replay must reproduce, the obs report must pass the
@@ -176,6 +188,18 @@ if [ "${1:-}" != "quick" ]; then
     cargo run -q --release -p cx-bench --bin perf_baseline -- \
         --label pr9 --iters 5 --filter home2 --net tcp \
         --out BENCH_PR9.json --against BENCH_PR8.json --tolerance 0.70 \
+        --net-floor 30000
+
+    # The blame-plane gate: doctor attribution is pure post-processing over
+    # artifacts the PR9 plane already records — the DES hot path gains only
+    # a fault-match arm that is dead on uninstrumented runs — so the DES
+    # replay rate must hold the PR9 baseline (1.00x expected; the 0.70
+    # floor absorbs machine noise, same rationale as PR4) and the span-on
+    # loopback entry must stay within 95% of the same 30k ops/s wire floor.
+    step "BENCH_PR10.json (blame plane is post-processing; rates hold PR9)"
+    cargo run -q --release -p cx-bench --bin perf_baseline -- \
+        --label pr10 --iters 5 --filter home2 --net tcp \
+        --out BENCH_PR10.json --against BENCH_PR9.json --tolerance 0.70 \
         --net-floor 30000
 fi
 

@@ -36,7 +36,7 @@
 //! Every entry records `peak_rss_kb` (VmHWM, reset per entry); wall-clock
 //! entries that complete client ops (the net modes) record `ops_per_sec`
 //! instead of a zero event rate. Results
-//! merge into `BENCH_PR8.json` at the repo root, keyed by `--label`
+//! merge into `BENCH_PR10.json` at the repo root, keyed by `--label`
 //! (e.g. `--label before` / `--label after`), so optimization PRs commit
 //! both sides of the comparison with the same binary. After the table, a
 //! comparison against the most recent other `BENCH_PR*.json` prints
@@ -359,8 +359,24 @@ fn obs_run(args: &cx_bench::Args) {
     std::fs::write(format!("{prefix}.jsonl"), report.to_jsonl()).expect("write obs jsonl");
 
     println!("{}", report.render_dashboard());
+    // The blame doctor's headline: where the critical-path time went.
+    // `cx-obs doctor <prefix>.report.json` prints the full table.
+    let blame = report.blame();
+    if blame.ops > 0 {
+        let total: u64 = blame.client_total.sum + blame.commit_total.sum;
+        print!("top blame segments ({} ops decomposed):", blame.ops);
+        for (seg, hist) in blame.top_segments().into_iter().take(3) {
+            let share = if total > 0 {
+                100.0 * hist.sum as f64 / total as f64
+            } else {
+                0.0
+            };
+            print!(" {}={:.1}%", seg.name(), share);
+        }
+        println!();
+    }
     println!(
-        "[obs: {prefix}.report.json | {prefix}.trace.json ({} spans, load at ui.perfetto.dev) | {prefix}.jsonl]",
+        "[obs: {prefix}.report.json | {prefix}.trace.json ({} spans, load at ui.perfetto.dev) | {prefix}.jsonl | cx-obs doctor {prefix}.report.json]",
         report.spans.len()
     );
 
@@ -812,7 +828,7 @@ fn main() {
     let filter: Option<String> = args.value("--filter");
     let out: String = args
         .value("--out")
-        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR8.json").into());
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR10.json").into());
     let wants = |name: &str| filter.as_deref().is_none_or(|f| name.contains(f));
 
     let mut entries = Vec::new();

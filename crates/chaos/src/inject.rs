@@ -86,6 +86,7 @@ impl FaultInjector for PlanInjector {
                     NetAction::Drop => MsgFate::Drop,
                     NetAction::Delay { ns } => MsgFate::Delay(ns),
                     NetAction::Duplicate { ns } => MsgFate::Duplicate(ns),
+                    NetAction::ExecDelay { ns } => MsgFate::ExecDelay(ns),
                 };
             }
         }

@@ -4,6 +4,8 @@
 //! cx-chaos --seeds 200                  # explore Cx and 2PC envelopes
 //! cx-chaos --seeds 100 --protocol cx    # one protocol only
 //! cx-chaos --demo-broken                # prove the oracle catches bugs
+//! cx-chaos --doctor-demo                # slow one participant 5 ms and
+//!                                       # prove cx-obs doctor convicts it
 //! cx-chaos --replay repro.json          # re-run a recorded schedule
 //! cx-chaos --replay repro.json --obs-out trace.json
 //!                                       # …and dump a Perfetto trace of
@@ -22,10 +24,12 @@
 //! variant *was* caught; or a `--replay` reproduced); 1 otherwise.
 
 use cx_chaos::{
-    explore, run_plan, run_plan_flight, ChaosScenario, CrashFault, CrashPoint, FaultPlan, Repro,
+    explore, run_plan, run_plan_flight, run_plan_obs, ChaosScenario, CrashFault, CrashPoint,
+    FaultPlan, NetAction, NetFault, Repro,
 };
 use cx_cluster::{FlightRecorder, ObsSink};
-use cx_types::{Protocol, ServerId, DUR_MS};
+use cx_obs::{blame_diff, Seg};
+use cx_types::{MsgKind, Protocol, ServerId, DUR_MS};
 use cx_wal::RecordFamily;
 use std::process::ExitCode;
 
@@ -34,6 +38,11 @@ struct Args {
     first_seed: u64,
     protocols: Vec<Protocol>,
     demo_broken: bool,
+    /// `--doctor-demo`: run the same workload clean and with one slow
+    /// participant (5 ms ExecDelay plan), write both obs reports to
+    /// `--out-dir`, and assert the blame diff convicts the delayed
+    /// server's execute segment.
+    doctor_demo: bool,
     replay: Option<String>,
     out_dir: String,
     /// `--obs-out <path>`: with `--replay`, record op lifecycles and dump
@@ -51,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
         first_seed: 0,
         protocols: vec![Protocol::Cx, Protocol::TwoPc],
         demo_broken: false,
+        doctor_demo: false,
         replay: None,
         out_dir: ".".to_string(),
         obs_out: None,
@@ -85,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--demo-broken" => args.demo_broken = true,
+            "--doctor-demo" => args.doctor_demo = true,
             "--replay" => args.replay = Some(value(&mut i)?),
             "--out-dir" => args.out_dir = value(&mut i)?,
             "--obs-out" => args.obs_out = Some(value(&mut i)?),
@@ -280,6 +291,104 @@ fn demo_broken(args: &Args) -> ExitCode {
     }
 }
 
+/// Demonstrate the blame doctor end to end: the same workload runs twice,
+/// once clean and once with server 2 sitting 5 ms on every sub-op it
+/// receives (an `ExecDelay` plan — the wire stamps stay honest, only the
+/// handling stalls). Both obs reports land in `--out-dir` so ci.sh can
+/// point `cx-obs doctor --against` at them, and the in-binary diff must
+/// already convict the delayed server's execute segment before the CLI
+/// ever sees the files.
+fn doctor_demo(out_dir: &str) -> ExitCode {
+    const DELAY_NS: u64 = 5_000_000; // the injected 5 ms participant stall
+    let slow = ServerId(2);
+    let scn = ChaosScenario::new(Protocol::Cx);
+
+    let clean_sink = ObsSink::recording("cx");
+    let clean = run_plan_obs(&scn, &FaultPlan::default(), clean_sink.clone());
+
+    // One single-shot fault per matching message: every fault counts the
+    // same (SubOpReq → s2) stream, so nth = 1..=N stalls the first N
+    // sub-ops the slow server receives; surplus faults never fire.
+    let plan = FaultPlan {
+        net: (1..=2_000)
+            .map(|nth| NetFault {
+                kind: MsgKind::SubOpReq,
+                from: None,
+                to: Some(slow),
+                nth,
+                action: NetAction::ExecDelay { ns: DELAY_NS },
+            })
+            .collect(),
+        ..FaultPlan::default()
+    };
+    let slow_sink = ObsSink::recording("cx");
+    let slowed = run_plan_obs(&scn, &plan, slow_sink.clone());
+
+    for (run, label) in [(&clean, "clean"), (&slowed, "slowed")] {
+        if !run.failures.is_empty() {
+            eprintln!("doctor demo: {label} run failed checks: {:?}", run.failures);
+            return ExitCode::FAILURE;
+        }
+    }
+    let stalls = slowed.outcome.stats.faults.delays;
+    if stalls == 0 {
+        eprintln!("doctor demo: no sub-op ever reached server {}", slow.0);
+        return ExitCode::FAILURE;
+    }
+
+    let mut paths = Vec::new();
+    for (sink, name) in [(&clean_sink, "doctor_base"), (&slow_sink, "doctor_slow")] {
+        let rep = sink.report().expect("recording sink yields a report");
+        if let Err(e) = rep.validate() {
+            eprintln!("doctor demo: {name} phase accounting broken: {e}");
+            return ExitCode::FAILURE;
+        }
+        let path = format!("{out_dir}/{name}.report.json");
+        std::fs::write(&path, rep.to_json()).expect("write obs report");
+        paths.push(path);
+    }
+
+    // The conviction the acceptance criterion demands: the diff blames
+    // the execute segment, and the largest hop shift names the server
+    // that actually stalled.
+    let base_rep = clean_sink.report().expect("report");
+    let slow_rep = slow_sink.report().expect("report");
+    let d = blame_diff(&base_rep.blame(), &slow_rep.blame());
+    let Some(suspect) = d.prime_suspect() else {
+        eprintln!("doctor demo: {stalls} injected stalls produced no significant segment");
+        return ExitCode::FAILURE;
+    };
+    if suspect.seg != Seg::Execute {
+        eprintln!(
+            "doctor demo: prime suspect is {} (expected execute):\n{}",
+            suspect.seg.name(),
+            d.render()
+        );
+        return ExitCode::FAILURE;
+    }
+    let slow_key = format!("{} execute", cx_obs::FlowNode::Server(slow.0));
+    if !d
+        .hop_shifts
+        .iter()
+        .any(|(k, delta)| *k == slow_key && *delta > 0.0)
+    {
+        eprintln!(
+            "doctor demo: no positive shift for {slow_key:?}:\n{}",
+            d.render()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "doctor demo: s{} stalled {stalls} sub-ops 5 ms each; blame diff convicts \
+         execute (+{:.1} µs/op, band {:.1} µs), hop shift {slow_key}",
+        slow.0,
+        suspect.delta_ns / 1_000.0,
+        suspect.band_ns / 1_000.0,
+    );
+    println!("reports -> {} / {}", paths[0], paths[1]);
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -293,6 +402,9 @@ fn main() -> ExitCode {
     }
     if args.demo_broken {
         return demo_broken(&args);
+    }
+    if args.doctor_demo {
+        return doctor_demo(&args.out_dir);
     }
 
     let mut failed = false;

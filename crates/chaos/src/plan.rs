@@ -19,6 +19,11 @@ pub enum NetAction {
     Delay { ns: u64 },
     /// Deliver it twice, the copy `ns` after the original.
     Duplicate { ns: u64 },
+    /// Deliver it on time, but make the receiver sit on it for `ns`
+    /// before handling — a slow participant rather than a slow link, so
+    /// `cx-obs doctor` blames the receiver's execution segment, not the
+    /// hop's wire transit.
+    ExecDelay { ns: u64 },
 }
 
 /// One targeted network fault: acts on the `nth` message (1-based) of

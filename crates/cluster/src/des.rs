@@ -1327,6 +1327,7 @@ impl DesCluster {
         let latency =
             self.cfg.net.one_way_ns + (bytes * 1_000_000_000) / self.cfg.net.bandwidth_bps.max(1);
         let mut extra_ns = 0;
+        let mut hold_ns = 0;
         if let Some(inj) = self.injector.clone() {
             let fate =
                 inj.lock()
@@ -1345,14 +1346,30 @@ impl DesCluster {
                 MsgFate::Duplicate(ns) => {
                     self.stats.faults.dups += 1;
                     // the one remaining payload clone: duplication faults
-                    self.deliver(from, to, payload.clone(), latency + ns);
+                    self.deliver(from, to, payload.clone(), latency + ns, 0);
+                }
+                MsgFate::ExecDelay(ns) => {
+                    self.stats.faults.delays += 1;
+                    hold_ns = ns;
                 }
             }
         }
-        self.deliver(from, to, payload, latency + extra_ns);
+        self.deliver(from, to, payload, latency + extra_ns, hold_ns);
     }
 
-    fn deliver(&mut self, from: Endpoint, to: Endpoint, payload: Payload, after_ns: u64) {
+    /// Schedule delivery `after_ns` from now, plus an optional `hold_ns`
+    /// the receiver sits on the message before handling it. The traced
+    /// edge records the wire arrival (`after_ns` only), so an injected
+    /// [`MsgFate::ExecDelay`] shows up in blame attribution as receiver
+    /// execution time, not network transit.
+    fn deliver(
+        &mut self,
+        from: Endpoint,
+        to: Endpoint,
+        payload: Payload,
+        after_ns: u64,
+        hold_ns: u64,
+    ) {
         // Causal message edge: the send site knows the delivery time, so
         // the whole arc is recorded in one shot. Dropped messages never
         // reach here — an edge always means a delivery (duplicates draw
@@ -1378,6 +1395,9 @@ impl DesCluster {
                 );
             }
         }
+        // Past the traced wire arrival, the receiver-side hold (if any)
+        // just pushes the handling event later.
+        let after_ns = after_ns + hold_ns;
         // Cross-partition hop: buffer in the mailbox instead of the local
         // kernel. The destination schedules it — in deterministic
         // `(at, src, seq)` merge order — at its next window boundary; the
@@ -1462,6 +1482,7 @@ impl DesCluster {
         // partition duplicating it.
         if self.part.is_none() {
             self.stats.stuck_ops = self.obs.stuck_report();
+            self.stats.blame = self.obs.blame_table();
             if let Some(fl) = &self.flight {
                 let now = self.sim.now();
                 for s in &self.stats.stuck_ops {

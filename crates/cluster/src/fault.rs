@@ -24,6 +24,12 @@ pub enum MsgFate {
     Delay(u64),
     /// Deliver normally and again `ns` after the first copy.
     Duplicate(u64),
+    /// The message arrives on time, but the receiver sits on it for `ns`
+    /// before handling — a slow *participant*, not a slow link. The
+    /// traced `MsgEdge` keeps the true wire arrival, so blame attribution
+    /// charges the stall to the receiver's execution segment rather than
+    /// the hop's network transit (which is what [`MsgFate::Delay`] does).
+    ExecDelay(u64),
 }
 
 /// A protocol-visible event the injector can key crash points on. WAL

@@ -240,7 +240,9 @@ pub fn run_stream_partitioned_obs(
     }
     let mut stats = run_and_merge(&cfg, &mut clusters, &feed, &barrier);
     // The sink is shared, so the stuck report is global — read it once.
+    // Same for the blame table: partitions already fed one recorder.
     stats.stuck_ops = sink.stuck_report();
+    stats.blame = sink.blame_table();
     if let Some(reg) = reg {
         publish_partitioned(&clusters, reg);
     }
@@ -294,6 +296,7 @@ pub fn run_chaos_partitioned(
     let stuck = feed.lock().expect("op feed").remaining() + in_flight;
     stats.ops_stuck = stats.ops_stuck.max(stuck);
     stats.stuck_ops = sink.stuck_report();
+    stats.blame = sink.blame_table();
     if let Some(fl) = &flight {
         for s in &stats.stuck_ops {
             fl.push(

@@ -1,7 +1,7 @@
 //! Statistics collected from a cluster run.
 
 use cx_obs::registry::{Counter, Gauge, MetricRegistry, Series};
-use cx_obs::{LogHistogram, StuckOp};
+use cx_obs::{BlameTable, LogHistogram, StuckOp};
 use cx_protocol::{ProtoMetrics, ServerStats};
 use cx_simio::DiskStats;
 use cx_types::{FsOp, MsgKind, OpId, OpOutcome, Protocol, ServerId, SimTime};
@@ -206,6 +206,10 @@ pub struct RunStats {
     /// Like `faults`, excluded from [`RunStats::digest`]: the digest
     /// renders only the named historical fields.
     pub proto: ProtoMetrics,
+
+    /// Critical-path blame attribution over the sampled spans (`--obs`
+    /// runs only). Excluded from [`RunStats::digest`] like `proto`.
+    pub blame: Option<BlameTable>,
 }
 
 impl RunStats {
@@ -240,6 +244,7 @@ impl RunStats {
             faults: FaultStats::default(),
             recovery_cycles: Vec::new(),
             proto: ProtoMetrics::default(),
+            blame: None,
         }
     }
 
@@ -283,6 +288,12 @@ impl RunStats {
         self.recovery_cycles
             .sort_by_key(|c| (c.recovery_finished, c.server));
         self.proto.merge(&p.proto);
+        if let Some(b) = &p.blame {
+            match &mut self.blame {
+                Some(mine) => mine.merge(b),
+                None => self.blame = Some(b.clone()),
+            }
+        }
     }
 
     /// FNV-1a over a stable rendering of the run's key statistics — the
@@ -399,6 +410,25 @@ impl RunStats {
         reg.observe_hist(Series::ClientLatencyNs, &self.latency_hist);
         reg.observe_hist(Series::CommitmentLatencyNs, &self.cross_latency_hist);
         self.proto.publish(reg);
+        if let Some(b) = &self.blame {
+            // Coarse segment families only; the full per-hop table lives in
+            // the blame table itself (doctor), this is the `cx-obs top`
+            // headline.
+            use cx_obs::blame::Seg;
+            let fold = |segs: &[Seg]| {
+                let mut h = LogHistogram::new();
+                for s in segs {
+                    h.merge(&b.segs[s.index()].hist);
+                }
+                h
+            };
+            reg.observe_hist(Series::BlameIssueQueueNs, &fold(&[Seg::IssueQueue]));
+            reg.observe_hist(Series::BlameDispatchNs, &fold(&[Seg::Dispatch]));
+            reg.observe_hist(Series::BlameWireNs, &fold(&[Seg::ReqWire, Seg::ReplyWire]));
+            reg.observe_hist(Series::BlameExecuteNs, &fold(&[Seg::Execute]));
+            reg.observe_hist(Series::BlameCommitOnPathNs, &fold(&[Seg::CommitOnPath]));
+            reg.observe_hist(Series::BlameCommitOffPathNs, &fold(&Seg::SUFFIX));
+        }
     }
 }
 

@@ -1286,12 +1286,16 @@ fn run_inner(
                 .name("cx-mon".into())
                 .spawn(move || {
                     /// An op still shy of `Replied` after this much wall
-                    /// time earns a watchdog line (the shepherds' own
-                    /// panic backstop fires at 30 s).
+                    /// time earns a watchdog line.
                     const STUCK_WARN_NS: u64 = 5_000_000_000;
+                    /// …and one escalation if it is *still* stuck here
+                    /// (the shepherds' own panic backstop fires at 30 s).
+                    const STUCK_ESCALATE_NS: u64 = 30_000_000_000;
                     let mut prev = WireTotals::default();
                     let mut last = Instant::now();
-                    let mut warned: HashSet<OpId> = HashSet::new();
+                    // Warning stage per op: 1 after the first line, 2
+                    // after the escalation — never re-warn per poll tick.
+                    let mut warned: HashMap<OpId, u8> = HashMap::new();
                     while !stop.load(Ordering::Relaxed) {
                         let mut tot = WireTotals::default();
                         for c in &wire {
@@ -1319,10 +1323,22 @@ fn run_inner(
                             let stuck = obs.stuck_report();
                             reg.set_gauge(Gauge::OpsInFlight, stuck.len() as u64);
                             let now_ns = wall_epoch.elapsed().as_nanos() as u64;
+                            // Ops that finally replied leave the stage map
+                            // so a long run's watchdog state stays bounded.
+                            warned.retain(|op, _| stuck.iter().any(|s| s.op == *op));
                             for s in &stuck {
                                 let age = now_ns.saturating_sub(s.since.0);
-                                if age > STUCK_WARN_NS && warned.insert(s.op) {
+                                let stage = warned.entry(s.op).or_insert(0);
+                                if *stage == 0 && age > STUCK_WARN_NS {
+                                    *stage = 1;
                                     eprintln!("[cx-mon] {s} ({:.1}s wall)", age as f64 / 1e9);
+                                } else if *stage == 1 && age > STUCK_ESCALATE_NS {
+                                    *stage = 2;
+                                    eprintln!(
+                                        "[cx-mon] STILL STUCK: {s} ({:.1}s wall; \
+                                         shepherd backstop imminent)",
+                                        age as f64 / 1e9
+                                    );
                                 }
                             }
                         }
@@ -1564,6 +1580,9 @@ fn run_inner(
     // snapshots were transient and are overwritten by this read).
     stats.stuck_ops = opts.obs.stuck_report();
     stats.ops_stuck = stats.ops_stuck.max(stats.stuck_ops.len() as u64);
+    // Blame attribution runs after the shard absorb above, so the table
+    // covers the stitched, offset-corrected span plane.
+    stats.blame = opts.obs.blame_table();
     if let Some(l) = &opts.live {
         stats.proto.publish(&l.registry);
         // The merged wire histograms land once, at the end: the series

@@ -285,6 +285,8 @@ impl ThreadedCluster {
                 stats.cross_ops += 1;
             }
         }
+        stats.stuck_ops = obs.stuck_report();
+        stats.blame = obs.blame_table();
         if let Some(l) = &live {
             // Engines only report their protocol series at stop time;
             // fold them in and refresh the exposition files once more so

@@ -78,6 +78,32 @@ pub enum MsgKind {
 }
 
 impl MsgKind {
+    pub const COUNT: usize = 22;
+    pub const ALL: [MsgKind; MsgKind::COUNT] = [
+        MsgKind::OpReq,
+        MsgKind::OpResp,
+        MsgKind::SubOpReq,
+        MsgKind::SubOpResp,
+        MsgKind::Vote,
+        MsgKind::VoteResult,
+        MsgKind::VoteExec,
+        MsgKind::CommitDecision,
+        MsgKind::Ack,
+        MsgKind::Lcom,
+        MsgKind::AllNo,
+        MsgKind::Committed,
+        MsgKind::CommitmentReq,
+        MsgKind::Clear,
+        MsgKind::ClearResp,
+        MsgKind::Migrate,
+        MsgKind::MigrateResp,
+        MsgKind::MigrateBack,
+        MsgKind::MigrateBackAck,
+        MsgKind::Query,
+        MsgKind::QueryOutcome,
+        MsgKind::Other,
+    ];
+
     pub fn name(self) -> &'static str {
         match self {
             MsgKind::OpReq => "OP-REQ",

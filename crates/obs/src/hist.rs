@@ -119,6 +119,27 @@ impl LogHistogram {
         self.max
     }
 
+    /// Approximate sample variance, reconstructed from bucket midpoints.
+    /// Good to the bucket resolution (≤3.1% relative on the values), which
+    /// is all the blame run-diff's significance band needs.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let mut acc = 0.0f64;
+        for (idx, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let (lo, hi) = bucket_bounds(idx);
+            let mid = (lo as f64 + hi as f64) / 2.0;
+            let d = mid - mean;
+            acc += d * d * n as f64;
+        }
+        acc / (self.count - 1) as f64
+    }
+
     /// Compact fixed-quantile digest for tables and JSON artifacts.
     pub fn summary(&self) -> HistSummary {
         HistSummary {

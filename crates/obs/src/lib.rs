@@ -33,20 +33,33 @@
 //! - [`net`]: per-flush spans for the Perfetto trace and the per-peer
 //!   table (wire totals, RTT percentiles, clock offsets) behind
 //!   `cx-obs net`.
+//!
+//! The blame plane (PR 10) adds:
+//!
+//! - [`path`]: critical-path extraction over one op's span + message
+//!   edges, with the exact-sum clamping invariant.
+//! - [`blame`]: the segment taxonomy, per-op decomposition, mergeable
+//!   blame tables, tail exemplars, and the run-diff — all behind
+//!   `cx-obs doctor`.
 
+pub mod blame;
+pub mod drift;
 pub mod flight;
 pub mod flow;
 pub mod hist;
 pub mod net;
+pub mod path;
 pub mod registry;
 pub mod report;
 pub mod sink;
 pub mod span;
 
+pub use blame::{blame_span, diff as blame_diff, BlameDiff, BlameTable, OpBlame, Seg};
 pub use flight::{FlightEvent, FlightRecorder, TimedEvent};
 pub use flow::{FlowNode, MsgEdge, MsgKind};
 pub use hist::{fmt_ns_f, HistSummary, LogHistogram};
 pub use net::{chrome_flush_events, FlushSpan, NetPeerRow, NetTable};
+pub use path::{critical_path, CriticalPath, EdgeClass, WalkHop};
 pub use registry::{Counter, Gauge, MetricRegistry, MetricsSnapshot, Series};
 pub use report::{ClassRow, ObsReport, SegmentRow};
 pub use sink::{EngineGauges, GaugeKind, GaugeSample, ObsConfig, ObsSink, Recorder};

@@ -5,8 +5,13 @@
 //! cx-obs check  <report.json>            validate phase accounting (CI smoke)
 //! cx-obs trace  <report.json>            re-export the Chrome/Perfetto trace to stdout
 //! cx-obs trace  <report.json> --op <id>  print one op's causal chain (phases + messages)
+//! cx-obs doctor <report.json>            critical-path blame attribution
+//! cx-obs doctor <report.json> --against <base.json>
+//!                                        attribute the latency delta to segments
+//! cx-obs doctor <report.json> --json     emit the blame table as JSON
 //! cx-obs top    <metrics.json>…          render metric-registry snapshots (merged)
 //! cx-obs net    <run.net.json>           render the per-peer wire table
+//! cx-obs bench-drift <BENCH_PR*.json>…   perf-history trajectory table
 //! ```
 //!
 //! `top` reads the snapshot a threaded run writes via `--metrics-out`;
@@ -14,9 +19,10 @@
 //! `watch -n1 'cx-obs top target/live.metrics.json'`. A multiproc TCP run
 //! writes one snapshot per process — pass them all and `top` merges them
 //! (counters add; histogram quantiles merge conservatively from their
-//! summaries).
+//! summaries). Snapshots that fail to read or parse are skipped with a
+//! per-file warning on stderr, never silently folded into a partial view.
 
-use cx_obs::{MetricsSnapshot, NetTable, ObsReport};
+use cx_obs::{blame_diff, blame_span, MetricsSnapshot, NetTable, ObsReport};
 use std::process::ExitCode;
 
 fn load_report(path: &str) -> Result<ObsReport, String> {
@@ -24,19 +30,142 @@ fn load_report(path: &str) -> Result<ObsReport, String> {
     ObsReport::from_json(&text)
 }
 
-/// Read every snapshot path and fold them into one (see
-/// [`MetricsSnapshot::merge`]).
+/// Read every snapshot path and fold the parseable ones into one (see
+/// [`MetricsSnapshot::merge`]), warning per unusable file.
 fn load_merged_snapshots(paths: &[String]) -> Result<MetricsSnapshot, String> {
     let mut merged: Option<MetricsSnapshot> = None;
+    let mut skipped = 0usize;
     for path in paths {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-        let snap = MetricsSnapshot::from_json(&text)?;
-        match &mut merged {
-            Some(m) => m.merge(&snap),
-            None => merged = Some(snap),
+        let snap = std::fs::read_to_string(path)
+            .map_err(|e| format!("read {path}: {e}"))
+            .and_then(|text| {
+                MetricsSnapshot::from_json(&text).map_err(|e| format!("parse {path}: {e}"))
+            });
+        match snap {
+            Ok(snap) => match &mut merged {
+                Some(m) => m.merge(&snap),
+                None => merged = Some(snap),
+            },
+            Err(e) => {
+                eprintln!("cx-obs: warning: skipping snapshot: {e}");
+                skipped += 1;
+            }
         }
     }
-    merged.ok_or_else(|| "no snapshot files given".into())
+    if skipped > 0 {
+        eprintln!(
+            "cx-obs: warning: {skipped} of {} snapshot file(s) skipped; \
+             the merged view is incomplete",
+            paths.len()
+        );
+    }
+    merged.ok_or_else(|| {
+        if skipped > 0 {
+            format!("all {skipped} snapshot file(s) unusable")
+        } else {
+            "no snapshot files given".into()
+        }
+    })
+}
+
+/// `doctor`: blame attribution over one report, optionally diffed against
+/// a base report's table.
+fn doctor(path: &str, args: &[String]) -> ExitCode {
+    let rep = match load_report(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cx-obs: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let table = rep.blame();
+    // Per-op invariants first: a table built from spans that don't sum is
+    // not worth printing. Phase accounting, then the blame decomposition
+    // itself — every decomposed op's client segments must sum exactly to
+    // its client-visible window and its suffix to the commitment window.
+    if let Err(e) = rep.validate() {
+        eprintln!("cx-obs doctor: span accounting broken: {e}");
+        return ExitCode::FAILURE;
+    }
+    for span in &rep.spans {
+        let edges: Vec<&cx_obs::MsgEdge> =
+            rep.edges.iter().filter(|e| e.op == Some(span.op)).collect();
+        if let Some(b) = blame_span(span, &edges) {
+            if let Err(e) = b.check() {
+                eprintln!(
+                    "cx-obs doctor: blame accounting broken for {}: {e}",
+                    span.op
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let against = args
+        .iter()
+        .position(|a| a == "--against")
+        .and_then(|i| args.get(i + 1));
+    if let Some(base_path) = against {
+        let base = match load_report(base_path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cx-obs: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let d = blame_diff(&base.blame(), &table);
+        if args.iter().any(|a| a == "--json") {
+            match serde_json::to_string_pretty(&d) {
+                Ok(js) => println!("{js}"),
+                Err(e) => {
+                    eprintln!("cx-obs: {e:?}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            print!("{}", d.render());
+            match d.prime_suspect() {
+                Some(s) => println!("prime suspect: {}", s.seg.name()),
+                None => println!("prime suspect: none (no significant regression)"),
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", table.to_json());
+    } else {
+        print!("{}", table.render());
+    }
+    ExitCode::SUCCESS
+}
+
+fn bench_drift(paths: &[String]) -> ExitCode {
+    let mut points = Vec::new();
+    let mut skipped = 0usize;
+    for path in paths {
+        let parsed = std::fs::read_to_string(path)
+            .map_err(|e| format!("read {path}: {e}"))
+            .and_then(|text| {
+                cx_obs::drift::parse_bench_file(&text, path)
+                    .map_err(|e| format!("parse {path}: {e}"))
+            });
+        match parsed {
+            Ok(p) => points.extend(p),
+            Err(e) => {
+                eprintln!("cx-obs: warning: skipping bench file: {e}");
+                skipped += 1;
+            }
+        }
+    }
+    if points.is_empty() {
+        eprintln!(
+            "cx-obs: no usable bench snapshots ({} given, {skipped} skipped); \
+             try `cx-obs bench-drift BENCH_PR*.json`",
+            paths.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    print!("{}", cx_obs::drift::render_drift(&points));
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -44,7 +173,10 @@ fn main() -> ExitCode {
     let (cmd, path) = match (args.first(), args.get(1)) {
         (Some(c), Some(p)) => (c.as_str(), p.as_str()),
         _ => {
-            eprintln!("usage: cx-obs <report|check|trace|top|net> <artifact.json>… [--op <id>]");
+            eprintln!(
+                "usage: cx-obs <report|check|trace|doctor|top|net|bench-drift> \
+                 <artifact.json>… [--op <id>] [--against <base.json>] [--json]"
+            );
             return ExitCode::from(2);
         }
     };
@@ -59,6 +191,12 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         };
+    }
+    if cmd == "bench-drift" {
+        return bench_drift(&args[1..]);
+    }
+    if cmd == "doctor" {
+        return doctor(path, &args[2..]);
     }
     if cmd == "net" {
         let text = match std::fs::read_to_string(path) {
@@ -122,7 +260,10 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         other => {
-            eprintln!("cx-obs: unknown command '{other}' (want report|check|trace|top|net)");
+            eprintln!(
+                "cx-obs: unknown command '{other}' \
+                 (want report|check|trace|doctor|top|net|bench-drift)"
+            );
             ExitCode::from(2)
         }
     }

@@ -169,10 +169,17 @@ pub enum Series {
     WireFlushLatencyNs,
     WireCorkScopeNs,
     WireStallNs,
+    /// Blame plane (PR 10): critical-path time per coarse segment family.
+    BlameIssueQueueNs,
+    BlameDispatchNs,
+    BlameWireNs,
+    BlameExecuteNs,
+    BlameCommitOnPathNs,
+    BlameCommitOffPathNs,
 }
 
 impl Series {
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 15;
     pub const ALL: [Series; Series::COUNT] = [
         Series::BatchSize,
         Series::BatchAgeNs,
@@ -183,6 +190,12 @@ impl Series {
         Series::WireFlushLatencyNs,
         Series::WireCorkScopeNs,
         Series::WireStallNs,
+        Series::BlameIssueQueueNs,
+        Series::BlameDispatchNs,
+        Series::BlameWireNs,
+        Series::BlameExecuteNs,
+        Series::BlameCommitOnPathNs,
+        Series::BlameCommitOffPathNs,
     ];
 
     pub fn index(self) -> usize {
@@ -200,6 +213,12 @@ impl Series {
             Series::WireFlushLatencyNs => "cx_wire_flush_latency_ns",
             Series::WireCorkScopeNs => "cx_wire_cork_scope_ns",
             Series::WireStallNs => "cx_wire_stall_ns",
+            Series::BlameIssueQueueNs => "cx_blame_issue_queue_ns",
+            Series::BlameDispatchNs => "cx_blame_dispatch_ns",
+            Series::BlameWireNs => "cx_blame_wire_ns",
+            Series::BlameExecuteNs => "cx_blame_execute_ns",
+            Series::BlameCommitOnPathNs => "cx_blame_commit_onpath_ns",
+            Series::BlameCommitOffPathNs => "cx_blame_commit_offpath_ns",
         }
     }
 
@@ -214,6 +233,12 @@ impl Series {
             Series::WireFlushLatencyNs => "Wall time of each coalesced write_all",
             Series::WireCorkScopeNs => "Duration of each scoped sender-side cork",
             Series::WireStallNs => "Sender wall time blocked on a full peer queue",
+            Series::BlameIssueQueueNs => "Critical-path client issue queueing per op",
+            Series::BlameDispatchNs => "Critical-path coordinator dispatch time per op",
+            Series::BlameWireNs => "Critical-path wire transit (request + reply) per op",
+            Series::BlameExecuteNs => "Critical-path participant execution per op",
+            Series::BlameCommitOnPathNs => "Commitment work the client waited for per op",
+            Series::BlameCommitOffPathNs => "Commitment work behind the reply per op",
         }
     }
 }

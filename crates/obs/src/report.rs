@@ -117,6 +117,13 @@ impl ObsReport {
         }
     }
 
+    /// Compute the blame table over this report's spans and edges. Always
+    /// derived on the fly — the report's JSON schema stays unchanged, so
+    /// `cx-obs doctor --against` works on artifacts from older runs.
+    pub fn blame(&self) -> crate::blame::BlameTable {
+        crate::blame::BlameTable::from_spans(&self.protocol, &self.spans, &self.edges)
+    }
+
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("ObsReport serializes")
     }
@@ -224,6 +231,45 @@ impl ObsReport {
         }
         crate::flow::chrome_flow_events(&self.edges, 4, &mut ev);
         crate::net::chrome_flush_events(&self.flushes, 5, &mut ev);
+        // pid 6: the blame doctor's tail exemplars — each slowest op's
+        // critical path as one track of named segment slices, aligned with
+        // the client/commitment tracks via the span's issue stamp.
+        let blame = self.blame();
+        if !blame.exemplars.is_empty() {
+            ev.push(
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":6,\"tid\":0,\
+                 \"args\":{\"name\":\"critical paths (tail exemplars)\"}}"
+                    .to_string(),
+            );
+            for (rank, ex) in blame.exemplars.iter().enumerate() {
+                let Some(issued) = self
+                    .spans
+                    .iter()
+                    .find(|s| s.op.to_string() == ex.op)
+                    .and_then(|s| s.at(Phase::Issued))
+                else {
+                    continue;
+                };
+                ev.push(format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":6,\"tid\":{rank},\
+                     \"args\":{{\"name\":\"#{} {} ({})\"}}}}",
+                    rank + 1,
+                    ex.op,
+                    ex.class,
+                ));
+                for row in &ex.chain {
+                    ev.push(format!(
+                        "{{\"name\":\"{}\",\"cat\":\"blame\",\"ph\":\"X\",\"ts\":{:.3},\
+                         \"dur\":{:.3},\"pid\":6,\"tid\":{rank},\
+                         \"args\":{{\"detail\":\"{}\"}}}}",
+                        row.seg.name(),
+                        us(issued + row.t_rel_ns),
+                        us(row.dur_ns),
+                        row.label,
+                    ));
+                }
+            }
+        }
         format!(
             "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n{}\n]}}\n",
             ev.join(",\n")
@@ -407,6 +453,22 @@ impl ObsReport {
             out.push_str("per-class client latency:\n");
             for c in &self.per_class {
                 out.push_str(&row(&c.class, &c.hist.summary()));
+            }
+        }
+        let blame = self.blame();
+        let top = blame.top_segments();
+        if !top.is_empty() {
+            out.push_str(
+                "blame (critical-path time by segment, use `cx-obs doctor` for detail):\n",
+            );
+            for (seg, hist) in top.iter().take(4) {
+                out.push_str(&format!(
+                    "  {:<28} n={:<8} mean={:<9} total={}\n",
+                    seg.name(),
+                    hist.count,
+                    fmt_ns_f(hist.mean()),
+                    fmt_ns_f(hist.sum as f64),
+                ));
             }
         }
         let live_segments: Vec<&SegmentRow> =

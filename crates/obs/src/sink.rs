@@ -383,6 +383,13 @@ impl Recorder {
         ObsReport::from_recorder(self)
     }
 
+    /// Decompose every sampled span's latency into blame segments (see
+    /// [`crate::blame`]). Call after shards have been absorbed so the
+    /// table covers the stitched, offset-corrected plane.
+    pub fn blame_table(&self) -> crate::blame::BlameTable {
+        crate::blame::BlameTable::from_spans(&self.protocol, &self.spans(), &self.edges)
+    }
+
     pub fn dropped_spans(&self) -> u64 {
         self.dropped_spans
     }
@@ -494,6 +501,14 @@ impl ObsSink {
         match self {
             ObsSink::Off => None,
             ObsSink::On(rec) => Some(rec.lock().expect("obs recorder poisoned").report()),
+        }
+    }
+
+    /// The aggregated blame table over the sampled spans (None when off).
+    pub fn blame_table(&self) -> Option<crate::blame::BlameTable> {
+        match self {
+            ObsSink::Off => None,
+            ObsSink::On(rec) => Some(rec.lock().expect("obs recorder poisoned").blame_table()),
         }
     }
 
